@@ -1,0 +1,63 @@
+//===- BenchUtil.h - Shared benchmark scaffolding ---------------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common world setup for the experiment benchmarks (E1-E11, see
+/// DESIGN.md). Benchmarks measure *virtual* time on the deterministic
+/// simulator; wall-clock time is irrelevant except in E6's access
+/// microbenchmark. Every benchmark therefore runs with Iterations(1) and
+/// reports its results through counters:
+///
+///   vms     - virtual completion time, milliseconds
+///   calls_s - workload throughput, calls per virtual second
+///   dgrams  - datagrams the network carried
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_BENCH_BENCHUTIL_H
+#define PROMISES_BENCH_BENCHUTIL_H
+
+#include "promises/apps/KvStore.h"
+#include "promises/runtime/RemoteHandler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+namespace promises::benchutil {
+
+/// A client and a key-value server on a two-node network.
+struct KvWorld {
+  sim::Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<runtime::Guardian> Server, Client;
+  apps::KvStore Kv;
+
+  explicit KvWorld(net::NetConfig NC = net::NetConfig(),
+                   runtime::GuardianConfig GC = runtime::GuardianConfig(),
+                   apps::KvStoreConfig KC = apps::KvStoreConfig()) {
+    Net = std::make_unique<net::Network>(S, NC);
+    net::NodeId SN = Net->addNode("server");
+    net::NodeId CN = Net->addNode("client");
+    Server = std::make_unique<runtime::Guardian>(*Net, SN, "server", GC);
+    Client = std::make_unique<runtime::Guardian>(*Net, CN, "client", GC);
+    Kv = apps::installKvStore(*Server, KC);
+  }
+};
+
+/// Attaches the standard counters for a completed virtual-time run.
+inline void reportVirtual(benchmark::State &State, sim::Time Elapsed,
+                          uint64_t Calls, const net::NetCounters &NC) {
+  State.counters["vms"] = sim::toMillis(Elapsed);
+  if (Elapsed != 0)
+    State.counters["calls_s"] =
+        static_cast<double>(Calls) / (static_cast<double>(Elapsed) / 1e9);
+  State.counters["dgrams"] = static_cast<double>(NC.DatagramsSent);
+}
+
+} // namespace promises::benchutil
+
+#endif // PROMISES_BENCH_BENCHUTIL_H

@@ -1,0 +1,163 @@
+//===- bench_ablation.cpp - Design-choice ablations -------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Ablations for transport design choices DESIGN.md calls out:
+//
+//  A1 Reply-batch shape: delta batches (each reply sent once, probes
+//     recover losses) vs state-shaped batches (every batch carries all
+//     unacked replies). State-shaped is simpler but quadratic in flight
+//     depth — visible in bytes and completion time at N=1024.
+//  A2 Ack piggyback window (AckDelay): too small wastes pure-ack
+//     datagrams; too large delays receiver-side reply trimming.
+//  A3 Retransmission timeout under loss: small timeouts recover fast but
+//     risk spurious retransmissions; large ones stall the pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "promises/actions/AtomicCell.h"
+#include "promises/apps/TwoPhase.h"
+#include "promises/core/Coenter.h"
+
+using namespace promises;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+void runPipelinedEchoes(benchmark::State &State, runtime::GuardianConfig GC,
+                        net::NetConfig NC, int N) {
+  apps::KvStoreConfig KC;
+  KC.ServiceTime = sim::usec(100);
+  KvWorld W(NC, GC, KC);
+  W.Client->spawnProcess("driver", [&] {
+    auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+    std::vector<Promise<std::string>> Ps;
+    for (int I = 0; I < N; ++I)
+      Ps.push_back(H.streamCall(std::string("xxxxxxxx")));
+    H.flush();
+    for (auto &P : Ps)
+      benchmark::DoNotOptimize(P.claim());
+  });
+  W.S.run();
+  reportVirtual(State, W.S.now(), static_cast<uint64_t>(N),
+                W.Net->counters());
+  State.counters["kbytes"] =
+      static_cast<double>(W.Net->counters().BytesSent) / 1024.0;
+}
+
+void BM_ReplyShape(benchmark::State &State) {
+  const bool StateShaped = State.range(0) != 0;
+  const int N = static_cast<int>(State.range(1));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.StateShapedReplies = StateShaped;
+    runPipelinedEchoes(State, GC, net::NetConfig(), N);
+  }
+}
+
+void BM_AckDelay(benchmark::State &State) {
+  const sim::Time Delay = sim::usec(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.AckDelay = Delay;
+    runPipelinedEchoes(State, GC, net::NetConfig(), 512);
+  }
+}
+
+void BM_RetransTimeoutUnderLoss(benchmark::State &State) {
+  const sim::Time Timeout = sim::msec(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.RetransmitTimeout = Timeout;
+    net::NetConfig NC;
+    NC.LossRate = 0.2;
+    NC.Seed = 3;
+    runPipelinedEchoes(State, GC, NC, 256);
+  }
+}
+
+void BM_ActionContention(benchmark::State &State) {
+  // A4: atomic-action throughput as workers contend for a shrinking set
+  // of cells (extension module; not a paper claim). 64 workers x 8 ops.
+  const int NumCells = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulation S;
+    actions::ActionManager M(S);
+    std::vector<std::unique_ptr<actions::AtomicCell<int>>> Cells;
+    for (int I = 0; I < NumCells; ++I)
+      Cells.push_back(std::make_unique<actions::AtomicCell<int>>(M, 0));
+    int Committed = 0;
+    S.spawn("root", [&] {
+      core::Coenter Co(S);
+      for (int W = 0; W < 64; ++W)
+        Co.arm("w", [&, W]() -> core::ArmResult {
+          for (int Op = 0; Op < 8; ++Op) {
+            actions::Action A(M);
+            auto &C = *Cells[static_cast<size_t>((W * 7 + Op) % NumCells)];
+            C.write(A, C.read(A) + 1);
+            S.sleep(sim::usec(50)); // Hold the lock briefly.
+            if (A.commit())
+              ++Committed;
+          }
+          return {};
+        });
+      Co.run();
+    });
+    S.run();
+    State.counters["vms"] = sim::toMillis(S.now());
+    State.counters["committed"] = Committed;
+    State.counters["aborted"] = static_cast<double>(M.aborts());
+  }
+}
+
+void BM_TwoPhaseParticipants(benchmark::State &State) {
+  // A5: distributed-commit latency grows linearly with participants
+  // (sequential RPC rounds in this simple coordinator).
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulation S;
+    net::Network Net(S, net::NetConfig{});
+    runtime::Guardian Client(Net, Net.addNode("cl"), "cl");
+    std::vector<std::unique_ptr<runtime::Guardian>> Gs;
+    std::vector<apps::TxnKv> Kvs;
+    for (int I = 0; I < N; ++I) {
+      Gs.push_back(std::make_unique<runtime::Guardian>(
+          Net, Net.addNode("p" + std::to_string(I)),
+          "p" + std::to_string(I)));
+      Kvs.push_back(apps::installTxnKv(*Gs.back()));
+    }
+    sim::Time Took = 0;
+    Client.spawnProcess("txn", [&] {
+      sim::Time T0 = S.now();
+      apps::TwoPhaseCoordinator T(Client);
+      for (int I = 0; I < N; ++I) {
+        size_t Idx = T.enlist(Kvs[static_cast<size_t>(I)]);
+        T.put(Idx, "k", "v");
+      }
+      benchmark::DoNotOptimize(T.commit());
+      Took = S.now() - T0;
+    });
+    S.run();
+    State.counters["commit_ms"] = sim::toMillis(Took);
+  }
+}
+
+} // namespace
+
+// Args: (state_shaped, N).
+BENCHMARK(BM_ReplyShape)
+    ->Args({0, 128})->Args({1, 128})->Args({0, 1024})->Args({1, 1024})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AckDelay)->Arg(100)->Arg(1000)->Arg(5000)->Arg(20000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RetransTimeoutUnderLoss)->Arg(5)->Arg(20)->Arg(80)->Arg(320)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ActionContention)->Arg(64)->Arg(8)->Arg(1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoPhaseParticipants)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

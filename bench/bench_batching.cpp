@@ -1,0 +1,60 @@
+//===- bench_batching.cpp - Experiment E2 ----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E2 (paper Section 2): "Buffering allows us to amortize the overhead of
+// kernel calls and the transmission delays for messages over several
+// calls, especially for small calls and replies."
+//
+// Workload: 512 stream calls; sweep the batch size (MaxBatchCalls) and
+// the payload size. Expect the datagram count to fall ~1/B and completion
+// time to fall steeply at small B, with diminishing returns — and the
+// relative win to shrink as payloads grow (per-byte cost dominates).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace promises;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+void BM_BatchSweep(benchmark::State &State) {
+  const size_t Batch = static_cast<size_t>(State.range(0));
+  const size_t PayloadBytes = static_cast<size_t>(State.range(1));
+  const int N = 512;
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.MaxBatchCalls = Batch;
+    GC.Stream.MaxBatchBytes = 1 << 30; // Count-driven batching only.
+    GC.Stream.MaxReplyBatch = Batch;
+    apps::KvStoreConfig KC;
+    KC.ServiceTime = 0; // Isolate the transport costs.
+    KvWorld W(net::NetConfig(), GC, KC);
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < N; ++I)
+        Ps.push_back(H.streamCall(std::string(PayloadBytes, 'x')));
+      H.flush();
+      for (auto &P : Ps)
+        benchmark::DoNotOptimize(P.claim());
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), N, W.Net->counters());
+    State.counters["bytes"] =
+        static_cast<double>(W.Net->counters().BytesSent);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_BatchSweep)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {8, 256}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

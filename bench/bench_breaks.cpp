@@ -1,0 +1,122 @@
+//===- bench_breaks.cpp - Experiment E9 ------------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E9 (paper Sections 2, 3): when the guarantees cannot be kept the stream
+// breaks; outstanding calls terminate with unavailable, and "the system
+// tries hard to deliver messages before breaking a stream, so there is no
+// point in the caller repeating a call immediately". Loss is absorbed by
+// retransmission well below the break threshold.
+//
+// Three measurements:
+//  - BM_LossOverhead: completion time and retransmissions for 256 calls
+//    as the loss rate rises (0..40%): graceful degradation, no breaks.
+//  - BM_CrashDetection: server crashes mid-stream; report the virtual
+//    time from crash to every outstanding promise being resolved, sweeping
+//    the retry budget (detection ~ RetransmitTimeout * MaxRetries).
+//  - BM_RestartCost: break + auto-restart + rerun of the workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace promises;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+void BM_LossOverhead(benchmark::State &State) {
+  const double Loss = static_cast<double>(State.range(0)) / 100.0;
+  const int N = 256;
+  for (auto _ : State) {
+    net::NetConfig NC;
+    NC.LossRate = Loss;
+    NC.Seed = 7;
+    KvWorld W(NC);
+    int Failures = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < N; ++I)
+        Ps.push_back(H.streamCall(std::string("payload")));
+      H.flush();
+      for (auto &P : Ps)
+        if (!P.claim().isNormal())
+          ++Failures;
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), N, W.Net->counters());
+    State.counters["retrans"] = static_cast<double>(
+        W.Client->transport().counters().Retransmissions);
+    State.counters["failed"] = Failures;
+  }
+}
+
+void BM_CrashDetection(benchmark::State &State) {
+  const int MaxRetries = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.RetransmitTimeout = sim::msec(20);
+    GC.Stream.MaxRetries = MaxRetries;
+    KvWorld W(net::NetConfig(), GC);
+    sim::Time CrashAt = 0, ResolvedAt = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < 32; ++I)
+        Ps.push_back(H.streamCall(std::string("x")));
+      H.flush();
+      // Crash the server while calls are outstanding.
+      CrashAt = W.S.now();
+      W.Net->crash(W.Server->nodeId());
+      for (auto &P : Ps)
+        P.claim();
+      ResolvedAt = W.S.now();
+    });
+    W.S.run();
+    State.counters["detect_ms"] = sim::toMillis(ResolvedAt - CrashAt);
+    State.counters["breaks"] = static_cast<double>(
+        W.Client->transport().counters().SenderBreaks);
+  }
+}
+
+void BM_RestartCost(benchmark::State &State) {
+  // Partition, break, heal, auto-restart, rerun: the full recovery cycle.
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.RetransmitTimeout = sim::msec(20);
+    GC.Stream.MaxRetries = 3;
+    KvWorld W(net::NetConfig(), GC);
+    sim::Time HealedAt = 0, RecoveredAt = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      W.Net->setPartitioned(W.Server->nodeId(), W.Client->nodeId(), true);
+      auto P = H.streamCall(std::string("lost"));
+      H.flush();
+      P.claim(); // Unavailable after the retry budget.
+      W.Net->setPartitioned(W.Server->nodeId(), W.Client->nodeId(), false);
+      HealedAt = W.S.now();
+      // First call after the heal reincarnates the stream automatically.
+      for (int I = 0; I < 16; ++I)
+        H.streamCall(std::string("retry"));
+      H.synch();
+      RecoveredAt = W.S.now();
+    });
+    W.S.run();
+    State.counters["recover_ms"] = sim::toMillis(RecoveredAt - HealedAt);
+    State.counters["restarts"] = static_cast<double>(
+        W.Client->transport().counters().Restarts);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_LossOverhead)->Arg(0)->Arg(10)->Arg(20)->Arg(40)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CrashDetection)->Arg(1)->Arg(3)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RestartCost)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

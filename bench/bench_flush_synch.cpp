@@ -1,0 +1,92 @@
+//===- bench_flush_synch.cpp - Experiment E11 ------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E11 (paper Section 2): "flush ... causes the sending of any buffered
+// call requests on the flushed stream and the flushing back of replies at
+// the other side. (Even without the flush, the system will send these
+// messages eventually; the flush merely speeds this up.)" and "synch not
+// only does a flush, but it causes the caller to wait until all earlier
+// calls on the stream have completed."
+//
+// Measurements:
+//  - BM_TailLatency: time until the last of 8 calls is claimable, with
+//    and without an explicit flush, sweeping the background flush
+//    interval. Expect no-flush ~ flush-interval-bound, flush ~ RTT-bound.
+//  - BM_SynchWait: the caller-visible cost of synch as the number of
+//    outstanding calls grows (it waits for completion, unlike flush).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace promises;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+void BM_TailLatency(benchmark::State &State) {
+  const bool UseFlush = State.range(0) != 0;
+  const sim::Time FlushInterval =
+      sim::msec(static_cast<uint64_t>(State.range(1)));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.MaxBatchCalls = 64; // Count threshold never reached.
+    GC.Stream.FlushInterval = FlushInterval;
+    GC.Stream.ReplyFlushInterval = FlushInterval;
+    apps::KvStoreConfig KC;
+    KC.ServiceTime = 0;
+    KvWorld W(net::NetConfig(), GC, KC);
+    sim::Time LastReady = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < 8; ++I)
+        Ps.push_back(H.streamCall(std::string("x")));
+      if (UseFlush)
+        H.flush();
+      Ps.back().claim();
+      LastReady = W.S.now();
+    });
+    W.S.run();
+    State.counters["tail_ms"] = sim::toMillis(LastReady);
+  }
+}
+
+void BM_SynchWait(benchmark::State &State) {
+  const int Outstanding = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    apps::KvStoreConfig KC;
+    KC.ServiceTime = sim::usec(200);
+    KvWorld W(net::NetConfig(), runtime::GuardianConfig(), KC);
+    sim::Time SynchStart = 0, SynchEnd = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      for (int I = 0; I < Outstanding; ++I)
+        H.streamCall(std::string("x"));
+      SynchStart = W.S.now();
+      H.synch();
+      SynchEnd = W.S.now();
+    });
+    W.S.run();
+    State.counters["synch_ms"] = sim::toMillis(SynchEnd - SynchStart);
+    State.counters["per_call_us"] =
+        Outstanding == 0
+            ? 0.0
+            : sim::toMicros(SynchEnd - SynchStart) / Outstanding;
+  }
+}
+
+} // namespace
+
+// Args: (use_flush, flush_interval_ms).
+BENCHMARK(BM_TailLatency)
+    ->Args({0, 5})->Args({1, 5})->Args({0, 20})->Args({1, 20})
+    ->Args({0, 80})->Args({1, 80})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynchWait)->Arg(1)->Arg(16)->Arg(128)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+//===- bench_fork_tree.cpp - Experiment E8 ---------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E8 (paper Section 3.2): forked promises as a local concurrency
+// mechanism — "parallel insertion and searching of elements in a binary
+// tree in which the nodes of the tree are promises. If a search reaches a
+// node that cannot be claimed yet, it waits until the promise is ready."
+//
+// Workload: build a balanced promise-node tree over N keys where creating
+// each node costs simulated work, then run M searches that race the
+// construction. Compare against a serial build-then-search. Expect the
+// forked version's virtual time ~ per-level work (construction
+// parallelism) plus search depth, far below the serial sum, with the gap
+// widening in N.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Fork.h"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+
+namespace {
+
+constexpr sim::Time NodeCost = sim::usec(100);
+
+struct Node;
+using NodePromise = Promise<std::shared_ptr<Node>>;
+struct Node {
+  int Key = 0;
+  NodePromise Left, Right;
+};
+
+NodePromise buildForked(sim::Simulation &S, std::vector<int> Keys) {
+  return fork(S, [&S, Keys = std::move(Keys)]() -> std::shared_ptr<Node> {
+    if (Keys.empty())
+      return nullptr;
+    S.sleep(NodeCost);
+    size_t Mid = Keys.size() / 2;
+    auto N = std::make_shared<Node>();
+    N->Key = Keys[Mid];
+    N->Left =
+        buildForked(S, std::vector<int>(Keys.begin(),
+                                        Keys.begin() + static_cast<long>(Mid)));
+    N->Right = buildForked(
+        S, std::vector<int>(Keys.begin() + static_cast<long>(Mid) + 1,
+                            Keys.end()));
+    return N;
+  });
+}
+
+bool searchPromiseTree(NodePromise Root, int Key) {
+  NodePromise Cur = std::move(Root);
+  while (true) {
+    auto N = Cur.claim().value(); // Waits if the subtree is unbuilt.
+    if (!N)
+      return false;
+    if (N->Key == Key)
+      return true;
+    Cur = Key < N->Key ? N->Left : N->Right;
+  }
+}
+
+void BM_ForkedBuildAndSearch(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulation S;
+    std::vector<int> Keys;
+    for (int I = 0; I < N; ++I)
+      Keys.push_back(I * 2); // Even keys present.
+    int Found = 0;
+    S.spawn("driver", [&] {
+      NodePromise Root = buildForked(S, Keys);
+      // Searches race construction; promise nodes make that safe.
+      for (int Q = 0; Q < 32; ++Q)
+        Found += searchPromiseTree(Root, (Q * 2) % (2 * N)) ? 1 : 0;
+    });
+    S.run();
+    benchmark::DoNotOptimize(Found);
+    State.counters["vms"] = sim::toMillis(S.now());
+    State.counters["procs"] = static_cast<double>(S.processesSpawned());
+  }
+}
+
+void BM_SerialBuildAndSearch(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulation S;
+    struct PlainNode {
+      int Key;
+      std::unique_ptr<PlainNode> Left, Right;
+    };
+    std::function<std::unique_ptr<PlainNode>(int, int)> Build =
+        [&](int Lo, int Hi) -> std::unique_ptr<PlainNode> {
+      if (Lo >= Hi)
+        return nullptr;
+      S.sleep(NodeCost);
+      int Mid = Lo + (Hi - Lo) / 2;
+      auto Nd = std::make_unique<PlainNode>();
+      Nd->Key = Mid * 2;
+      Nd->Left = Build(Lo, Mid);
+      Nd->Right = Build(Mid + 1, Hi);
+      return Nd;
+    };
+    int Found = 0;
+    S.spawn("driver", [&] {
+      auto Root = Build(0, N);
+      for (int Q = 0; Q < 32; ++Q) {
+        int Key = (Q * 2) % (2 * N);
+        const PlainNode *Cur = Root.get();
+        while (Cur) {
+          if (Cur->Key == Key) {
+            ++Found;
+            break;
+          }
+          Cur = Key < Cur->Key ? Cur->Left.get() : Cur->Right.get();
+        }
+      }
+    });
+    S.run();
+    benchmark::DoNotOptimize(Found);
+    State.counters["vms"] = sim::toMillis(S.now());
+    State.counters["procs"] = static_cast<double>(S.processesSpawned());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ForkedBuildAndSearch)->Arg(63)->Arg(255)->Arg(1023)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SerialBuildAndSearch)->Arg(63)->Arg(255)->Arg(1023)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+//===- bench_grades.cpp - Experiment E4 ------------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E4 (paper Sections 3.1, 4): the grades program. The Figure 3-1 version
+// delays streaming to the printer until all record_grade calls have been
+// initiated; the Figure 4-2 coenter version overlaps recording and
+// printing. "Obviously, this overlapping of recording and printing
+// becomes more important as the number of calls increases."
+//
+// Sweep the number of students; report virtual completion time for the
+// figure3-1 and figure4-2 programs. Expect figure4-2 to win by an
+// increasing margin as N grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/GradesDb.h"
+#include "promises/apps/Printer.h"
+#include "promises/core/Coenter.h"
+#include "promises/core/Fork.h"
+#include "promises/core/PromiseQueue.h"
+#include "promises/support/StrUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+constexpr sim::Time ProduceCost = sim::usec(150);
+
+struct GradesWorld {
+  sim::Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> DbG, PrG, Client;
+  apps::GradesDb Db;
+  apps::Printer Pr;
+
+  GradesWorld() {
+    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    DbG = std::make_unique<Guardian>(*Net, Net->addNode("db"), "db");
+    PrG = std::make_unique<Guardian>(*Net, Net->addNode("pr"), "pr");
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("cl"), "cl");
+    Db = apps::installGradesDb(*DbG);
+    Pr = apps::installPrinter(*PrG);
+  }
+};
+
+std::vector<std::pair<std::string, int32_t>> makeGrades(int N) {
+  std::vector<std::pair<std::string, int32_t>> G;
+  for (int I = 0; I < N; ++I)
+    G.emplace_back(strprintf("student%05d", I), 60 + (I * 7) % 40);
+  return G;
+}
+
+void BM_Figure31(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    GradesWorld W;
+    auto Grades = makeGrades(N);
+    W.Client->spawnProcess("main", [&] {
+      auto A = W.Client->newAgent();
+      auto Rec = bindHandler(*W.Client, A, W.Db.RecordGrade);
+      auto Print = bindHandler(*W.Client, A, W.Pr.Print);
+      std::vector<Promise<double, apps::NoSuchStudent>> Averages;
+      for (auto &[Stu, Grade] : Grades) {
+        W.S.sleep(ProduceCost);
+        Averages.push_back(Rec.streamCall(Stu, Grade));
+      }
+      Rec.flush();
+      for (size_t I = 0; I != Averages.size(); ++I)
+        Print.streamCall(Grades[I].first + ": " +
+                         formatDouble(Averages[I].claim().value(), 1));
+      Print.synch();
+    });
+    W.S.run();
+    State.counters["vms"] = sim::toMillis(W.S.now());
+    State.counters["printed"] = static_cast<double>(W.Pr.Out->Lines.size());
+  }
+}
+
+void BM_Figure41(benchmark::State &State) {
+  // The forks variant (paper Figure 4-1): same composition as 4-2 but
+  // hand-rolled with fork + claim instead of coenter arms.
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    GradesWorld W;
+    auto Grades = makeGrades(N);
+    W.Client->spawnProcess("main", [&] {
+      PromiseQueue<Promise<double, apps::NoSuchStudent>> AveQ(W.S);
+      auto UseDb = fork(W.S, [&]() -> Outcome<int32_t> {
+        auto A = W.Client->newAgent();
+        auto Rec = bindHandler(*W.Client, A, W.Db.RecordGrade);
+        for (auto &[Stu, Grade] : Grades) {
+          W.S.sleep(ProduceCost);
+          AveQ.enq(Rec.streamCall(Stu, Grade));
+        }
+        return Rec.synch().ok() ? Outcome<int32_t>(0)
+                                : Outcome<int32_t>(Failure{"cannot_record"});
+      });
+      auto DoPrint = fork(W.S, [&]() -> Outcome<int32_t> {
+        auto A = W.Client->newAgent();
+        auto Print = bindHandler(*W.Client, A, W.Pr.Print);
+        for (size_t I = 0; I != Grades.size(); ++I) {
+          auto Ave = AveQ.deq();
+          Print.streamCall(Grades[I].first + ": " +
+                           formatDouble(Ave.claim().value(), 1));
+        }
+        return Print.synch().ok() ? Outcome<int32_t>(0)
+                                  : Outcome<int32_t>(Failure{"cannot_print"});
+      });
+      UseDb.claim();
+      DoPrint.claim();
+    });
+    W.S.run();
+    State.counters["vms"] = sim::toMillis(W.S.now());
+    State.counters["printed"] = static_cast<double>(W.Pr.Out->Lines.size());
+  }
+}
+
+void BM_Figure42(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    GradesWorld W;
+    auto Grades = makeGrades(N);
+    W.Client->spawnProcess("main", [&] {
+      PromiseQueue<Promise<double, apps::NoSuchStudent>> AveQ(W.S);
+      Coenter(W.S)
+          .arm("recording",
+               [&]() -> ArmResult {
+                 auto A = W.Client->newAgent();
+                 auto Rec = bindHandler(*W.Client, A, W.Db.RecordGrade);
+                 for (auto &[Stu, Grade] : Grades) {
+                   W.S.sleep(ProduceCost);
+                   AveQ.enq(Rec.streamCall(Stu, Grade));
+                 }
+                 return Rec.synch().toExn();
+               })
+          .arm("printing",
+               [&]() -> ArmResult {
+                 auto A = W.Client->newAgent();
+                 auto Print = bindHandler(*W.Client, A, W.Pr.Print);
+                 for (size_t I = 0; I != Grades.size(); ++I) {
+                   auto Ave = AveQ.deq();
+                   Print.streamCall(Grades[I].first + ": " +
+                                    formatDouble(Ave.claim().value(), 1));
+                 }
+                 return Print.synch().toExn();
+               })
+          .run();
+    });
+    W.S.run();
+    State.counters["vms"] = sim::toMillis(W.S.now());
+    State.counters["printed"] = static_cast<double>(W.Pr.Out->Lines.size());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Figure31)->Arg(10)->Arg(50)->Arg(200)->Arg(800)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Figure41)->Arg(10)->Arg(50)->Arg(200)->Arg(800)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Figure42)->Arg(10)->Arg(50)->Arg(200)->Arg(800)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+//===- bench_overlap.cpp - Experiment E3 -----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E3 (paper Sections 2, 3): stream calls "allow the caller to run in
+// parallel with the sending and processing of the call". The caller does
+// W microseconds of local work per call; with RPC the round trip is added
+// to every iteration, with stream calls it is hidden behind the local
+// work once W is large enough (and behind batching when W is small).
+//
+// Workload: 64 calls, sweep per-call local work W; modes RPC vs Stream.
+// Expect the stream total to approach max(N*W, transport time) while the
+// RPC total stays ~N*(W + RTT): a constant-factor win that narrows as W
+// grows past the RTT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace promises;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+constexpr int N = 64;
+
+void BM_RpcWithLocalWork(benchmark::State &State) {
+  const sim::Time Work = sim::usec(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    KvWorld W;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      for (int I = 0; I < N; ++I) {
+        W.S.sleep(Work); // Local computation for this item.
+        benchmark::DoNotOptimize(H.call(std::string("item")));
+      }
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), N, W.Net->counters());
+  }
+}
+
+void BM_StreamWithLocalWork(benchmark::State &State) {
+  const sim::Time Work = sim::usec(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    KvWorld W;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < N; ++I) {
+        W.S.sleep(Work);
+        Ps.push_back(H.streamCall(std::string("item")));
+      }
+      H.flush();
+      for (auto &P : Ps)
+        benchmark::DoNotOptimize(P.claim());
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), N, W.Net->counters());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_RpcWithLocalWork)
+    ->Arg(0)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StreamWithLocalWork)
+    ->Arg(0)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+//===- bench_per_item.cpp - Experiment E10 ---------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E10 (paper Section 4.3): composing streams with a process per *data
+// item* instead of a process per *stream* gives extra (filter)
+// concurrency but "there are many more processes to manage than in the
+// process-per-stream case. This can impose a substantial burden on the
+// system, and even slow down the program ... the process-per-stream
+// structure avoids the whole problem and therefore is better, at least on
+// a sequential machine."
+//
+// Workload: a two-level cascade over N items. process-per-stream = two
+// coenter arms + a promise queue. process-per-item = one coenter arm per
+// item; each arm pushes its item through both streams, with per-stream
+// ticket queues enforcing call order. Report virtual time, processes
+// spawned, and context switches (the management burden).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Coenter.h"
+#include "promises/core/PromiseQueue.h"
+#include "promises/runtime/RemoteHandler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+struct TwoStageWorld {
+  sim::Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> AG, BG, Client;
+  HandlerRef<int32_t(int32_t)> StageA;
+  HandlerRef<wire::Unit(int32_t)> StageB;
+
+  TwoStageWorld() {
+    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    AG = std::make_unique<Guardian>(*Net, Net->addNode("a"), "a");
+    BG = std::make_unique<Guardian>(*Net, Net->addNode("b"), "b");
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("cl"), "cl");
+    StageA = AG->addHandler<int32_t(int32_t)>(
+        "work", [this](int32_t V) -> Outcome<int32_t> {
+          S.sleep(sim::usec(100));
+          return V * 2;
+        });
+    StageB = BG->addHandler<wire::Unit(int32_t)>(
+        "sink", [this](int32_t) -> Outcome<wire::Unit> {
+          S.sleep(sim::usec(100));
+          return wire::Unit{};
+        });
+  }
+};
+
+void BM_ProcessPerStream(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    TwoStageWorld W;
+    W.Client->spawnProcess("main", [&] {
+      PromiseQueue<Promise<int32_t>> Q(W.S);
+      Coenter(W.S)
+          .arm("stageA",
+               [&]() -> ArmResult {
+                 auto A = W.Client->newAgent();
+                 auto H = bindHandler(*W.Client, A, W.StageA);
+                 for (int32_t I = 0; I < N; ++I)
+                   Q.enq(H.streamCall(I));
+                 return H.synch().toExn();
+               })
+          .arm("stageB",
+               [&]() -> ArmResult {
+                 auto A = W.Client->newAgent();
+                 auto H = bindHandler(*W.Client, A, W.StageB);
+                 for (int32_t I = 0; I < N; ++I)
+                   H.streamCall(Q.deq().claim().value());
+                 return H.synch().toExn();
+               })
+          .run();
+    });
+    W.S.run();
+    State.counters["vms"] = sim::toMillis(W.S.now());
+    State.counters["procs"] = static_cast<double>(W.S.processesSpawned());
+    State.counters["switches"] =
+        static_cast<double>(W.S.contextSwitches());
+  }
+}
+
+void BM_ProcessPerItem(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    TwoStageWorld W;
+    W.Client->spawnProcess("main", [&] {
+      // Per-stream tickets: item I may issue its call on a stream only
+      // after item I-1 has issued its call there ("synchronization would
+      // be needed to ensure that the calls on each stream were made in
+      // order").
+      struct Ticket {
+        explicit Ticket(sim::Simulation &S) : Turn(S) {}
+        int32_t Next = 0;
+        sim::WaitQueue Turn;
+      };
+      Ticket TicketA(W.S), TicketB(W.S);
+      auto AgentA = W.Client->newAgent();
+      auto AgentB = W.Client->newAgent();
+      auto HA = bindHandler(*W.Client, AgentA, W.StageA);
+      auto HB = bindHandler(*W.Client, AgentB, W.StageB);
+
+      std::vector<int32_t> Items;
+      for (int32_t I = 0; I < N; ++I)
+        Items.push_back(I);
+      Coenter Co(W.S);
+      Co.armEach(Items, [&](int32_t I) -> ArmResult {
+        // Stage A, in item order.
+        while (TicketA.Next != I)
+          TicketA.Turn.wait();
+        auto P = HA.streamCall(I);
+        TicketA.Next = I + 1;
+        TicketA.Turn.notifyAll();
+        const auto &O = P.claim();
+        if (!O.isNormal())
+          return O.toExn();
+        // Stage B, in item order (the filter ran in this process).
+        while (TicketB.Next != I)
+          TicketB.Turn.wait();
+        auto P2 = HB.streamCall(O.value());
+        TicketB.Next = I + 1;
+        TicketB.Turn.notifyAll();
+        const auto &O2 = P2.claim();
+        return O2.isNormal() ? ArmResult{} : ArmResult(O2.toExn());
+      });
+      Co.run();
+    });
+    W.S.run();
+    State.counters["vms"] = sim::toMillis(W.S.now());
+    State.counters["procs"] = static_cast<double>(W.S.processesSpawned());
+    State.counters["switches"] =
+        static_cast<double>(W.S.contextSwitches());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ProcessPerStream)->Arg(64)->Arg(256)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProcessPerItem)->Arg(64)->Arg(256)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+//===- bench_send_receive.cpp - Experiment E7 ------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// E7 (paper Section 5): "The send/receive approach can allow programs to
+// achieve high throughput, but it leads to complex and ill-structured
+// programs ... Promises and streams, however, retain high throughput
+// without imposing this burden."
+//
+// Workload: N request/reply exchanges. Three programs:
+//   - send/receive: explicit messages both ways, user-managed correlation
+//     ids (the server is a hand-written receive loop);
+//   - stream+promises: streamCall and claim;
+//   - rpc: the low-throughput strawman for contrast.
+// Expect stream ~ send/receive (parity), both far above RPC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "promises/baseline/SendReceive.h"
+
+using namespace promises;
+using namespace promises::baseline;
+using namespace promises::benchutil;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+void BM_SendReceive(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulation S;
+    net::Network Net(S, net::NetConfig{});
+    Mailbox ServerBox(Net, Net.addNode("server"));
+    Mailbox ClientBox(Net, Net.addNode("client"));
+
+    // The hand-written server loop: decode id, compute, reply with id.
+    S.spawn("server", [&] {
+      for (int I = 0; I < N; ++I) {
+        Msg M = ServerBox.receive();
+        wire::Decoder D(M.Payload);
+        uint32_t Id = D.readU32();
+        uint32_t Val = D.readU32();
+        S.sleep(sim::usec(100)); // Same service time as the KV server.
+        wire::Encoder E;
+        E.writeU32(Id);
+        E.writeU32(Val * 2);
+        ServerBox.sendMsg(M.From, E.take());
+      }
+      ServerBox.flushTo(ClientBox.address());
+    });
+
+    S.spawn("client", [&] {
+      std::map<uint32_t, uint32_t> Outstanding; // The user's burden.
+      for (int I = 0; I < N; ++I) {
+        wire::Encoder E;
+        E.writeU32(static_cast<uint32_t>(I));
+        E.writeU32(static_cast<uint32_t>(I) + 1);
+        ClientBox.sendMsg(ServerBox.address(), E.take());
+        Outstanding[static_cast<uint32_t>(I)] =
+            static_cast<uint32_t>(I) + 1;
+      }
+      ClientBox.flushTo(ServerBox.address());
+      for (int I = 0; I < N; ++I) {
+        Msg M = ClientBox.receive();
+        wire::Decoder D(M.Payload);
+        uint32_t Id = D.readU32();
+        uint32_t Val = D.readU32();
+        auto It = Outstanding.find(Id);
+        assert(It != Outstanding.end() && "unmatched reply");
+        assert(Val == It->second * 2 && "corrupted exchange");
+        (void)Val;
+        Outstanding.erase(It);
+      }
+    });
+    S.run();
+    reportVirtual(State, S.now(), static_cast<uint64_t>(N),
+                  Net.counters());
+  }
+}
+
+void BM_StreamPromises(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    KvWorld W; // 100us service time, like the hand-written server.
+    W.Client->spawnProcess("client", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < N; ++I)
+        Ps.push_back(H.streamCall(std::to_string(I)));
+      H.flush();
+      for (int I = 0; I < N; ++I) {
+        const auto &O = Ps[static_cast<size_t>(I)].claim();
+        assert(O.isNormal() && O.value() == std::to_string(I));
+        (void)O;
+      }
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), static_cast<uint64_t>(N),
+                  W.Net->counters());
+  }
+}
+
+void BM_PlainRpc(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    KvWorld W;
+    W.Client->spawnProcess("client", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      for (int I = 0; I < N; ++I)
+        benchmark::DoNotOptimize(H.call(std::to_string(I)));
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), static_cast<uint64_t>(N),
+                  W.Net->counters());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_SendReceive)->Arg(64)->Arg(512)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StreamPromises)->Arg(64)->Arg(512)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlainRpc)->Arg(64)->Arg(512)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+//===- mailer.cpp - Stream ordering semantics (Section 2.1) ----------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// The mailer guardian scenario from the paper: send_mail and read_mail
+// share one port group. One client's calls are sequenced — its read waits
+// for its own earlier send — while two clients' calls run concurrently at
+// the guardian.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/Mailer.h"
+#include "promises/support/StrUtil.h"
+
+#include <cstdio>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+
+int main() {
+  sim::Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian MailerG(Net, Net.addNode("mailer"), "mailer");
+  Guardian C1(Net, Net.addNode("c1"), "c1");
+  Guardian C2(Net, Net.addNode("c2"), "c2");
+
+  apps::MailerConfig Cfg;
+  Cfg.ServiceTime = sim::msec(2);
+  apps::Mailer M = apps::installMailer(MailerG, Cfg);
+  M.Mail->Boxes["alice"]; // Pre-registered users.
+  M.Mail->Boxes["bob"];
+
+  bool Ok = true;
+  sim::Time C1Done = 0, C2Done = 0;
+
+  // C1: streams a send_mail, then read_mail on the same stream. The
+  // ordering rule guarantees the read sees the send.
+  C1.spawnProcess("c1", [&] {
+    auto A = C1.newAgent();
+    auto Send = bindHandler(C1, A, M.SendMail);
+    auto Read = bindHandler(C1, A, M.ReadMail);
+    Send.streamCall(std::string("alice"), std::string("lunch at noon?"));
+    auto P = Read.streamCall(std::string("alice"));
+    Read.flush();
+    const auto &O = P.claim();
+    if (!O.isNormal() || O.value().size() != 1 ||
+        O.value()[0] != "lunch at noon?") {
+      Ok = false;
+    } else {
+      std::printf("[%-8s] c1: read own mail after streamed send: \"%s\"\n",
+                  formatDuration(S.now()).c_str(), O.value()[0].c_str());
+    }
+    C1Done = S.now();
+  });
+
+  // C2: a different stream; its call runs concurrently with C1's.
+  C2.spawnProcess("c2", [&] {
+    auto A = C2.newAgent();
+    auto Read = bindHandler(C2, A, M.ReadMail);
+    auto O = Read.call(std::string("bob"));
+    if (!O.isNormal() || !O.value().empty())
+      Ok = false;
+    std::printf("[%-8s] c2: read bob's (empty) mailbox concurrently\n",
+                formatDuration(S.now()).c_str());
+    C2Done = S.now();
+  });
+
+  S.run();
+
+  // Concurrency check: C1 used two 2ms operations, C2 one. With
+  // per-stream concurrency, C2's single operation finishes before C1's
+  // two (its service overlapped theirs); if the mailer serialized all
+  // three, C2 — whose call arrives at roughly the same time — would
+  // finish last or nearly so.
+  if (!(C2Done < C1Done && C2Done < sim::msec(7))) {
+    std::printf("expected cross-stream concurrency, got serialization "
+                "(c1=%s c2=%s)\n",
+                formatDuration(C1Done).c_str(),
+                formatDuration(C2Done).c_str());
+    Ok = false;
+  }
+
+  // Exception path: reading an unknown user's mail signals.
+  bool SawNoSuchUser = false;
+  C2.spawnProcess("c2-err", [&] {
+    auto Read = bindHandler(C2, C2.newAgent(), M.ReadMail);
+    Read.call(std::string("mallory"))
+        .visit(Visitor{
+            [&](const std::vector<std::string> &) { Ok = false; },
+            [&](const apps::NoSuchUser &E) {
+              SawNoSuchUser = true;
+              std::printf("[%-8s] c2: read_mail(\"%s\") signalled "
+                          "no_such_user\n",
+                          formatDuration(S.now()).c_str(), E.Who.c_str());
+            },
+            [&](const auto &) { Ok = false; },
+        });
+  });
+  S.run();
+  if (!SawNoSuchUser)
+    Ok = false;
+
+  std::printf("%s\n", Ok ? "mailer example OK" : "mailer example FAILED");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+//===- transfer.cpp - Atomic actions with coenter and streams --------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Section 4.2 of the paper runs coenter arms "as actions" so that forced
+// termination cannot leave work half-done. This example shows the
+// reproduction's lightweight actions doing exactly that: a bank guardian
+// whose transfer handler moves money between AtomicCell accounts under an
+// action; remote clients drive transfers over streams; a failing transfer
+// (or a terminated coenter arm) aborts and leaves balances untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/actions/AtomicCell.h"
+#include "promises/core/Coenter.h"
+#include "promises/runtime/RemoteHandler.h"
+#include "promises/support/StrUtil.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace promises;
+using namespace promises::actions;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+struct InsufficientFunds {
+  static constexpr const char *Name = "insufficient_funds";
+  int32_t Available = 0;
+};
+
+} // namespace
+
+namespace promises::wire {
+template <> struct Codec<InsufficientFunds> {
+  static void encode(Encoder &E, const InsufficientFunds &V) {
+    E.writeI32(V.Available);
+  }
+  static InsufficientFunds decode(Decoder &D) { return {D.readI32()}; }
+};
+} // namespace promises::wire
+
+int main() {
+  sim::Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian Bank(Net, Net.addNode("bank"), "bank");
+  Guardian ClientG(Net, Net.addNode("client"), "client");
+
+  // The bank's state: atomic account cells managed by one ActionManager.
+  ActionManager AM(S);
+  const int NumAccounts = 4;
+  std::vector<std::unique_ptr<AtomicCell<int32_t>>> Accounts;
+  for (int I = 0; I < NumAccounts; ++I)
+    Accounts.push_back(std::make_unique<AtomicCell<int32_t>>(AM, 100));
+
+  auto Transfer =
+      Bank.addHandler<int32_t(int32_t, int32_t, int32_t), InsufficientFunds>(
+          "transfer",
+          [&](int32_t From, int32_t To,
+              int32_t Amount) -> Outcome<int32_t, InsufficientFunds> {
+            Action A(AM); // RAII: aborts unless committed.
+            AtomicCell<int32_t> &Src = *Accounts[static_cast<size_t>(From)];
+            AtomicCell<int32_t> &Dst = *Accounts[static_cast<size_t>(To)];
+            int32_t Have = Src.read(A);
+            if (Have < Amount)
+              return InsufficientFunds{Have}; // ~A aborts: nothing moved.
+            Src.write(A, Have - Amount);
+            S.sleep(sim::usec(200)); // The window a crash could tear...
+            Dst.write(A, Dst.read(A) + Amount);
+            if (!A.commit())
+              return Failure{"transfer aborted (lock conflict)"};
+            return Have - Amount;
+          });
+
+  auto TotalOf = [&] {
+    int32_t Sum = 0;
+    for (auto &C : Accounts)
+      Sum += C->peek();
+    return Sum;
+  };
+
+  bool Ok = true;
+  ClientG.spawnProcess("teller", [&] {
+    auto A = ClientG.newAgent();
+    auto H = bindHandler(ClientG, A, Transfer);
+
+    // 1. A plain transfer.
+    auto O = H.call(int32_t(0), int32_t(1), int32_t(30));
+    std::printf("[%-8s] transfer 0->1 of 30: %s (balance now %d)\n",
+                formatDuration(S.now()).c_str(),
+                O.isNormal() ? "ok" : O.exceptionName(),
+                Accounts[0]->peek());
+    if (!O.isNormal() || Accounts[0]->peek() != 70 ||
+        Accounts[1]->peek() != 130)
+      Ok = false;
+
+    // 2. A rejected transfer: the action aborted, nothing moved.
+    auto O2 = H.call(int32_t(2), int32_t(3), int32_t(500));
+    std::printf("[%-8s] transfer 2->3 of 500: %s (available %d)\n",
+                formatDuration(S.now()).c_str(), O2.exceptionName(),
+                O2.is<InsufficientFunds>()
+                    ? O2.get<InsufficientFunds>().Available
+                    : -1);
+    if (!O2.is<InsufficientFunds>() || Accounts[2]->peek() != 100)
+      Ok = false;
+
+    // 3. A storm of concurrent transfers from coenter arms; money is
+    //    conserved no matter how the lock schedule interleaves.
+    int32_t Before = TotalOf();
+    Coenter Storm(S);
+    for (int I = 0; I < 12; ++I)
+      Storm.arm(strprintf("t%d", I), [&, I]() -> ArmResult {
+        auto MyAgent = ClientG.newAgent();
+        auto MyH = bindHandler(ClientG, MyAgent, Transfer);
+        auto R = MyH.call(int32_t(I % NumAccounts),
+                          int32_t((I + 1) % NumAccounts), int32_t(5));
+        (void)R; // insufficient_funds is fine; torn money is not.
+        return {};
+      });
+    Storm.run();
+    int32_t After = TotalOf();
+    std::printf("[%-8s] 12 concurrent transfers: total %d -> %d\n",
+                formatDuration(S.now()).c_str(), Before, After);
+    if (Before != After)
+      Ok = false;
+  });
+  S.run();
+
+  // 4. The termination story: a coenter arm mid-transfer is killed; its
+  //    RAII action aborts and conservation still holds.
+  int32_t Before = 0;
+  ClientG.spawnProcess("crash-drill", [&] {
+    Before = 0;
+    for (auto &C : Accounts)
+      Before += C->peek();
+    Coenter(S)
+        .arm("slow-transfer",
+             [&]() -> ArmResult {
+               // Run the transfer logic locally under an action, slowly.
+               Action A(AM);
+               auto &Src = *Accounts[0];
+               auto &Dst = *Accounts[1];
+               Src.write(A, Src.read(A) - 50);
+               S.sleep(sim::msec(50)); // Killed in this window.
+               Dst.write(A, Dst.read(A) + 50);
+               A.commit();
+               return {};
+             })
+        .arm("failer",
+             [&]() -> ArmResult {
+               S.sleep(sim::msec(1));
+               return armRaise("unavailable", "simulated trouble");
+             })
+        .run();
+  });
+  S.run();
+  int32_t After = 0;
+  for (auto &C : Accounts)
+    After += C->peek();
+  std::printf("[%-8s] killed mid-transfer: total %d -> %d (rolled back)\n",
+              formatDuration(S.now()).c_str(), Before, After);
+  if (Before != After)
+    Ok = false;
+
+  std::printf("%s\n", Ok ? "transfer example OK" : "transfer example FAILED");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+//===- promises/actions/Action.h - Lightweight atomic actions --*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified rendition of the Argus atomic actions the paper leans on
+/// in Section 4.2 ("Each arm is run as an action ... running the
+/// recording process as an atomic transaction can ensure that if it is
+/// not possible to record all grades, none will be recorded"). Full Argus
+/// transactions (reference [16]) are beyond the paper's scope and this
+/// reproduction's; what is implemented is the part the paper's programs
+/// use:
+///
+///  * actions with strict two-phase locking over AtomicCell objects,
+///    nested one-or-more levels deep (a coenter arm's action is a
+///    subaction of the enclosing action);
+///  * commit merges a subaction's locks and undo information into its
+///    parent (Moss-style); a top-level commit makes effects durable and
+///    releases locks;
+///  * abort rolls back the action's own writes and releases its locks;
+///  * an Action is an RAII scope: a process that is forcibly terminated
+///    (coenter group termination) unwinds through it and the action
+///    aborts — exactly the guarantee the paper's recovery story needs;
+///  * lock waits block the simulated process; waiting out LockTimeout
+///    *dooms* the action (it can still run, but commit will fail),
+///    which doubles as the deadlock escape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_ACTIONS_ACTION_H
+#define PROMISES_ACTIONS_ACTION_H
+
+#include "promises/sim/Simulation.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace promises::actions {
+
+/// Identifies an action; 0 means "no action".
+using ActionId = uint64_t;
+
+struct ActionConfig {
+  /// How long a lock acquisition may block before the acquiring action is
+  /// doomed (the deadlock escape).
+  sim::Time LockTimeout = sim::msec(50);
+};
+
+/// Tracks the action forest and finish notifications. One per simulation
+/// (or per guardian); AtomicCells are bound to a manager.
+class ActionManager {
+public:
+  explicit ActionManager(sim::Simulation &S, ActionConfig Cfg = {})
+      : Sim(S), Cfg(Cfg) {}
+  ActionManager(const ActionManager &) = delete;
+  ActionManager &operator=(const ActionManager &) = delete;
+
+  sim::Simulation &simulation() { return Sim; }
+  const ActionConfig &config() const { return Cfg; }
+
+  /// Starts an action; \p Parent must be active (or 0 for top-level).
+  ActionId begin(ActionId Parent = 0);
+
+  /// True while the action has neither committed nor aborted.
+  bool isActive(ActionId Id) const;
+
+  /// True if the action has been doomed (lock timeout); committing a
+  /// doomed action aborts instead.
+  bool isDoomed(ActionId Id) const;
+
+  /// Marks the action (and transitively its descendants' fate at commit
+  /// time) as unable to commit.
+  void doom(ActionId Id);
+
+  /// Commits: merges into the parent, or — for a top action — makes
+  /// effects durable. Returns false (and aborts) if the action was
+  /// doomed or has an active child. Descendant-finished-first is the
+  /// caller's responsibility (Action RAII enforces it).
+  bool commit(ActionId Id);
+
+  /// Aborts: undoes the action's writes (and its committed descendants'
+  /// writes merged into it) and releases its locks.
+  void abort(ActionId Id);
+
+  /// True if \p Maybe is \p Id or one of Id's ancestors.
+  bool isSelfOrAncestor(ActionId Maybe, ActionId Id) const;
+
+  /// Parent of an action (0 for top-level).
+  ActionId parentOf(ActionId Id) const;
+
+  /// Registers a finish hook for \p Id, invoked exactly once with
+  /// Committed=true/false when the action commits or aborts (AtomicCells
+  /// use this to release locks / roll back).
+  void onFinish(ActionId Id, std::function<void(bool Committed)> Hook);
+
+  /// --- Introspection ---
+  uint64_t commits() const { return Commits; }
+  uint64_t aborts() const { return Aborts; }
+  size_t activeCount() const { return Records.size(); }
+
+private:
+  struct Record {
+    ActionId Parent = 0;
+    bool Doomed = false;
+    int ActiveChildren = 0;
+    std::vector<std::function<void(bool)>> FinishHooks;
+  };
+
+  void finish(ActionId Id, bool Committed);
+
+  sim::Simulation &Sim;
+  ActionConfig Cfg;
+  ActionId NextId = 1;
+  std::map<ActionId, Record> Records;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+};
+
+/// RAII action scope. If neither commit() nor abort() ran by destruction
+/// time — including when a forced termination unwinds the process — the
+/// action aborts.
+class Action {
+public:
+  /// Begins a top-level action.
+  explicit Action(ActionManager &M) : M(M), Id(M.begin()) {}
+
+  /// Begins a subaction of \p Parent.
+  Action(ActionManager &M, const Action &Parent)
+      : M(M), Id(M.begin(Parent.id())) {}
+
+  ~Action() {
+    if (M.isActive(Id))
+      M.abort(Id);
+  }
+  Action(const Action &) = delete;
+  Action &operator=(const Action &) = delete;
+
+  ActionId id() const { return Id; }
+  ActionManager &manager() const { return M; }
+  bool active() const { return M.isActive(Id); }
+  bool doomed() const { return M.isDoomed(Id); }
+
+  /// Commits; false means the action aborted instead (doomed).
+  bool commit() { return M.commit(Id); }
+
+  void abort() { M.abort(Id); }
+
+private:
+  ActionManager &M;
+  ActionId Id;
+};
+
+} // namespace promises::actions
+
+#endif // PROMISES_ACTIONS_ACTION_H

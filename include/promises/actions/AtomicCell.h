@@ -1,0 +1,167 @@
+//===- promises/actions/AtomicCell.h - Atomic objects ----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An atomic object: a value accessed under strict two-phase locking by
+/// actions (the substrate behind Section 4.2's "recording grades is not
+/// something that should be done part way"). Moss-style nested-action
+/// rules:
+///
+///  * a read takes a shared lock; compatible when the current writer (if
+///    any) is the reader itself or one of its ancestors;
+///  * a write requires that every current lock holder be the writer
+///    itself or an ancestor; the writing action always becomes the
+///    innermost writer and logs its own pre-image on its first write;
+///  * subaction commit transfers its locks and (older-wins) pre-image to
+///    the parent; abort restores the action's own pre-image;
+///  * locks are held until the action finishes (strict 2PL).
+///
+/// Lock conflicts block the calling process; waiting longer than
+/// ActionConfig::LockTimeout dooms the action and lets it continue
+/// without the lock (its commit will fail) — also the deadlock escape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_ACTIONS_ATOMICCELL_H
+#define PROMISES_ACTIONS_ATOMICCELL_H
+
+#include "promises/actions/Action.h"
+
+#include <cassert>
+#include <set>
+
+namespace promises::actions {
+
+template <typename T> class AtomicCell {
+public:
+  AtomicCell(ActionManager &M, T Initial)
+      : M(M), Value(std::move(Initial)), Waiters(M.simulation()) {}
+  AtomicCell(const AtomicCell &) = delete;
+  AtomicCell &operator=(const AtomicCell &) = delete;
+
+  /// Reads under a shared lock held until \p A finishes. A timed-out
+  /// acquisition dooms \p A and returns the current value (harmless: a
+  /// doomed action cannot commit).
+  const T &read(Action &A) {
+    acquire(A, /*Exclusive=*/false);
+    return Value;
+  }
+
+  /// Writes under an exclusive lock held until \p A finishes; the first
+  /// write by an action logs its pre-image for rollback. A doomed
+  /// acquisition leaves the value untouched.
+  void write(Action &A, T V) {
+    if (!acquire(A, /*Exclusive=*/true))
+      return;
+    ActionId Id = A.id();
+    if (!Undo.count(Id))
+      Undo.emplace(Id, Value);
+    Value = std::move(V);
+  }
+
+  /// The value as last written (committed or not); for tests/monitoring.
+  const T &peek() const { return Value; }
+
+  /// True if any action holds a lock here.
+  bool locked() const { return Writer != 0 || !Sharers.empty(); }
+
+private:
+  bool compatible(ActionId Id, bool Exclusive) const {
+    if (Writer != 0 && !M.isSelfOrAncestor(Writer, Id))
+      return false; // An unrelated action is writing.
+    if (!Exclusive)
+      return true;
+    for (ActionId S : Sharers)
+      if (!M.isSelfOrAncestor(S, Id))
+        return false; // An unrelated reader blocks the write.
+    return true;
+  }
+
+  /// Returns true when the lock was obtained; false when the wait timed
+  /// out and \p A is now doomed.
+  bool acquire(Action &A, bool Exclusive) {
+    assert(A.active() && "lock acquisition by a finished action");
+    ActionId Id = A.id();
+    while (!compatible(Id, Exclusive)) {
+      if (!Waiters.waitFor(M.config().LockTimeout)) {
+        M.doom(Id);
+        return false;
+      }
+    }
+    if (Exclusive)
+      Writer = Id; // Innermost writer (may displace an ancestor).
+    Sharers.insert(Id);
+    if (!Enlisted.count(Id)) {
+      Enlisted.insert(Id);
+      M.onFinish(Id,
+                 [this, Id](bool Committed) { release(Id, Committed); });
+    }
+    return true;
+  }
+
+  /// Nearest ancestor of \p Id that has written this cell (holds an undo
+  /// entry); 0 when none.
+  ActionId nearestWritingAncestor(ActionId Id) const {
+    for (ActionId Cur = M.parentOf(Id); Cur != 0; Cur = M.parentOf(Cur))
+      if (Undo.count(Cur))
+        return Cur;
+    return 0;
+  }
+
+  void release(ActionId Id, bool Committed) {
+    Enlisted.erase(Id);
+    Sharers.erase(Id);
+    ActionId Parent = M.parentOf(Id);
+    if (!Committed) {
+      auto U = Undo.find(Id);
+      if (U != Undo.end()) {
+        Value = std::move(U->second);
+        Undo.erase(U);
+      }
+      if (Writer == Id)
+        Writer = nearestWritingAncestor(Id);
+    } else if (Parent != 0) {
+      // Merge into the parent: shared lock, write lock, and the older
+      // pre-image.
+      enlistParent(Parent);
+      Sharers.insert(Parent);
+      if (Writer == Id)
+        Writer = Parent;
+      auto U = Undo.find(Id);
+      if (U != Undo.end()) {
+        if (!Undo.count(Parent))
+          Undo.emplace(Parent, std::move(U->second));
+        Undo.erase(U);
+      }
+    } else {
+      // Top-level commit: effects durable.
+      Undo.erase(Id);
+      if (Writer == Id)
+        Writer = 0;
+    }
+    Waiters.notifyAll();
+  }
+
+  void enlistParent(ActionId Parent) {
+    if (Enlisted.count(Parent))
+      return;
+    Enlisted.insert(Parent);
+    M.onFinish(Parent,
+               [this, Parent](bool C) { release(Parent, C); });
+  }
+
+  ActionManager &M;
+  T Value;
+  std::map<ActionId, T> Undo; ///< Pre-image per writing action.
+  std::set<ActionId> Sharers;
+  ActionId Writer = 0;
+  std::set<ActionId> Enlisted; ///< Actions with a finish hook installed.
+  sim::WaitQueue Waiters;
+};
+
+} // namespace promises::actions
+
+#endif // PROMISES_ACTIONS_ATOMICCELL_H

@@ -1,0 +1,111 @@
+//===- promises/apps/GradesDb.h - The grades database ----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The grades database of the paper's running example (Section 3.1): "a
+/// guardian that stores information about the grades of students and
+/// provides a handler, record_grade, that records a new grade for a
+/// student and returns an updated average for that student."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_GRADESDB_H
+#define PROMISES_APPS_GRADESDB_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace promises::apps {
+
+/// Raised when a grade is recorded for an unknown student (registration
+/// is implicit unless RequireRegistration is set).
+struct NoSuchStudent {
+  static constexpr const char *Name = "no_such_student";
+  std::string Who;
+};
+
+struct GradesDbConfig {
+  /// Simulated processing time per record_grade call.
+  sim::Time ServiceTime = sim::usec(100);
+  /// When true, record_grade signals no_such_student for unregistered
+  /// students; register_student must be called first.
+  bool RequireRegistration = false;
+};
+
+/// Raised for operations on an unknown or already-finished batch.
+struct NoSuchBatch {
+  static constexpr const char *Name = "no_such_batch";
+  uint32_t Batch = 0;
+};
+
+/// The typed ports of a grades database plus shared state for inspection.
+///
+/// Besides direct recording, the database offers *staged batches* — the
+/// all-or-nothing discipline the paper gets from Argus transactions
+/// ("running the recording process as an atomic transaction can ensure
+/// that if it is not possible to record all grades, none will be
+/// recorded", Section 4.2): grades recorded under a batch are invisible
+/// until CommitBatch and vanish entirely on AbortBatch.
+struct GradesDb {
+  using RecordGradeRef =
+      runtime::HandlerRef<double(std::string, int32_t), NoSuchStudent>;
+  using GetAverageRef =
+      runtime::HandlerRef<double(std::string), NoSuchStudent>;
+  using RegisterRef = runtime::HandlerRef<wire::Unit(std::string)>;
+  using BeginBatchRef = runtime::HandlerRef<uint32_t(wire::Unit)>;
+  using RecordInBatchRef = runtime::HandlerRef<
+      double(uint32_t, std::string, int32_t), NoSuchStudent, NoSuchBatch>;
+  using FinishBatchRef =
+      runtime::HandlerRef<wire::Unit(uint32_t), NoSuchBatch>;
+
+  RecordGradeRef RecordGrade;
+  GetAverageRef GetAverage;
+  RegisterRef RegisterStudent;
+  BeginBatchRef BeginBatch;
+  RecordInBatchRef RecordInBatch; ///< Stages; returns the would-be average.
+  FinishBatchRef CommitBatch;     ///< Applies every staged grade.
+  FinishBatchRef AbortBatch;      ///< Discards every staged grade.
+
+  /// Server-side state, exposed for tests and examples.
+  struct State {
+    std::map<std::string, std::vector<int32_t>> Grades;
+    std::map<uint32_t, std::vector<std::pair<std::string, int32_t>>>
+        Batches;
+    uint32_t NextBatch = 1;
+    uint64_t RecordCalls = 0;
+    uint64_t Commits = 0;
+    uint64_t Aborts = 0;
+  };
+  std::shared_ptr<State> Db;
+};
+
+/// Installs the grades-database handlers on \p G (default port group) and
+/// returns their typed references.
+GradesDb installGradesDb(runtime::Guardian &G,
+                         GradesDbConfig Cfg = GradesDbConfig());
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::NoSuchStudent> {
+  static void encode(Encoder &E, const apps::NoSuchStudent &V) {
+    E.writeString(V.Who);
+  }
+  static apps::NoSuchStudent decode(Decoder &D) { return {D.readString()}; }
+};
+template <> struct Codec<apps::NoSuchBatch> {
+  static void encode(Encoder &E, const apps::NoSuchBatch &V) {
+    E.writeU32(V.Batch);
+  }
+  static apps::NoSuchBatch decode(Decoder &D) { return {D.readU32()}; }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_GRADESDB_H

@@ -1,0 +1,64 @@
+//===- promises/apps/KvStore.h - Key-value workload guardian ---*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic key-value guardian used as the benchmark workload server
+/// (echo/put/get with a configurable service time) — the "component
+/// programs used over a network" of the paper's heterogeneous-computing
+/// setting, reduced to its performance-relevant skeleton.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_KVSTORE_H
+#define PROMISES_APPS_KVSTORE_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace promises::apps {
+
+/// Raised by get for absent keys.
+struct NotFound {
+  static constexpr const char *Name = "not_found";
+  std::string Key;
+};
+
+struct KvStoreConfig {
+  sim::Time ServiceTime = sim::usec(100);
+};
+
+/// Typed ports of the store.
+struct KvStore {
+  runtime::HandlerRef<wire::Unit(std::string, std::string)> Put;
+  runtime::HandlerRef<std::string(std::string), NotFound> Get;
+  runtime::HandlerRef<std::string(std::string)> Echo; ///< Returns its arg.
+
+  struct State {
+    std::map<std::string, std::string> Data;
+    uint64_t Calls = 0;
+  };
+  std::shared_ptr<State> Store;
+};
+
+/// Installs the key-value handlers on \p G.
+KvStore installKvStore(runtime::Guardian &G,
+                       KvStoreConfig Cfg = KvStoreConfig());
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::NotFound> {
+  static void encode(Encoder &E, const apps::NotFound &V) {
+    E.writeString(V.Key);
+  }
+  static apps::NotFound decode(Decoder &D) { return {D.readString()}; }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_KVSTORE_H

@@ -1,0 +1,71 @@
+//===- promises/apps/Mailer.h - The mailer guardian ------------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mailer guardian of Section 2.1: handlers send_mail and read_mail in
+/// the same port group, so one client's calls are sequenced (its read sees
+/// its own earlier send) while different clients' calls run concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_MAILER_H
+#define PROMISES_APPS_MAILER_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace promises::apps {
+
+/// Raised for mail operations on unregistered users.
+struct NoSuchUser {
+  static constexpr const char *Name = "no_such_user";
+  std::string Who;
+};
+
+struct MailerConfig {
+  /// Simulated processing time per operation.
+  sim::Time ServiceTime = sim::usec(500);
+};
+
+/// Typed ports of a mailer plus its mailbox state.
+struct Mailer {
+  using SendMailRef = runtime::HandlerRef<
+      wire::Unit(std::string, std::string), NoSuchUser>;
+  using ReadMailRef = runtime::HandlerRef<
+      std::vector<std::string>(std::string), NoSuchUser>;
+  using AddUserRef = runtime::HandlerRef<wire::Unit(std::string)>;
+
+  SendMailRef SendMail; ///< send_mail(user, message)
+  ReadMailRef ReadMail; ///< read_mail(user) -> messages, then empties box
+  AddUserRef AddUser;
+
+  struct State {
+    std::map<std::string, std::vector<std::string>> Boxes;
+    uint64_t Operations = 0;
+  };
+  std::shared_ptr<State> Mail;
+};
+
+/// Installs the mailer handlers on \p G (one shared port group, as in the
+/// paper) and returns their references.
+Mailer installMailer(runtime::Guardian &G, MailerConfig Cfg = MailerConfig());
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::NoSuchUser> {
+  static void encode(Encoder &E, const apps::NoSuchUser &V) {
+    E.writeString(V.Who);
+  }
+  static apps::NoSuchUser decode(Decoder &D) { return {D.readString()}; }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_MAILER_H

@@ -1,0 +1,63 @@
+//===- promises/apps/Printer.h - The printer guardian ----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The printing guardian of the grades example: "a second guardian
+/// provides printing of grades information via its print operation."
+/// Printing is an external activity, so it can jam — the paper's footnote
+/// 4 on external actions motivates the Jam exception used in fault tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_PRINTER_H
+#define PROMISES_APPS_PRINTER_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace promises::apps {
+
+/// Raised when the (simulated) printer is jammed.
+struct Jam {
+  static constexpr const char *Name = "jam";
+};
+
+struct PrinterConfig {
+  /// Simulated time to print one line.
+  sim::Time ServiceTime = sim::usec(200);
+  /// When nonzero, print signals jam on every JamEvery-th line.
+  uint32_t JamEvery = 0;
+};
+
+/// Typed ports of a printer plus its observable output.
+struct Printer {
+  using PrintRef = runtime::HandlerRef<wire::Unit(std::string), Jam>;
+  PrintRef Print;
+
+  struct State {
+    std::vector<std::string> Lines;
+    uint64_t Jams = 0;
+  };
+  std::shared_ptr<State> Out;
+};
+
+/// Installs the printer handler on \p G and returns its reference.
+Printer installPrinter(runtime::Guardian &G,
+                       PrinterConfig Cfg = PrinterConfig());
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::Jam> {
+  static void encode(Encoder &, const apps::Jam &) {}
+  static apps::Jam decode(Decoder &) { return {}; }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_PRINTER_H

@@ -1,0 +1,152 @@
+//===- promises/apps/TwoPhase.h - Distributed commit kit -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified rendition of Argus's *distributed* actions (the paper
+/// defers to reference [16]): a transactional key-value participant that
+/// guardians can install, and a client-side two-phase-commit coordinator
+/// built entirely on the public promise/stream API.
+///
+/// Protocol (classic presumed-abort 2PC, volatile participants):
+///   begin on each participant -> stage puts -> phase 1: prepare votes ->
+///   all yes: phase 2 commit everywhere; any no/unreachable: abort
+///   everywhere. A participant lost *after* voting yes leaves the
+///   coordinator InDoubt — the blocking window every 2PC has; tests
+///   exercise it deliberately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_TWOPHASE_H
+#define PROMISES_APPS_TWOPHASE_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace promises::apps {
+
+/// Raised for operations naming an unknown/finished transaction.
+struct NoSuchTxn {
+  static constexpr const char *Name = "no_such_txn";
+  uint32_t Txn = 0;
+};
+
+/// Raised when a staged write conflicts with another transaction's lock.
+struct TxnConflict {
+  static constexpr const char *Name = "txn_conflict";
+  std::string Key;
+};
+
+struct TxnKvConfig {
+  sim::Time ServiceTime = sim::usec(100);
+};
+
+/// The participant: a key-value store with staged, locked transactions.
+struct TxnKv {
+  runtime::HandlerRef<uint32_t(wire::Unit)> Begin;
+  runtime::HandlerRef<wire::Unit(uint32_t, std::string, std::string),
+                      NoSuchTxn, TxnConflict>
+      Put; ///< Stages a write; takes the key's lock.
+  runtime::HandlerRef<std::string(uint32_t, std::string), NoSuchTxn>
+      Get; ///< Reads through the transaction's own staged state.
+  runtime::HandlerRef<bool(uint32_t), NoSuchTxn> Prepare; ///< The vote.
+  runtime::HandlerRef<wire::Unit(uint32_t), NoSuchTxn> Commit;
+  runtime::HandlerRef<wire::Unit(uint32_t), NoSuchTxn> Abort;
+
+  struct State {
+    std::map<std::string, std::string> Data;
+    struct Txn {
+      std::map<std::string, std::string> Staged;
+      bool Prepared = false;
+    };
+    std::map<uint32_t, Txn> Txns;
+    std::map<std::string, uint32_t> Locks; ///< Key -> owning txn.
+    uint32_t NextTxn = 1;
+    uint64_t Commits = 0;
+    uint64_t Aborts = 0;
+  };
+  std::shared_ptr<State> Store;
+};
+
+/// Installs the transactional KV handlers on \p G.
+TxnKv installTxnKv(runtime::Guardian &G, TxnKvConfig Cfg = TxnKvConfig());
+
+/// Outcome of a coordinated commit.
+enum class TwoPhaseResult {
+  Committed, ///< Every participant committed.
+  Aborted,   ///< Some vote failed before any commit; all rolled back.
+  InDoubt,   ///< A participant vanished after voting yes: the classic
+             ///< 2PC blocking window (survivors committed).
+};
+
+/// Client-side coordinator for one distributed transaction across TxnKv
+/// participants. Usage (from a simulated process):
+///
+/// \code
+///   TwoPhaseCoordinator Txn(ClientGuardian);
+///   Txn.enlist(KvA);
+///   Txn.enlist(KvB);
+///   Txn.put(0, "x", "1");   // participant index, key, value
+///   Txn.put(1, "y", "2");
+///   TwoPhaseResult R = Txn.commit();
+/// \endcode
+class TwoPhaseCoordinator {
+public:
+  explicit TwoPhaseCoordinator(runtime::Guardian &Local) : Local(Local) {}
+
+  /// Adds a participant; returns its index. Must precede put/commit.
+  size_t enlist(const TxnKv &Participant);
+
+  /// Stages a write at participant \p Idx. Returns false when the write
+  /// failed (conflict or participant unreachable); the transaction is
+  /// then doomed and commit() will abort.
+  bool put(size_t Idx, const std::string &Key, const std::string &Val);
+
+  /// Runs two-phase commit. Callable once.
+  TwoPhaseResult commit();
+
+  /// Aborts everywhere (best effort).
+  void abort();
+
+  bool doomed() const { return Doomed; }
+
+private:
+  struct Enlisted {
+    TxnKv Kv;
+    stream::AgentId Agent = 0;
+    uint32_t Txn = 0;
+    bool Begun = false;
+  };
+
+  bool ensureBegun(Enlisted &E);
+
+  runtime::Guardian &Local;
+  std::vector<Enlisted> Participants;
+  bool Doomed = false;
+  bool Finished = false;
+};
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::NoSuchTxn> {
+  static void encode(Encoder &E, const apps::NoSuchTxn &V) {
+    E.writeU32(V.Txn);
+  }
+  static apps::NoSuchTxn decode(Decoder &D) { return {D.readU32()}; }
+};
+template <> struct Codec<apps::TxnConflict> {
+  static void encode(Encoder &E, const apps::TxnConflict &V) {
+    E.writeString(V.Key);
+  }
+  static apps::TxnConflict decode(Decoder &D) { return {D.readString()}; }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_TWOPHASE_H

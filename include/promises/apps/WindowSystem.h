@@ -1,0 +1,85 @@
+//===- promises/apps/WindowSystem.h - The window system --------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The window system of Section 2: "a window system might provide a
+/// create_window port ... When called, this port returns a number of
+/// newly-created ports that can be used to interact with the new window".
+/// Each window's ports live in their own port group, so operations on
+/// different windows are independent streams while operations on one
+/// window stay ordered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_APPS_WINDOWSYSTEM_H
+#define PROMISES_APPS_WINDOWSYSTEM_H
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace promises::apps {
+
+/// The per-window port bundle (the paper's `window` struct of ports).
+struct WindowPorts {
+  runtime::HandlerRef<wire::Unit(uint8_t)> Putc;
+  runtime::HandlerRef<wire::Unit(std::string)> Puts;
+  runtime::HandlerRef<wire::Unit(std::string)> ChangeColor;
+  runtime::HandlerRef<std::string(wire::Unit)> Contents; ///< For tests.
+
+  friend bool operator==(const WindowPorts &, const WindowPorts &) = default;
+};
+
+struct WindowSystemConfig {
+  sim::Time ServiceTime = sim::usec(50);
+};
+
+/// The window server's entry port and observable state.
+struct WindowSystem {
+  runtime::HandlerRef<WindowPorts(wire::Unit)> CreateWindow;
+  /// Destroys a window: its ports stop existing (later calls fail with
+  /// "no such port") and its screen state is discarded.
+  runtime::HandlerRef<wire::Unit(WindowPorts)> DestroyWindow;
+
+  struct WindowState {
+    std::string Text;
+    std::string Color = "white";
+  };
+  struct State {
+    std::map<uint32_t, WindowState> Windows; ///< Keyed by group id.
+  };
+  std::shared_ptr<State> Screen;
+};
+
+/// Installs the window system on \p G.
+WindowSystem installWindowSystem(runtime::Guardian &G,
+                                 WindowSystemConfig Cfg =
+                                     WindowSystemConfig());
+
+} // namespace promises::apps
+
+namespace promises::wire {
+template <> struct Codec<apps::WindowPorts> {
+  static void encode(Encoder &E, const apps::WindowPorts &V) {
+    Codec<decltype(V.Putc)>::encode(E, V.Putc);
+    Codec<decltype(V.Puts)>::encode(E, V.Puts);
+    Codec<decltype(V.ChangeColor)>::encode(E, V.ChangeColor);
+    Codec<decltype(V.Contents)>::encode(E, V.Contents);
+  }
+  static apps::WindowPorts decode(Decoder &D) {
+    apps::WindowPorts V;
+    V.Putc = Codec<decltype(V.Putc)>::decode(D);
+    V.Puts = Codec<decltype(V.Puts)>::decode(D);
+    V.ChangeColor = Codec<decltype(V.ChangeColor)>::decode(D);
+    V.Contents = Codec<decltype(V.Contents)>::decode(D);
+    return V;
+  }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_APPS_WINDOWSYSTEM_H

@@ -1,0 +1,146 @@
+//===- promises/baseline/DynFuture.h - MultiLisp-style futures -*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful-in-spirit rendition of MultiLisp futures (paper Section 3.3,
+/// reference [5]) used as the comparison baseline:
+///
+///  * "an object of any type can be a future": DynFuture is type-erased;
+///    a value of any type hides behind it.
+///  * "every object must be examined each time it is accessed to
+///    determine whether or not it is a future": every access performs the
+///    runtime tag check (and blocks if the future is unresolved) — this is
+///    the overhead promises avoid by being a distinct static type.
+///  * "exceptions are turned into error values automatically, and
+///    information about the error value propagates through the
+///    expression": arithmetic on an error future yields an error future,
+///    and the original reason is buried as the value flows on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_BASELINE_DYNFUTURE_H
+#define PROMISES_BASELINE_DYNFUTURE_H
+
+#include "promises/sim/Simulation.h"
+
+#include <any>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace promises::baseline {
+
+/// A dynamically checked value-or-future-or-error.
+class DynFuture {
+public:
+  /// Wraps an immediate value (still pays the tag check on access).
+  template <typename T> static DynFuture immediate(T V) {
+    DynFuture F;
+    F.St = std::make_shared<State>();
+    F.St->T = Tag::Value;
+    F.St->V = std::move(V);
+    return F;
+  }
+
+  /// Makes an error value.
+  static DynFuture error(std::string Why) {
+    DynFuture F;
+    F.St = std::make_shared<State>();
+    F.St->T = Tag::Error;
+    F.St->Err = std::move(Why);
+    return F;
+  }
+
+  /// Spawns \p Body in a new process; the future resolves to its result.
+  /// The body may return DynFuture::error to signal.
+  template <typename Fn>
+  static DynFuture spawn(sim::Simulation &S, Fn Body) {
+    DynFuture F;
+    F.St = std::make_shared<State>();
+    F.St->T = Tag::Pending;
+    F.St->Waiters = std::make_unique<sim::WaitQueue>(S);
+    S.spawn("future", [St = F.St, Body = std::move(Body)]() mutable {
+      DynFuture R = wrap(Body());
+      // Collapse: adopt the result's state.
+      if (R.St->T == Tag::Error) {
+        St->T = Tag::Error;
+        St->Err = R.St->Err;
+      } else {
+        St->V = R.St->V;
+        St->T = Tag::Value;
+      }
+      St->Waiters->notifyAll();
+    });
+    return F;
+  }
+
+  bool valid() const { return St != nullptr; }
+
+  /// The dynamic check every access pays: resolve if needed, then test the
+  /// tag and the stored type. Blocks the calling process while pending.
+  template <typename T> T as() const {
+    assert(valid());
+    touch();
+    if (St->T == Tag::Error)
+      return T{}; // Error values yield a default; isError() tells.
+    const T *P = std::any_cast<T>(&St->V);
+    assert(P && "dynamic type check failed on future access");
+    return *P;
+  }
+
+  /// Forces resolution without extracting (MultiLisp's touch).
+  void touch() const {
+    assert(valid());
+    while (St->T == Tag::Pending)
+      St->Waiters->wait();
+  }
+
+  /// True when resolution produced an error value. Forces first.
+  bool isError() const {
+    touch();
+    return St->T == Tag::Error;
+  }
+
+  /// The buried reason; often far from where the error arose — the
+  /// debugging problem the paper cites.
+  const std::string &errorReason() const {
+    touch();
+    return St->Err;
+  }
+
+  bool resolved() const { return valid() && St->T != Tag::Pending; }
+
+  /// Error-contagious arithmetic: the future world's implicit
+  /// propagation. Operands must already be resolved numbers or errors.
+  friend DynFuture operator+(const DynFuture &A, const DynFuture &B) {
+    if (A.isError())
+      return error("propagated: " + A.St->Err);
+    if (B.isError())
+      return error("propagated: " + B.St->Err);
+    return immediate(A.as<double>() + B.as<double>());
+  }
+
+private:
+  enum class Tag : uint8_t { Pending, Value, Error };
+  struct State {
+    Tag T = Tag::Pending;
+    std::any V;
+    std::string Err;
+    std::unique_ptr<sim::WaitQueue> Waiters;
+  };
+
+  static DynFuture wrap(DynFuture F) { return F; }
+  template <typename T> static DynFuture wrap(T V) {
+    return immediate(std::move(V));
+  }
+
+  std::shared_ptr<State> St;
+};
+
+} // namespace promises::baseline
+
+#endif // PROMISES_BASELINE_DYNFUTURE_H

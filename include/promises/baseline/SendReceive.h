@@ -1,0 +1,85 @@
+//===- promises/baseline/SendReceive.h - Explicit messaging ----*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit send/receive baseline (paper Section 5, PLITS/*MOD-style):
+/// one-way messages with the sender free as soon as the message is
+/// produced, high throughput, and — the paper's criticism — "it is
+/// entirely the responsibility of the user code to relate reply messages
+/// with the calls that caused them".
+///
+/// To keep the throughput comparison fair, Mailbox rides on the same
+/// call-stream transport (batching, exactly-once, ordering) using
+/// reply-less sends; what it deliberately lacks is everything promises
+/// add: typed results, ordered reply consumption, and exception
+/// propagation. User code ships correlation ids by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_BASELINE_SENDRECEIVE_H
+#define PROMISES_BASELINE_SENDRECEIVE_H
+
+#include "promises/stream/StreamTransport.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace promises::baseline {
+
+/// One received message.
+struct Msg {
+  net::Address From;
+  wire::Bytes Payload;
+};
+
+/// An explicit-messaging endpoint: send one-way messages, receive from a
+/// single inbox, correlate by hand.
+class Mailbox {
+public:
+  /// Binds a mailbox on \p Node.
+  Mailbox(net::Network &Net, net::NodeId Node,
+          stream::StreamConfig Cfg = stream::StreamConfig());
+
+  /// The address peers send to.
+  net::Address address() const { return Transport->address(); }
+
+  /// Sends \p Payload to the mailbox at \p To. Returns immediately once
+  /// the message is produced (buffered); delivery is reliable and in
+  /// order per destination.
+  void sendMsg(net::Address To, wire::Bytes Payload);
+
+  /// Expedites buffered messages to \p To.
+  void flushTo(net::Address To);
+
+  /// Blocks the calling process until a message arrives, then returns it.
+  Msg receive();
+
+  /// Non-blocking receive; false when the inbox is empty.
+  bool tryReceive(Msg &Out);
+
+  /// Messages waiting in the inbox.
+  size_t pending() const { return Inbox.size(); }
+
+  stream::StreamTransport &transport() { return *Transport; }
+
+private:
+  static constexpr stream::PortId MsgPort = 1;
+  static constexpr stream::GroupId MsgGroup = 1;
+
+  std::unique_ptr<stream::StreamTransport> Transport;
+  // A raw deque + wait queue rather than PromiseQueue: deliveries arrive
+  // in scheduler context, where monitor-style primitives are off-limits.
+  std::deque<Msg> Inbox;
+  std::unique_ptr<sim::WaitQueue> InboxWaiters;
+  /// One sending agent per destination (per-destination ordering).
+  std::map<net::Address, stream::AgentId> Agents;
+};
+
+} // namespace promises::baseline
+
+#endif // PROMISES_BASELINE_SENDRECEIVE_H

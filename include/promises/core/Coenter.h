@@ -1,0 +1,100 @@
+//===- promises/core/Coenter.h - Structured concurrency --------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coenter statement (paper Section 4.2): a set of *arms*, each run as
+/// its own process, with the parent halted until all arms complete. An arm
+/// terminates the whole coenter early by producing an exception (the
+/// analogue of a control transfer out of the coenter); the remaining arms
+/// are then forcibly terminated — with termination deferred while an arm
+/// is inside a critical section, exactly as the Argus runtime does — and
+/// the exception is returned to the parent for its except logic.
+///
+///   coenter
+///     action ... end
+///     action ... end
+///   end except when others: ...
+///
+/// ~>
+///
+///   auto Bad = Coenter(Sim)
+///     .arm("recording", [&](...) -> ArmResult { ...; return {}; })
+///     .arm("printing",  [&] { ...; return armRaise(...); })
+///     .run();
+///   if (Bad) { /* when others */ }
+///
+/// A dynamic number of arms (the paper's extension "to allow a dynamic
+/// number of processes") falls out naturally: call arm() in a loop, or use
+/// armEach over a container.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_COENTER_H
+#define PROMISES_CORE_COENTER_H
+
+#include "promises/core/Exceptions.h"
+#include "promises/sim/Simulation.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace promises::core {
+
+/// What an arm body produces: nothing on normal completion, or the
+/// exception that should terminate the coenter.
+using ArmResult = std::optional<Exn>;
+
+/// Builds an ArmResult carrying an exception.
+inline ArmResult armRaise(std::string Name, std::string What = "") {
+  return Exn{std::move(Name), std::move(What)};
+}
+
+/// A coenter statement under construction. Build arms, then run().
+class Coenter {
+public:
+  explicit Coenter(sim::Simulation &S) : Sim(S) {}
+  Coenter(const Coenter &) = delete;
+  Coenter &operator=(const Coenter &) = delete;
+
+  /// Adds an arm. Arms start only when run() is called, in the order they
+  /// were added.
+  Coenter &arm(std::string Name, std::function<ArmResult()> Body) {
+    Arms.push_back({std::move(Name), std::move(Body)});
+    return *this;
+  }
+
+  /// Adds one arm per element of \p Items (the dynamic coenter). \p Body
+  /// is invoked with a copy of the element.
+  template <typename Container, typename Fn>
+  Coenter &armEach(const Container &Items, Fn Body) {
+    for (const auto &Item : Items)
+      arm("arm", [Body, Item]() -> ArmResult { return Body(Item); });
+    return *this;
+  }
+
+  /// Runs every arm as a process, halting the calling process until all
+  /// complete. If an arm produces an exception, every other unfinished arm
+  /// is forcibly terminated (respecting critical sections) and that first
+  /// exception is returned; std::nullopt means all arms finished normally.
+  /// Must be called from a simulated process.
+  ArmResult run();
+
+private:
+  struct ArmSpec {
+    std::string Name;
+    std::function<ArmResult()> Body;
+  };
+
+  sim::Simulation &Sim;
+  std::vector<ArmSpec> Arms;
+};
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_COENTER_H

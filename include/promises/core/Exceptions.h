@@ -1,0 +1,73 @@
+//===- promises/core/Exceptions.h - Termination-model values ---*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value types for the Argus termination model of exception handling
+/// (paper reference [11]): a call terminates either normally or in one of
+/// a set of named exception conditions, each carrying results. In this
+/// library an exception is an ordinary struct with a static `Name`; it is
+/// raised by returning it and handled by visiting an Outcome. C++ throw is
+/// never used for these.
+///
+/// Two built-ins exist on every call (paper, Section 3: "Since any call
+/// can fail, every handler can raise the exceptions failure and
+/// unavailable"):
+///
+///  * Unavailable — a temporary problem: communication is impossible right
+///    now. The system already "tried hard", so immediate retry is useless.
+///  * Failure — a permanent problem: the target no longer exists, or
+///    encoding/decoding failed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_EXCEPTIONS_H
+#define PROMISES_CORE_EXCEPTIONS_H
+
+#include <concepts>
+#include <string>
+
+namespace promises::core {
+
+/// Built-in: temporary communication problem (retry later, not now).
+struct Unavailable {
+  static constexpr const char *Name = "unavailable";
+  std::string Reason;
+
+  friend bool operator==(const Unavailable &, const Unavailable &) = default;
+};
+
+/// Built-in: permanent problem (target gone, encode/decode error, ...).
+struct Failure {
+  static constexpr const char *Name = "failure";
+  std::string Reason;
+
+  friend bool operator==(const Failure &, const Failure &) = default;
+};
+
+/// Every user-declared exception is a struct with a static Name.
+template <typename E>
+concept ExceptionType = requires {
+  { E::Name } -> std::convertible_to<const char *>;
+};
+
+/// An untyped exception value used where exceptions cross type boundaries
+/// (coenter arms, generic logging). Typed outcomes convert into this.
+struct Exn {
+  std::string Name;
+  std::string What;
+
+  friend bool operator==(const Exn &, const Exn &) = default;
+};
+
+/// Overload-set helper for Outcome::visit / Promise::claimWith.
+template <typename... Fs> struct Visitor : Fs... {
+  using Fs::operator()...;
+};
+template <typename... Fs> Visitor(Fs...) -> Visitor<Fs...>;
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_EXCEPTIONS_H

@@ -1,0 +1,92 @@
+//===- promises/core/Fork.h - Promises for local forks ---------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local forks (paper Section 3.2): a fork runs a local procedure in a new
+/// process, in parallel with the caller, and returns a promise for its
+/// result:
+///
+///   p: pt := fork foo(a)   ~>   auto P = fork(Sim, [&] { return foo(A); });
+///
+/// Arguments are passed by sharing (ordinary C++ captures — captured
+/// objects must outlive the fork, mirroring Argus's heap-allocated
+/// objects). Exceptions propagate by returning an Outcome from the body; a
+/// body returning a plain value produces a promise with no declared
+/// exceptions.
+///
+/// If the forked process is forcibly terminated before completing, its
+/// promise becomes ready with Failure("forked process terminated") so
+/// claimers never hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_FORK_H
+#define PROMISES_CORE_FORK_H
+
+#include "promises/core/Promise.h"
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace promises::core {
+namespace detail {
+
+/// Maps a fork body's return type onto the promise machinery.
+template <typename T> struct ForkTraits {
+  using OutcomeType = Outcome<T>;
+  static auto make(sim::Simulation &S) { return makePromise<T>(S); }
+  template <typename Fn> static OutcomeType invoke(Fn &Body) {
+    return OutcomeType(Body());
+  }
+};
+
+template <typename R, ExceptionType... Es>
+struct ForkTraits<Outcome<R, Es...>> {
+  using OutcomeType = Outcome<R, Es...>;
+  static auto make(sim::Simulation &S) { return makePromise<R, Es...>(S); }
+  template <typename Fn> static OutcomeType invoke(Fn &Body) {
+    return Body();
+  }
+};
+
+/// Fulfills the promise with Failure if the body never completed (forced
+/// termination unwinding through the process).
+template <typename Resolver> class ForkGuard {
+public:
+  explicit ForkGuard(Resolver R) : R(std::move(R)) {}
+  ~ForkGuard() {
+    if (!R.fulfilled())
+      R.fulfill(Failure{"forked process terminated"});
+  }
+  ForkGuard(const ForkGuard &) = delete;
+  ForkGuard &operator=(const ForkGuard &) = delete;
+
+private:
+  Resolver R;
+};
+
+} // namespace detail
+
+/// Runs \p Body in a freshly spawned process and returns the promise for
+/// its result. The body either returns a plain value (promise with no
+/// declared exceptions) or an Outcome<R, Es...> (promise with those
+/// exceptions). The returned promise is claimable from any process.
+template <typename Fn>
+auto fork(sim::Simulation &S, Fn Body, std::string Name = "fork") {
+  using Traits = detail::ForkTraits<std::invoke_result_t<Fn>>;
+  auto [P, R] = Traits::make(S);
+  using ResolverT = std::decay_t<decltype(R)>;
+  S.spawn(std::move(Name), [Body = std::move(Body), R]() mutable {
+    detail::ForkGuard<ResolverT> Guard(R);
+    R.fulfill(Traits::invoke(Body));
+  });
+  return P;
+}
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_FORK_H

@@ -1,0 +1,138 @@
+//===- promises/core/Outcome.h - Typed call outcomes -----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Outcome<Ret, Exs...> is the value a call terminates with under the
+/// termination model: either a normal result of type Ret, one of the
+/// declared exceptions Exs..., or one of the two built-ins (Unavailable,
+/// Failure) that every call can raise. It is the C++ rendering of the
+/// paper's handler/promise result type:
+///
+///   pt = promise returns (real) signals (foo)
+///     ~> Promise<double, Foo>, whose claim yields Outcome<double, Foo>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_OUTCOME_H
+#define PROMISES_CORE_OUTCOME_H
+
+#include "promises/core/Exceptions.h"
+
+#include <cassert>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace promises::core {
+
+/// The outcome of one call: Ret on normal termination, else one of
+/// Exs..., Unavailable, or Failure. Exs must be distinct exception types
+/// and must not include the built-ins.
+template <typename Ret, ExceptionType... Exs> class Outcome {
+public:
+  using ValueType = Ret;
+  using VariantType = std::variant<Ret, Exs..., Unavailable, Failure>;
+
+  /// Normal termination.
+  Outcome(Ret V) : V(std::in_place_index<0>, std::move(V)) {}
+
+  /// Exceptional termination with a declared or built-in exception.
+  template <typename E>
+    requires(std::same_as<E, Exs> || ...) || std::same_as<E, Unavailable> ||
+            std::same_as<E, Failure>
+  Outcome(E Ex) : V(std::move(Ex)) {}
+
+  /// True on normal termination.
+  bool isNormal() const { return V.index() == 0; }
+
+  /// The normal result; asserts isNormal().
+  const Ret &value() const & {
+    assert(isNormal() && "value() on exceptional outcome");
+    return std::get<0>(V);
+  }
+  Ret &&value() && {
+    assert(isNormal() && "value() on exceptional outcome");
+    return std::get<0>(std::move(V));
+  }
+
+  /// True if the outcome is exception E.
+  template <typename E> bool is() const {
+    return std::holds_alternative<E>(V);
+  }
+
+  /// The exception value; asserts is<E>().
+  template <typename E> const E &get() const {
+    assert(is<E>() && "get<E>() on a different outcome");
+    return std::get<E>(V);
+  }
+
+  /// Name of the exception, or "" on normal termination.
+  const char *exceptionName() const {
+    if (isNormal())
+      return "";
+    return std::visit(
+        [](const auto &Alt) -> const char * {
+          using T = std::decay_t<decltype(Alt)>;
+          if constexpr (std::same_as<T, Ret>)
+            return "";
+          else
+            return T::Name;
+        },
+        V);
+  }
+
+  /// Dispatches on the outcome with one callable per alternative (or a
+  /// generic lambda catch-all), like the paper's except statement:
+  ///
+  /// \code
+  ///   O.visit(Visitor{
+  ///     [](const double &Avg) { ... },        // normal arm
+  ///     [](const NoSuchStudent &E) { ... },   // when no_such_student
+  ///     [](const auto &Other) { ... },        // when others
+  ///   });
+  /// \endcode
+  template <typename Fn> decltype(auto) visit(Fn &&F) const {
+    return std::visit(std::forward<Fn>(F), V);
+  }
+
+  /// Converts an exceptional outcome to an untyped Exn (for coenter arms).
+  /// Asserts !isNormal().
+  Exn toExn() const {
+    assert(!isNormal() && "toExn() on a normal outcome");
+    return std::visit(
+        [](const auto &Alt) -> Exn {
+          using T = std::decay_t<decltype(Alt)>;
+          if constexpr (std::same_as<T, Ret>) {
+            return Exn{"", ""};
+          } else if constexpr (std::same_as<T, Unavailable> ||
+                               std::same_as<T, Failure>) {
+            return Exn{T::Name, Alt.Reason};
+          } else {
+            return Exn{T::Name, ""};
+          }
+        },
+        V);
+  }
+
+  /// The raw variant (index 0 = normal result).
+  const VariantType &raw() const { return V; }
+
+  friend bool operator==(const Outcome &, const Outcome &) = default;
+
+private:
+  VariantType V;
+};
+
+/// Trait for detecting Outcome instantiations (used by fork's deduction).
+template <typename T> struct IsOutcome : std::false_type {};
+template <typename R, ExceptionType... Es>
+struct IsOutcome<Outcome<R, Es...>> : std::true_type {};
+template <typename T> inline constexpr bool IsOutcomeV = IsOutcome<T>::value;
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_OUTCOME_H

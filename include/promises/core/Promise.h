@@ -1,0 +1,168 @@
+//===- promises/core/Promise.h - The promise data type ---------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central contribution: a *promise* is a strongly typed place
+/// holder for a value that will exist in the future (Section 3).
+///
+///  * A promise is created *blocked*; when the call that computes it
+///    completes, it becomes *ready* with the call's outcome, and "once a
+///    promise is ready it remains ready from then on and its value never
+///    changes again".
+///  * `claim` waits until the promise is ready, then yields the outcome —
+///    the normal result or the raised exception. "A promise can be claimed
+///    multiple times; the same outcome will occur each time."
+///  * `ready` tests readiness without blocking.
+///
+/// Unlike MultiLisp futures, promises are distinct types: no runtime check
+/// is ever paid when using an ordinary value, and the possible exceptions
+/// are part of the type (Section 3.3). The baseline library contains a
+/// futures-style DynFuture for the comparison benchmark.
+///
+/// Promises are handed out by three producers: stream calls
+/// (runtime::RemoteHandler::streamCall), local forks (core/Fork.h), and —
+/// for plumbing — makePromise below, whose Resolver the "system" side
+/// fulfills exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_PROMISE_H
+#define PROMISES_CORE_PROMISE_H
+
+#include "promises/core/Outcome.h"
+#include "promises/sim/Simulation.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace promises::core {
+
+template <typename Ret, ExceptionType... Exs> class Resolver;
+
+/// A strongly typed place holder for the outcome of an asynchronous call.
+/// Copyable; copies share the same state (promises can be stored in
+/// arrays and queues and claimed from any process, as in the grades
+/// example).
+template <typename Ret, ExceptionType... Exs> class Promise {
+public:
+  using OutcomeType = Outcome<Ret, Exs...>;
+
+  /// An invalid promise (no state); valid() is false. Assigned over in
+  /// container use.
+  Promise() = default;
+
+  /// True if this promise refers to a call at all.
+  bool valid() const { return St != nullptr; }
+
+  /// True once the call has completed (never blocks).
+  bool ready() const {
+    assert(valid() && "ready() on an invalid promise");
+    return St->Value.has_value();
+  }
+
+  /// Waits until the promise is ready and returns the outcome. Must run
+  /// inside a simulated process when blocking is required; claiming an
+  /// already-ready promise works anywhere. Kill delivery point while
+  /// blocked.
+  const OutcomeType &claim() const {
+    assert(valid() && "claim() on an invalid promise");
+    while (!St->Value.has_value()) {
+      assert(St->Waiters && "blocking claim outside a simulation");
+      St->Waiters->wait();
+    }
+    return *St->Value;
+  }
+
+  /// Claims and dispatches in one step (the except-statement idiom):
+  ///
+  /// \code
+  ///   P.claimWith(
+  ///     [](const double &Avg) { ... },
+  ///     [](const Unavailable &U) { ... },
+  ///     [](const auto &Others) { ... });
+  /// \endcode
+  template <typename... Fs> decltype(auto) claimWith(Fs &&...Handlers) const {
+    return claim().visit(Visitor{std::forward<Fs>(Handlers)...});
+  }
+
+  /// Makes a promise that is born ready (used for immediate failures:
+  /// where Argus would signal without creating a promise, this library
+  /// returns a ready promise carrying the exception — claiming it raises
+  /// the same exception in the same place).
+  static Promise makeReady(OutcomeType O) {
+    Promise P;
+    P.St = std::make_shared<State>();
+    P.St->Value.emplace(std::move(O));
+    return P;
+  }
+
+private:
+  friend class Resolver<Ret, Exs...>;
+  template <typename R, ExceptionType... Es>
+  friend std::pair<Promise<R, Es...>, Resolver<R, Es...>>
+  makePromise(sim::Simulation &S);
+
+  struct State {
+    std::optional<OutcomeType> Value;
+    std::unique_ptr<sim::WaitQueue> Waiters; ///< Null for born-ready.
+  };
+
+  std::shared_ptr<State> St;
+};
+
+/// The producing end of a promise; fulfilled exactly once by the system
+/// (stream reply processing, fork completion).
+template <typename Ret, ExceptionType... Exs> class Resolver {
+public:
+  using PromiseType = Promise<Ret, Exs...>;
+  using OutcomeType = Outcome<Ret, Exs...>;
+
+  Resolver() = default;
+
+  /// True if fulfill() may still be called.
+  bool valid() const { return St != nullptr; }
+
+  /// True once fulfilled.
+  bool fulfilled() const {
+    assert(valid());
+    return St->Value.has_value();
+  }
+
+  /// Moves the promise from blocked to ready and wakes every claimer.
+  /// Exactly-once; asserts on double fulfill.
+  void fulfill(OutcomeType O) const {
+    assert(valid() && "fulfill() on an invalid resolver");
+    assert(!St->Value.has_value() && "promise fulfilled twice");
+    St->Value.emplace(std::move(O));
+    St->Waiters->notifyAll();
+  }
+
+private:
+  template <typename R, ExceptionType... Es>
+  friend std::pair<Promise<R, Es...>, Resolver<R, Es...>>
+  makePromise(sim::Simulation &S);
+
+  std::shared_ptr<typename PromiseType::State> St;
+};
+
+/// Creates a blocked promise and its resolver.
+template <typename Ret, ExceptionType... Exs>
+std::pair<Promise<Ret, Exs...>, Resolver<Ret, Exs...>>
+makePromise(sim::Simulation &S) {
+  Promise<Ret, Exs...> P;
+  using State = typename Promise<Ret, Exs...>::State;
+  auto St = std::make_shared<State>();
+  St->Waiters = std::make_unique<sim::WaitQueue>(S);
+  P.St = St;
+  Resolver<Ret, Exs...> R;
+  R.St = std::move(St);
+  return {std::move(P), std::move(R)};
+}
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_PROMISE_H

@@ -1,0 +1,86 @@
+//===- promises/core/PromiseQueue.h - Composition queues -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared queue used to compose streams (paper Section 4): the process
+/// driving stream n enqueues the promises its calls create; the process
+/// driving stream n+1 dequeues and claims them. "When a process attempts
+/// to deq an element from the queue, it will wait if the queue is empty
+/// until an element is enqueued. Queues can be implemented using standard
+/// synchronization mechanisms such as semaphores or monitors."
+///
+/// The queue's internal mutations run inside critical sections, so a
+/// process forcibly terminated by a coenter is never stopped "in the
+/// middle of dequeuing", which "could leave the aveq in a damaged state"
+/// (Section 4.2) — the kill is deferred to the critical section's end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CORE_PROMISEQUEUE_H
+#define PROMISES_CORE_PROMISEQUEUE_H
+
+#include "promises/sim/Sync.h"
+
+#include <cassert>
+#include <deque>
+
+namespace promises::core {
+
+/// An unbounded FIFO queue for simulated processes, typically holding
+/// promises. deq blocks while empty; there is no close operation — a
+/// consumer stuck in deq after its producer died is exactly the
+/// termination problem the coenter solves by killing the group.
+template <typename T> class PromiseQueue {
+public:
+  explicit PromiseQueue(sim::Simulation &S) : M(S), NotEmpty(S) {}
+
+  /// Appends an element and wakes one blocked consumer.
+  void enq(T V) {
+    sim::SimMutex::Guard G(M);
+    // Mutation and wake-up form one critical section: a kill delivered
+    // between them would strand a consumer with an element available.
+    sim::CriticalSection Cs;
+    Items.push_back(std::move(V));
+    NotEmpty.notifyOne();
+  }
+
+  /// Removes and returns the oldest element, blocking while the queue is
+  /// empty. Kill delivery point while blocked (never mid-mutation).
+  T deq() {
+    sim::SimMutex::Guard G(M);
+    while (Items.empty())
+      NotEmpty.wait(M);
+    sim::CriticalSection Cs;
+    T V = std::move(Items.front());
+    Items.pop_front();
+    return V;
+  }
+
+  /// Non-blocking variant; returns false when empty.
+  bool tryDeq(T &Out) {
+    sim::SimMutex::Guard G(M);
+    if (Items.empty())
+      return false;
+    sim::CriticalSection Cs;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Elements currently queued.
+  size_t size() const { return Items.size(); }
+
+  bool empty() const { return Items.empty(); }
+
+private:
+  sim::SimMutex M;
+  sim::SimCondVar NotEmpty;
+  std::deque<T> Items;
+};
+
+} // namespace promises::core
+
+#endif // PROMISES_CORE_PROMISEQUEUE_H

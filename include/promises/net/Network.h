@@ -1,0 +1,188 @@
+//===- promises/net/Network.h - Simulated datagram network -----*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An unreliable datagram network between simulated nodes, with the cost
+/// model that drives the paper's performance claims:
+///
+///  * every datagram costs a fixed *kernel-call overhead* plus a per-byte
+///    serialization cost at each side (paper, Section 2: "Buffering allows
+///    us to amortize the overhead of kernel calls and the transmission
+///    delays for messages over several calls"),
+///  * each node's transmit and receive paths are serial resources, so
+///    per-message overheads bound throughput,
+///  * one-way propagation delay bounds RPC latency.
+///
+/// Faults: message loss, duplication, reordering jitter, link partitions,
+/// and node crashes — the raw material for broken streams (Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_NET_NETWORK_H
+#define PROMISES_NET_NETWORK_H
+
+#include "promises/sim/Simulation.h"
+#include "promises/support/Rng.h"
+#include "promises/wire/Codec.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace promises::net {
+
+/// Identifies a node in the network.
+using NodeId = uint32_t;
+
+/// A bound datagram endpoint: (node, port number).
+struct Address {
+  NodeId Node = 0;
+  uint32_t Port = 0;
+
+  friend bool operator==(const Address &A, const Address &B) {
+    return A.Node == B.Node && A.Port == B.Port;
+  }
+  friend bool operator<(const Address &A, const Address &B) {
+    return A.Node != B.Node ? A.Node < B.Node : A.Port < B.Port;
+  }
+};
+
+/// A delivered datagram.
+struct Datagram {
+  Address From;
+  Address To;
+  wire::Bytes Payload;
+};
+
+/// Cost model and fault parameters. Defaults approximate a late-1980s LAN
+/// RPC system; see DESIGN.md Section 5.
+struct NetConfig {
+  sim::Time SendKernelOverhead = sim::usec(50);
+  sim::Time RecvKernelOverhead = sim::usec(20);
+  sim::Time PerByte = sim::nsec(100); // 1 us per 10 bytes.
+  sim::Time Propagation = sim::msec(2);
+  uint32_t HeaderBytes = 32; ///< Fixed per-datagram framing overhead.
+  double LossRate = 0.0;
+  double DupRate = 0.0;
+  sim::Time JitterMax = 0; ///< Uniform extra delay; >0 permits reordering.
+  uint64_t Seed = 1;
+};
+
+/// Message and byte counters, per node and network-wide.
+struct NetCounters {
+  uint64_t DatagramsSent = 0;
+  uint64_t DatagramsDelivered = 0;
+  uint64_t DatagramsDropped = 0; ///< Loss, partition, crash, or no bind.
+  uint64_t BytesSent = 0;        ///< Includes per-datagram header bytes.
+};
+
+/// The simulated network. Owns node state; endpoints are bound to
+/// callbacks that run in scheduler context (they must not block — hand off
+/// to processes via wait queues instead).
+class Network {
+public:
+  Network(sim::Simulation &S, NetConfig C = NetConfig());
+
+  sim::Simulation &simulation() { return Sim; }
+  const NetConfig &config() const { return Cfg; }
+
+  /// Creates a new node, initially up.
+  NodeId addNode(std::string Name);
+
+  /// Name given to addNode.
+  const std::string &nodeName(NodeId N) const;
+
+  /// Binds a fresh port on \p N to \p Handler and returns its address.
+  Address bind(NodeId N, std::function<void(Datagram)> Handler);
+
+  /// Removes a binding; datagrams to it are counted as dropped.
+  void unbind(Address A);
+
+  /// Sends \p Payload from \p From to \p To, applying the cost model and
+  /// fault processes. Callable from process or scheduler context; never
+  /// blocks (costs are modeled as resource occupancy, not caller delay).
+  void send(Address From, Address To, wire::Bytes Payload);
+
+  /// --- Faults ---
+
+  /// Takes a node down: all its bindings are removed, in-flight traffic to
+  /// and from it is dropped, and crash observers fire.
+  void crash(NodeId N);
+
+  /// Brings a crashed node back up (with no bindings).
+  void restart(NodeId N);
+
+  bool isUp(NodeId N) const;
+
+  /// Cuts or heals the (symmetric) link between two nodes.
+  void setPartitioned(NodeId A, NodeId B, bool Cut);
+
+  bool isPartitioned(NodeId A, NodeId B) const;
+
+  /// Overrides the global loss rate on the (symmetric) link A<->B.
+  void setLinkLoss(NodeId A, NodeId B, double Rate);
+
+  /// Registers a callback to run (in scheduler context) when \p N crashes.
+  void onCrash(NodeId N, std::function<void()> Cb);
+
+  /// --- Introspection ---
+
+  const NetCounters &counters() const { return Totals; }
+  const NetCounters &counters(NodeId N) const;
+
+  /// Virtual time at which a node's transmit path becomes free; the
+  /// transmit backlog is max(0, txFreeAt - now).
+  sim::Time txFreeAt(NodeId N) const;
+
+private:
+  struct Node {
+    std::string Name;
+    bool Up = true;
+    sim::Time TxFreeAt = 0;
+    sim::Time RxFreeAt = 0;
+    uint32_t NextPort = 1;
+    NetCounters Counters;
+    std::vector<std::function<void()>> CrashObservers;
+  };
+
+  Node &node(NodeId N);
+  const Node &node(NodeId N) const;
+  double lossBetween(NodeId A, NodeId B) const;
+  void arrive(Datagram D);
+
+  sim::Simulation &Sim;
+  NetConfig Cfg;
+  Rng Rand;
+  std::vector<Node> Nodes;
+  std::map<Address, std::function<void(Datagram)>> Binds;
+  std::set<std::pair<NodeId, NodeId>> Partitions;
+  std::map<std::pair<NodeId, NodeId>, double> LinkLoss;
+  NetCounters Totals;
+};
+
+} // namespace promises::net
+
+namespace promises::wire {
+/// Addresses travel in messages (ports may be "sent as arguments and
+/// results of remote calls", paper Section 2).
+template <> struct Codec<net::Address> {
+  static void encode(Encoder &E, const net::Address &A) {
+    E.writeU32(A.Node);
+    E.writeU32(A.Port);
+  }
+  static net::Address decode(Decoder &D) {
+    net::Address A;
+    A.Node = D.readU32();
+    A.Port = D.readU32();
+    return A;
+  }
+};
+} // namespace promises::wire
+
+#endif // PROMISES_NET_NETWORK_H

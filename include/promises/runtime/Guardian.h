@@ -1,0 +1,212 @@
+//===- promises/runtime/Guardian.h - Active entities -----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guardians — the Argus active entities (paper Section 2.1). A guardian
+/// resides entirely at a single node, provides *handlers* (typed ports,
+/// grouped into port groups), and runs internal processes.
+///
+/// The runtime enforces the stream execution rule: "When a handler call
+/// arrives at a guardian, the Argus system will delay its execution until
+/// all earlier calls on its stream have completed", so calls on one stream
+/// appear to execute in call order, while calls on different streams run
+/// concurrently (the mailer example). Each call runs in its own process
+/// with its own agent.
+///
+/// When the guardian's node crashes, its transport shuts down and every
+/// process it spawned is killed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_RUNTIME_GUARDIAN_H
+#define PROMISES_RUNTIME_GUARDIAN_H
+
+#include "promises/runtime/Handler.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace promises::runtime {
+
+/// Configuration for one guardian.
+struct GuardianConfig {
+  stream::StreamConfig Stream;
+  /// CPU time the *caller* pays to produce one call message (paper,
+  /// Section 3, step 1: "The call message is produced by encoding the
+  /// arguments" — encoding happens synchronously in the caller). This is
+  /// what makes initiating many calls take time, and hence what stream
+  /// composition overlaps (Section 4).
+  sim::Time EncodeCpu = sim::usec(10);
+};
+
+/// An active entity: handler table, port groups, processes, and the
+/// call-stream endpoint, on one network node.
+class Guardian {
+public:
+  /// The group that handlers join by default ("all ports of handlers
+  /// created when a guardian is created belong to the same group").
+  static constexpr stream::GroupId DefaultGroup = 1;
+
+  Guardian(net::Network &Net, net::NodeId Node, std::string Name,
+           GuardianConfig Cfg = GuardianConfig());
+  ~Guardian();
+  Guardian(const Guardian &) = delete;
+  Guardian &operator=(const Guardian &) = delete;
+
+  net::Network &network() { return Net; }
+  const GuardianConfig &config() const { return Cfg; }
+  sim::Simulation &simulation() { return Net.simulation(); }
+  stream::StreamTransport &transport() { return *Transport; }
+  net::Address address() const { return Transport->address(); }
+  net::NodeId nodeId() const { return Node; }
+  const std::string &name() const { return Name; }
+  bool crashed() const { return Crashed; }
+
+  /// Creates a fresh port group (entities "determine the grouping of
+  /// their ports when they create them" — e.g. one group per window).
+  stream::GroupId createGroup() { return NextGroup++; }
+
+  /// The paper's explicit override ("We may provide some explicit
+  /// overrides to allow more sophisticated programs that process calls on
+  /// the same stream in parallel"): calls to ports in \p Group skip the
+  /// per-stream execution gate and run concurrently. Replies still reach
+  /// the caller in call order (the transport buffers out-of-order
+  /// completions), but side effects may interleave — the handlers must
+  /// tolerate that.
+  void setParallelGroup(stream::GroupId Group, bool Parallel = true) {
+    if (Parallel)
+      ParallelGroups.insert(Group);
+    else
+      ParallelGroups.erase(Group);
+  }
+
+  bool isParallelGroup(stream::GroupId Group) const {
+    return ParallelGroups.count(Group) != 0;
+  }
+
+  /// Registers a handler on \p Group. \p Impl is invoked — inside a
+  /// dedicated process, in call order per stream — with the decoded
+  /// arguments, and returns the typed outcome. Returns the transmissible
+  /// typed reference for clients.
+  ///
+  /// \code
+  ///   auto RecordGrade =
+  ///       G.addHandler<double(std::string, int32_t), NoSuchStudent>(
+  ///           "record_grade", Guardian::DefaultGroup,
+  ///           [&](std::string Stu, int32_t Gr)
+  ///               -> Outcome<double, NoSuchStudent> { ... });
+  /// \endcode
+  template <typename Sig, core::ExceptionType... Exs, typename Fn>
+  HandlerRef<Sig, Exs...> addHandler(std::string HandlerName,
+                                     stream::GroupId Group, Fn Impl) {
+    using Traits = SigTraits<Sig>;
+    using Ret = typename Traits::RetType;
+    using ArgsTuple = typename Traits::ArgsTuple;
+    using OutcomeT = core::Outcome<Ret, Exs...>;
+    stream::PortId Port = NextPort++;
+    PortNames[Port] = HandlerName;
+    Executors[Port] = [this, Impl = std::move(Impl)](
+                          stream::IncomingCall &IC) mutable {
+      std::string Why;
+      auto Args = wire::decodeFromBytes<ArgsTuple>(IC.Args, &Why);
+      if (!Args) {
+        // A decode failure at the receiver fails the call *and* breaks
+        // the stream (paper, Section 3).
+        IC.Complete(stream::ReplyStatus::Failure, 0, {},
+                    "could not decode: " + Why);
+        Transport->breakReceiverStream(IC.StreamTag,
+                                       "could not decode: " + Why);
+        return;
+      }
+      OutcomeT O = std::apply(Impl, std::move(*Args));
+      stream::ReplyStatus St = stream::ReplyStatus::Normal;
+      uint32_t Tag = 0;
+      wire::Bytes Payload;
+      std::string Reason;
+      if (!detail::outcomeToWire<Ret, Exs...>(O, St, Tag, Payload, Reason)) {
+        IC.Complete(stream::ReplyStatus::Failure, 0, {},
+                    "could not encode: " + Reason);
+        Transport->breakReceiverStream(IC.StreamTag,
+                                       "could not encode: " + Reason);
+        return;
+      }
+      IC.Complete(St, Tag, std::move(Payload), std::move(Reason));
+    };
+    HandlerRef<Sig, Exs...> Ref;
+    Ref.Entity = Transport->address();
+    Ref.Group = Group;
+    Ref.Port = Port;
+    return Ref;
+  }
+
+  /// Shorthand: register on the default group.
+  template <typename Sig, core::ExceptionType... Exs, typename Fn>
+  HandlerRef<Sig, Exs...> addHandler(std::string HandlerName, Fn Impl) {
+    return addHandler<Sig, Exs...>(std::move(HandlerName), DefaultGroup,
+                                   std::move(Impl));
+  }
+
+  /// Removes a handler; later calls to its port terminate with
+  /// failure("no such port") — a permanent error, like calling a
+  /// destroyed window. Idempotent.
+  template <typename Sig, core::ExceptionType... Exs>
+  void removeHandler(const HandlerRef<Sig, Exs...> &Ref) {
+    Executors.erase(Ref.Port);
+    PortNames.erase(Ref.Port);
+  }
+
+  /// Allocates an agent for one client activity in this guardian.
+  stream::AgentId newAgent() { return Transport->newAgent(); }
+
+  /// Spawns a process owned by this guardian; it is killed if the
+  /// guardian's node crashes.
+  sim::ProcessHandle spawnProcess(std::string ProcName,
+                                  std::function<void()> Body);
+
+  /// Number of handler calls this guardian has started executing.
+  uint64_t callsExecuted() const { return CallsExecuted; }
+
+private:
+  struct ExecDomain {
+    stream::Seq DoneThrough = 0;
+    /// One wait queue per blocked call, so a completion wakes exactly its
+    /// successor (not the whole herd).
+    std::map<stream::Seq, std::unique_ptr<sim::WaitQueue>> Waiting;
+    /// Live call executions, for orphan destruction when the stream dies.
+    std::map<stream::Seq, sim::ProcessHandle> Running;
+  };
+
+  void onStreamDead(uint64_t Tag);
+
+  void onIncomingCall(stream::IncomingCall IC);
+  void runCall(stream::IncomingCall &IC);
+  ExecDomain &domain(uint64_t Tag);
+  void onNodeCrash();
+
+  net::Network &Net;
+  net::NodeId Node;
+  std::string Name;
+  GuardianConfig Cfg;
+  bool Crashed = false;
+  stream::GroupId NextGroup = DefaultGroup + 1;
+  stream::PortId NextPort = 1;
+  uint64_t CallsExecuted = 0;
+  std::unique_ptr<stream::StreamTransport> Transport;
+  std::map<stream::PortId, std::function<void(stream::IncomingCall &)>>
+      Executors;
+  std::map<stream::PortId, std::string> PortNames;
+  std::map<uint64_t, ExecDomain> Domains;
+  std::set<stream::GroupId> ParallelGroups;
+  std::vector<sim::ProcessHandle> Procs;
+};
+
+} // namespace promises::runtime
+
+#endif // PROMISES_RUNTIME_GUARDIAN_H

@@ -1,0 +1,195 @@
+//===- promises/runtime/RemoteHandler.h - Typed stream calls ---*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed client side of handler calls — the library rendering of the
+/// paper's call forms:
+///
+///   m := g.read_mail(u)        ~>  auto O = H.call(U);        (RPC)
+///   x: pt := stream h(3)       ~>  auto P = H.streamCall(3);  (promise)
+///   stream h(3)  [statement]   ~>  H.send(3);                 (send)
+///   flush h / synch h          ~>  H.flush(); H.synch();
+///
+/// Each RemoteHandler is bound to an agent; all calls through handlers of
+/// one (agent, entity, group) triple share one stream and are therefore
+/// sequenced. Promises become ready in call order.
+///
+/// Where Argus raises an exception *instead of creating a promise* (encode
+/// failure, already-broken stream), streamCall returns a promise that is
+/// born ready with that exception — claiming it raises the same exception
+/// at the same program point, so the paper's program structure carries
+/// over unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_RUNTIME_REMOTEHANDLER_H
+#define PROMISES_RUNTIME_REMOTEHANDLER_H
+
+#include "promises/core/Promise.h"
+#include "promises/runtime/Guardian.h"
+
+#include <cassert>
+#include <optional>
+
+namespace promises::runtime {
+
+/// Result of synch: AllNormal, or why not (paper: synch "signals
+/// exception_reply" when some call in the window raised; breaks surface as
+/// the break exception).
+struct SynchResult {
+  enum class Kind : uint8_t { AllNormal, ExceptionReply, Unavailable,
+                              Failure };
+  Kind K = Kind::AllNormal;
+  std::string Reason;
+
+  bool ok() const { return K == Kind::AllNormal; }
+
+  /// Converts to an untyped exception for coenter arms (nullopt when ok).
+  std::optional<core::Exn> toExn() const {
+    switch (K) {
+    case Kind::AllNormal:
+      return std::nullopt;
+    case Kind::ExceptionReply:
+      return core::Exn{"exception_reply", Reason};
+    case Kind::Unavailable:
+      return core::Exn{"unavailable", Reason};
+    case Kind::Failure:
+      return core::Exn{"failure", Reason};
+    }
+    return std::nullopt;
+  }
+};
+
+/// A handler reference bound to a local guardian and an agent — the thing
+/// calls are made through.
+template <typename Sig, core::ExceptionType... Exs> class RemoteHandler {
+public:
+  using Traits = SigTraits<Sig>;
+  using Ret = typename Traits::RetType;
+  using ArgsTuple = typename Traits::ArgsTuple;
+  using OutcomeT = core::Outcome<Ret, Exs...>;
+  using PromiseT = core::Promise<Ret, Exs...>;
+
+  RemoteHandler() = default;
+  RemoteHandler(Guardian &Local, stream::AgentId Agent,
+                HandlerRef<Sig, Exs...> Ref)
+      : Local(&Local), Agent(Agent), Ref(Ref) {}
+
+  bool valid() const { return Local != nullptr && Ref.valid(); }
+  const HandlerRef<Sig, Exs...> &ref() const { return Ref; }
+  stream::AgentId agent() const { return Agent; }
+
+  /// Stream call: returns immediately with a (usually blocked) promise;
+  /// the caller runs in parallel with the call (paper, Section 3).
+  template <typename... As> PromiseT streamCall(As &&...Args) {
+    return issue(/*NoReply=*/false, /*IsRpc=*/false,
+                 std::forward<As>(Args)...);
+  }
+
+  /// RPC: sends immediately and blocks the calling process for the
+  /// outcome. Must run inside a simulated process.
+  template <typename... As> OutcomeT call(As &&...Args) {
+    assert(sim::Simulation::inProcess() &&
+           "RPC must be made from a simulated process");
+    PromiseT P = issue(/*NoReply=*/false, /*IsRpc=*/true,
+                       std::forward<As>(Args)...);
+    return P.claim();
+  }
+
+  /// Send: a stream call whose normal result is discarded and never
+  /// transmitted; exceptions are discoverable via synch. Returns the
+  /// immediate issue error if the call could not even be made.
+  template <typename... As> std::optional<core::Exn> send(As &&...Args) {
+    PromiseT P = issue(/*NoReply=*/true, /*IsRpc=*/false,
+                       std::forward<As>(Args)...);
+    if (P.ready() && !P.claim().isNormal())
+      return P.claim().toExn(); // Born-ready = immediate local failure.
+    return std::nullopt;
+  }
+
+  /// Expedites buffered calls and replies on this handler's stream.
+  void flush() {
+    assert(valid());
+    Local->transport().flush(Agent, Ref.Entity, Ref.Group);
+  }
+
+  /// Flush + wait until all earlier calls on the stream completed; report
+  /// whether any terminated exceptionally since the last synch point.
+  SynchResult synch() {
+    assert(valid());
+    stream::SynchOutcome SO =
+        Local->transport().synch(Agent, Ref.Entity, Ref.Group);
+    SynchResult R;
+    switch (SO.S) {
+    case stream::SynchOutcome::Status::AllNormal:
+      R.K = SynchResult::Kind::AllNormal;
+      break;
+    case stream::SynchOutcome::Status::ExceptionReply:
+      R.K = SynchResult::Kind::ExceptionReply;
+      break;
+    case stream::SynchOutcome::Status::Unavailable:
+      R.K = SynchResult::Kind::Unavailable;
+      break;
+    case stream::SynchOutcome::Status::Failure:
+      R.K = SynchResult::Kind::Failure;
+      break;
+    }
+    R.Reason = SO.Reason;
+    return R;
+  }
+
+  /// Calls issued on this stream whose outcome is not yet known.
+  stream::Seq outstanding() const {
+    assert(valid());
+    return Local->transport().outstandingCalls(Agent, Ref.Entity, Ref.Group);
+  }
+
+private:
+  template <typename... As>
+  PromiseT issue(bool NoReply, bool IsRpc, As &&...Args) {
+    assert(valid() && "call through an unbound RemoteHandler");
+    // A wounded process "cannot make any remote calls" (paper, 4.2).
+    if (sim::Process *P = sim::Simulation::current(); P && P->wounded())
+      return PromiseT::makeReady(
+          OutcomeT(core::Unavailable{"calling process is wounded"}));
+    // Encoding is synchronous caller work (paper, Section 3, step 1).
+    if (sim::Simulation::inProcess() && Local->config().EncodeCpu != 0)
+      Local->simulation().sleep(Local->config().EncodeCpu);
+    std::string Why;
+    auto ArgsB =
+        wire::encodeToBytes(ArgsTuple(std::forward<As>(Args)...), &Why);
+    if (!ArgsB) // Encode failure: fail without making the call (step 1).
+      return PromiseT::makeReady(
+          OutcomeT(core::Failure{"could not encode: " + Why}));
+    auto [P, R] = core::makePromise<Ret, Exs...>(Local->simulation());
+    auto Issue = Local->transport().issueCall(
+        Agent, Ref.Entity, Ref.Group, Ref.Port, std::move(*ArgsB), NoReply,
+        IsRpc, [R = R](const stream::ReplyOutcome &RO) {
+          R.fulfill(detail::wireToOutcome<Ret, Exs...>(RO));
+        });
+    if (!Issue.Issued) {
+      if (Issue.IsFailure)
+        return PromiseT::makeReady(OutcomeT(core::Failure{Issue.Reason}));
+      return PromiseT::makeReady(OutcomeT(core::Unavailable{Issue.Reason}));
+    }
+    return P;
+  }
+
+  Guardian *Local = nullptr;
+  stream::AgentId Agent = 0;
+  HandlerRef<Sig, Exs...> Ref;
+};
+
+/// Binds \p Ref to \p Local and \p Agent.
+template <typename Sig, core::ExceptionType... Exs>
+RemoteHandler<Sig, Exs...> bindHandler(Guardian &Local, stream::AgentId Agent,
+                                       HandlerRef<Sig, Exs...> Ref) {
+  return RemoteHandler<Sig, Exs...>(Local, Agent, Ref);
+}
+
+} // namespace promises::runtime
+
+#endif // PROMISES_RUNTIME_REMOTEHANDLER_H

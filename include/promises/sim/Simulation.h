@@ -1,0 +1,327 @@
+//===- promises/sim/Simulation.h - Discrete-event kernel -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event simulation kernel the whole system runs on.
+///
+/// The kernel provides *cooperative simulated processes*: each process is
+/// backed by an OS thread, but exactly one thread (a process or the
+/// scheduler) runs at any instant, with control handed off explicitly at
+/// blocking points. This gives the ergonomics of ordinary blocking code
+/// (Argus processes block in `claim`, queue `deq`, `synch`, ...) together
+/// with fully deterministic virtual time.
+///
+/// The kernel also implements the termination machinery the paper's coenter
+/// needs (Section 4.2): a process can be *wounded* and then killed, but the
+/// kill is deferred while the process is inside a critical section, exactly
+/// as the Argus runtime "keeps track of how many critical sections a
+/// process is in and delays its termination until the count is zero".
+///
+/// Forced termination is delivered by throwing the internal ProcessKilled
+/// exception from a blocking primitive; this is the single use of C++
+/// exceptions in this codebase (see DESIGN.md). User-level "exceptions"
+/// (the Argus termination model) are plain values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SIM_SIMULATION_H
+#define PROMISES_SIM_SIMULATION_H
+
+#include "promises/sim/Time.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace promises::sim {
+
+class Simulation;
+class WaitQueue;
+
+/// Internal control-flow exception used to unwind a forcibly terminated
+/// process from its current blocking point. Never thrown through user data;
+/// caught by the process trampoline. User code must be exception-neutral
+/// (RAII cleanup only) and must never swallow it.
+struct ProcessKilled {};
+
+/// Lifecycle states of a simulated process.
+enum class ProcState : uint8_t {
+  Created,  ///< Spawned, not yet run.
+  Ready,    ///< Wake event scheduled; will run when it fires.
+  Running,  ///< Currently holds the turn.
+  Blocked,  ///< Waiting in a WaitQueue (or sleeping).
+  Finished, ///< Body returned or process was killed.
+};
+
+/// A cooperative simulated process.
+///
+/// Created via Simulation::spawn. All members are manipulated only while
+/// the owning thread (or the scheduler) holds the single execution turn, so
+/// no locking is needed beyond the turn-handoff machinery itself.
+class Process {
+public:
+  Process(const Process &) = delete;
+  Process &operator=(const Process &) = delete;
+  ~Process();
+
+  /// Monotonically increasing id, unique within the Simulation.
+  uint64_t id() const { return Id; }
+
+  /// Debug name given at spawn time.
+  const std::string &name() const { return Name; }
+
+  /// True once the body has returned or the process has been killed.
+  bool finished() const { return State == ProcState::Finished; }
+
+  /// True if the process has been wounded (asked to terminate). A wounded
+  /// process is "greatly restricted" (paper, Section 4.2): the runtime
+  /// refuses to start remote calls on its behalf.
+  bool wounded() const { return Wounded; }
+
+  /// Current nesting depth of critical sections.
+  int criticalDepth() const { return CriticalDepth; }
+
+private:
+  friend class Simulation;
+  friend class WaitQueue;
+  friend class CriticalSection;
+
+  Process(Simulation &S, uint64_t Id, std::string Name,
+          std::function<void()> Body);
+
+  /// Thread entry point; waits for the first turn, runs the body, then
+  /// hands the turn back for good.
+  void threadMain();
+
+  /// Gives the turn back to the scheduler and blocks until it is returned.
+  /// On resume, delivers a pending kill if it is safe to do so.
+  void yieldToScheduler();
+
+  /// Throws ProcessKilled if a kill is pending and deliverable here.
+  void deliverKill();
+
+  Simulation &Sim;
+  const uint64_t Id;
+  const std::string Name;
+  std::function<void()> Body;
+
+  // Turn-handoff machinery (the only cross-thread state).
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool TurnIsProcess = false;
+  std::thread Thread;
+
+  // Simulation-side state; single-runner discipline, no locks needed.
+  ProcState State = ProcState::Created;
+  WaitQueue *WaitingOn = nullptr;
+  uint64_t WaitEpoch = 0;    ///< Incremented on every wait; guards stale
+                             ///< timeout events.
+  uint64_t TimeoutEvent = 0; ///< Pending waitFor timeout; cancelled on any
+                             ///< wake so it cannot advance the clock.
+  bool HasTimeoutEvent = false;
+  bool NotifiedFlag = false; ///< Set when woken by notify (vs timeout).
+  bool Wounded = false;
+  bool KillPending = false;
+  bool Unwinding = false; ///< ProcessKilled currently propagating.
+  int CriticalDepth = 0;
+
+  std::unique_ptr<WaitQueue> JoinQ; ///< Waiters in Simulation::join.
+  std::unique_ptr<WaitQueue> SleepQ; ///< Private queue backing sleep().
+};
+
+using ProcessHandle = std::shared_ptr<Process>;
+
+/// A FIFO queue of blocked processes; the basic blocking primitive.
+///
+/// Only usable from inside simulated processes (wait side) and from any
+/// single-runner context (notify side).
+class WaitQueue {
+public:
+  explicit WaitQueue(Simulation &S) : Sim(S) {}
+  WaitQueue(const WaitQueue &) = delete;
+  WaitQueue &operator=(const WaitQueue &) = delete;
+
+  /// Blocks the current process until notified. Kill delivery point.
+  void wait();
+
+  /// Blocks until notified or until \p Timeout elapses. Returns true when
+  /// woken by a notify, false on timeout. Kill delivery point.
+  bool waitFor(Time Timeout);
+
+  /// Wakes the longest-waiting process, if any.
+  void notifyOne();
+
+  /// Wakes all waiting processes.
+  void notifyAll();
+
+  /// Number of processes currently blocked here.
+  size_t waiterCount() const { return Waiters.size(); }
+
+private:
+  friend class Simulation;
+
+  void removeWaiter(Process *P);
+  void enqueueCurrent(Process *P);
+
+  Simulation &Sim;
+  std::deque<Process *> Waiters;
+};
+
+/// RAII critical-section marker (the Argus built-in critical section).
+///
+/// While at least one CriticalSection is alive in a process, a pending kill
+/// is deferred; it is delivered when the outermost section is left (or at
+/// the next blocking point after that).
+class CriticalSection {
+public:
+  CriticalSection();
+  ~CriticalSection() noexcept(false);
+  CriticalSection(const CriticalSection &) = delete;
+  CriticalSection &operator=(const CriticalSection &) = delete;
+
+private:
+  Process *Proc;
+  int ExceptionsAtEntry;
+};
+
+/// The discrete-event simulator: virtual clock, event queue, and process
+/// scheduler. One Simulation per test/benchmark/example; not thread-safe
+/// across Simulations sharing threads (each owns its process threads).
+class Simulation {
+public:
+  Simulation();
+  ~Simulation();
+  Simulation(const Simulation &) = delete;
+  Simulation &operator=(const Simulation &) = delete;
+
+  /// Current virtual time.
+  Time now() const { return NowNs; }
+
+  /// Creates a process that will start running at the current time (once
+  /// the event loop reaches its start event).
+  ProcessHandle spawn(std::string Name, std::function<void()> Body);
+
+  /// Runs the event loop until no events remain or stop() is called.
+  /// Must be called from outside any simulated process.
+  void run();
+
+  /// Runs until virtual time reaches now()+Duration (or the queue drains,
+  /// or stop()). Returns true if events remain. Advances the clock to the
+  /// requested horizon even if the queue drains earlier.
+  bool runFor(Time Duration);
+
+  /// Requests that run()/runFor() return after the current event.
+  void stop() { StopRequested = true; }
+
+  /// --- Callable from inside a simulated process ---
+
+  /// Blocks the calling process for \p Duration of virtual time.
+  void sleep(Time Duration);
+
+  /// Reschedules the calling process at the current time, letting other
+  /// ready processes and events at this instant run first.
+  void yieldNow();
+
+  /// Blocks the calling process until \p P finishes. Kill delivery point.
+  void join(const ProcessHandle &P);
+
+  /// The process currently holding the turn, or nullptr in scheduler
+  /// context (event callbacks, code outside run()).
+  static Process *current();
+
+  /// True when called from inside a simulated process.
+  static bool inProcess() { return current() != nullptr; }
+
+  /// --- Termination (paper Section 4.2) ---
+
+  /// Wounds \p P: marks it as asked-to-terminate without forcing unwind.
+  /// The runtime refuses remote calls for wounded processes.
+  void wound(const ProcessHandle &P) { woundImpl(P.get()); }
+
+  /// Wounds \p P and forces termination at the next safe point: a blocking
+  /// point (or critical-section exit) with critical depth zero. If \p P is
+  /// currently blocked outside any critical section it is woken
+  /// immediately to unwind.
+  void kill(const ProcessHandle &P) { killImpl(P.get()); }
+
+  /// --- Events ---
+
+  /// Schedules \p Fn to run in scheduler context after \p Delay. The
+  /// callback must not block. Returns an id usable with cancel().
+  uint64_t schedule(Time Delay, std::function<void()> Fn);
+
+  /// Cancels a scheduled callback; no-op if it already ran or was
+  /// cancelled.
+  void cancel(uint64_t EventId);
+
+  /// --- Introspection (used by tests and the E10 benchmark) ---
+
+  /// Total number of scheduler->process handoffs so far. A direct measure
+  /// of the process-management burden discussed in paper Section 4.3.
+  uint64_t contextSwitches() const { return NumSwitches; }
+
+  /// Number of processes spawned so far.
+  uint64_t processesSpawned() const { return NextProcId; }
+
+  /// Number of spawned processes that have not finished.
+  size_t liveProcessCount() const;
+
+private:
+  friend class Process;
+  friend class WaitQueue;
+
+  struct EventPayload {
+    Process *Wake = nullptr;
+    std::function<void()> Fn;
+  };
+  struct QueueKey {
+    Time At;
+    uint64_t Seq;
+    bool operator<(const QueueKey &O) const {
+      return At != O.At ? At < O.At : Seq < O.Seq;
+    }
+  };
+
+  /// Hands the turn to \p P and waits until it yields back.
+  void switchTo(Process *P);
+
+  /// Schedules a wake event for a Blocked/Created process at now().
+  void makeReady(Process *P);
+
+  void woundImpl(Process *P);
+  void killImpl(Process *P);
+
+  /// Runs one event; returns false when the queue is empty or the next
+  /// event lies beyond \p Horizon.
+  bool step(Time Horizon);
+
+  /// Kills all unfinished processes (ignoring critical sections) and
+  /// drains; used by the destructor.
+  void shutdown();
+
+  Time NowNs = 0;
+  bool StopRequested = false;
+  bool ShuttingDown = false;
+  uint64_t NextProcId = 0;
+  uint64_t NextEventSeq = 0;
+  uint64_t NumSwitches = 0;
+
+  std::map<QueueKey, uint64_t> Queue; ///< (time, seq) -> event id.
+  std::unordered_map<uint64_t, EventPayload> Events;
+  std::vector<ProcessHandle> AllProcs;
+};
+
+} // namespace promises::sim
+
+#endif // PROMISES_SIM_SIMULATION_H

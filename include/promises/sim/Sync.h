@@ -1,0 +1,92 @@
+//===- promises/sim/Sync.h - Simulated synchronization ---------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutex and condition-variable primitives for simulated processes. The
+/// paper's promise queues "can be implemented using standard
+/// synchronization mechanisms such as semaphores or monitors" — these are
+/// the simulated equivalents of those mechanisms.
+///
+/// Because at most one simulated process runs at a time, these primitives
+/// exist to express *logical* mutual exclusion across blocking points, not
+/// to prevent data races.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SIM_SYNC_H
+#define PROMISES_SIM_SYNC_H
+
+#include "promises/sim/Simulation.h"
+
+namespace promises::sim {
+
+/// A mutex for simulated processes. Non-recursive.
+class SimMutex {
+public:
+  explicit SimMutex(Simulation &S) : Q(S) {}
+
+  /// Acquires the mutex, blocking the calling process while another
+  /// process holds it. Kill delivery point while blocked (never while the
+  /// lock is held).
+  void lock();
+
+  /// Acquires the mutex if free; returns false without blocking otherwise.
+  bool tryLock();
+
+  /// Releases the mutex; must be called by the owner.
+  void unlock();
+
+  /// True if the calling process owns the mutex.
+  bool heldByCurrent() const { return Owner == Simulation::current(); }
+
+  /// Scoped lock.
+  class Guard {
+  public:
+    explicit Guard(SimMutex &M) : M(M) { M.lock(); }
+    ~Guard() { M.unlock(); }
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+
+  private:
+    SimMutex &M;
+  };
+
+private:
+  friend class SimCondVar;
+  WaitQueue Q;
+  Process *Owner = nullptr;
+};
+
+/// A condition variable used with SimMutex (a monitor, in the paper's
+/// terms).
+class SimCondVar {
+public:
+  explicit SimCondVar(Simulation &S) : Q(S) {}
+
+  /// Atomically releases \p M and blocks until notified, then reacquires
+  /// \p M. Kill delivery point; on forced termination the mutex is
+  /// reacquired before unwinding so scoped guards stay balanced.
+  void wait(SimMutex &M);
+
+  /// Like wait(), but returns false if \p Timeout elapses first.
+  bool waitFor(SimMutex &M, Time Timeout);
+
+  /// Wakes one waiter.
+  void notifyOne() { Q.notifyOne(); }
+
+  /// Wakes all waiters.
+  void notifyAll() { Q.notifyAll(); }
+
+  /// Number of processes blocked in wait().
+  size_t waiterCount() const { return Q.waiterCount(); }
+
+private:
+  WaitQueue Q;
+};
+
+} // namespace promises::sim
+
+#endif // PROMISES_SIM_SYNC_H

@@ -1,0 +1,44 @@
+//===- promises/sim/Time.h - Virtual time ----------------------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Virtual-time representation for the discrete-event simulator. All
+/// durations and instants are unsigned nanosecond counts; helpers below
+/// build durations from coarser units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SIM_TIME_H
+#define PROMISES_SIM_TIME_H
+
+#include <cstdint>
+
+namespace promises::sim {
+
+/// A virtual-time instant or duration, in nanoseconds.
+using Time = uint64_t;
+
+/// Builds a duration of \p N nanoseconds.
+constexpr Time nsec(uint64_t N) { return N; }
+
+/// Builds a duration of \p N microseconds.
+constexpr Time usec(uint64_t N) { return N * 1000ull; }
+
+/// Builds a duration of \p N milliseconds.
+constexpr Time msec(uint64_t N) { return N * 1000ull * 1000ull; }
+
+/// Builds a duration of \p N seconds.
+constexpr Time sec(uint64_t N) { return N * 1000ull * 1000ull * 1000ull; }
+
+/// Converts a virtual duration to fractional milliseconds (for reporting).
+constexpr double toMillis(Time T) { return static_cast<double>(T) / 1e6; }
+
+/// Converts a virtual duration to fractional microseconds (for reporting).
+constexpr double toMicros(Time T) { return static_cast<double>(T) / 1e3; }
+
+} // namespace promises::sim
+
+#endif // PROMISES_SIM_TIME_H

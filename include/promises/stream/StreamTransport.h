@@ -1,0 +1,313 @@
+//===- promises/stream/StreamTransport.h - Call-stream layer ---*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-stream communication mechanism of Section 2 of the paper (the
+/// Mercury design, reference [14]), built on the unreliable datagram
+/// network:
+///
+///  * A stream connects an *agent* (sending end) to a *port group*
+///    (receiving end). All calls from one agent to ports in one group are
+///    sequenced on one stream.
+///  * Streams guarantee exactly-once, ordered delivery of call requests to
+///    user code, and ordered consumption of replies, via sequence numbers,
+///    retransmission, and deduplication.
+///  * Stream calls and replies are *buffered* and sent in batches,
+///    amortizing the per-message kernel overhead; RPCs flush immediately.
+///  * When the guarantees cannot be kept (crash, partition, decode failure
+///    at the receiver) the stream *breaks*: outstanding calls terminate
+///    with `unavailable` (temporary) or `failure` (permanent), and the
+///    sender may *restart* the stream, creating a new incarnation.
+///  * `flush` expedites buffered traffic; `synch` additionally blocks until
+///    all earlier calls complete and reports whether any terminated
+///    exceptionally (the paper's exception_reply).
+///
+/// Loss recovery is sender-driven: the sender retransmits unacknowledged
+/// calls and probes for missing replies; every reply batch from the
+/// receiver carries its full unacknowledged-reply state (see Messages.h).
+/// After StreamConfig::MaxRetries probe rounds without progress the sender
+/// breaks the stream with `unavailable` — the system "tries hard", so
+/// there is no point in the user retrying immediately (paper, Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_STREAM_STREAMTRANSPORT_H
+#define PROMISES_STREAM_STREAMTRANSPORT_H
+
+#include "promises/net/Network.h"
+#include "promises/stream/Messages.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace promises::stream {
+
+/// Tuning knobs for one transport endpoint.
+struct StreamConfig {
+  /// Transmit a call batch once this many calls are buffered.
+  size_t MaxBatchCalls = 16;
+  /// ... or once the buffered argument bytes exceed this.
+  size_t MaxBatchBytes = 4096;
+  /// ... or once the oldest buffered call has waited this long.
+  sim::Time FlushInterval = sim::msec(1);
+  /// Receiver-side analogues for reply batching.
+  size_t MaxReplyBatch = 16;
+  sim::Time ReplyFlushInterval = sim::msec(1);
+  /// Retransmit/probe cadence and the break threshold.
+  sim::Time RetransmitTimeout = sim::msec(20);
+  int MaxRetries = 8;
+  /// Delay before a pure acknowledgement is sent (piggybacking window).
+  sim::Time AckDelay = sim::msec(1);
+  /// When true (paper Section 3: broken streams are "restarted
+  /// automatically"), issuing a call on a broken stream reincarnates it;
+  /// when false the call fails immediately with the break outcome.
+  bool AutoRestart = true;
+  /// Ablation knob: when true, every reply batch carries the receiver's
+  /// full unacknowledged-reply state (simplest-possible recovery) instead
+  /// of only new replies. Correct but quadratic in flight-depth; see
+  /// bench_ablation.
+  bool StateShapedReplies = false;
+};
+
+/// The sender-visible outcome of one stream call.
+struct ReplyOutcome {
+  enum class Kind : uint8_t {
+    Normal,      ///< Payload holds encoded results.
+    Exception,   ///< ExTag selects the declared exception; Payload holds
+                 ///< its encoded arguments.
+    Unavailable, ///< Built-in: temporary communication problem.
+    Failure,     ///< Built-in: permanent problem.
+  };
+  Kind K = Kind::Normal;
+  uint32_t ExTag = 0;
+  wire::Bytes Payload;
+  std::string Reason;
+
+  static ReplyOutcome unavailable(std::string Why) {
+    ReplyOutcome R;
+    R.K = Kind::Unavailable;
+    R.Reason = std::move(Why);
+    return R;
+  }
+  static ReplyOutcome failure(std::string Why) {
+    ReplyOutcome R;
+    R.K = Kind::Failure;
+    R.Reason = std::move(Why);
+    return R;
+  }
+};
+
+/// Invoked (in scheduler context, exactly once, in call order per stream)
+/// when a call's outcome becomes known.
+using ReplyCallback = std::function<void(const ReplyOutcome &)>;
+
+/// A call delivered to the receiving entity's runtime.
+struct IncomingCall {
+  uint64_t StreamTag = 0; ///< Ordering domain: calls sharing a tag must
+                          ///< appear to execute in CallSeq order (unless
+                          ///< the runtime opted the group into parallel
+                          ///< execution).
+  Seq CallSeq = 0;
+  GroupId Group = 0;
+  PortId Port = 0;
+  bool NoReply = false;
+  wire::Bytes Args;
+  /// The runtime must invoke this exactly once when the call completes.
+  /// Out-of-order completions within a stream are buffered; the sender
+  /// still observes outcomes in call order.
+  std::function<void(ReplyStatus, uint32_t ExTag, wire::Bytes Payload,
+                     std::string Reason)>
+      Complete;
+};
+
+/// Result of synch (paper Section 2/3): AllNormal unless some call in the
+/// synch window terminated exceptionally or the stream broke.
+struct SynchOutcome {
+  enum class Status : uint8_t { AllNormal, ExceptionReply, Unavailable,
+                                Failure };
+  Status S = Status::AllNormal;
+  std::string Reason;
+};
+
+/// Traffic and event counters for one transport.
+struct StreamCounters {
+  uint64_t CallsIssued = 0;
+  uint64_t CallBatchesSent = 0; ///< Batches that carried calls.
+  uint64_t AckBatchesSent = 0;  ///< Empty batches (acks and probes).
+  uint64_t ReplyBatchesSent = 0;
+  uint64_t CallsDelivered = 0;
+  uint64_t DuplicateCallsDropped = 0;
+  uint64_t Retransmissions = 0; ///< Calls re-sent (not batches).
+  uint64_t Probes = 0;
+  uint64_t SenderBreaks = 0;
+  uint64_t ReceiverBreaks = 0;
+  uint64_t Restarts = 0;
+};
+
+/// One entity's endpoint of the call-stream layer: the sending side of all
+/// streams its agents open, and the receiving side of all streams that
+/// target its port groups.
+class StreamTransport {
+public:
+  /// Binds a fresh network endpoint on \p Node.
+  StreamTransport(net::Network &Net, net::NodeId Node,
+                  StreamConfig Cfg = StreamConfig());
+  ~StreamTransport();
+  StreamTransport(const StreamTransport &) = delete;
+  StreamTransport &operator=(const StreamTransport &) = delete;
+
+  net::Network &network() { return Net; }
+  sim::Simulation &simulation() { return Net.simulation(); }
+  net::Address address() const { return Addr; }
+  net::NodeId nodeId() const { return Node; }
+  const StreamConfig &config() const { return Cfg; }
+
+  /// Installs the receiver-side sink. Runs in scheduler context; must not
+  /// block (hand calls to processes instead).
+  void setCallSink(std::function<void(IncomingCall)> Sink) {
+    CallSink = std::move(Sink);
+  }
+
+  /// Installs a hook invoked when a receiver stream dies (breaks or is
+  /// superseded by a newer incarnation). The runtime uses it to destroy
+  /// orphaned call executions (paper, Section 4.2: the system "will find
+  /// these computations and destroy them later"). May be invoked from the
+  /// middle of one of the stream's own calls.
+  void setStreamDeadHook(std::function<void(uint64_t StreamTag)> Hook) {
+    StreamDeadHook = std::move(Hook);
+  }
+
+  /// Allocates a new agent (a sending end; paper: "agents identify
+  /// activities").
+  AgentId newAgent() { return ++LastAgent; }
+
+  /// Outcome of issueCall: when Issued is false the call was never sent
+  /// (broken stream with AutoRestart off, or shut-down transport) and
+  /// OnReply was not retained — the caller raises the indicated exception
+  /// directly, without creating a promise (paper, Section 3, step 1).
+  struct IssueResult {
+    bool Issued = true;
+    bool IsFailure = false; ///< Else unavailable.
+    std::string Reason;
+  };
+
+  /// Issues a call on the stream (Agent -> Remote transport's Group).
+  /// \p NoReply marks a "send" (no normal result flows back); \p IsRpc
+  /// flushes the request immediately and asks the receiver to flush the
+  /// reply. \p OnReply fires exactly once, in call order per stream.
+  IssueResult issueCall(AgentId Agent, net::Address Remote, GroupId Group,
+                        PortId Port, wire::Bytes Args, bool NoReply,
+                        bool IsRpc, ReplyCallback OnReply);
+
+  /// Expedites buffered calls on the stream and asks the far side to flush
+  /// replies (paper's `flush`). No-op on unknown/broken streams.
+  void flush(AgentId Agent, net::Address Remote, GroupId Group);
+
+  /// Paper's `synch`: flush, then block the calling process until every
+  /// call issued so far on the stream has an outcome. Reports AllNormal /
+  /// ExceptionReply for the window since the last synch point (a synch or
+  /// an RPC); a break inside the window reports the break kind. Must be
+  /// called from a simulated process.
+  SynchOutcome synch(AgentId Agent, net::Address Remote, GroupId Group);
+
+  /// Explicitly breaks (as if by the sender) and reincarnates the stream
+  /// (paper's `restart`). Outstanding calls terminate with `unavailable`.
+  void restart(AgentId Agent, net::Address Remote, GroupId Group);
+
+  /// True if the sender side of the stream is currently broken (only
+  /// observable between a break and the next call when AutoRestart is on).
+  bool isBroken(AgentId Agent, net::Address Remote, GroupId Group) const;
+
+  /// Number of calls issued but without outcome on this stream.
+  Seq outstandingCalls(AgentId Agent, net::Address Remote,
+                       GroupId Group) const;
+
+  /// Breaks the receiving side of the stream identified by \p StreamTag
+  /// (paper: a decode failure at the receiver breaks the stream so that
+  /// "further calls on that stream will be discarded"). Already-delivered
+  /// calls still complete; their replies flow back with the break marker.
+  void breakReceiverStream(uint64_t StreamTag, std::string Reason,
+                           bool IsFailure = true);
+
+  /// True if the receiving side of the stream identified by \p StreamTag
+  /// is broken or superseded; the runtime discards gated calls on broken
+  /// streams instead of executing them.
+  bool isReceiverBroken(uint64_t StreamTag) const;
+
+  /// Stops all activity (timers, sends, deliveries); called automatically
+  /// when the node crashes.
+  void shutdown();
+
+  bool isShutDown() const { return Dead; }
+
+  const StreamCounters &counters() const { return Counters; }
+
+  /// --- Test introspection ---
+  size_t senderStreamCount() const { return Senders.size(); }
+  size_t receiverStreamCount() const { return Receivers.size(); }
+
+private:
+  struct SenderStream;
+  struct ReceiverStream;
+
+  using SenderKey = std::tuple<AgentId, net::NodeId, uint32_t, GroupId>;
+  using ReceiverKey = std::tuple<net::NodeId, uint32_t, AgentId, GroupId>;
+
+  static SenderKey senderKey(AgentId A, net::Address R, GroupId G) {
+    return {A, R.Node, R.Port, G};
+  }
+
+  SenderStream *findSender(AgentId A, net::Address R, GroupId G) const;
+  SenderStream &getSender(AgentId A, net::Address R, GroupId G);
+
+  // Sender-side machinery.
+  void transmitNewCalls(SenderStream &S, bool FlushReplies);
+  void sendCallBatch(SenderStream &S, Seq FromSeq, Seq ThroughSeq,
+                     bool FlushReplies, bool IsRetransmit);
+  void armSenderFlushTimer(SenderStream &S);
+  void armSenderRetransTimer(SenderStream &S);
+  void armSenderAckTimer(SenderStream &S);
+  void onSenderRetransTimer(SenderStream &S);
+  void handleReplyBatch(const net::Address &From, const ReplyBatchMsg &M);
+  void fulfillInOrder(SenderStream &S);
+  void breakSender(SenderStream &S, bool IsFailure, std::string Reason);
+  void reincarnate(SenderStream &S);
+
+  // Receiver-side machinery.
+  ReceiverStream &getReceiver(const net::Address &From,
+                              const CallBatchMsg &M);
+  void handleCallBatch(const net::Address &From, const CallBatchMsg &M);
+  void deliverReadyCalls(ReceiverStream &R);
+  void completeCall(ReceiverStream &R, Seq S, bool NoReply, bool FlushReply,
+                    ReplyStatus St, uint32_t ExTag, wire::Bytes Payload,
+                    std::string Reason);
+  void sendReplyBatch(ReceiverStream &R, bool ResendAll = false);
+  void armReplyFlushTimer(ReceiverStream &R);
+  void armReceiverAckTimer(ReceiverStream &R);
+
+  void onDatagram(net::Datagram D);
+
+  net::Network &Net;
+  net::NodeId Node;
+  StreamConfig Cfg;
+  net::Address Addr;
+  bool Dead = false;
+  AgentId LastAgent = 0;
+  uint64_t NextStreamTag = 1;
+  std::function<void(IncomingCall)> CallSink;
+  std::function<void(uint64_t)> StreamDeadHook;
+  StreamCounters Counters;
+
+  std::map<SenderKey, std::unique_ptr<SenderStream>> Senders;
+  std::map<ReceiverKey, std::unique_ptr<ReceiverStream>> Receivers;
+  std::map<uint64_t, ReceiverStream *> ReceiversByTag;
+};
+
+} // namespace promises::stream
+
+#endif // PROMISES_STREAM_STREAMTRANSPORT_H

@@ -1,0 +1,106 @@
+//===- promises/support/Rng.h - Deterministic random numbers ---*- C++ -*-===//
+//
+// Part of the promises project: a reproduction of Liskov & Shrira,
+// "Promises: Linguistic Support for Efficient Asynchronous Procedure Calls
+// in Distributed Systems", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic pseudo-random generator (splitmix64 seeded
+/// xoshiro256**). Every source of randomness in the simulator goes through
+/// an explicitly seeded Rng so that simulations replay identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SUPPORT_RNG_H
+#define PROMISES_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace promises {
+
+/// Deterministic pseudo-random generator.
+///
+/// Not a std-style engine on purpose: the tiny interface below is all the
+/// simulator needs, and keeping it concrete guarantees identical streams on
+/// every platform and standard-library implementation.
+class Rng {
+public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-seeds in place, restarting the stream.
+  void reseed(uint64_t Seed) {
+    // Expand the seed with splitmix64 so that nearby seeds give unrelated
+    // streams.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    auto Rotl = [](uint64_t V, int K) {
+      return (V << K) | (V >> (64 - K));
+    };
+    uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a nonzero bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  uint64_t between(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "between() requires Lo <= Hi");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool chance(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return unit() < P;
+  }
+
+  /// Derives an independent child generator; used to give each node/link its
+  /// own stream so adding a fault source does not perturb the others.
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace promises
+
+#endif // PROMISES_SUPPORT_RNG_H

@@ -1,0 +1,95 @@
+//===- promises/support/Stats.h - Measurement accumulators -----*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators used by tests and benchmarks to summarize series of
+/// measurements (counts, mean, min/max, percentiles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SUPPORT_STATS_H
+#define PROMISES_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace promises {
+
+/// Streaming accumulator for scalar samples.
+///
+/// Stores all samples so exact percentiles are available; the workloads in
+/// this repository are small enough that this is never a concern.
+class Stats {
+public:
+  /// Records one sample.
+  void add(double Sample) {
+    Samples.push_back(Sample);
+    Sorted = false;
+  }
+
+  /// Number of recorded samples.
+  size_t count() const { return Samples.size(); }
+
+  /// Returns true if no samples have been recorded.
+  bool empty() const { return Samples.empty(); }
+
+  /// Sum of all samples; 0 when empty.
+  double sum() const {
+    double Total = 0;
+    for (double S : Samples)
+      Total += S;
+    return Total;
+  }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const {
+    return Samples.empty() ? 0.0 : sum() / static_cast<double>(Samples.size());
+  }
+
+  /// Smallest sample; 0 when empty.
+  double min() const {
+    return Samples.empty() ? 0.0
+                           : *std::min_element(Samples.begin(), Samples.end());
+  }
+
+  /// Largest sample; 0 when empty.
+  double max() const {
+    return Samples.empty() ? 0.0
+                           : *std::max_element(Samples.begin(), Samples.end());
+  }
+
+  /// Exact percentile by nearest-rank; \p P in [0, 100]. 0 when empty.
+  double percentile(double P) {
+    assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+    if (Samples.empty())
+      return 0.0;
+    ensureSorted();
+    size_t Rank = static_cast<size_t>((P / 100.0) *
+                                      static_cast<double>(Samples.size() - 1));
+    return Samples[Rank];
+  }
+
+  /// Median, i.e. percentile(50).
+  double median() { return percentile(50.0); }
+
+private:
+  void ensureSorted() {
+    if (!Sorted) {
+      std::sort(Samples.begin(), Samples.end());
+      Sorted = true;
+    }
+  }
+
+  std::vector<double> Samples;
+  bool Sorted = true;
+};
+
+} // namespace promises
+
+#endif // PROMISES_SUPPORT_STATS_H

@@ -1,0 +1,40 @@
+//===- promises/support/StrUtil.h - Small string helpers -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by the runtime, examples, and
+/// benchmarks. Kept deliberately tiny; anything heavier belongs in the
+/// caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SUPPORT_STRUTIL_H
+#define PROMISES_SUPPORT_STRUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace promises {
+
+/// Renders a virtual-time duration in nanoseconds as a human-readable
+/// string with an appropriate unit, e.g. "12.50ms".
+std::string formatDuration(uint64_t Nanos);
+
+/// Renders \p Value with \p Decimals fractional digits.
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace promises
+
+#endif // PROMISES_SUPPORT_STRUTIL_H

@@ -1,0 +1,39 @@
+//===- promises/support/Trace.h - Optional event tracing -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in diagnostic tracing. Set the environment variable PROMISES_TRACE
+/// to any non-empty value to stream transport and runtime events to
+/// stderr; it is off (and nearly free: one predicted branch per site)
+/// otherwise. A TraceSink can be installed instead to capture events
+/// programmatically (used by tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SUPPORT_TRACE_H
+#define PROMISES_SUPPORT_TRACE_H
+
+#include <functional>
+#include <string>
+
+namespace promises {
+
+/// Receives each trace line (no trailing newline).
+using TraceSink = std::function<void(const std::string &)>;
+
+/// True when tracing is active (env var set or a sink installed).
+bool traceEnabled();
+
+/// Installs (or clears, with nullptr) a programmatic sink; enables
+/// tracing while installed.
+void setTraceSink(TraceSink Sink);
+
+/// Emits one formatted trace line if tracing is active.
+void tracef(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace promises
+
+#endif // PROMISES_SUPPORT_TRACE_H

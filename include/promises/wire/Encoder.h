@@ -1,0 +1,199 @@
+//===- promises/wire/Encoder.h - External representation -------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level encoder/decoder for the external representation used to pass
+/// arguments and results by value between entities (Herlihy & Liskov's
+/// value transmission method, reference [7] of the paper).
+///
+/// Errors are sticky: any failed write/read marks the whole
+/// encoder/decoder failed, and later operations are inert. Per the paper,
+/// encode/decode failures surface as the `failure` exception at the call
+/// level, and a decode failure at the receiver also breaks the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_WIRE_ENCODER_H
+#define PROMISES_WIRE_ENCODER_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace promises::wire {
+
+/// Raw encoded bytes.
+using Bytes = std::vector<uint8_t>;
+
+/// Serializes values into the external representation (little-endian,
+/// fixed-width scalars, length-prefixed sequences).
+class Encoder {
+public:
+  Encoder() = default;
+
+  void writeU8(uint8_t V) {
+    if (!Failed)
+      Buf.push_back(V);
+  }
+  void writeBool(bool V) { writeU8(V ? 1 : 0); }
+  void writeU16(uint16_t V) { writeLe(V); }
+  void writeU32(uint32_t V) { writeLe(V); }
+  void writeU64(uint64_t V) { writeLe(V); }
+  void writeI32(int32_t V) { writeLe(static_cast<uint32_t>(V)); }
+  void writeI64(int64_t V) { writeLe(static_cast<uint64_t>(V)); }
+
+  void writeF64(double V) {
+    uint64_t Raw;
+    std::memcpy(&Raw, &V, sizeof(Raw));
+    writeU64(Raw);
+  }
+
+  /// Writes a length-prefixed byte sequence.
+  void writeBytes(const uint8_t *Data, size_t Len) {
+    if (Failed)
+      return;
+    writeU32(static_cast<uint32_t>(Len));
+    Buf.insert(Buf.end(), Data, Data + Len);
+  }
+
+  /// Writes a length-prefixed string.
+  void writeString(const std::string &S) {
+    writeBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+  }
+
+  /// Marks the encoding failed (used by fallible user codecs for abstract
+  /// types). Subsequent writes are ignored.
+  void fail(std::string Reason) {
+    if (!Failed) {
+      Failed = true;
+      Reason_ = std::move(Reason);
+    }
+  }
+
+  bool failed() const { return Failed; }
+  const std::string &failReason() const { return Reason_; }
+
+  /// Bytes encoded so far (undefined content if failed()).
+  const Bytes &bytes() const { return Buf; }
+
+  /// Moves the encoded bytes out.
+  Bytes take() { return std::move(Buf); }
+
+  /// Number of bytes encoded so far.
+  size_t size() const { return Buf.size(); }
+
+private:
+  template <typename T> void writeLe(T V) {
+    if (Failed)
+      return;
+    for (size_t I = 0; I != sizeof(T); ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  Bytes Buf;
+  bool Failed = false;
+  std::string Reason_;
+};
+
+/// Deserializes values from the external representation. Does not own the
+/// underlying bytes; keep them alive while decoding.
+class Decoder {
+public:
+  Decoder(const uint8_t *Data, size_t Len) : Data(Data), Len(Len) {}
+  explicit Decoder(const Bytes &B) : Decoder(B.data(), B.size()) {}
+
+  uint8_t readU8() {
+    uint8_t V = 0;
+    readRaw(&V, 1);
+    return V;
+  }
+  bool readBool() { return readU8() != 0; }
+  uint16_t readU16() { return readLe<uint16_t>(); }
+  uint32_t readU32() { return readLe<uint32_t>(); }
+  uint64_t readU64() { return readLe<uint64_t>(); }
+  int32_t readI32() { return static_cast<int32_t>(readU32()); }
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+
+  double readF64() {
+    uint64_t Raw = readU64();
+    double V;
+    std::memcpy(&V, &Raw, sizeof(V));
+    return V;
+  }
+
+  /// Reads a length-prefixed byte sequence.
+  Bytes readBytes() {
+    uint32_t N = readU32();
+    if (N > remaining()) {
+      fail("truncated byte sequence");
+      return {};
+    }
+    Bytes Out(Data + Pos, Data + Pos + N);
+    Pos += N;
+    return Out;
+  }
+
+  /// Reads a length-prefixed string.
+  std::string readString() {
+    uint32_t N = readU32();
+    if (N > remaining()) {
+      fail("truncated string");
+      return {};
+    }
+    std::string Out(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return Out;
+  }
+
+  /// Marks the decoding failed (bounds violation or fallible user codec).
+  void fail(std::string Reason) {
+    if (!Failed) {
+      Failed = true;
+      Reason_ = std::move(Reason);
+    }
+  }
+
+  bool failed() const { return Failed; }
+  const std::string &failReason() const { return Reason_; }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return Len - Pos; }
+
+  /// True when every byte has been consumed.
+  bool atEnd() const { return Pos == Len; }
+
+private:
+  void readRaw(void *Out, size_t N) {
+    if (Failed)
+      return;
+    if (N > remaining()) {
+      fail("read past end of message");
+      return;
+    }
+    std::memcpy(Out, Data + Pos, N);
+    Pos += N;
+  }
+
+  template <typename T> T readLe() {
+    uint8_t Raw[sizeof(T)] = {0};
+    readRaw(Raw, sizeof(T));
+    T V = 0;
+    for (size_t I = 0; I != sizeof(T); ++I)
+      V |= static_cast<T>(static_cast<T>(Raw[I]) << (8 * I));
+    return V;
+  }
+
+  const uint8_t *Data;
+  size_t Len;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Reason_;
+};
+
+} // namespace promises::wire
+
+#endif // PROMISES_WIRE_ENCODER_H

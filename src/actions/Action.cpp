@@ -1,0 +1,106 @@
+//===- Action.cpp - Lightweight atomic actions ------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/actions/Action.h"
+
+#include <cassert>
+
+using namespace promises;
+using namespace promises::actions;
+
+ActionId ActionManager::begin(ActionId Parent) {
+  assert((Parent == 0 || Records.count(Parent)) &&
+         "subaction of a finished action");
+  ActionId Id = NextId++;
+  Record R;
+  R.Parent = Parent;
+  Records.emplace(Id, std::move(R));
+  if (Parent != 0)
+    ++Records[Parent].ActiveChildren;
+  return Id;
+}
+
+bool ActionManager::isActive(ActionId Id) const {
+  return Records.count(Id) != 0;
+}
+
+bool ActionManager::isDoomed(ActionId Id) const {
+  auto It = Records.find(Id);
+  return It != Records.end() && It->second.Doomed;
+}
+
+void ActionManager::doom(ActionId Id) {
+  auto It = Records.find(Id);
+  if (It != Records.end())
+    It->second.Doomed = true;
+}
+
+bool ActionManager::isSelfOrAncestor(ActionId Maybe, ActionId Id) const {
+  for (ActionId Cur = Id; Cur != 0;) {
+    if (Cur == Maybe)
+      return true;
+    auto It = Records.find(Cur);
+    if (It == Records.end())
+      return false;
+    Cur = It->second.Parent;
+  }
+  return false;
+}
+
+ActionId ActionManager::parentOf(ActionId Id) const {
+  auto It = Records.find(Id);
+  return It != Records.end() ? It->second.Parent : 0;
+}
+
+void ActionManager::onFinish(ActionId Id,
+                             std::function<void(bool)> Hook) {
+  auto It = Records.find(Id);
+  assert(It != Records.end() && "finish hook on a finished action");
+  It->second.FinishHooks.push_back(std::move(Hook));
+}
+
+bool ActionManager::commit(ActionId Id) {
+  auto It = Records.find(Id);
+  assert(It != Records.end() && "commit of an unknown action");
+  if (It->second.Doomed || It->second.ActiveChildren != 0) {
+    // A doomed action cannot commit; an action with live children must
+    // not (the Action RAII discipline prevents this in practice).
+    abort(Id);
+    return false;
+  }
+  finish(Id, /*Committed=*/true);
+  ++Commits;
+  return true;
+}
+
+void ActionManager::abort(ActionId Id) {
+  auto It = Records.find(Id);
+  if (It == Records.end())
+    return; // Already finished (idempotent).
+  finish(Id, /*Committed=*/false);
+  ++Aborts;
+}
+
+void ActionManager::finish(ActionId Id, bool Committed) {
+  auto It = Records.find(Id);
+  assert(It != Records.end());
+  ActionId Parent = It->second.Parent;
+  // Hooks may install new hooks on the *parent* (lock transfer), never on
+  // this action; move them out first. The record must stay alive while
+  // the hooks run — they consult parentOf/isSelfOrAncestor for Id.
+  std::vector<std::function<void(bool)>> Hooks =
+      std::move(It->second.FinishHooks);
+  for (auto &H : Hooks)
+    H(Committed);
+  Records.erase(Id);
+  if (Parent != 0) {
+    auto PIt = Records.find(Parent);
+    if (PIt != Records.end()) {
+      --PIt->second.ActiveChildren;
+      assert(PIt->second.ActiveChildren >= 0);
+    }
+  }
+}

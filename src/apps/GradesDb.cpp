@@ -1,0 +1,128 @@
+//===- GradesDb.cpp - The grades database -----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/GradesDb.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+
+GradesDb apps::installGradesDb(runtime::Guardian &G, GradesDbConfig Cfg) {
+  GradesDb Db;
+  Db.Db = std::make_shared<GradesDb::State>();
+  auto St = Db.Db;
+  sim::Simulation &S = G.simulation();
+
+  Db.RecordGrade =
+      G.addHandler<double(std::string, int32_t), NoSuchStudent>(
+          "record_grade",
+          [St, Cfg, &S](std::string Stu,
+                        int32_t Grade) -> Outcome<double, NoSuchStudent> {
+            if (Cfg.ServiceTime != 0)
+              S.sleep(Cfg.ServiceTime);
+            ++St->RecordCalls;
+            auto It = St->Grades.find(Stu);
+            if (It == St->Grades.end()) {
+              if (Cfg.RequireRegistration)
+                return NoSuchStudent{Stu};
+              It = St->Grades.emplace(Stu, std::vector<int32_t>{}).first;
+            }
+            It->second.push_back(Grade);
+            double Sum = 0;
+            for (int32_t V : It->second)
+              Sum += V;
+            return Sum / static_cast<double>(It->second.size());
+          });
+
+  Db.GetAverage = G.addHandler<double(std::string), NoSuchStudent>(
+      "get_average",
+      [St, Cfg, &S](std::string Stu) -> Outcome<double, NoSuchStudent> {
+        if (Cfg.ServiceTime != 0)
+          S.sleep(Cfg.ServiceTime);
+        auto It = St->Grades.find(Stu);
+        if (It == St->Grades.end() || It->second.empty())
+          return NoSuchStudent{Stu};
+        double Sum = 0;
+        for (int32_t V : It->second)
+          Sum += V;
+        return Sum / static_cast<double>(It->second.size());
+      });
+
+  Db.RegisterStudent = G.addHandler<wire::Unit(std::string)>(
+      "register_student", [St](std::string Stu) -> Outcome<wire::Unit> {
+        St->Grades.emplace(Stu, std::vector<int32_t>{});
+        return wire::Unit{};
+      });
+
+  // --- Staged batches: the all-or-nothing discipline of Section 4.2. ---
+
+  Db.BeginBatch = G.addHandler<uint32_t(wire::Unit)>(
+      "begin_batch", [St](wire::Unit) -> Outcome<uint32_t> {
+        uint32_t Id = St->NextBatch++;
+        St->Batches[Id];
+        return Id;
+      });
+
+  Db.RecordInBatch = G.addHandler<double(uint32_t, std::string, int32_t),
+                                  NoSuchStudent, NoSuchBatch>(
+      "record_in_batch",
+      [St, Cfg, &S](uint32_t Batch, std::string Stu, int32_t Grade)
+          -> Outcome<double, NoSuchStudent, NoSuchBatch> {
+        if (Cfg.ServiceTime != 0)
+          S.sleep(Cfg.ServiceTime);
+        auto BIt = St->Batches.find(Batch);
+        if (BIt == St->Batches.end())
+          return NoSuchBatch{Batch};
+        if (Cfg.RequireRegistration && !St->Grades.count(Stu))
+          return NoSuchStudent{Stu};
+        BIt->second.emplace_back(Stu, Grade);
+        // Preview: the average this student would have after commit,
+        // counting earlier staged grades in this batch.
+        double Sum = Grade;
+        int Count = 1;
+        if (auto GIt = St->Grades.find(Stu); GIt != St->Grades.end()) {
+          for (int32_t V : GIt->second) {
+            Sum += V;
+            ++Count;
+          }
+        }
+        for (size_t I = 0; I + 1 < BIt->second.size(); ++I) {
+          if (BIt->second[I].first == Stu) {
+            Sum += BIt->second[I].second;
+            ++Count;
+          }
+        }
+        return Sum / Count;
+      });
+
+  Db.CommitBatch = G.addHandler<wire::Unit(uint32_t), NoSuchBatch>(
+      "commit_batch",
+      [St](uint32_t Batch) -> Outcome<wire::Unit, NoSuchBatch> {
+        auto BIt = St->Batches.find(Batch);
+        if (BIt == St->Batches.end())
+          return NoSuchBatch{Batch};
+        for (auto &[Stu, Grade] : BIt->second) {
+          St->Grades[Stu].push_back(Grade);
+          ++St->RecordCalls;
+        }
+        St->Batches.erase(BIt);
+        ++St->Commits;
+        return wire::Unit{};
+      });
+
+  Db.AbortBatch = G.addHandler<wire::Unit(uint32_t), NoSuchBatch>(
+      "abort_batch",
+      [St](uint32_t Batch) -> Outcome<wire::Unit, NoSuchBatch> {
+        auto BIt = St->Batches.find(Batch);
+        if (BIt == St->Batches.end())
+          return NoSuchBatch{Batch};
+        St->Batches.erase(BIt);
+        ++St->Aborts;
+        return wire::Unit{};
+      });
+
+  return Db;
+}

@@ -1,0 +1,49 @@
+//===- KvStore.cpp - Key-value workload guardian ------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/KvStore.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+
+KvStore apps::installKvStore(runtime::Guardian &G, KvStoreConfig Cfg) {
+  KvStore K;
+  K.Store = std::make_shared<KvStore::State>();
+  auto St = K.Store;
+  sim::Simulation &S = G.simulation();
+
+  auto Work = [St, Cfg, &S] {
+    if (Cfg.ServiceTime != 0)
+      S.sleep(Cfg.ServiceTime);
+    ++St->Calls;
+  };
+
+  K.Put = G.addHandler<wire::Unit(std::string, std::string)>(
+      "put",
+      [St, Work](std::string Key, std::string Val) -> Outcome<wire::Unit> {
+        Work();
+        St->Data[std::move(Key)] = std::move(Val);
+        return wire::Unit{};
+      });
+
+  K.Get = G.addHandler<std::string(std::string), NotFound>(
+      "get", [St, Work](std::string Key) -> Outcome<std::string, NotFound> {
+        Work();
+        auto It = St->Data.find(Key);
+        if (It == St->Data.end())
+          return NotFound{Key};
+        return It->second;
+      });
+
+  K.Echo = G.addHandler<std::string(std::string)>(
+      "echo", [Work](std::string V) -> Outcome<std::string> {
+        Work();
+        return V;
+      });
+
+  return K;
+}

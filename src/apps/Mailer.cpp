@@ -1,0 +1,59 @@
+//===- Mailer.cpp - The mailer guardian --------------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/Mailer.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+
+Mailer apps::installMailer(runtime::Guardian &G, MailerConfig Cfg) {
+  Mailer M;
+  M.Mail = std::make_shared<Mailer::State>();
+  auto St = M.Mail;
+  sim::Simulation &S = G.simulation();
+
+  auto Touch = [St, Cfg, &S] {
+    if (Cfg.ServiceTime != 0)
+      S.sleep(Cfg.ServiceTime);
+    ++St->Operations;
+  };
+
+  M.SendMail =
+      G.addHandler<wire::Unit(std::string, std::string), NoSuchUser>(
+          "send_mail",
+          [St, Touch](std::string User, std::string Body)
+              -> Outcome<wire::Unit, NoSuchUser> {
+            Touch();
+            auto It = St->Boxes.find(User);
+            if (It == St->Boxes.end())
+              return NoSuchUser{User};
+            It->second.push_back(std::move(Body));
+            return wire::Unit{};
+          });
+
+  M.ReadMail =
+      G.addHandler<std::vector<std::string>(std::string), NoSuchUser>(
+          "read_mail",
+          [St, Touch](std::string User)
+              -> Outcome<std::vector<std::string>, NoSuchUser> {
+            Touch();
+            auto It = St->Boxes.find(User);
+            if (It == St->Boxes.end())
+              return NoSuchUser{User};
+            std::vector<std::string> Out = std::move(It->second);
+            It->second.clear();
+            return Out;
+          });
+
+  M.AddUser = G.addHandler<wire::Unit(std::string)>(
+      "add_user", [St](std::string User) -> Outcome<wire::Unit> {
+        St->Boxes.emplace(std::move(User), std::vector<std::string>{});
+        return wire::Unit{};
+      });
+
+  return M;
+}

@@ -1,0 +1,32 @@
+//===- Printer.cpp - The printer guardian -----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/Printer.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+
+Printer apps::installPrinter(runtime::Guardian &G, PrinterConfig Cfg) {
+  Printer P;
+  P.Out = std::make_shared<Printer::State>();
+  auto St = P.Out;
+  sim::Simulation &S = G.simulation();
+
+  P.Print = G.addHandler<wire::Unit(std::string), Jam>(
+      "print", [St, Cfg, &S](std::string Line) -> Outcome<wire::Unit, Jam> {
+        if (Cfg.ServiceTime != 0)
+          S.sleep(Cfg.ServiceTime);
+        if (Cfg.JamEvery != 0 &&
+            (St->Lines.size() + St->Jams + 1) % Cfg.JamEvery == 0) {
+          ++St->Jams;
+          return Jam{};
+        }
+        St->Lines.push_back(std::move(Line));
+        return wire::Unit{};
+      });
+  return P;
+}

@@ -1,0 +1,200 @@
+//===- TwoPhase.cpp - Distributed commit kit ---------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/TwoPhase.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+using namespace promises::runtime;
+
+TxnKv apps::installTxnKv(Guardian &G, TxnKvConfig Cfg) {
+  TxnKv K;
+  K.Store = std::make_shared<TxnKv::State>();
+  auto St = K.Store;
+  sim::Simulation &S = G.simulation();
+  auto Work = [St, Cfg, &S] {
+    if (Cfg.ServiceTime != 0)
+      S.sleep(Cfg.ServiceTime);
+  };
+
+  K.Begin = G.addHandler<uint32_t(wire::Unit)>(
+      "t_begin", [St, Work](wire::Unit) -> Outcome<uint32_t> {
+        Work();
+        uint32_t Id = St->NextTxn++;
+        St->Txns[Id];
+        return Id;
+      });
+
+  K.Put = G.addHandler<wire::Unit(uint32_t, std::string, std::string),
+                       NoSuchTxn, TxnConflict>(
+      "t_put",
+      [St, Work](uint32_t Txn, std::string Key, std::string Val)
+          -> Outcome<wire::Unit, NoSuchTxn, TxnConflict> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        auto LIt = St->Locks.find(Key);
+        if (LIt != St->Locks.end() && LIt->second != Txn)
+          return TxnConflict{Key};
+        St->Locks[Key] = Txn;
+        TIt->second.Staged[std::move(Key)] = std::move(Val);
+        return wire::Unit{};
+      });
+
+  K.Get = G.addHandler<std::string(uint32_t, std::string), NoSuchTxn>(
+      "t_get",
+      [St, Work](uint32_t Txn,
+                 std::string Key) -> Outcome<std::string, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        // Read-your-writes through the staged state.
+        auto SIt = TIt->second.Staged.find(Key);
+        if (SIt != TIt->second.Staged.end())
+          return SIt->second;
+        auto DIt = St->Data.find(Key);
+        return DIt != St->Data.end() ? DIt->second : std::string();
+      });
+
+  K.Prepare = G.addHandler<bool(uint32_t), NoSuchTxn>(
+      "t_prepare", [St, Work](uint32_t Txn) -> Outcome<bool, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        // Volatile participant: a yes vote just pins the staged state.
+        TIt->second.Prepared = true;
+        return true;
+      });
+
+  auto Release = [St](uint32_t Txn) {
+    for (auto It = St->Locks.begin(); It != St->Locks.end();) {
+      if (It->second == Txn)
+        It = St->Locks.erase(It);
+      else
+        ++It;
+    }
+  };
+
+  K.Commit = G.addHandler<wire::Unit(uint32_t), NoSuchTxn>(
+      "t_commit",
+      [St, Work, Release](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        for (auto &[Key, Val] : TIt->second.Staged)
+          St->Data[Key] = Val;
+        Release(Txn);
+        St->Txns.erase(TIt);
+        ++St->Commits;
+        return wire::Unit{};
+      });
+
+  K.Abort = G.addHandler<wire::Unit(uint32_t), NoSuchTxn>(
+      "t_abort",
+      [St, Work, Release](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        Release(Txn);
+        St->Txns.erase(TIt);
+        ++St->Aborts;
+        return wire::Unit{};
+      });
+
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// TwoPhaseCoordinator
+//===----------------------------------------------------------------------===//
+
+size_t TwoPhaseCoordinator::enlist(const TxnKv &Participant) {
+  assert(!Finished && "coordinator already finished");
+  Enlisted E;
+  E.Kv = Participant;
+  E.Agent = Local.newAgent();
+  Participants.push_back(std::move(E));
+  return Participants.size() - 1;
+}
+
+bool TwoPhaseCoordinator::ensureBegun(Enlisted &E) {
+  if (E.Begun)
+    return true;
+  auto H = bindHandler(Local, E.Agent, E.Kv.Begin);
+  auto O = H.call(wire::Unit{});
+  if (!O.isNormal()) {
+    Doomed = true;
+    return false;
+  }
+  E.Txn = O.value();
+  E.Begun = true;
+  return true;
+}
+
+bool TwoPhaseCoordinator::put(size_t Idx, const std::string &Key,
+                              const std::string &Val) {
+  assert(Idx < Participants.size() && "unknown participant");
+  assert(!Finished && "coordinator already finished");
+  Enlisted &E = Participants[Idx];
+  if (!ensureBegun(E))
+    return false;
+  auto H = bindHandler(Local, E.Agent, E.Kv.Put);
+  auto O = H.call(E.Txn, Key, Val);
+  if (!O.isNormal()) {
+    Doomed = true;
+    return false;
+  }
+  return true;
+}
+
+TwoPhaseResult TwoPhaseCoordinator::commit() {
+  assert(!Finished && "coordinator already finished");
+  if (Doomed) {
+    abort();
+    return TwoPhaseResult::Aborted;
+  }
+  // Phase 1: collect votes; any no / unreachable participant aborts.
+  for (Enlisted &E : Participants) {
+    if (!E.Begun)
+      continue; // Never touched: trivially prepared.
+    auto H = bindHandler(Local, E.Agent, E.Kv.Prepare);
+    auto O = H.call(E.Txn);
+    if (!O.isNormal() || !O.value()) {
+      abort();
+      return TwoPhaseResult::Aborted;
+    }
+  }
+  // Phase 2: commit everywhere. A participant lost now is the blocking
+  // window: survivors commit, the lost one is in doubt.
+  Finished = true;
+  bool AnyLost = false;
+  for (Enlisted &E : Participants) {
+    if (!E.Begun)
+      continue;
+    auto H = bindHandler(Local, E.Agent, E.Kv.Commit);
+    auto O = H.call(E.Txn);
+    if (!O.isNormal())
+      AnyLost = true;
+  }
+  return AnyLost ? TwoPhaseResult::InDoubt : TwoPhaseResult::Committed;
+}
+
+void TwoPhaseCoordinator::abort() {
+  Finished = true;
+  for (Enlisted &E : Participants) {
+    if (!E.Begun)
+      continue;
+    auto H = bindHandler(Local, E.Agent, E.Kv.Abort);
+    H.call(E.Txn); // Best effort; unreachable participants time out
+                   // their locks with their own state (volatile).
+  }
+}

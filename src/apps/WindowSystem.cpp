@@ -1,0 +1,72 @@
+//===- WindowSystem.cpp - The window system ----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/WindowSystem.h"
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+
+WindowSystem apps::installWindowSystem(runtime::Guardian &G,
+                                       WindowSystemConfig Cfg) {
+  WindowSystem W;
+  W.Screen = std::make_shared<WindowSystem::State>();
+  auto St = W.Screen;
+  sim::Simulation &S = G.simulation();
+
+  W.CreateWindow = G.addHandler<WindowPorts(wire::Unit)>(
+      "create_window",
+      [&G, St, Cfg, &S](wire::Unit) -> Outcome<WindowPorts> {
+        // Ports are created dynamically; all ports of one window share a
+        // fresh group so its operations form one stream per client agent.
+        stream::GroupId Group = G.createGroup();
+        St->Windows.emplace(Group, WindowSystem::WindowState{});
+        auto Work = [St, Cfg, &S] {
+          if (Cfg.ServiceTime != 0)
+            S.sleep(Cfg.ServiceTime);
+        };
+        WindowPorts P;
+        P.Putc = G.addHandler<wire::Unit(uint8_t)>(
+            "putc", Group, [St, Group, Work](uint8_t C) -> Outcome<wire::Unit> {
+              Work();
+              St->Windows[Group].Text.push_back(static_cast<char>(C));
+              return wire::Unit{};
+            });
+        P.Puts = G.addHandler<wire::Unit(std::string)>(
+            "puts", Group,
+            [St, Group, Work](std::string Text) -> Outcome<wire::Unit> {
+              Work();
+              St->Windows[Group].Text += Text;
+              return wire::Unit{};
+            });
+        P.ChangeColor = G.addHandler<wire::Unit(std::string)>(
+            "change_color", Group,
+            [St, Group, Work](std::string Color) -> Outcome<wire::Unit> {
+              Work();
+              St->Windows[Group].Color = std::move(Color);
+              return wire::Unit{};
+            });
+        P.Contents = G.addHandler<std::string(wire::Unit)>(
+            "contents", Group,
+            [St, Group](wire::Unit) -> Outcome<std::string> {
+              return St->Windows[Group].Text;
+            });
+        return P;
+      });
+
+  W.DestroyWindow = G.addHandler<wire::Unit(WindowPorts)>(
+      "destroy_window", [&G, St](WindowPorts P) -> Outcome<wire::Unit> {
+        if (!St->Windows.count(P.Putc.Group))
+          return Failure{"no such window"};
+        G.removeHandler(P.Putc);
+        G.removeHandler(P.Puts);
+        G.removeHandler(P.ChangeColor);
+        G.removeHandler(P.Contents);
+        St->Windows.erase(P.Putc.Group);
+        return wire::Unit{};
+      });
+  return W;
+}

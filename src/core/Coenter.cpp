@@ -1,0 +1,52 @@
+//===- Coenter.cpp - Structured concurrency -------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Coenter.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace promises;
+using namespace promises::core;
+
+ArmResult Coenter::run() {
+  assert(sim::Simulation::inProcess() &&
+         "coenter must run inside a simulated process");
+
+  struct Shared {
+    ArmResult FirstExn;
+    bool Terminating = false;
+    std::vector<sim::ProcessHandle> Procs;
+  };
+  auto State = std::make_shared<Shared>();
+
+  // Spawn one subprocess (and agent) per arm. They start running in spawn
+  // order at the current instant.
+  State->Procs.reserve(Arms.size());
+  for (ArmSpec &A : Arms) {
+    State->Procs.push_back(Sim.spawn(
+        std::move(A.Name), [this, State, Body = std::move(A.Body)] {
+          ArmResult R = Body();
+          if (!R || State->Terminating)
+            return;
+          // First exception wins: record it and force the sibling arms to
+          // terminate (critical sections defer the kill, per the paper).
+          State->Terminating = true;
+          State->FirstExn = std::move(R);
+          sim::Process *Self = sim::Simulation::current();
+          for (const sim::ProcessHandle &P : State->Procs)
+            if (P.get() != Self)
+              Sim.kill(P);
+        }));
+  }
+  Arms.clear();
+
+  // The parent halts until every subprocess completes (normally or by
+  // forced termination).
+  for (const sim::ProcessHandle &P : State->Procs)
+    Sim.join(P);
+  return std::move(State->FirstExn);
+}

@@ -1,0 +1,174 @@
+//===- Network.cpp - Simulated datagram network ---------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/net/Network.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace promises;
+using namespace promises::net;
+using sim::Time;
+
+Network::Network(sim::Simulation &S, NetConfig C)
+    : Sim(S), Cfg(C), Rand(C.Seed) {}
+
+NodeId Network::addNode(std::string Name) {
+  Nodes.push_back(Node{});
+  Nodes.back().Name = std::move(Name);
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+Network::Node &Network::node(NodeId N) {
+  assert(N < Nodes.size() && "unknown node");
+  return Nodes[N];
+}
+
+const Network::Node &Network::node(NodeId N) const {
+  assert(N < Nodes.size() && "unknown node");
+  return Nodes[N];
+}
+
+const std::string &Network::nodeName(NodeId N) const { return node(N).Name; }
+
+Address Network::bind(NodeId N, std::function<void(Datagram)> Handler) {
+  Node &Nd = node(N);
+  assert(Nd.Up && "bind on a crashed node");
+  Address A{N, Nd.NextPort++};
+  Binds[A] = std::move(Handler);
+  return A;
+}
+
+void Network::unbind(Address A) { Binds.erase(A); }
+
+bool Network::isUp(NodeId N) const { return node(N).Up; }
+
+void Network::setPartitioned(NodeId A, NodeId B, bool Cut) {
+  auto Key = std::minmax(A, B);
+  if (Cut)
+    Partitions.insert({Key.first, Key.second});
+  else
+    Partitions.erase({Key.first, Key.second});
+}
+
+bool Network::isPartitioned(NodeId A, NodeId B) const {
+  auto Key = std::minmax(A, B);
+  return Partitions.count({Key.first, Key.second}) != 0;
+}
+
+void Network::setLinkLoss(NodeId A, NodeId B, double Rate) {
+  auto Key = std::minmax(A, B);
+  LinkLoss[{Key.first, Key.second}] = Rate;
+}
+
+double Network::lossBetween(NodeId A, NodeId B) const {
+  auto Key = std::minmax(A, B);
+  auto It = LinkLoss.find({Key.first, Key.second});
+  return It != LinkLoss.end() ? It->second : Cfg.LossRate;
+}
+
+void Network::onCrash(NodeId N, std::function<void()> Cb) {
+  node(N).CrashObservers.push_back(std::move(Cb));
+}
+
+void Network::crash(NodeId N) {
+  Node &Nd = node(N);
+  if (!Nd.Up)
+    return;
+  Nd.Up = false;
+  // Remove every binding on the node; later deliveries count as drops.
+  for (auto It = Binds.begin(); It != Binds.end();) {
+    if (It->first.Node == N)
+      It = Binds.erase(It);
+    else
+      ++It;
+  }
+  // Fire observers once, then clear them (restart re-registers).
+  std::vector<std::function<void()>> Observers;
+  Observers.swap(Nd.CrashObservers);
+  for (auto &Cb : Observers)
+    Cb();
+}
+
+void Network::restart(NodeId N) {
+  Node &Nd = node(N);
+  assert(!Nd.Up && "restart of a node that is up");
+  Nd.Up = true;
+  Nd.TxFreeAt = Sim.now();
+  Nd.RxFreeAt = Sim.now();
+}
+
+const NetCounters &Network::counters(NodeId N) const {
+  return node(N).Counters;
+}
+
+sim::Time Network::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
+
+void Network::send(Address From, Address To, wire::Bytes Payload) {
+  Node &Sender = node(From.Node);
+  uint64_t WireBytes = Payload.size() + Cfg.HeaderBytes;
+  ++Totals.DatagramsSent;
+  Totals.BytesSent += WireBytes;
+  ++Sender.Counters.DatagramsSent;
+  Sender.Counters.BytesSent += WireBytes;
+
+  if (!Sender.Up) {
+    ++Totals.DatagramsDropped;
+    return;
+  }
+
+  // The transmit path is a serial resource: the datagram occupies it for
+  // the kernel-call overhead plus the per-byte cost.
+  Time Busy = Cfg.SendKernelOverhead + WireBytes * Cfg.PerByte;
+  Time Start = std::max(Sim.now(), Sender.TxFreeAt);
+  Sender.TxFreeAt = Start + Busy;
+
+  // Loss and partition at transmission time.
+  if (isPartitioned(From.Node, To.Node) ||
+      Rand.chance(lossBetween(From.Node, To.Node))) {
+    ++Totals.DatagramsDropped;
+    return;
+  }
+
+  Time Jitter = Cfg.JitterMax != 0 ? Rand.below(Cfg.JitterMax + 1) : 0;
+  Time ArriveAt = Sender.TxFreeAt + Cfg.Propagation + Jitter;
+  int Copies = Rand.chance(Cfg.DupRate) ? 2 : 1;
+  for (int I = 0; I != Copies; ++I) {
+    Datagram D{From, To, Payload};
+    Sim.schedule(ArriveAt - Sim.now(),
+                 [this, D = std::move(D)]() mutable { arrive(std::move(D)); });
+  }
+}
+
+void Network::arrive(Datagram D) {
+  // Conditions are re-checked at arrival so that partitions and crashes
+  // that happen while a datagram is in flight still drop it (the source of
+  // the paper's *asynchronous* breaks).
+  Node &Receiver = node(D.To.Node);
+  if (!Receiver.Up || isPartitioned(D.From.Node, D.To.Node)) {
+    ++Totals.DatagramsDropped;
+    return;
+  }
+  uint64_t WireBytes = D.Payload.size() + Cfg.HeaderBytes;
+  Time Busy = Cfg.RecvKernelOverhead + WireBytes * Cfg.PerByte;
+  Time Start = std::max(Sim.now(), Receiver.RxFreeAt);
+  Receiver.RxFreeAt = Start + Busy;
+  Sim.schedule(Start + Busy - Sim.now(), [this, D = std::move(D)]() mutable {
+    Node &R = node(D.To.Node);
+    if (!R.Up) {
+      ++Totals.DatagramsDropped;
+      return;
+    }
+    auto It = Binds.find(D.To);
+    if (It == Binds.end()) {
+      ++Totals.DatagramsDropped;
+      return;
+    }
+    ++Totals.DatagramsDelivered;
+    ++R.Counters.DatagramsDelivered;
+    It->second(std::move(D));
+  });
+}

@@ -1,0 +1,121 @@
+//===- Guardian.cpp - Active entities --------------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/runtime/Guardian.h"
+
+#include "promises/support/StrUtil.h"
+
+#include <cassert>
+
+using namespace promises;
+using namespace promises::runtime;
+
+Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
+                   GuardianConfig Cfg)
+    : Net(Net), Node(Node), Name(std::move(Name)), Cfg(Cfg) {
+  Transport = std::make_unique<stream::StreamTransport>(Net, Node, Cfg.Stream);
+  Transport->setCallSink(
+      [this](stream::IncomingCall IC) { onIncomingCall(std::move(IC)); });
+  Transport->setStreamDeadHook([this](uint64_t Tag) { onStreamDead(Tag); });
+  Net.onCrash(Node, [this] { onNodeCrash(); });
+}
+
+Guardian::~Guardian() {
+  // Stop traffic first so no new call processes are spawned while the
+  // executor table is being torn down.
+  Transport->shutdown();
+}
+
+void Guardian::onNodeCrash() {
+  Crashed = true;
+  // The transport registered its crash observer first and has already shut
+  // down; all that remains is to kill the guardian's processes.
+  sim::Simulation &Sim = Net.simulation();
+  for (const sim::ProcessHandle &P : Procs)
+    Sim.kill(P);
+}
+
+sim::ProcessHandle Guardian::spawnProcess(std::string ProcName,
+                                          std::function<void()> Body) {
+  assert(!Crashed && "spawnProcess on a crashed guardian");
+  sim::ProcessHandle P =
+      Net.simulation().spawn(Name + "/" + ProcName, std::move(Body));
+  Procs.push_back(P);
+  return P;
+}
+
+Guardian::ExecDomain &Guardian::domain(uint64_t Tag) { return Domains[Tag]; }
+
+void Guardian::onIncomingCall(stream::IncomingCall IC) {
+  if (Crashed)
+    return;
+  // One process (and agent) per call. The process waits for its turn so
+  // that calls on the same stream appear to execute in call order; calls
+  // on different streams (different tags) proceed concurrently.
+  auto Call = std::make_shared<stream::IncomingCall>(std::move(IC));
+  std::string PN = strprintf("call#%llu",
+                             static_cast<unsigned long long>(Call->CallSeq));
+  ExecDomain &D = domain(Call->StreamTag);
+  sim::ProcessHandle P;
+  if (isParallelGroup(Call->Group)) {
+    // Explicit override: no gating; the transport reorders completions
+    // back into call order for the sender.
+    P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
+      runCall(*Call);
+      D.Running.erase(Call->CallSeq);
+    });
+  } else {
+    P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
+      stream::Seq Mine = Call->CallSeq;
+      if (D.DoneThrough + 1 != Mine) {
+        auto &Q = D.Waiting[Mine];
+        if (!Q)
+          Q = std::make_unique<sim::WaitQueue>(Net.simulation());
+        while (D.DoneThrough + 1 != Mine)
+          Q->wait();
+        D.Waiting.erase(Mine);
+      }
+      runCall(*Call);
+      D.DoneThrough = Mine;
+      D.Running.erase(Mine);
+      auto Next = D.Waiting.find(Mine + 1);
+      if (Next != D.Waiting.end())
+        Next->second->notifyOne();
+    });
+  }
+  D.Running.emplace(Call->CallSeq, P);
+  Procs.push_back(std::move(P));
+}
+
+void Guardian::onStreamDead(uint64_t Tag) {
+  // The stream broke or was superseded: destroy its orphaned executions
+  // (paper, Section 4.2: the system "will find these computations and
+  // destroy them later" — here, promptly). The call that triggered the
+  // break may be the current process; it finishes its own cleanup.
+  auto It = Domains.find(Tag);
+  if (It == Domains.end())
+    return;
+  sim::Process *Self = sim::Simulation::current();
+  sim::Simulation &Sim = Net.simulation();
+  for (auto &[Seq, PH] : It->second.Running)
+    if (PH.get() != Self)
+      Sim.kill(PH);
+  It->second.Running.clear();
+}
+
+void Guardian::runCall(stream::IncomingCall &IC) {
+  // "Calls on broken streams are discarded automatically, so user code
+  // never needs to deal with them."
+  if (Transport->isReceiverBroken(IC.StreamTag))
+    return;
+  ++CallsExecuted;
+  auto It = Executors.find(IC.Port);
+  if (It == Executors.end()) {
+    IC.Complete(stream::ReplyStatus::Failure, 0, {}, "no such port");
+    return;
+  }
+  It->second(IC);
+}

@@ -1,0 +1,367 @@
+//===- Simulation.cpp - Discrete-event kernel -----------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/sim/Simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+
+using namespace promises::sim;
+
+/// The process currently holding the execution turn on this thread.
+/// nullptr on the scheduler thread.
+static thread_local Process *CurrentProc = nullptr;
+
+//===----------------------------------------------------------------------===//
+// Process
+//===----------------------------------------------------------------------===//
+
+Process::Process(Simulation &S, uint64_t Id, std::string Name,
+                 std::function<void()> Body)
+    : Sim(S), Id(Id), Name(std::move(Name)), Body(std::move(Body)),
+      JoinQ(std::make_unique<WaitQueue>(S)),
+      SleepQ(std::make_unique<WaitQueue>(S)) {
+  Thread = std::thread([this] { threadMain(); });
+}
+
+Process::~Process() {
+  if (!Thread.joinable())
+    return;
+  if (!finished()) {
+    // Fail-safe for destruction without a clean shutdown: grant the thread
+    // one final turn with a kill pending so it unwinds and exits.
+    KillPending = true;
+    CriticalDepth = 0;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      TurnIsProcess = true;
+    }
+    Cv.notify_all();
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      Cv.wait(L, [&] { return !TurnIsProcess; });
+    }
+  }
+  Thread.join();
+}
+
+void Process::threadMain() {
+  // Park until the scheduler grants the first turn.
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] { return TurnIsProcess; });
+  }
+  CurrentProc = this;
+  try {
+    deliverKill();
+    Body();
+  } catch (ProcessKilled &) {
+    // Forced termination unwound the body; nothing else to do.
+  }
+  Body = nullptr; // Release captured state deterministically.
+  State = ProcState::Finished;
+  JoinQ->notifyAll();
+  CurrentProc = nullptr;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    TurnIsProcess = false;
+  }
+  Cv.notify_all();
+}
+
+void Process::yieldToScheduler() {
+  assert(CurrentProc == this && "yield from a thread that lacks the turn");
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    TurnIsProcess = false;
+  }
+  Cv.notify_all();
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] { return TurnIsProcess; });
+  }
+  deliverKill();
+}
+
+void Process::deliverKill() {
+  if (!KillPending || Unwinding)
+    return;
+  if (CriticalDepth > 0 && !Sim.ShuttingDown)
+    return; // Deferred: inside a critical section (paper, Section 4.2).
+  Unwinding = true;
+  throw ProcessKilled{};
+}
+
+//===----------------------------------------------------------------------===//
+// WaitQueue
+//===----------------------------------------------------------------------===//
+
+void WaitQueue::enqueueCurrent(Process *P) {
+  assert(P->WaitingOn == nullptr && "process already waiting");
+  Waiters.push_back(P);
+  P->WaitingOn = this;
+  P->State = ProcState::Blocked;
+}
+
+void WaitQueue::removeWaiter(Process *P) {
+  auto It = std::find(Waiters.begin(), Waiters.end(), P);
+  assert(It != Waiters.end() && "process not waiting here");
+  Waiters.erase(It);
+}
+
+void WaitQueue::wait() {
+  Process *P = Simulation::current();
+  assert(P && "WaitQueue::wait() outside a simulated process");
+  P->deliverKill();
+  enqueueCurrent(P);
+  P->NotifiedFlag = false;
+  P->yieldToScheduler();
+}
+
+bool WaitQueue::waitFor(Time Timeout) {
+  Process *P = Simulation::current();
+  assert(P && "WaitQueue::waitFor() outside a simulated process");
+  P->deliverKill();
+  enqueueCurrent(P);
+  P->NotifiedFlag = false;
+  // The epoch guards against this timeout firing after the process has
+  // been woken by other means (notify or kill) and has moved on.
+  uint64_t Epoch = P->WaitEpoch;
+  uint64_t Ev = Sim.schedule(Timeout, [this, P, Epoch] {
+    P->HasTimeoutEvent = false;
+    if (P->WaitingOn == this && P->WaitEpoch == Epoch) {
+      removeWaiter(P);
+      P->WaitingOn = nullptr;
+      Sim.makeReady(P);
+    }
+  });
+  P->TimeoutEvent = Ev;
+  P->HasTimeoutEvent = true;
+  P->yieldToScheduler();
+  return P->NotifiedFlag;
+}
+
+void WaitQueue::notifyOne() {
+  if (Waiters.empty())
+    return;
+  Process *P = Waiters.front();
+  Waiters.pop_front();
+  P->WaitingOn = nullptr;
+  P->NotifiedFlag = true;
+  Sim.makeReady(P);
+}
+
+void WaitQueue::notifyAll() {
+  while (!Waiters.empty())
+    notifyOne();
+}
+
+//===----------------------------------------------------------------------===//
+// CriticalSection
+//===----------------------------------------------------------------------===//
+
+CriticalSection::CriticalSection()
+    : Proc(Simulation::current()),
+      ExceptionsAtEntry(std::uncaught_exceptions()) {
+  assert(Proc && "critical section outside a simulated process");
+  ++Proc->CriticalDepth;
+}
+
+CriticalSection::~CriticalSection() noexcept(false) {
+  assert(Proc->CriticalDepth > 0 && "unbalanced critical section");
+  --Proc->CriticalDepth;
+  // Leaving the outermost section is a kill delivery point — but never
+  // while another exception is already unwinding through us.
+  if (Proc->CriticalDepth == 0 &&
+      std::uncaught_exceptions() == ExceptionsAtEntry)
+    Proc->deliverKill();
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation
+//===----------------------------------------------------------------------===//
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() { shutdown(); }
+
+Process *Simulation::current() { return CurrentProc; }
+
+ProcessHandle Simulation::spawn(std::string Name,
+                                std::function<void()> Body) {
+  auto P = std::shared_ptr<Process>(
+      new Process(*this, NextProcId++, std::move(Name), std::move(Body)));
+  AllProcs.push_back(P);
+  // The start event: the process first runs when the loop reaches it.
+  uint64_t Id = ++NextEventSeq;
+  Queue.emplace(QueueKey{NowNs, Id}, Id);
+  Events[Id] = EventPayload{P.get(), nullptr};
+  return P;
+}
+
+uint64_t Simulation::schedule(Time Delay, std::function<void()> Fn) {
+  uint64_t Id = ++NextEventSeq;
+  Queue.emplace(QueueKey{NowNs + Delay, Id}, Id);
+  Events[Id] = EventPayload{nullptr, std::move(Fn)};
+  return Id;
+}
+
+void Simulation::cancel(uint64_t EventId) { Events.erase(EventId); }
+
+void Simulation::makeReady(Process *P) {
+  assert((P->State == ProcState::Blocked || P->State == ProcState::Created) &&
+         "makeReady on a process that is not blocked");
+  P->State = ProcState::Ready;
+  ++P->WaitEpoch;
+  if (P->HasTimeoutEvent) {
+    // Cancel the pending waitFor timeout so it cannot linger in the queue
+    // and artificially advance the clock after the process moved on.
+    cancel(P->TimeoutEvent);
+    P->HasTimeoutEvent = false;
+  }
+  uint64_t Id = ++NextEventSeq;
+  Queue.emplace(QueueKey{NowNs, Id}, Id);
+  Events[Id] = EventPayload{P, nullptr};
+}
+
+void Simulation::switchTo(Process *P) {
+  assert(CurrentProc == nullptr && "nested switchTo");
+  ++NumSwitches;
+  P->State = ProcState::Running;
+  {
+    std::lock_guard<std::mutex> L(P->Mu);
+    P->TurnIsProcess = true;
+  }
+  P->Cv.notify_all();
+  {
+    std::unique_lock<std::mutex> L(P->Mu);
+    P->Cv.wait(L, [&] { return !P->TurnIsProcess; });
+  }
+}
+
+bool Simulation::step(Time Horizon) {
+  while (!Queue.empty()) {
+    auto It = Queue.begin();
+    if (It->first.At > Horizon)
+      return false;
+    uint64_t Id = It->second;
+    auto PIt = Events.find(Id);
+    if (PIt == Events.end()) {
+      Queue.erase(It); // Cancelled.
+      continue;
+    }
+    assert(It->first.At >= NowNs && "event queue went backwards");
+    NowNs = It->first.At;
+    EventPayload Payload = std::move(PIt->second);
+    Events.erase(PIt);
+    Queue.erase(It);
+    if (Payload.Wake) {
+      Process *P = Payload.Wake;
+      // A wake can race with kill-driven wakes; only run if still due.
+      if (P->State == ProcState::Ready || P->State == ProcState::Created)
+        switchTo(P);
+    } else {
+      Payload.Fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  assert(!inProcess() && "run() must be called from scheduler context");
+  StopRequested = false;
+  while (!StopRequested && step(UINT64_MAX)) {
+  }
+}
+
+bool Simulation::runFor(Time Duration) {
+  assert(!inProcess() && "runFor() must be called from scheduler context");
+  Time Horizon = NowNs + Duration;
+  StopRequested = false;
+  while (!StopRequested && step(Horizon)) {
+  }
+  if (!StopRequested && NowNs < Horizon)
+    NowNs = Horizon;
+  return !Queue.empty();
+}
+
+void Simulation::sleep(Time Duration) {
+  Process *P = current();
+  assert(P && "sleep() outside a simulated process");
+  P->SleepQ->waitFor(Duration);
+}
+
+void Simulation::yieldNow() {
+  Process *P = current();
+  assert(P && "yieldNow() outside a simulated process");
+  P->deliverKill();
+  P->State = ProcState::Blocked;
+  makeReady(P);
+  P->yieldToScheduler();
+}
+
+void Simulation::join(const ProcessHandle &P) {
+  Process *Cur = current();
+  assert(Cur && "join() outside a simulated process");
+  assert(P.get() != Cur && "a process cannot join itself");
+  (void)Cur;
+  while (!P->finished())
+    P->JoinQ->wait();
+}
+
+void Simulation::woundImpl(Process *P) {
+  if (P->State == ProcState::Finished)
+    return;
+  P->Wounded = true;
+}
+
+void Simulation::killImpl(Process *P) {
+  if (P->State == ProcState::Finished)
+    return;
+  P->Wounded = true;
+  P->KillPending = true;
+  if (P->State == ProcState::Blocked &&
+      (P->CriticalDepth == 0 || ShuttingDown)) {
+    if (P->WaitingOn) {
+      P->WaitingOn->removeWaiter(P);
+      P->WaitingOn = nullptr;
+    }
+    makeReady(P);
+  }
+  // Created: the start event is already queued; the trampoline delivers.
+  // Ready/Running: delivered at the next resume or blocking point.
+}
+
+size_t Simulation::liveProcessCount() const {
+  size_t N = 0;
+  for (const auto &P : AllProcs)
+    if (!P->finished())
+      ++N;
+  return N;
+}
+
+void Simulation::shutdown() {
+  ShuttingDown = true;
+  // Killing one process can unblock others that then block elsewhere, so
+  // iterate to a fixpoint (bounded for safety).
+  for (int Round = 0; Round < 64; ++Round) {
+    bool AnyLive = false;
+    for (auto &P : AllProcs) {
+      if (!P->finished()) {
+        AnyLive = true;
+        killImpl(P.get());
+      }
+    }
+    if (!AnyLive)
+      break;
+    StopRequested = false;
+    while (step(UINT64_MAX)) {
+    }
+  }
+  AllProcs.clear(); // Joins all threads (see ~Process fail-safe).
+}

@@ -1,0 +1,63 @@
+//===- Sync.cpp - Simulated synchronization -------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/sim/Sync.h"
+
+#include <cassert>
+
+using namespace promises::sim;
+
+void SimMutex::lock() {
+  Process *P = Simulation::current();
+  assert(P && "SimMutex::lock() outside a simulated process");
+  assert(Owner != P && "recursive SimMutex lock");
+  while (Owner != nullptr)
+    Q.wait();
+  Owner = P;
+}
+
+bool SimMutex::tryLock() {
+  Process *P = Simulation::current();
+  assert(P && "SimMutex::tryLock() outside a simulated process");
+  if (Owner != nullptr)
+    return false;
+  Owner = P;
+  return true;
+}
+
+void SimMutex::unlock() {
+  assert(Owner == Simulation::current() && "unlock by non-owner");
+  Owner = nullptr;
+  Q.notifyOne();
+}
+
+void SimCondVar::wait(SimMutex &M) {
+  assert(M.heldByCurrent() && "SimCondVar::wait without the mutex");
+  M.unlock();
+  try {
+    Q.wait();
+  } catch (ProcessKilled &) {
+    // Reacquire so the caller's scoped guard can unlock during unwind.
+    // lock() does not re-deliver the kill while unwinding.
+    M.lock();
+    throw;
+  }
+  M.lock();
+}
+
+bool SimCondVar::waitFor(SimMutex &M, Time Timeout) {
+  assert(M.heldByCurrent() && "SimCondVar::waitFor without the mutex");
+  M.unlock();
+  bool Notified = false;
+  try {
+    Notified = Q.waitFor(Timeout);
+  } catch (ProcessKilled &) {
+    M.lock();
+    throw;
+  }
+  M.lock();
+  return Notified;
+}

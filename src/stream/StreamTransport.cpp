@@ -1,0 +1,891 @@
+//===- StreamTransport.cpp - Call-stream layer ----------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/stream/StreamTransport.h"
+
+#include "promises/support/StrUtil.h"
+#include "promises/support/Trace.h"
+
+#include <cassert>
+
+using namespace promises;
+using namespace promises::stream;
+using sim::Time;
+
+//===----------------------------------------------------------------------===//
+// Message framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint8_t KindCallBatch = 1;
+constexpr uint8_t KindReplyBatch = 2;
+} // namespace
+
+wire::Bytes promises::stream::encodeMessage(const Message &M) {
+  wire::Encoder E;
+  if (const auto *CB = std::get_if<CallBatchMsg>(&M)) {
+    E.writeU8(KindCallBatch);
+    wire::Codec<CallBatchMsg>::encode(E, *CB);
+  } else {
+    E.writeU8(KindReplyBatch);
+    wire::Codec<ReplyBatchMsg>::encode(E, std::get<ReplyBatchMsg>(M));
+  }
+  assert(!E.failed() && "stream messages must always encode");
+  return E.take();
+}
+
+std::optional<Message>
+promises::stream::decodeMessage(const wire::Bytes &B) {
+  wire::Decoder D(B);
+  uint8_t Kind = D.readU8();
+  Message M;
+  if (Kind == KindCallBatch)
+    M = wire::Codec<CallBatchMsg>::decode(D);
+  else if (Kind == KindReplyBatch)
+    M = wire::Codec<ReplyBatchMsg>::decode(D);
+  else
+    return std::nullopt;
+  if (D.failed() || !D.atEnd())
+    return std::nullopt;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream state
+//===----------------------------------------------------------------------===//
+
+struct StreamTransport::SenderStream {
+  SenderStream(sim::Simulation &S, AgentId A, net::Address R, GroupId G)
+      : Agent(A), Remote(R), Group(G),
+        FulfillQ(std::make_unique<sim::WaitQueue>(S)) {}
+
+  AgentId Agent;
+  net::Address Remote;
+  GroupId Group;
+  Incarnation Inc = 1;
+
+  Seq NextSeq = 1;             ///< The next issued call takes this seq.
+  Seq TransmittedThrough = 0;  ///< Sent at least once through here.
+  Seq AckedCallThrough = 0;    ///< Receiver delivered through here.
+  Seq CompletedThroughMax = 0; ///< Receiver executed through here.
+  Seq FulfilledThrough = 0;    ///< Outcomes handed to callbacks through
+                               ///< here (always in order).
+  Seq LastAckSent = 0;         ///< AckReplyThrough in our last batch.
+
+  struct Slot {
+    bool NoReply = false;
+    bool IsRpc = false;
+    ReplyCallback Cb;
+  };
+  /// Calls kept for retransmission: (AckedCallThrough, NextSeq).
+  std::map<Seq, CallReq> Window;
+  /// Callbacks awaiting outcomes: (FulfilledThrough, NextSeq).
+  std::map<Seq, Slot> Slots;
+  /// Explicit replies received but not yet consumable in order.
+  std::map<Seq, WireReply> PendingReplies;
+  size_t BufferedBytes = 0; ///< Untransmitted argument bytes.
+
+  bool Broken = false;
+  bool BrokenIsFailure = false;
+  std::string BreakReason;
+
+  // Synch-window bookkeeping (reset by synch or by an RPC's reply).
+  bool ExceptionSinceMark = false;
+  bool BreakSinceMark = false;
+  bool BreakSinceMarkIsFailure = false;
+  std::string BreakSinceMarkReason;
+
+  // Timers.
+  bool FlushTimerArmed = false;
+  uint64_t FlushTimer = 0;
+  bool RetransTimerArmed = false;
+  uint64_t RetransTimer = 0;
+  bool AckTimerArmed = false;
+  uint64_t AckTimer = 0;
+  int Retries = 0;
+  Seq LastProgressAcked = 0;
+  Seq LastProgressFulfilled = 0;
+
+  std::unique_ptr<sim::WaitQueue> FulfillQ; ///< synch waiters.
+
+  Seq untransmittedCount() const { return NextSeq - 1 - TransmittedThrough; }
+  Seq outstanding() const { return NextSeq - 1 - FulfilledThrough; }
+  void resetMark() {
+    ExceptionSinceMark = false;
+    BreakSinceMark = false;
+    BreakSinceMarkIsFailure = false;
+    BreakSinceMarkReason.clear();
+  }
+};
+
+struct StreamTransport::ReceiverStream {
+  uint64_t Tag = 0;
+  net::Address SenderAddr;
+  AgentId Agent = 0;
+  GroupId Group = 0;
+  Incarnation Inc = 1;
+
+  Seq NextExpected = 1; ///< Next call seq to deliver to user code.
+  std::map<Seq, CallReq> Future; ///< Received ahead of order.
+  Seq CompletedThrough = 0;
+  /// Calls executed beyond the contiguous prefix (only possible when the
+  /// runtime opts a group into parallel execution); nullopt entries are
+  /// normally-terminated sends with no explicit reply.
+  std::map<Seq, std::optional<WireReply>> DoneAhead;
+  std::map<Seq, WireReply> UnackedReplies;
+  Seq FlushThrough = 0;     ///< Completions <= this flush immediately.
+  Seq FlushWhenCompleted = 0; ///< RPC replies wanted as soon as the
+                              ///< prefix reaches this seq.
+  Seq LastSentCompleted = 0;
+  Seq LastSentAck = 0;
+  Seq LastBatchedReply = 0; ///< Highest reply ever included in a batch;
+                            ///< normal batches send only newer ones.
+  bool NeedAck = false; ///< Duplicate calls seen; re-ack soon.
+
+  bool Broken = false;
+  bool BrokenIsFailure = false;
+  std::string BreakReason;
+
+  bool ReplyFlushTimerArmed = false;
+  uint64_t ReplyFlushTimer = 0;
+  bool AckTimerArmed = false;
+  uint64_t AckTimer = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
+                                 StreamConfig Cfg)
+    : Net(Net), Node(Node), Cfg(Cfg) {
+  Addr = Net.bind(Node, [this](net::Datagram D) { onDatagram(std::move(D)); });
+  Net.onCrash(Node, [this] { shutdown(); });
+}
+
+StreamTransport::~StreamTransport() { shutdown(); }
+
+void StreamTransport::shutdown() {
+  if (Dead)
+    return;
+  Dead = true;
+  if (Net.isUp(Node))
+    Net.unbind(Addr);
+  sim::Simulation &Sim = Net.simulation();
+  for (auto &[K, S] : Senders) {
+    if (S->FlushTimerArmed)
+      Sim.cancel(S->FlushTimer);
+    if (S->RetransTimerArmed)
+      Sim.cancel(S->RetransTimer);
+    if (S->AckTimerArmed)
+      Sim.cancel(S->AckTimer);
+    S->FlushTimerArmed = S->RetransTimerArmed = S->AckTimerArmed = false;
+    // Processes blocked in synch must not hang on a dead transport.
+    S->FulfillQ->notifyAll();
+  }
+  for (auto &[K, R] : Receivers) {
+    if (R->ReplyFlushTimerArmed)
+      Sim.cancel(R->ReplyFlushTimer);
+    if (R->AckTimerArmed)
+      Sim.cancel(R->AckTimer);
+    R->ReplyFlushTimerArmed = R->AckTimerArmed = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sender side
+//===----------------------------------------------------------------------===//
+
+StreamTransport::SenderStream *
+StreamTransport::findSender(AgentId A, net::Address R, GroupId G) const {
+  auto It = Senders.find(senderKey(A, R, G));
+  return It != Senders.end() ? It->second.get() : nullptr;
+}
+
+StreamTransport::SenderStream &
+StreamTransport::getSender(AgentId A, net::Address R, GroupId G) {
+  auto &Slot = Senders[senderKey(A, R, G)];
+  if (!Slot)
+    Slot = std::make_unique<SenderStream>(Net.simulation(), A, R, G);
+  return *Slot;
+}
+
+StreamTransport::IssueResult
+StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
+                           PortId Port, wire::Bytes Args, bool NoReply,
+                           bool IsRpc, ReplyCallback OnReply) {
+  if (Dead)
+    return {false, false, "transport shut down"};
+  SenderStream &S = getSender(Agent, Remote, Group);
+  if (S.Broken) {
+    if (!Cfg.AutoRestart)
+      return {false, S.BrokenIsFailure, S.BreakReason};
+    reincarnate(S);
+  }
+  Seq Sq = S.NextSeq++;
+  CallReq Req;
+  Req.S = Sq;
+  Req.Port = Port;
+  Req.NoReply = NoReply;
+  Req.FlushReply = IsRpc;
+  S.BufferedBytes += Args.size();
+  Req.Args = std::move(Args);
+  S.Window.emplace(Sq, std::move(Req));
+  SenderStream::Slot Slot;
+  Slot.NoReply = NoReply;
+  Slot.IsRpc = IsRpc;
+  Slot.Cb = std::move(OnReply);
+  S.Slots.emplace(Sq, std::move(Slot));
+  ++Counters.CallsIssued;
+  if (traceEnabled())
+    tracef("issue agent=%llu group=%u port=%u seq=%llu%s%s",
+           static_cast<unsigned long long>(Agent), Group, Port,
+           static_cast<unsigned long long>(Sq), NoReply ? " send" : "",
+           IsRpc ? " rpc" : "");
+
+  if (IsRpc) {
+    // RPCs "are sent over the network immediately, to minimize the delay
+    // for a call" — and they carry any earlier buffered stream calls with
+    // them, preserving order.
+    transmitNewCalls(S, /*FlushReplies=*/true);
+  } else if (S.untransmittedCount() >= Cfg.MaxBatchCalls ||
+             S.BufferedBytes >= Cfg.MaxBatchBytes) {
+    transmitNewCalls(S, /*FlushReplies=*/false);
+  } else {
+    armSenderFlushTimer(S);
+  }
+  return {};
+}
+
+void StreamTransport::transmitNewCalls(SenderStream &S, bool FlushReplies) {
+  if (S.Broken || Dead)
+    return;
+  Seq From = S.TransmittedThrough + 1;
+  Seq Through = S.NextSeq - 1;
+  bool HasReplyGap = S.FulfilledThrough < S.TransmittedThrough;
+  if (From > Through && !(FlushReplies && HasReplyGap))
+    return; // Nothing to send and nothing to flush out of the far side.
+  sendCallBatch(S, From, Through, FlushReplies, /*IsRetransmit=*/false);
+  S.TransmittedThrough = Through;
+  S.BufferedBytes = 0;
+  if (S.FlushTimerArmed) {
+    Net.simulation().cancel(S.FlushTimer);
+    S.FlushTimerArmed = false;
+  }
+  armSenderRetransTimer(S);
+}
+
+void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
+                                    Seq ThroughSeq, bool FlushReplies,
+                                    bool IsRetransmit) {
+  CallBatchMsg M;
+  M.Agent = S.Agent;
+  M.Group = S.Group;
+  M.Inc = S.Inc;
+  M.AckReplyThrough = S.FulfilledThrough;
+  M.FlushReplies = FlushReplies;
+  for (Seq Q = FromSeq; Q <= ThroughSeq; ++Q) {
+    auto It = S.Window.find(Q);
+    assert(It != S.Window.end() && "call missing from window");
+    M.Calls.push_back(It->second);
+  }
+  if (IsRetransmit)
+    Counters.Retransmissions += M.Calls.size();
+  S.LastAckSent = S.FulfilledThrough;
+  if (M.Calls.empty())
+    ++Counters.AckBatchesSent;
+  else
+    ++Counters.CallBatchesSent;
+  if (traceEnabled())
+    tracef("tx call-batch agent=%llu inc=%u calls=%zu ack=%llu%s%s",
+           static_cast<unsigned long long>(S.Agent), S.Inc, M.Calls.size(),
+           static_cast<unsigned long long>(M.AckReplyThrough),
+           M.FlushReplies ? " flush" : "", IsRetransmit ? " retrans" : "");
+  Net.send(Addr, S.Remote, encodeMessage(Message(std::move(M))));
+}
+
+void StreamTransport::armSenderFlushTimer(SenderStream &S) {
+  if (S.FlushTimerArmed || S.Broken)
+    return;
+  S.FlushTimerArmed = true;
+  S.FlushTimer = Net.simulation().schedule(Cfg.FlushInterval, [this, &S] {
+    S.FlushTimerArmed = false;
+    if (Dead || S.Broken)
+      return;
+    if (S.untransmittedCount() > 0)
+      transmitNewCalls(S, /*FlushReplies=*/false);
+  });
+}
+
+void StreamTransport::armSenderRetransTimer(SenderStream &S) {
+  if (S.RetransTimerArmed || S.Broken || Dead)
+    return;
+  S.RetransTimerArmed = true;
+  S.RetransTimer =
+      Net.simulation().schedule(Cfg.RetransmitTimeout, [this, &S] {
+        S.RetransTimerArmed = false;
+        if (Dead || S.Broken)
+          return;
+        onSenderRetransTimer(S);
+      });
+}
+
+void StreamTransport::onSenderRetransTimer(SenderStream &S) {
+  bool AwaitingAck = S.AckedCallThrough < S.TransmittedThrough;
+  bool AwaitingReply = S.FulfilledThrough < S.TransmittedThrough;
+  if (!AwaitingAck && !AwaitingReply) {
+    S.Retries = 0;
+    return; // Quiesced; the timer stays disarmed until the next transmit.
+  }
+  // Progress since the last firing: all is well — reset the retry budget
+  // and keep waiting without retransmitting or probing.
+  if (S.AckedCallThrough > S.LastProgressAcked ||
+      S.FulfilledThrough > S.LastProgressFulfilled) {
+    S.Retries = 0;
+    S.LastProgressAcked = S.AckedCallThrough;
+    S.LastProgressFulfilled = S.FulfilledThrough;
+    armSenderRetransTimer(S);
+    return;
+  }
+  S.LastProgressAcked = S.AckedCallThrough;
+  S.LastProgressFulfilled = S.FulfilledThrough;
+  if (++S.Retries > Cfg.MaxRetries) {
+    // The system "tried hard"; give up and break (paper, Section 2).
+    breakSender(S, /*IsFailure=*/false, "cannot communicate");
+    return;
+  }
+  if (AwaitingAck) {
+    sendCallBatch(S, S.AckedCallThrough + 1, S.TransmittedThrough,
+                  /*FlushReplies=*/true, /*IsRetransmit=*/true);
+  } else {
+    // Calls delivered but replies missing: probe so the receiver resends
+    // its unacked-reply state.
+    ++Counters.Probes;
+    sendCallBatch(S, 1, 0, /*FlushReplies=*/true, /*IsRetransmit=*/false);
+  }
+  armSenderRetransTimer(S);
+}
+
+void StreamTransport::armSenderAckTimer(SenderStream &S) {
+  if (S.AckTimerArmed || S.Broken || Dead)
+    return;
+  S.AckTimerArmed = true;
+  S.AckTimer = Net.simulation().schedule(Cfg.AckDelay, [this, &S] {
+    S.AckTimerArmed = false;
+    if (Dead || S.Broken)
+      return;
+    if (S.LastAckSent < S.FulfilledThrough)
+      sendCallBatch(S, 1, 0, /*FlushReplies=*/false, /*IsRetransmit=*/false);
+  });
+}
+
+void StreamTransport::handleReplyBatch(const net::Address &From,
+                                       const ReplyBatchMsg &M) {
+  SenderStream *S = findSender(M.Agent, From, M.Group);
+  if (!S || S->Broken || M.Inc != S->Inc)
+    return;
+
+  // Delivery acknowledgements let the retransmission window shrink.
+  if (M.AckCallThrough > S->AckedCallThrough) {
+    S->AckedCallThrough = M.AckCallThrough;
+    S->Window.erase(S->Window.begin(),
+                    S->Window.upper_bound(S->AckedCallThrough));
+  }
+
+  // Merge explicit replies; detect a batch that carries nothing new
+  // (the receiver missed our ack — re-ack immediately).
+  bool AnyNew = false;
+  for (const WireReply &R : M.Replies) {
+    if (R.S > S->FulfilledThrough && !S->PendingReplies.count(R.S)) {
+      S->PendingReplies.emplace(R.S, R);
+      AnyNew = true;
+    }
+  }
+  if (M.CompletedThrough > S->CompletedThroughMax) {
+    S->CompletedThroughMax = M.CompletedThrough;
+    AnyNew = true;
+  }
+
+  // Consume outcomes in order first (a synchronous break leaves calls up
+  // to CompletedThrough unaffected), then apply the break to the rest.
+  Seq Before = S->FulfilledThrough;
+  fulfillInOrder(*S);
+  if (M.Broken) {
+    breakSender(*S, M.BreakIsFailure, M.BreakReason);
+    return;
+  }
+  if (!M.Replies.empty() && !AnyNew) {
+    // Nothing new: the receiver missed our ack — repeat it immediately.
+    sendCallBatch(*S, 1, 0, /*FlushReplies=*/false, /*IsRetransmit=*/false);
+    return;
+  }
+  if (S->FulfilledThrough > Before)
+    armSenderAckTimer(*S);
+}
+
+void StreamTransport::fulfillInOrder(SenderStream &S) {
+  bool Progress = false;
+  while (S.FulfilledThrough < S.CompletedThroughMax) {
+    Seq Next = S.FulfilledThrough + 1;
+    auto SlotIt = S.Slots.find(Next);
+    assert(SlotIt != S.Slots.end() && "missing reply slot");
+    ReplyOutcome O;
+    auto RIt = S.PendingReplies.find(Next);
+    if (RIt != S.PendingReplies.end()) {
+      const WireReply &W = RIt->second;
+      switch (W.Status) {
+      case ReplyStatus::Normal:
+        O.K = ReplyOutcome::Kind::Normal;
+        O.Payload = W.Payload;
+        break;
+      case ReplyStatus::Exception:
+        O.K = ReplyOutcome::Kind::Exception;
+        O.ExTag = W.ExTag;
+        O.Payload = W.Payload;
+        break;
+      case ReplyStatus::Failure:
+        O.K = ReplyOutcome::Kind::Failure;
+        O.Reason = W.Reason;
+        break;
+      }
+      S.PendingReplies.erase(RIt);
+    } else if (SlotIt->second.NoReply) {
+      O.K = ReplyOutcome::Kind::Normal; // A send that completed normally.
+    } else {
+      break; // The explicit reply is still in flight; probes recover it.
+    }
+    S.FulfilledThrough = Next;
+    Progress = true;
+    bool WasRpc = SlotIt->second.IsRpc;
+    ReplyCallback Cb = std::move(SlotIt->second.Cb);
+    S.Slots.erase(SlotIt);
+    if (WasRpc) {
+      // "since the last synch or regular RPC on the stream": an RPC's own
+      // completion starts a fresh synch window.
+      S.resetMark();
+    } else if (O.K == ReplyOutcome::Kind::Exception ||
+               O.K == ReplyOutcome::Kind::Failure) {
+      S.ExceptionSinceMark = true;
+    }
+    if (Cb)
+      Cb(O);
+  }
+  if (Progress)
+    S.FulfillQ->notifyAll();
+}
+
+void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
+                                  std::string Reason) {
+  if (S.Broken)
+    return;
+  ++Counters.SenderBreaks;
+  if (traceEnabled())
+    tracef("break sender agent=%llu inc=%u %s: %s",
+           static_cast<unsigned long long>(S.Agent), S.Inc,
+           IsFailure ? "failure" : "unavailable", Reason.c_str());
+  S.Broken = true;
+  S.BrokenIsFailure = IsFailure;
+  S.BreakReason = Reason;
+  S.BreakSinceMark = true;
+  S.BreakSinceMarkIsFailure = IsFailure;
+  S.BreakSinceMarkReason = Reason;
+
+  ReplyOutcome O = IsFailure ? ReplyOutcome::failure(Reason)
+                             : ReplyOutcome::unavailable(Reason);
+  // Every call without an outcome terminates with the break outcome, still
+  // in call order.
+  while (!S.Slots.empty()) {
+    auto It = S.Slots.begin();
+    assert(It->first == S.FulfilledThrough + 1 && "slot gap at break");
+    S.FulfilledThrough = It->first;
+    ReplyCallback Cb = std::move(It->second.Cb);
+    S.Slots.erase(It);
+    if (Cb)
+      Cb(O);
+  }
+  S.Window.clear();
+  S.PendingReplies.clear();
+  S.BufferedBytes = 0;
+  sim::Simulation &Sim = Net.simulation();
+  if (S.FlushTimerArmed) {
+    Sim.cancel(S.FlushTimer);
+    S.FlushTimerArmed = false;
+  }
+  if (S.RetransTimerArmed) {
+    Sim.cancel(S.RetransTimer);
+    S.RetransTimerArmed = false;
+  }
+  if (S.AckTimerArmed) {
+    Sim.cancel(S.AckTimer);
+    S.AckTimerArmed = false;
+  }
+  S.FulfillQ->notifyAll();
+}
+
+void StreamTransport::reincarnate(SenderStream &S) {
+  assert(S.Broken && "reincarnate of a live stream");
+  ++Counters.Restarts;
+  if (traceEnabled())
+    tracef("restart agent=%llu inc=%u->%u",
+           static_cast<unsigned long long>(S.Agent), S.Inc, S.Inc + 1);
+  ++S.Inc;
+  S.NextSeq = 1;
+  S.TransmittedThrough = 0;
+  S.AckedCallThrough = 0;
+  S.CompletedThroughMax = 0;
+  S.FulfilledThrough = 0;
+  S.LastAckSent = 0;
+  S.Window.clear();
+  S.Slots.clear();
+  S.PendingReplies.clear();
+  S.BufferedBytes = 0;
+  S.Broken = false;
+  S.BrokenIsFailure = false;
+  S.BreakReason.clear();
+  S.Retries = 0;
+  S.LastProgressAcked = 0;
+  S.LastProgressFulfilled = 0;
+}
+
+void StreamTransport::flush(AgentId Agent, net::Address Remote,
+                            GroupId Group) {
+  if (Dead)
+    return;
+  SenderStream *S = findSender(Agent, Remote, Group);
+  if (!S || S->Broken)
+    return;
+  transmitNewCalls(*S, /*FlushReplies=*/true);
+}
+
+SynchOutcome StreamTransport::synch(AgentId Agent, net::Address Remote,
+                                    GroupId Group) {
+  assert(sim::Simulation::inProcess() &&
+         "synch must be called from a simulated process");
+  SenderStream &S = getSender(Agent, Remote, Group);
+  if (!S.Broken)
+    transmitNewCalls(S, /*FlushReplies=*/true);
+  while (!S.Broken && !Dead && S.outstanding() > 0)
+    S.FulfillQ->wait();
+  SynchOutcome Out;
+  if (Dead && S.outstanding() > 0) {
+    // The transport died under us; the window cannot be vouched for.
+    Out.S = SynchOutcome::Status::Unavailable;
+    Out.Reason = "transport shut down";
+    return Out;
+  }
+  if (S.BreakSinceMark) {
+    Out.S = S.BreakSinceMarkIsFailure ? SynchOutcome::Status::Failure
+                                      : SynchOutcome::Status::Unavailable;
+    Out.Reason = S.BreakSinceMarkReason;
+  } else if (S.ExceptionSinceMark) {
+    Out.S = SynchOutcome::Status::ExceptionReply;
+  }
+  S.resetMark();
+  return Out;
+}
+
+void StreamTransport::restart(AgentId Agent, net::Address Remote,
+                              GroupId Group) {
+  if (Dead)
+    return;
+  SenderStream &S = getSender(Agent, Remote, Group);
+  if (!S.Broken)
+    breakSender(S, /*IsFailure=*/false, "stream restarted by sender");
+  reincarnate(S);
+}
+
+bool StreamTransport::isBroken(AgentId Agent, net::Address Remote,
+                               GroupId Group) const {
+  SenderStream *S = findSender(Agent, Remote, Group);
+  return S && S->Broken;
+}
+
+Seq StreamTransport::outstandingCalls(AgentId Agent, net::Address Remote,
+                                      GroupId Group) const {
+  SenderStream *S = findSender(Agent, Remote, Group);
+  return S ? S->outstanding() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Receiver side
+//===----------------------------------------------------------------------===//
+
+StreamTransport::ReceiverStream &
+StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
+  ReceiverKey Key{From.Node, From.Port, M.Agent, M.Group};
+  auto &Slot = Receivers[Key];
+  if (Slot && Slot->Inc == M.Inc)
+    return *Slot;
+  if (Slot) {
+    // A newer incarnation replaces the old one; the old stream is dead
+    // (its completions will be dropped). Its timers capture the old
+    // object, so cancel them before destroying it.
+    assert(M.Inc > Slot->Inc && "caller filters stale incarnations");
+    sim::Simulation &Sim = Net.simulation();
+    if (Slot->ReplyFlushTimerArmed)
+      Sim.cancel(Slot->ReplyFlushTimer);
+    if (Slot->AckTimerArmed)
+      Sim.cancel(Slot->AckTimer);
+    ReceiversByTag.erase(Slot->Tag);
+    if (StreamDeadHook)
+      StreamDeadHook(Slot->Tag); // Orphaned executions get destroyed.
+  }
+  auto R = std::make_unique<ReceiverStream>();
+  R->Tag = NextStreamTag++;
+  R->SenderAddr = From;
+  R->Agent = M.Agent;
+  R->Group = M.Group;
+  R->Inc = M.Inc;
+  ReceiversByTag[R->Tag] = R.get();
+  Slot = std::move(R);
+  return *Slot;
+}
+
+void StreamTransport::handleCallBatch(const net::Address &From,
+                                      const CallBatchMsg &M) {
+  // Filter stale incarnations before touching state.
+  ReceiverKey Key{From.Node, From.Port, M.Agent, M.Group};
+  auto Existing = Receivers.find(Key);
+  if (Existing != Receivers.end() && M.Inc < Existing->second->Inc)
+    return;
+  ReceiverStream &R = getReceiver(From, M);
+
+  if (R.Broken) {
+    // "Further calls on that stream will be discarded" — but keep telling
+    // the sender about the break until it learns.
+    sendReplyBatch(R, /*ResendAll=*/true);
+    return;
+  }
+
+  // The sender has consumed replies through AckReplyThrough.
+  R.UnackedReplies.erase(R.UnackedReplies.begin(),
+                         R.UnackedReplies.upper_bound(M.AckReplyThrough));
+
+  bool SawDuplicate = false;
+  for (const CallReq &C : M.Calls) {
+    if (C.S < R.NextExpected || R.Future.count(C.S)) {
+      ++Counters.DuplicateCallsDropped;
+      SawDuplicate = true;
+      continue;
+    }
+    R.Future.emplace(C.S, C);
+  }
+  deliverReadyCalls(R);
+
+  if (M.FlushReplies) {
+    R.FlushThrough = std::max(R.FlushThrough, R.NextExpected - 1);
+    // The ack / probe response: resend everything unacknowledged so a
+    // sender stalled by a lost reply batch always recovers.
+    sendReplyBatch(R, /*ResendAll=*/true);
+    return;
+  }
+  if (SawDuplicate)
+    R.NeedAck = true;
+  if (R.NextExpected - 1 > R.LastSentAck || R.NeedAck)
+    armReceiverAckTimer(R);
+}
+
+void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
+  if (!CallSink)
+    return;
+  while (!R.Future.empty() && R.Future.begin()->first == R.NextExpected) {
+    CallReq C = std::move(R.Future.begin()->second);
+    R.Future.erase(R.Future.begin());
+    ++R.NextExpected;
+    ++Counters.CallsDelivered;
+    IncomingCall IC;
+    IC.StreamTag = R.Tag;
+    IC.CallSeq = C.S;
+    IC.Group = R.Group;
+    IC.Port = C.Port;
+    IC.NoReply = C.NoReply;
+    IC.Args = std::move(C.Args);
+    uint64_t Tag = R.Tag;
+    Seq S = C.S;
+    bool NoReply = C.NoReply;
+    bool FlushReply = C.FlushReply;
+    IC.Complete = [this, Tag, S, NoReply, FlushReply](
+                      ReplyStatus St, uint32_t ExTag, wire::Bytes Payload,
+                      std::string Reason) {
+      if (Dead)
+        return;
+      auto It = ReceiversByTag.find(Tag);
+      if (It == ReceiversByTag.end())
+        return; // Superseded incarnation.
+      completeCall(*It->second, S, NoReply, FlushReply, St, ExTag,
+                   std::move(Payload), std::move(Reason));
+    };
+    CallSink(std::move(IC));
+  }
+}
+
+void StreamTransport::completeCall(ReceiverStream &R, Seq S, bool NoReply,
+                                   bool FlushReply, ReplyStatus St,
+                                   uint32_t ExTag, wire::Bytes Payload,
+                                   std::string Reason) {
+  if (R.Broken)
+    return; // The break already told the sender everything it will learn.
+  assert(S > R.CompletedThrough && !R.DoneAhead.count(S) &&
+         "call completed twice");
+  // Sends omit normal replies (paper, Section 2); everything else — and
+  // exceptional sends — produce an explicit reply.
+  std::optional<WireReply> W;
+  if (!(NoReply && St == ReplyStatus::Normal)) {
+    W.emplace();
+    W->S = S;
+    W->Status = St;
+    W->ExTag = ExTag;
+    W->Payload = std::move(Payload);
+    W->Reason = std::move(Reason);
+  }
+  R.DoneAhead.emplace(S, std::move(W));
+  if (FlushReply)
+    R.FlushWhenCompleted = std::max(R.FlushWhenCompleted, S);
+  // CompletedThrough is the *contiguous* executed prefix; with in-order
+  // execution (the default) the map holds exactly one entry here.
+  while (!R.DoneAhead.empty() &&
+         R.DoneAhead.begin()->first == R.CompletedThrough + 1) {
+    auto Entry = std::move(R.DoneAhead.begin()->second);
+    R.CompletedThrough = R.DoneAhead.begin()->first;
+    R.DoneAhead.erase(R.DoneAhead.begin());
+    if (Entry)
+      R.UnackedReplies.emplace(R.CompletedThrough, std::move(*Entry));
+  }
+  bool WantFlush = (R.FlushWhenCompleted != 0 &&
+                    R.CompletedThrough >= R.FlushWhenCompleted) ||
+                   R.CompletedThrough <= R.FlushThrough;
+  if (R.FlushWhenCompleted != 0 &&
+      R.CompletedThrough >= R.FlushWhenCompleted)
+    R.FlushWhenCompleted = 0;
+  if (R.CompletedThrough > R.LastSentCompleted &&
+      (WantFlush ||
+       R.CompletedThrough - R.LastSentCompleted >= Cfg.MaxReplyBatch)) {
+    sendReplyBatch(R);
+    return;
+  }
+  if (R.CompletedThrough > R.LastSentCompleted ||
+      !R.UnackedReplies.empty())
+    armReplyFlushTimer(R);
+}
+
+void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
+  if (Dead)
+    return;
+  ReplyBatchMsg M;
+  M.Agent = R.Agent;
+  M.Group = R.Group;
+  M.Inc = R.Inc;
+  M.AckCallThrough = R.NextExpected - 1;
+  M.CompletedThrough = R.CompletedThrough;
+  M.Broken = R.Broken;
+  M.BreakIsFailure = R.BrokenIsFailure;
+  M.BreakReason = R.BreakReason;
+  // Normal batches are deltas (replies never sent before); recovery
+  // batches — responses to a flush/probe, and break notices — carry the
+  // full unacknowledged state so a stalled sender always catches up.
+  bool All = ResendAll || Cfg.StateShapedReplies;
+  for (const auto &[S, W] : R.UnackedReplies) {
+    if (All || S > R.LastBatchedReply)
+      M.Replies.push_back(W);
+  }
+  if (!R.UnackedReplies.empty())
+    R.LastBatchedReply = std::max(R.LastBatchedReply,
+                                  R.UnackedReplies.rbegin()->first);
+  R.LastSentCompleted = R.CompletedThrough;
+  R.LastSentAck = R.NextExpected - 1;
+  R.NeedAck = false;
+  sim::Simulation &Sim = Net.simulation();
+  if (R.ReplyFlushTimerArmed) {
+    Sim.cancel(R.ReplyFlushTimer);
+    R.ReplyFlushTimerArmed = false;
+  }
+  if (R.AckTimerArmed) {
+    Sim.cancel(R.AckTimer);
+    R.AckTimerArmed = false;
+  }
+  ++Counters.ReplyBatchesSent;
+  if (traceEnabled())
+    tracef("tx reply-batch agent=%llu inc=%u replies=%zu ack=%llu ct=%llu%s",
+           static_cast<unsigned long long>(R.Agent), R.Inc,
+           M.Replies.size(),
+           static_cast<unsigned long long>(M.AckCallThrough),
+           static_cast<unsigned long long>(M.CompletedThrough),
+           M.Broken ? " BROKEN" : "");
+  Net.send(Addr, R.SenderAddr, encodeMessage(Message(std::move(M))));
+}
+
+void StreamTransport::armReplyFlushTimer(ReceiverStream &R) {
+  if (R.ReplyFlushTimerArmed || Dead)
+    return;
+  R.ReplyFlushTimerArmed = true;
+  R.ReplyFlushTimer =
+      Net.simulation().schedule(Cfg.ReplyFlushInterval, [this, &R] {
+        R.ReplyFlushTimerArmed = false;
+        if (Dead)
+          return;
+        if (R.CompletedThrough > R.LastSentCompleted ||
+            !R.UnackedReplies.empty())
+          sendReplyBatch(R);
+      });
+}
+
+void StreamTransport::armReceiverAckTimer(ReceiverStream &R) {
+  if (R.AckTimerArmed || R.ReplyFlushTimerArmed || Dead)
+    return;
+  R.AckTimerArmed = true;
+  R.AckTimer = Net.simulation().schedule(Cfg.AckDelay, [this, &R] {
+    R.AckTimerArmed = false;
+    if (Dead)
+      return;
+    if (R.NextExpected - 1 > R.LastSentAck || R.NeedAck)
+      sendReplyBatch(R);
+  });
+}
+
+bool StreamTransport::isReceiverBroken(uint64_t StreamTag) const {
+  auto It = ReceiversByTag.find(StreamTag);
+  if (It == ReceiversByTag.end())
+    return true; // Superseded by a newer incarnation: equally dead.
+  return It->second->Broken;
+}
+
+void StreamTransport::breakReceiverStream(uint64_t StreamTag,
+                                          std::string Reason,
+                                          bool IsFailure) {
+  auto It = ReceiversByTag.find(StreamTag);
+  if (It == ReceiversByTag.end())
+    return;
+  ReceiverStream &R = *It->second;
+  if (R.Broken)
+    return;
+  ++Counters.ReceiverBreaks;
+  if (traceEnabled())
+    tracef("break receiver tag=%llu: %s",
+           static_cast<unsigned long long>(StreamTag), Reason.c_str());
+  R.Broken = true;
+  R.BrokenIsFailure = IsFailure;
+  R.BreakReason = std::move(Reason);
+  R.Future.clear(); // Undelivered calls are discarded.
+  sendReplyBatch(R, /*ResendAll=*/true);
+  if (StreamDeadHook)
+    StreamDeadHook(R.Tag);
+}
+
+//===----------------------------------------------------------------------===//
+// Datagram dispatch
+//===----------------------------------------------------------------------===//
+
+void StreamTransport::onDatagram(net::Datagram D) {
+  if (Dead)
+    return;
+  std::optional<Message> M = decodeMessage(D.Payload);
+  if (!M)
+    return; // Malformed datagrams are dropped silently.
+  if (const auto *CB = std::get_if<CallBatchMsg>(&*M))
+    handleCallBatch(D.From, *CB);
+  else
+    handleReplyBatch(D.From, std::get<ReplyBatchMsg>(*M));
+}

@@ -1,0 +1,56 @@
+//===- StrUtil.cpp - Small string helpers ---------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/support/StrUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace promises;
+
+std::string promises::formatDuration(uint64_t Nanos) {
+  if (Nanos < 1000)
+    return strprintf("%lluns", static_cast<unsigned long long>(Nanos));
+  if (Nanos < 1000ull * 1000)
+    return strprintf("%.2fus", static_cast<double>(Nanos) / 1e3);
+  if (Nanos < 1000ull * 1000 * 1000)
+    return strprintf("%.2fms", static_cast<double>(Nanos) / 1e6);
+  return strprintf("%.3fs", static_cast<double>(Nanos) / 1e9);
+}
+
+std::string promises::formatDouble(double Value, int Decimals) {
+  return strprintf("%.*f", Decimals, Value);
+}
+
+std::string promises::join(const std::vector<std::string> &Parts,
+                           const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string promises::strprintf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed));
+    // vsnprintf writes the terminating NUL past size(); use a buffer.
+    std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+    Out.assign(Buf.data(), static_cast<size_t>(Needed));
+  }
+  va_end(Args);
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- Trace.cpp - Optional event tracing ----------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/support/Trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace promises;
+
+namespace {
+TraceSink &sinkSlot() {
+  static TraceSink Sink;
+  return Sink;
+}
+
+bool envEnabled() {
+  static bool Enabled = [] {
+    const char *V = std::getenv("PROMISES_TRACE");
+    return V != nullptr && V[0] != '\0';
+  }();
+  return Enabled;
+}
+} // namespace
+
+bool promises::traceEnabled() { return envEnabled() || sinkSlot() != nullptr; }
+
+void promises::setTraceSink(TraceSink Sink) { sinkSlot() = std::move(Sink); }
+
+void promises::tracef(const char *Fmt, ...) {
+  if (!traceEnabled())
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Line;
+  if (Needed > 0) {
+    std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+    Line.assign(Buf.data(), static_cast<size_t>(Needed));
+  }
+  va_end(Args);
+  if (sinkSlot())
+    sinkSlot()(Line);
+  if (envEnabled())
+    std::fprintf(stderr, "[promises] %s\n", Line.c_str());
+}

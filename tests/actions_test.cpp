@@ -1,0 +1,341 @@
+//===- actions_test.cpp - Atomic actions unit tests -----------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/actions/AtomicCell.h"
+#include "promises/core/Coenter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace promises;
+using namespace promises::actions;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+struct ActionsFixture : ::testing::Test {
+  Simulation S;
+  ActionConfig AC;
+  std::unique_ptr<ActionManager> M;
+
+  void build() { M = std::make_unique<ActionManager>(S, AC); }
+};
+
+TEST_F(ActionsFixture, CommitMakesWritesDurable) {
+  build();
+  AtomicCell<int> Cell(*M, 1);
+  S.spawn("p", [&] {
+    Action A(*M);
+    EXPECT_EQ(Cell.read(A), 1);
+    Cell.write(A, 5);
+    EXPECT_TRUE(A.commit());
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 5);
+  EXPECT_FALSE(Cell.locked());
+  EXPECT_EQ(M->commits(), 1u);
+}
+
+TEST_F(ActionsFixture, AbortRollsBack) {
+  build();
+  AtomicCell<int> Cell(*M, 1);
+  S.spawn("p", [&] {
+    Action A(*M);
+    Cell.write(A, 5);
+    EXPECT_EQ(Cell.peek(), 5); // Visible in place...
+    A.abort();
+    EXPECT_EQ(Cell.peek(), 1); // ...until the rollback.
+  });
+  S.run();
+  EXPECT_FALSE(Cell.locked());
+  EXPECT_EQ(M->aborts(), 1u);
+}
+
+TEST_F(ActionsFixture, RaiiScopeAbortsWhenNotCommitted) {
+  build();
+  AtomicCell<int> Cell(*M, 10);
+  S.spawn("p", [&] {
+    {
+      Action A(*M);
+      Cell.write(A, 99);
+      // No commit: falls out of scope.
+    }
+    EXPECT_EQ(Cell.peek(), 10);
+  });
+  S.run();
+  EXPECT_EQ(M->aborts(), 1u);
+}
+
+TEST_F(ActionsFixture, WriterExcludesOtherActions) {
+  build();
+  AtomicCell<int> Cell(*M, 0);
+  std::vector<int> ReadLog;
+  S.spawn("writer", [&] {
+    Action A(*M);
+    Cell.write(A, 42);
+    S.sleep(msec(5));
+    A.commit();
+  });
+  S.spawn("reader", [&] {
+    S.sleep(msec(1)); // Writer holds the lock now.
+    Action B(*M);
+    // Blocks until the writer commits: never observes the uncommitted 42
+    // as a dirty read *before* commit.
+    int V = Cell.read(B);
+    ReadLog.push_back(V);
+    EXPECT_EQ(S.now(), msec(5)); // Woke exactly at commit time.
+    B.commit();
+  });
+  S.run();
+  ASSERT_EQ(ReadLog.size(), 1u);
+  EXPECT_EQ(ReadLog[0], 42);
+}
+
+TEST_F(ActionsFixture, ReadersShareButBlockWriters) {
+  build();
+  AtomicCell<int> Cell(*M, 7);
+  Time WriterGotLock = 0;
+  int R1 = 0, R2 = 0;
+  S.spawn("r1", [&] {
+    Action A(*M);
+    R1 = Cell.read(A);
+    S.sleep(msec(4));
+    A.commit();
+  });
+  S.spawn("r2", [&] {
+    Action A(*M);
+    R2 = Cell.read(A); // Shared with r1, no blocking.
+    EXPECT_EQ(S.now(), 0u);
+    S.sleep(msec(2));
+    A.commit();
+  });
+  S.spawn("w", [&] {
+    S.sleep(usec(100));
+    Action A(*M);
+    Cell.write(A, 8); // Blocks until both readers finish (4ms).
+    WriterGotLock = S.now();
+    A.commit();
+  });
+  S.run();
+  EXPECT_EQ(R1, 7);
+  EXPECT_EQ(R2, 7);
+  EXPECT_EQ(WriterGotLock, msec(4));
+  EXPECT_EQ(Cell.peek(), 8);
+}
+
+TEST_F(ActionsFixture, SubactionCommitMergesIntoParent) {
+  build();
+  AtomicCell<int> Cell(*M, 1);
+  S.spawn("p", [&] {
+    Action Top(*M);
+    {
+      Action Sub(*M, Top);
+      Cell.write(Sub, 2);
+      EXPECT_TRUE(Sub.commit());
+    }
+    // The child's effect is now the parent's: visible to the parent,
+    // undone if the parent aborts.
+    EXPECT_EQ(Cell.read(Top), 2);
+    Top.abort();
+    EXPECT_EQ(Cell.peek(), 1); // Parent abort undoes the child's write.
+  });
+  S.run();
+}
+
+TEST_F(ActionsFixture, SubactionCommitThenParentCommitIsDurable) {
+  build();
+  AtomicCell<int> Cell(*M, 1);
+  S.spawn("p", [&] {
+    Action Top(*M);
+    {
+      Action Sub(*M, Top);
+      Cell.write(Sub, 2);
+      Sub.commit();
+    }
+    EXPECT_TRUE(Top.commit());
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 2);
+  EXPECT_FALSE(Cell.locked());
+}
+
+TEST_F(ActionsFixture, SubactionAbortLeavesParentWriteIntact) {
+  build();
+  AtomicCell<int> Cell(*M, 1);
+  S.spawn("p", [&] {
+    Action Top(*M);
+    Cell.write(Top, 2);
+    {
+      Action Sub(*M, Top);
+      Cell.write(Sub, 3); // Inherits the lock, logs its own pre-image.
+      EXPECT_EQ(Cell.peek(), 3);
+      Sub.abort();
+    }
+    EXPECT_EQ(Cell.peek(), 2); // Back to the parent's write, not to 1.
+    EXPECT_TRUE(Top.commit());
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 2);
+}
+
+TEST_F(ActionsFixture, ChildMayUseWhatParentHolds) {
+  build();
+  AtomicCell<int> Cell(*M, 5);
+  S.spawn("p", [&] {
+    Action Top(*M);
+    Cell.write(Top, 6);
+    Action Sub(*M, Top);
+    EXPECT_EQ(Cell.read(Sub), 6); // No self-deadlock on the family lock.
+    Sub.commit();
+    Top.commit();
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 6);
+}
+
+TEST_F(ActionsFixture, SiblingsConflictOnTheFamilyCell) {
+  // Two subactions of one parent still conflict with each other.
+  build();
+  AtomicCell<int> Cell(*M, 0);
+  std::vector<int> Order;
+  S.spawn("p", [&] {
+    Action Top(*M);
+    Coenter(S)
+        .arm("s1",
+             [&]() -> ArmResult {
+               Action A(*M, Top);
+               Cell.write(A, 1);
+               Order.push_back(1);
+               S.sleep(msec(2));
+               A.commit();
+               Order.push_back(2);
+               return {};
+             })
+        .arm("s2",
+             [&]() -> ArmResult {
+               S.sleep(usec(100));
+               Action A(*M, Top);
+               Cell.write(A, 2); // Blocks until s1 commits.
+               Order.push_back(3);
+               A.commit();
+               return {};
+             })
+        .run();
+    Top.commit();
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Cell.peek(), 2);
+}
+
+TEST_F(ActionsFixture, DeadlockResolvesByDooming) {
+  AC.LockTimeout = msec(5);
+  build();
+  AtomicCell<int> X(*M, 0), Y(*M, 0);
+  bool ACommitted = false, BCommitted = false;
+  S.spawn("a", [&] {
+    Action A(*M);
+    X.write(A, 1);
+    S.sleep(msec(1));
+    Y.write(A, 1); // A->Y while B holds Y: deadlock.
+    ACommitted = A.commit();
+  });
+  S.spawn("b", [&] {
+    Action B(*M);
+    Y.write(B, 2);
+    S.sleep(msec(1));
+    X.write(B, 2);
+    BCommitted = B.commit();
+  });
+  S.run();
+  // At least one was doomed and aborted; the system did not hang, and
+  // the cells hold only committed actions' values (or the initial ones).
+  EXPECT_FALSE(ACommitted && BCommitted);
+  EXPECT_FALSE(X.locked());
+  EXPECT_FALSE(Y.locked());
+  if (!ACommitted && !BCommitted) {
+    EXPECT_EQ(X.peek(), 0);
+    EXPECT_EQ(Y.peek(), 0);
+  }
+}
+
+TEST_F(ActionsFixture, KilledProcessAbortsItsAction) {
+  // The coenter story: a terminated arm's action aborts via RAII during
+  // the forced unwind.
+  build();
+  AtomicCell<int> Cell(*M, 100);
+  S.spawn("p", [&] {
+    Coenter(S)
+        .arm("worker",
+             [&]() -> ArmResult {
+               Action A(*M);
+               Cell.write(A, 999);
+               S.sleep(sec(10)); // Killed during this sleep.
+               A.commit();       // Never reached.
+               return {};
+             })
+        .arm("failer",
+             [&]() -> ArmResult {
+               S.sleep(msec(1));
+               return armRaise("boom");
+             })
+        .run();
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 100); // Rolled back by the unwinding abort.
+  EXPECT_FALSE(Cell.locked());
+  EXPECT_EQ(M->aborts(), 1u);
+  EXPECT_LT(S.now(), sec(10));
+}
+
+TEST_F(ActionsFixture, ManyCellsOneAction) {
+  build();
+  std::vector<std::unique_ptr<AtomicCell<int>>> Cells;
+  for (int I = 0; I < 20; ++I)
+    Cells.push_back(std::make_unique<AtomicCell<int>>(*M, I));
+  S.spawn("p", [&] {
+    {
+      Action A(*M);
+      for (auto &C : Cells)
+        C->write(A, C->read(A) + 1000);
+      A.abort();
+    }
+    for (int I = 0; I < 20; ++I)
+      EXPECT_EQ(Cells[static_cast<size_t>(I)]->peek(), I);
+    Action B(*M);
+    for (auto &C : Cells)
+      C->write(B, C->read(B) + 1);
+    EXPECT_TRUE(B.commit());
+  });
+  S.run();
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(Cells[static_cast<size_t>(I)]->peek(), I + 1);
+}
+
+TEST_F(ActionsFixture, DoomedActionCannotCommit) {
+  AC.LockTimeout = msec(2);
+  build();
+  AtomicCell<int> Cell(*M, 0);
+  S.spawn("holder", [&] {
+    Action A(*M);
+    Cell.write(A, 1);
+    S.sleep(msec(20));
+    A.commit();
+  });
+  S.spawn("victim", [&] {
+    S.sleep(usec(100));
+    Action B(*M);
+    Cell.write(B, 2); // Times out at ~2ms; B is doomed.
+    EXPECT_TRUE(B.doomed());
+    EXPECT_FALSE(B.commit()); // Commit refuses and aborts.
+  });
+  S.run();
+  EXPECT_EQ(Cell.peek(), 1); // Only the holder's write survived.
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+//===- apps_test.cpp - Application guardian tests -------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/GradesDb.h"
+#include "promises/apps/KvStore.h"
+#include "promises/apps/Mailer.h"
+#include "promises/apps/Printer.h"
+#include "promises/apps/WindowSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct AppsFixture : ::testing::Test {
+  Simulation S;
+  net::NetConfig NC;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> Server, Client;
+
+  void build() {
+    Net = std::make_unique<net::Network>(S, NC);
+    Server = std::make_unique<Guardian>(*Net, Net->addNode("server"),
+                                        "server");
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("client"),
+                                        "client");
+  }
+};
+
+TEST_F(AppsFixture, GradesDbRecordsAndAverages) {
+  build();
+  GradesDb Db = installGradesDb(*Server);
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Db.RecordGrade);
+    EXPECT_EQ(H.call(std::string("ann"), int32_t(80)).value(), 80.0);
+    EXPECT_EQ(H.call(std::string("ann"), int32_t(90)).value(), 85.0);
+    auto GA = bindHandler(*Client, Client->newAgent(), Db.GetAverage);
+    EXPECT_EQ(GA.call(std::string("ann")).value(), 85.0);
+  });
+  S.run();
+  EXPECT_EQ(Db.Db->RecordCalls, 2u);
+}
+
+TEST_F(AppsFixture, GradesDbRegistrationMode) {
+  build();
+  GradesDbConfig Cfg;
+  Cfg.RequireRegistration = true;
+  GradesDb Db = installGradesDb(*Server, Cfg);
+  Client->spawnProcess("main", [&] {
+    auto Rec = bindHandler(*Client, Client->newAgent(), Db.RecordGrade);
+    auto Reg = bindHandler(*Client, Client->newAgent(), Db.RegisterStudent);
+    EXPECT_TRUE(Rec.call(std::string("zoe"), int32_t(70))
+                    .is<NoSuchStudent>());
+    Reg.call(std::string("zoe"));
+    EXPECT_EQ(Rec.call(std::string("zoe"), int32_t(70)).value(), 70.0);
+  });
+  S.run();
+}
+
+TEST_F(AppsFixture, GradesBatchCommitAppliesAll) {
+  build();
+  GradesDb Db = installGradesDb(*Server);
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Begin = bindHandler(*Client, A, Db.BeginBatch);
+    auto Rec = bindHandler(*Client, A, Db.RecordInBatch);
+    auto Commit = bindHandler(*Client, A, Db.CommitBatch);
+    uint32_t B = Begin.call(wire::Unit{}).value();
+    // Staged grades are invisible until commit.
+    Rec.streamCall(B, std::string("ann"), int32_t(80));
+    auto Preview = Rec.streamCall(B, std::string("ann"), int32_t(90));
+    Rec.flush();
+    EXPECT_EQ(Preview.claim().value(), 85.0);
+    EXPECT_TRUE(Db.Db->Grades["ann"].empty());
+    ASSERT_TRUE(Commit.call(B).isNormal());
+    EXPECT_EQ(Db.Db->Grades["ann"].size(), 2u);
+    // The batch is gone afterwards.
+    EXPECT_TRUE(Commit.call(B).is<NoSuchBatch>());
+  });
+  S.run();
+  EXPECT_EQ(Db.Db->Commits, 1u);
+}
+
+TEST_F(AppsFixture, GradesBatchAbortDiscardsAll) {
+  // "if it is not possible to record all grades, none will be recorded."
+  build();
+  GradesDb Db = installGradesDb(*Server);
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Begin = bindHandler(*Client, A, Db.BeginBatch);
+    auto Rec = bindHandler(*Client, A, Db.RecordInBatch);
+    auto Abort = bindHandler(*Client, A, Db.AbortBatch);
+    uint32_t B = Begin.call(wire::Unit{}).value();
+    for (int I = 0; I < 5; ++I)
+      Rec.streamCall(B, std::string("bob"), int32_t(70 + I));
+    Rec.synch();
+    ASSERT_TRUE(Abort.call(B).isNormal());
+    EXPECT_TRUE(Db.Db->Grades.empty());
+  });
+  S.run();
+  EXPECT_EQ(Db.Db->Aborts, 1u);
+  EXPECT_EQ(Db.Db->RecordCalls, 0u);
+}
+
+TEST_F(AppsFixture, GradesBatchUnknownIdSignals) {
+  build();
+  GradesDb Db = installGradesDb(*Server);
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Rec = bindHandler(*Client, A, Db.RecordInBatch);
+    auto O = Rec.call(uint32_t(999), std::string("x"), int32_t(1));
+    ASSERT_TRUE(O.is<NoSuchBatch>());
+    EXPECT_EQ(O.get<NoSuchBatch>().Batch, 999u);
+  });
+  S.run();
+}
+
+TEST_F(AppsFixture, PrinterCollectsLinesInOrder) {
+  build();
+  Printer P = installPrinter(*Server);
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), P.Print);
+    for (int I = 0; I < 5; ++I)
+      H.send(std::string("line") + std::to_string(I));
+    EXPECT_TRUE(H.synch().ok());
+  });
+  S.run();
+  ASSERT_EQ(P.Out->Lines.size(), 5u);
+  EXPECT_EQ(P.Out->Lines[0], "line0");
+  EXPECT_EQ(P.Out->Lines[4], "line4");
+}
+
+TEST_F(AppsFixture, PrinterJamSignalsThroughSynch) {
+  build();
+  PrinterConfig Cfg;
+  Cfg.JamEvery = 3;
+  Printer P = installPrinter(*Server, Cfg);
+  SynchResult R;
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), P.Print);
+    for (int I = 0; I < 6; ++I)
+      H.send(std::string("l"));
+    R = H.synch();
+  });
+  S.run();
+  EXPECT_EQ(R.K, SynchResult::Kind::ExceptionReply);
+  EXPECT_EQ(P.Out->Jams, 2u);
+}
+
+TEST_F(AppsFixture, MailerSameStreamSeesOwnWrites) {
+  // The Section 2.1 scenario: C1's read_mail (same stream as its
+  // send_mail) waits for the send to complete, so it sees the message.
+  build();
+  Mailer M = installMailer(*Server);
+  std::vector<std::string> C1Read;
+  Client->spawnProcess("c1", [&] {
+    auto A = Client->newAgent();
+    auto Send = bindHandler(*Client, A, M.SendMail);
+    auto Read = bindHandler(*Client, A, M.ReadMail);
+    bindHandler(*Client, A, M.AddUser).call(std::string("u"));
+    // Stream the send, then immediately stream the read on the SAME
+    // stream: ordering guarantees the read sees the send's effect.
+    Send.streamCall(std::string("u"), std::string("hello"));
+    auto P = Read.streamCall(std::string("u"));
+    Read.flush();
+    C1Read = P.claim().value();
+  });
+  S.run();
+  ASSERT_EQ(C1Read.size(), 1u);
+  EXPECT_EQ(C1Read[0], "hello");
+}
+
+TEST_F(AppsFixture, MailerDifferentClientsRunConcurrently) {
+  MailerConfig Cfg;
+  Cfg.ServiceTime = msec(5);
+  build();
+  Mailer M = installMailer(*Server, Cfg);
+  Time C1Done = 0, C2Done = 0;
+  Server->spawnProcess("setup", [&] {
+    M.Mail->Boxes["u1"];
+    M.Mail->Boxes["u2"];
+  });
+  Client->spawnProcess("c1", [&] {
+    auto A = Client->newAgent();
+    auto Send = bindHandler(*Client, A, M.SendMail);
+    Send.call(std::string("u1"), std::string("a"));
+    C1Done = S.now();
+  });
+  Client->spawnProcess("c2", [&] {
+    auto A = Client->newAgent();
+    auto Read = bindHandler(*Client, A, M.ReadMail);
+    Read.call(std::string("u2"));
+    C2Done = S.now();
+  });
+  S.run();
+  // Concurrent service: both finish ~1 service time after transit, not
+  // 2 service times serialized.
+  Time Serialized = msec(10);
+  EXPECT_LT(C1Done, Serialized + msec(10));
+  EXPECT_LT(C2Done, Serialized + msec(10));
+  // And their service windows overlapped: the later finisher completed
+  // less than two service times after the earlier one started.
+  EXPECT_LT(std::max(C1Done, C2Done) - std::min(C1Done, C2Done), msec(5));
+}
+
+TEST_F(AppsFixture, MailerUnknownUserSignals) {
+  build();
+  Mailer M = installMailer(*Server);
+  bool Saw = false;
+  Client->spawnProcess("main", [&] {
+    auto Send = bindHandler(*Client, Client->newAgent(), M.SendMail);
+    Saw = Send.call(std::string("ghost"), std::string("x"))
+              .is<NoSuchUser>();
+  });
+  S.run();
+  EXPECT_TRUE(Saw);
+}
+
+TEST_F(AppsFixture, WindowSystemHandsOutPerWindowPorts) {
+  build();
+  WindowSystem W = installWindowSystem(*Server);
+  std::string Text1, Text2;
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Create = bindHandler(*Client, A, W.CreateWindow);
+    auto O1 = Create.call(wire::Unit{});
+    auto O2 = Create.call(wire::Unit{});
+    ASSERT_TRUE(O1.isNormal());
+    ASSERT_TRUE(O2.isNormal());
+    WindowPorts Win1 = O1.value(), Win2 = O2.value();
+    EXPECT_NE(Win1, Win2);
+
+    auto Puts1 = bindHandler(*Client, A, Win1.Puts);
+    auto Putc1 = bindHandler(*Client, A, Win1.Putc);
+    auto Puts2 = bindHandler(*Client, A, Win2.Puts);
+    // Operations on one window are ordered (same group, same agent).
+    Puts1.streamCall(std::string("ab"));
+    Putc1.streamCall(uint8_t('c'));
+    Puts2.streamCall(std::string("xy"));
+    Puts1.synch();
+    Puts2.synch();
+    Text1 = bindHandler(*Client, A, Win1.Contents).call(wire::Unit{}).value();
+    Text2 = bindHandler(*Client, A, Win2.Contents).call(wire::Unit{}).value();
+  });
+  S.run();
+  EXPECT_EQ(Text1, "abc");
+  EXPECT_EQ(Text2, "xy");
+}
+
+TEST_F(AppsFixture, WindowPortsCodecRoundTrips) {
+  build();
+  WindowSystem W = installWindowSystem(*Server);
+  WindowPorts Got;
+  Client->spawnProcess("main", [&] {
+    auto Create = bindHandler(*Client, Client->newAgent(), W.CreateWindow);
+    Got = Create.call(wire::Unit{}).value();
+  });
+  S.run();
+  auto B = wire::encodeToBytes(Got);
+  ASSERT_TRUE(B.has_value());
+  auto Dec = wire::decodeFromBytes<WindowPorts>(*B);
+  ASSERT_TRUE(Dec.has_value());
+  EXPECT_EQ(*Dec, Got);
+}
+
+TEST_F(AppsFixture, WindowDestroyInvalidatesItsPorts) {
+  build();
+  WindowSystem W = installWindowSystem(*Server);
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Create = bindHandler(*Client, A, W.CreateWindow);
+    auto Destroy = bindHandler(*Client, A, W.DestroyWindow);
+    WindowPorts Win = Create.call(wire::Unit{}).value();
+    auto Puts = bindHandler(*Client, A, Win.Puts);
+    ASSERT_TRUE(Puts.call(std::string("hi")).isNormal());
+    ASSERT_TRUE(Destroy.call(Win).isNormal());
+    // The window's ports no longer exist.
+    auto O = Puts.call(std::string("after"));
+    ASSERT_TRUE(O.is<Failure>());
+    EXPECT_EQ(O.get<Failure>().Reason, "no such port");
+    // Destroying twice reports the missing window.
+    EXPECT_TRUE(Destroy.call(Win).is<Failure>());
+    // Other windows are unaffected.
+    WindowPorts Win2 = Create.call(wire::Unit{}).value();
+    EXPECT_TRUE(bindHandler(*Client, A, Win2.Puts)
+                    .call(std::string("ok"))
+                    .isNormal());
+  });
+  S.run();
+  EXPECT_EQ(W.Screen->Windows.size(), 1u);
+}
+
+TEST_F(AppsFixture, KvStorePutGetEcho) {
+  build();
+  KvStore K = installKvStore(*Server);
+  Client->spawnProcess("main", [&] {
+    auto A = Client->newAgent();
+    auto Put = bindHandler(*Client, A, K.Put);
+    auto Get = bindHandler(*Client, A, K.Get);
+    auto Echo = bindHandler(*Client, A, K.Echo);
+    Put.call(std::string("k"), std::string("v"));
+    EXPECT_EQ(Get.call(std::string("k")).value(), "v");
+    EXPECT_TRUE(Get.call(std::string("nope")).is<NotFound>());
+    EXPECT_EQ(Echo.call(std::string("ping")).value(), "ping");
+  });
+  S.run();
+  EXPECT_EQ(K.Store->Calls, 4u);
+}
+
+} // namespace

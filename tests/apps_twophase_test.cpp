@@ -1,0 +1,189 @@
+//===- apps_twophase_test.cpp - Distributed commit tests ------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/TwoPhase.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct TwoPhaseFixture : ::testing::Test {
+  Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> GA, GB, Client;
+  net::NodeId NA = 0, NB = 0;
+  TxnKv KvA, KvB;
+
+  void build() {
+    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    GuardianConfig GC;
+    GC.Stream.RetransmitTimeout = msec(10);
+    GC.Stream.MaxRetries = 2;
+    NA = Net->addNode("a");
+    NB = Net->addNode("b");
+    GA = std::make_unique<Guardian>(*Net, NA, "a", GC);
+    GB = std::make_unique<Guardian>(*Net, NB, "b", GC);
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("cl"), "cl", GC);
+    KvA = installTxnKv(*GA);
+    KvB = installTxnKv(*GB);
+  }
+};
+
+TEST_F(TwoPhaseFixture, CommitAppliesAtAllParticipants) {
+  build();
+  TwoPhaseResult R = TwoPhaseResult::Aborted;
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    size_t B = T.enlist(KvB);
+    EXPECT_TRUE(T.put(A, "x", "1"));
+    EXPECT_TRUE(T.put(B, "y", "2"));
+    EXPECT_TRUE(T.put(A, "z", "3"));
+    R = T.commit();
+  });
+  S.run();
+  EXPECT_EQ(R, TwoPhaseResult::Committed);
+  EXPECT_EQ(KvA.Store->Data["x"], "1");
+  EXPECT_EQ(KvA.Store->Data["z"], "3");
+  EXPECT_EQ(KvB.Store->Data["y"], "2");
+  EXPECT_TRUE(KvA.Store->Locks.empty());
+  EXPECT_TRUE(KvB.Store->Locks.empty());
+}
+
+TEST_F(TwoPhaseFixture, AbortLeavesNothingAnywhere) {
+  build();
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    size_t B = T.enlist(KvB);
+    T.put(A, "x", "1");
+    T.put(B, "y", "2");
+    T.abort();
+  });
+  S.run();
+  EXPECT_TRUE(KvA.Store->Data.empty());
+  EXPECT_TRUE(KvB.Store->Data.empty());
+  EXPECT_EQ(KvA.Store->Aborts, 1u);
+  EXPECT_EQ(KvB.Store->Aborts, 1u);
+}
+
+TEST_F(TwoPhaseFixture, ConflictDoomsTheTransaction) {
+  build();
+  TwoPhaseResult R1 = TwoPhaseResult::Aborted,
+                 R2 = TwoPhaseResult::Aborted;
+  Client->spawnProcess("txn1", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    EXPECT_TRUE(T.put(A, "shared", "first"));
+    S.sleep(msec(50)); // Hold the lock while txn2 tries.
+    R1 = T.commit();
+  });
+  Client->spawnProcess("txn2", [&] {
+    S.sleep(msec(10));
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    EXPECT_FALSE(T.put(A, "shared", "second")); // Conflict.
+    EXPECT_TRUE(T.doomed());
+    R2 = T.commit(); // Aborts.
+  });
+  S.run();
+  EXPECT_EQ(R1, TwoPhaseResult::Committed);
+  EXPECT_EQ(R2, TwoPhaseResult::Aborted);
+  EXPECT_EQ(KvA.Store->Data["shared"], "first");
+}
+
+TEST_F(TwoPhaseFixture, ParticipantCrashBeforePrepareAborts) {
+  build();
+  TwoPhaseResult R = TwoPhaseResult::Committed;
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    size_t B = T.enlist(KvB);
+    EXPECT_TRUE(T.put(A, "x", "1"));
+    EXPECT_TRUE(T.put(B, "y", "2"));
+    Net->crash(NB); // B dies before voting.
+    R = T.commit();
+  });
+  S.run();
+  EXPECT_EQ(R, TwoPhaseResult::Aborted);
+  // The surviving participant rolled back: atomicity held.
+  EXPECT_TRUE(KvA.Store->Data.empty());
+  EXPECT_EQ(KvA.Store->Aborts, 1u);
+}
+
+TEST_F(TwoPhaseFixture, ParticipantCrashAfterVoteIsInDoubt) {
+  // The classic 2PC blocking window, surfaced honestly.
+  build();
+  TwoPhaseResult R = TwoPhaseResult::Committed;
+  // A watcher crashes B the instant its vote is recorded — inside the
+  // window between phase 1 and phase 2 (the commit needs another round
+  // trip, far longer than the watcher's poll).
+  S.spawn("assassin", [&] {
+    for (;;) {
+      for (auto &[Id, Txn] : KvB.Store->Txns)
+        if (Txn.Prepared) {
+          Net->crash(NB);
+          return;
+        }
+      S.sleep(usec(100));
+    }
+  });
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    size_t B = T.enlist(KvB);
+    EXPECT_TRUE(T.put(A, "x", "1"));
+    EXPECT_TRUE(T.put(B, "y", "2"));
+    R = T.commit();
+  });
+  S.run();
+  EXPECT_EQ(R, TwoPhaseResult::InDoubt);
+  // The survivor committed; the lost participant's fate is unknown.
+  EXPECT_EQ(KvA.Store->Data["x"], "1");
+}
+
+TEST_F(TwoPhaseFixture, ReadYourWritesThroughStagedState) {
+  build();
+  std::string Before, Inside;
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    size_t A = T.enlist(KvA);
+    T.put(A, "k", "staged");
+    // A second coordinator/agent reading the same key sees nothing...
+    auto Probe = bindHandler(*Client, Client->newAgent(), KvA.Get);
+    // ...but probing needs its own txn.
+    auto ProbeBegin = bindHandler(*Client, Client->newAgent(), KvA.Begin);
+    uint32_t PT = ProbeBegin.call(wire::Unit{}).value();
+    Before = Probe.call(PT, std::string("k")).value();
+    T.commit();
+    Inside = Probe.call(PT, std::string("k")).value();
+  });
+  S.run();
+  EXPECT_EQ(Before, "");      // Uncommitted writes are invisible.
+  EXPECT_EQ(Inside, "staged"); // Visible after commit.
+}
+
+TEST_F(TwoPhaseFixture, EmptyTransactionCommitsTrivially) {
+  build();
+  TwoPhaseResult R = TwoPhaseResult::Aborted;
+  Client->spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(*Client);
+    T.enlist(KvA);
+    T.enlist(KvB);
+    R = T.commit(); // No participant was ever begun.
+  });
+  S.run();
+  EXPECT_EQ(R, TwoPhaseResult::Committed);
+  EXPECT_EQ(KvA.Store->Commits, 0u);
+}
+
+} // namespace

@@ -1,0 +1,438 @@
+//===- core_concurrency_test.cpp - Fork, coenter, queue tests -------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Coenter.h"
+#include "promises/core/Fork.h"
+#include "promises/core/PromiseQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+struct TooDeep {
+  static constexpr const char *Name = "too_deep";
+};
+
+TEST(Fork, PlainValueBody) {
+  Simulation S;
+  auto P = fork(S, [] { return 21 * 2; });
+  int Got = 0;
+  S.spawn("main", [&] { Got = P.claim().value(); });
+  S.run();
+  EXPECT_EQ(Got, 42);
+}
+
+TEST(Fork, RunsInParallelWithCaller) {
+  Simulation S;
+  std::vector<int> Order;
+  S.spawn("main", [&] {
+    auto P = fork(S, [&] {
+      S.sleep(msec(2));
+      Order.push_back(2);
+      return 1;
+    });
+    Order.push_back(1); // Runs before the fork finishes.
+    S.sleep(msec(5));
+    Order.push_back(3);
+    EXPECT_TRUE(P.ready()); // Finished at 2ms while we slept.
+    P.claim();
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fork, OutcomeBodyPropagatesException) {
+  Simulation S;
+  auto P = fork(S, []() -> Outcome<int, TooDeep> { return TooDeep{}; });
+  bool SawExn = false;
+  S.spawn("main", [&] {
+    P.claimWith([](const int &) { FAIL() << "unexpected normal result"; },
+                [&](const TooDeep &) { SawExn = true; },
+                [](const auto &) { FAIL() << "unexpected builtin"; });
+  });
+  S.run();
+  EXPECT_TRUE(SawExn);
+}
+
+TEST(Fork, KilledForkFulfillsPromiseWithFailure) {
+  // A forked process that is forcibly terminated (here: by simulation
+  // shutdown) must leave its promise ready with Failure, never blocked.
+  auto S = std::make_unique<Simulation>();
+  auto Stuck = std::make_unique<WaitQueue>(*S);
+  Promise<int> P;
+  S->spawn("main", [&] {
+    P = fork(*S, [&] {
+      Stuck->wait(); // Never notified.
+      return 1;
+    });
+  });
+  S->run();
+  ASSERT_TRUE(P.valid());
+  EXPECT_FALSE(P.ready());
+  S.reset(); // Shutdown kills the stuck fork; the guard fulfills.
+  ASSERT_TRUE(P.ready());
+  ASSERT_TRUE(P.claim().is<Failure>());
+  EXPECT_EQ(P.claim().get<Failure>().Reason, "forked process terminated");
+}
+
+TEST(Fork, NestedForks) {
+  Simulation S;
+  int Got = 0;
+  S.spawn("main", [&] {
+    auto Outer = fork(S, [&] {
+      auto Inner1 = fork(S, [&] { return 1; });
+      auto Inner2 = fork(S, [&] { return 2; });
+      return Inner1.claim().value() + Inner2.claim().value();
+    });
+    Got = Outer.claim().value();
+  });
+  S.run();
+  EXPECT_EQ(Got, 3);
+}
+
+TEST(Fork, PromiseTreeParallelSearch) {
+  // Paper Section 3.2: "promises can be used for parallel insertion and
+  // searching of elements in a binary tree in which the nodes of the tree
+  // are promises."
+  Simulation S;
+  struct Node;
+  using NodeP = Promise<std::shared_ptr<Node>>;
+  struct Node {
+    int Key;
+    NodeP Left, Right;
+  };
+
+  // Build a small tree where each subtree is computed by a fork with a
+  // simulated cost.
+  std::function<NodeP(std::vector<int>)> Build =
+      [&](std::vector<int> Keys) -> NodeP {
+    return fork(S, [&, Keys]() -> std::shared_ptr<Node> {
+      if (Keys.empty())
+        return nullptr;
+      S.sleep(usec(10)); // Construction work.
+      size_t Mid = Keys.size() / 2;
+      auto N = std::make_shared<Node>();
+      N->Key = Keys[Mid];
+      N->Left = Build(std::vector<int>(Keys.begin(), Keys.begin() + Mid));
+      N->Right =
+          Build(std::vector<int>(Keys.begin() + Mid + 1, Keys.end()));
+      return N;
+    });
+  };
+
+  bool Found = false;
+  S.spawn("searcher", [&] {
+    NodeP Root = Build({1, 3, 5, 7, 9, 11, 13});
+    // Search: claim nodes on the path; waits when a subtree is not built.
+    NodeP Cur = Root;
+    while (true) {
+      auto N = Cur.claim().value();
+      if (!N)
+        break;
+      if (N->Key == 9) {
+        Found = true;
+        break;
+      }
+      Cur = 9 < N->Key ? N->Left : N->Right;
+    }
+  });
+  S.run();
+  EXPECT_TRUE(Found);
+}
+
+TEST(Coenter, AllArmsRunToCompletion) {
+  Simulation S;
+  std::vector<int> Done;
+  ArmResult R;
+  S.spawn("parent", [&] {
+    R = Coenter(S)
+            .arm("a",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(2));
+                   Done.push_back(1);
+                   return {};
+                 })
+            .arm("b",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(1));
+                   Done.push_back(2);
+                   return {};
+                 })
+            .run();
+    Done.push_back(3); // Parent resumes only after both arms.
+    EXPECT_EQ(S.now(), msec(2));
+  });
+  S.run();
+  EXPECT_FALSE(R.has_value());
+  EXPECT_EQ(Done, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(Coenter, ParentHaltsWhileArmsRun) {
+  Simulation S;
+  bool ParentResumed = false;
+  S.spawn("parent", [&] {
+    Coenter(S)
+        .arm("slow", [&]() -> ArmResult {
+          S.sleep(msec(10));
+          EXPECT_FALSE(ParentResumed);
+          return {};
+        })
+        .run();
+    ParentResumed = true;
+  });
+  S.run();
+  EXPECT_TRUE(ParentResumed);
+}
+
+TEST(Coenter, ExceptionTerminatesSiblings) {
+  Simulation S;
+  PromiseQueue<int> Q(S);
+  bool ConsumerFinished = false;
+  ArmResult R;
+  S.spawn("parent", [&] {
+    R = Coenter(S)
+            .arm("producer",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(1));
+                   return armRaise("unavailable", "stream broke");
+                 })
+            .arm("consumer",
+                 [&]() -> ArmResult {
+                   // Would hang forever without group termination — the
+                   // paper's termination problem.
+                   Q.deq();
+                   ConsumerFinished = true;
+                   return {};
+                 })
+            .run();
+  });
+  S.run();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Name, "unavailable");
+  EXPECT_EQ(R->What, "stream broke");
+  EXPECT_FALSE(ConsumerFinished);
+}
+
+TEST(Coenter, FirstExceptionWins) {
+  Simulation S;
+  ArmResult R;
+  S.spawn("parent", [&] {
+    R = Coenter(S)
+            .arm("slow-fail",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(5));
+                   return armRaise("late");
+                 })
+            .arm("fast-fail",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(1));
+                   return armRaise("early");
+                 })
+            .run();
+  });
+  S.run();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Name, "early");
+}
+
+TEST(Coenter, KillDeferredInCriticalSection) {
+  // An arm killed while mutating shared state inside a critical section
+  // finishes the mutation first (the paper's damaged-aveq scenario).
+  Simulation S;
+  std::vector<int> Log;
+  ArmResult R;
+  S.spawn("parent", [&] {
+    R = Coenter(S)
+            .arm("worker",
+                 [&]() -> ArmResult {
+                   CriticalSection Cs;
+                   Log.push_back(1);
+                   S.sleep(msec(5)); // Killed during this sleep...
+                   Log.push_back(2); // ...but still completes the section.
+                   return {};
+                 })
+            .arm("failer",
+                 [&]() -> ArmResult {
+                   S.sleep(msec(1));
+                   return armRaise("boom");
+                 })
+            .run();
+  });
+  S.run();
+  EXPECT_EQ(Log, (std::vector<int>{1, 2}));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Name, "boom");
+}
+
+TEST(Coenter, DynamicArmsViaArmEach) {
+  // The paper's extension "to allow a dynamic number of processes" — a
+  // process per data item.
+  Simulation S;
+  std::vector<int> Items{1, 2, 3, 4, 5};
+  int Sum = 0;
+  S.spawn("parent", [&] {
+    Coenter(S)
+        .armEach(Items,
+                 [&](int I) -> ArmResult {
+                   S.sleep(usec(static_cast<uint64_t>(I)));
+                   Sum += I;
+                   return {};
+                 })
+        .run();
+  });
+  S.run();
+  EXPECT_EQ(Sum, 15);
+}
+
+TEST(Coenter, NestedCoenters) {
+  Simulation S;
+  int Leaves = 0;
+  S.spawn("parent", [&] {
+    Coenter(S)
+        .arm("left",
+             [&]() -> ArmResult {
+               return Coenter(S)
+                   .arm("ll", [&]() -> ArmResult { ++Leaves; return {}; })
+                   .arm("lr", [&]() -> ArmResult { ++Leaves; return {}; })
+                   .run();
+             })
+        .arm("right", [&]() -> ArmResult { ++Leaves; return {}; })
+        .run();
+  });
+  S.run();
+  EXPECT_EQ(Leaves, 3);
+}
+
+TEST(Coenter, InnerExceptionPropagatesThroughOuterArm) {
+  Simulation S;
+  ArmResult R;
+  bool SiblingCompleted = false;
+  S.spawn("parent", [&] {
+    R = Coenter(S)
+            .arm("inner-group",
+                 [&]() -> ArmResult {
+                   return Coenter(S)
+                       .arm("bad",
+                            [&]() -> ArmResult { return armRaise("inner"); })
+                       .run();
+                 })
+            .arm("sibling",
+                 [&]() -> ArmResult {
+                   S.sleep(sec(1)); // Should be killed long before this.
+                   SiblingCompleted = true;
+                   return {};
+                 })
+            .run();
+  });
+  S.run();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Name, "inner");
+  EXPECT_FALSE(SiblingCompleted);
+  EXPECT_LT(S.now(), sec(1));
+}
+
+TEST(PromiseQueue, FifoOrder) {
+  Simulation S;
+  PromiseQueue<int> Q(S);
+  std::vector<int> Got;
+  S.spawn("producer", [&] {
+    for (int I = 0; I < 5; ++I) {
+      Q.enq(I);
+      S.sleep(usec(10));
+    }
+  });
+  S.spawn("consumer", [&] {
+    for (int I = 0; I < 5; ++I)
+      Got.push_back(Q.deq());
+  });
+  S.run();
+  EXPECT_EQ(Got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PromiseQueue, DeqBlocksOnEmpty) {
+  Simulation S;
+  PromiseQueue<int> Q(S);
+  Time GotAt = 0;
+  S.spawn("consumer", [&] {
+    int V = Q.deq();
+    EXPECT_EQ(V, 7);
+    GotAt = S.now();
+  });
+  S.spawn("producer", [&] {
+    S.sleep(msec(3));
+    Q.enq(7);
+  });
+  S.run();
+  EXPECT_EQ(GotAt, msec(3));
+}
+
+TEST(PromiseQueue, TryDeq) {
+  Simulation S;
+  PromiseQueue<int> Q(S);
+  S.spawn("p", [&] {
+    int V = 0;
+    EXPECT_FALSE(Q.tryDeq(V));
+    Q.enq(9);
+    EXPECT_TRUE(Q.tryDeq(V));
+    EXPECT_EQ(V, 9);
+    EXPECT_TRUE(Q.empty());
+  });
+  S.run();
+}
+
+TEST(PromiseQueue, CarriesPromises) {
+  // The canonical composition shape: promises flow through the queue from
+  // the producer loop to the consumer loop (paper Figure 4-1/4-2).
+  Simulation S;
+  PromiseQueue<Promise<int>> Q(S);
+  std::vector<int> Claimed;
+  S.spawn("producer", [&] {
+    for (int I = 0; I < 10; ++I)
+      Q.enq(fork(S, [&, I] {
+        S.sleep(usec(50)); // The "call" takes a while.
+        return I * I;
+      }));
+  });
+  S.spawn("consumer", [&] {
+    for (int I = 0; I < 10; ++I)
+      Claimed.push_back(Q.deq().claim().value());
+  });
+  S.run();
+  ASSERT_EQ(Claimed.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Claimed[static_cast<size_t>(I)], I * I);
+}
+
+TEST(PromiseQueue, ManyProducersManyConsumers) {
+  Simulation S;
+  PromiseQueue<int> Q(S);
+  int Produced = 0, Consumed = 0;
+  for (int P = 0; P < 3; ++P)
+    S.spawn("producer", [&] {
+      for (int I = 0; I < 20; ++I) {
+        Q.enq(1);
+        ++Produced;
+        S.sleep(usec(7));
+      }
+    });
+  for (int C = 0; C < 2; ++C)
+    S.spawn("consumer", [&] {
+      for (int I = 0; I < 30; ++I)
+        Consumed += Q.deq();
+    });
+  S.run();
+  EXPECT_EQ(Produced, 60);
+  EXPECT_EQ(Consumed, 60);
+}
+
+} // namespace

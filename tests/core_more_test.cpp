@@ -1,0 +1,232 @@
+//===- core_more_test.cpp - Core-library edge cases -----------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Coenter.h"
+#include "promises/core/Fork.h"
+#include "promises/core/PromiseQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+struct E1 {
+  static constexpr const char *Name = "e1";
+  char C = 0;
+  friend bool operator==(const E1 &, const E1 &) = default;
+};
+struct E2 {
+  static constexpr const char *Name = "e2";
+  friend bool operator==(const E2 &, const E2 &) = default;
+};
+
+TEST(OutcomeMore, VisitReturnsValues) {
+  Outcome<int, E1, E2> O(E1{'x'});
+  int Code = O.visit(Visitor{
+      [](const int &) { return 0; },
+      [](const E1 &E) { return E.C == 'x' ? 1 : -1; },
+      [](const E2 &) { return 2; },
+      [](const auto &) { return 3; },
+  });
+  EXPECT_EQ(Code, 1);
+}
+
+TEST(OutcomeMore, PaperSignatureShape) {
+  // port (int) returns (real) signals (e1(char), e2) — the paper's
+  // example port type, as an outcome.
+  using PaperOutcome = Outcome<double, E1, E2>;
+  PaperOutcome Normal(3.5);
+  PaperOutcome WithChar(E1{'q'});
+  PaperOutcome Bare(E2{});
+  EXPECT_TRUE(Normal.isNormal());
+  EXPECT_EQ(WithChar.get<E1>().C, 'q');
+  EXPECT_STREQ(Bare.exceptionName(), "e2");
+}
+
+TEST(OutcomeMore, EqualityComparesAlternativeAndValue) {
+  Outcome<int, E2> A(1), B(1), C(2), D((E2()));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+}
+
+TEST(PromiseMore, ClaimWithReturnsValue) {
+  Simulation S;
+  auto P = Promise<int>::makeReady(Outcome<int>(21));
+  int Doubled = P.claimWith([](const int &V) { return V * 2; },
+                            [](const auto &) { return -1; });
+  EXPECT_EQ(Doubled, 42);
+}
+
+TEST(PromiseMore, QueueOfPromisesMultiConsumer) {
+  Simulation S;
+  PromiseQueue<Promise<int>> Q(S);
+  int Sum = 0;
+  for (int C = 0; C < 3; ++C)
+    S.spawn("consumer", [&] {
+      for (int I = 0; I < 4; ++I)
+        Sum += Q.deq().claim().value();
+    });
+  S.spawn("producer", [&] {
+    for (int I = 1; I <= 12; ++I) {
+      Q.enq(fork(S, [&, I] {
+        S.sleep(usec(static_cast<uint64_t>(13 - I)));
+        return I;
+      }));
+      S.sleep(usec(3));
+    }
+  });
+  S.run();
+  EXPECT_EQ(Sum, 78); // 1+...+12.
+}
+
+TEST(CoenterMore, ZeroArmsReturnsImmediately) {
+  Simulation S;
+  bool Done = false;
+  S.spawn("p", [&] {
+    ArmResult R = Coenter(S).run();
+    EXPECT_FALSE(R.has_value());
+    EXPECT_EQ(S.now(), 0u);
+    Done = true;
+  });
+  S.run();
+  EXPECT_TRUE(Done);
+}
+
+TEST(CoenterMore, SingleArmBehavesLikeACall) {
+  Simulation S;
+  int Ran = 0;
+  S.spawn("p", [&] {
+    ArmResult R = Coenter(S)
+                      .arm("only",
+                           [&]() -> ArmResult {
+                             ++Ran;
+                             return {};
+                           })
+                      .run();
+    EXPECT_FALSE(R.has_value());
+  });
+  S.run();
+  EXPECT_EQ(Ran, 1);
+}
+
+TEST(CoenterMore, ArmEachStopsSiblingsOnFirstException) {
+  Simulation S;
+  std::vector<int> Items{1, 2, 3, 4, 5, 6};
+  int Completed = 0;
+  ArmResult R;
+  S.spawn("p", [&] {
+    R = Coenter(S)
+            .armEach(Items,
+                     [&](int I) -> ArmResult {
+                       S.sleep(msec(static_cast<uint64_t>(I)));
+                       if (I == 2)
+                         return armRaise("item2");
+                       ++Completed;
+                       return {};
+                     })
+            .run();
+  });
+  S.run();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Name, "item2");
+  // Item 1 finished (1ms < 2ms); 3..6 were killed mid-sleep.
+  EXPECT_EQ(Completed, 1);
+}
+
+TEST(CoenterMore, ArmsSeeSharedStateWrittenBeforeRun) {
+  Simulation S;
+  int Shared = 0;
+  S.spawn("p", [&] {
+    Coenter Co(S);
+    Co.arm("w", [&]() -> ArmResult {
+      Shared = 7;
+      return {};
+    });
+    Co.arm("r", [&]() -> ArmResult {
+      S.sleep(usec(1));
+      EXPECT_EQ(Shared, 7);
+      return {};
+    });
+    Co.run();
+  });
+  S.run();
+}
+
+TEST(CoenterMore, SequentialCoentersReuseParent) {
+  Simulation S;
+  std::vector<int> Order;
+  S.spawn("p", [&] {
+    for (int Round = 0; Round < 3; ++Round) {
+      Coenter(S)
+          .arm("a",
+               [&, Round]() -> ArmResult {
+                 Order.push_back(Round * 2);
+                 return {};
+               })
+          .arm("b",
+               [&, Round]() -> ArmResult {
+                 Order.push_back(Round * 2 + 1);
+                 return {};
+               })
+          .run();
+    }
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ForkMore, ManyForksJoinViaClaims) {
+  Simulation S;
+  std::vector<Promise<int>> Ps;
+  int Total = 0;
+  S.spawn("p", [&] {
+    for (int I = 0; I < 50; ++I)
+      Ps.push_back(fork(S, [&, I] {
+        S.sleep(usec(static_cast<uint64_t>(I % 7)));
+        return I;
+      }));
+    for (auto &P : Ps)
+      Total += P.claim().value();
+  });
+  S.run();
+  EXPECT_EQ(Total, 49 * 50 / 2);
+}
+
+TEST(ForkMore, ForkResultClaimedFromSiblingFork) {
+  // Promises are first-class: hand one to another fork.
+  Simulation S;
+  int Got = 0;
+  S.spawn("p", [&] {
+    auto A = fork(S, [&] {
+      S.sleep(msec(1));
+      return 11;
+    });
+    auto B = fork(S, [&, A] { return A.claim().value() * 2; });
+    Got = B.claim().value();
+  });
+  S.run();
+  EXPECT_EQ(Got, 22);
+}
+
+TEST(ForkMore, StringResults) {
+  Simulation S;
+  std::string Got;
+  S.spawn("p", [&] {
+    auto P = fork(S, [] { return std::string("payload"); });
+    Got = P.claim().value();
+  });
+  S.run();
+  EXPECT_EQ(Got, "payload");
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- core_promise_test.cpp - Outcome and Promise tests ------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Promise.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+struct NoSuchUser {
+  static constexpr const char *Name = "no_such_user";
+  std::string Who;
+  friend bool operator==(const NoSuchUser &, const NoSuchUser &) = default;
+};
+
+struct Jam {
+  static constexpr const char *Name = "jam";
+  friend bool operator==(const Jam &, const Jam &) = default;
+};
+
+using MailOutcome = Outcome<std::string, NoSuchUser, Jam>;
+
+TEST(Outcome, NormalTermination) {
+  MailOutcome O(std::string("hi"));
+  EXPECT_TRUE(O.isNormal());
+  EXPECT_EQ(O.value(), "hi");
+  EXPECT_STREQ(O.exceptionName(), "");
+  EXPECT_FALSE(O.is<NoSuchUser>());
+}
+
+TEST(Outcome, DeclaredException) {
+  MailOutcome O(NoSuchUser{"bob"});
+  EXPECT_FALSE(O.isNormal());
+  EXPECT_TRUE(O.is<NoSuchUser>());
+  EXPECT_EQ(O.get<NoSuchUser>().Who, "bob");
+  EXPECT_STREQ(O.exceptionName(), "no_such_user");
+  EXPECT_FALSE(O.is<Jam>());
+}
+
+TEST(Outcome, BuiltinsAlwaysPresent) {
+  // "every handler can raise the exceptions failure and unavailable" even
+  // when not declared.
+  Outcome<int32_t> O1(Unavailable{"cannot communicate"});
+  EXPECT_TRUE(O1.is<Unavailable>());
+  EXPECT_EQ(O1.get<Unavailable>().Reason, "cannot communicate");
+  Outcome<int32_t> O2(Failure{"handler does not exist"});
+  EXPECT_TRUE(O2.is<Failure>());
+  EXPECT_STREQ(O2.exceptionName(), "failure");
+}
+
+TEST(Outcome, VisitDispatchesLikeExceptStatement) {
+  auto Describe = [](const MailOutcome &O) {
+    return O.visit(Visitor{
+        [](const std::string &S) { return "normal:" + S; },
+        [](const NoSuchUser &E) { return "nouser:" + E.Who; },
+        [](const auto &) { return std::string("others"); },
+    });
+  };
+  EXPECT_EQ(Describe(MailOutcome(std::string("m"))), "normal:m");
+  EXPECT_EQ(Describe(MailOutcome(NoSuchUser{"ann"})), "nouser:ann");
+  EXPECT_EQ(Describe(MailOutcome(Jam{})), "others");
+  EXPECT_EQ(Describe(MailOutcome(Failure{"x"})), "others");
+}
+
+TEST(Outcome, ToExnCarriesNameAndReason) {
+  EXPECT_EQ(MailOutcome(Jam{}).toExn(), (Exn{"jam", ""}));
+  EXPECT_EQ(MailOutcome(Unavailable{"net down"}).toExn(),
+            (Exn{"unavailable", "net down"}));
+}
+
+TEST(Promise, StartsBlockedBecomesReady) {
+  Simulation S;
+  auto [P, R] = makePromise<double>(S);
+  EXPECT_TRUE(P.valid());
+  EXPECT_FALSE(P.ready());
+  R.fulfill(Outcome<double>(2.5));
+  EXPECT_TRUE(P.ready());
+  EXPECT_EQ(P.claim().value(), 2.5);
+}
+
+TEST(Promise, InvalidByDefault) {
+  Promise<int32_t> P;
+  EXPECT_FALSE(P.valid());
+}
+
+TEST(Promise, ClaimBlocksUntilFulfilled) {
+  Simulation S;
+  auto [P, R] = makePromise<int32_t>(S);
+  Time ClaimedAt = 0;
+  int32_t Got = 0;
+  S.spawn("claimer", [&, P = P] {
+    Got = P.claim().value();
+    ClaimedAt = S.now();
+  });
+  S.spawn("fulfiller", [&, R = R] {
+    S.sleep(msec(7));
+    R.fulfill(Outcome<int32_t>(99));
+  });
+  S.run();
+  EXPECT_EQ(Got, 99);
+  EXPECT_EQ(ClaimedAt, msec(7));
+}
+
+TEST(Promise, ClaimableMultipleTimesSameOutcome) {
+  Simulation S;
+  auto [P, R] = makePromise<int32_t>(S);
+  R.fulfill(Outcome<int32_t>(5));
+  S.spawn("p", [&, P = P] {
+    EXPECT_EQ(P.claim().value(), 5);
+    EXPECT_EQ(P.claim().value(), 5);
+    EXPECT_EQ(&P.claim(), &P.claim()); // Same stored outcome object.
+  });
+  S.run();
+}
+
+TEST(Promise, MultipleClaimersAllWake) {
+  Simulation S;
+  auto [P, R] = makePromise<int32_t>(S);
+  int Sum = 0;
+  for (int I = 0; I < 4; ++I)
+    S.spawn("claimer", [&, P = P] { Sum += P.claim().value(); });
+  S.spawn("fulfiller", [&, R = R] {
+    S.sleep(msec(1));
+    R.fulfill(Outcome<int32_t>(10));
+  });
+  S.run();
+  EXPECT_EQ(Sum, 40);
+}
+
+TEST(Promise, ClaimReadyPromiseOutsideProcess) {
+  // Claiming an already-ready promise needs no blocking and works from
+  // scheduler context.
+  Simulation S;
+  auto P = Promise<int32_t>::makeReady(Outcome<int32_t>(3));
+  EXPECT_TRUE(P.ready());
+  EXPECT_EQ(P.claim().value(), 3);
+}
+
+TEST(Promise, MakeReadyCarriesException) {
+  using PT = Promise<double, NoSuchUser>;
+  auto P = PT::makeReady(PT::OutcomeType(NoSuchUser{"eve"}));
+  EXPECT_TRUE(P.ready());
+  EXPECT_TRUE(P.claim().is<NoSuchUser>());
+}
+
+TEST(Promise, ClaimWithVisitorDispatch) {
+  Simulation S;
+  using PT = Promise<std::string, NoSuchUser, Jam>;
+  auto [P, R] = makePromise<std::string, NoSuchUser, Jam>(S);
+  R.fulfill(MailOutcome(NoSuchUser{"zed"}));
+  std::string Got;
+  S.spawn("p", [&, P = P] {
+    P.claimWith([&](const std::string &V) { Got = "val:" + V; },
+                [&](const NoSuchUser &E) { Got = "nouser:" + E.Who; },
+                [&](const auto &) { Got = "other"; });
+  });
+  S.run();
+  EXPECT_EQ(Got, "nouser:zed");
+  (void)static_cast<PT *>(nullptr);
+}
+
+TEST(Promise, CopiesShareState) {
+  Simulation S;
+  auto [P, R] = makePromise<int32_t>(S);
+  Promise<int32_t> Copy = P;
+  std::vector<Promise<int32_t>> InContainer{P, Copy};
+  R.fulfill(Outcome<int32_t>(1));
+  EXPECT_TRUE(Copy.ready());
+  EXPECT_TRUE(InContainer[0].ready());
+  EXPECT_TRUE(InContainer[1].ready());
+}
+
+TEST(Promise, ResolverReportsFulfilled) {
+  Simulation S;
+  auto [P, R] = makePromise<int32_t>(S);
+  EXPECT_TRUE(R.valid());
+  EXPECT_FALSE(R.fulfilled());
+  R.fulfill(Outcome<int32_t>(0));
+  EXPECT_TRUE(R.fulfilled());
+  (void)P;
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- integration_capstone_test.cpp - Whole-system scenario --------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// One Mercury-flavoured scenario exercising every layer together: a
+// dashboard client drives a grades database and a window server while a
+// background auditor runs distributed transactions across two stores —
+// then the database node crashes mid-run, the coenter group terminates
+// cleanly, the node restarts, and the system finishes the job. Asserts
+// global invariants at the end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/GradesDb.h"
+#include "promises/apps/TwoPhase.h"
+#include "promises/apps/WindowSystem.h"
+#include "promises/core/Coenter.h"
+#include "promises/core/PromiseQueue.h"
+#include "promises/support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+TEST(Capstone, FullSystemSurvivesCrashAndFinishes) {
+  Simulation S;
+  net::NetConfig NC;
+  NC.LossRate = 0.05;
+  NC.Seed = 2026;
+  net::Network Net(S, NC);
+  GuardianConfig GC;
+  GC.Stream.RetransmitTimeout = msec(10);
+  GC.Stream.MaxRetries = 3;
+
+  net::NodeId DbNode = Net.addNode("db");
+  auto DbG = std::make_unique<Guardian>(Net, DbNode, "db", GC);
+  Guardian WinG(Net, Net.addNode("win"), "win", GC);
+  Guardian StoreAG(Net, Net.addNode("storeA"), "storeA", GC);
+  Guardian StoreBG(Net, Net.addNode("storeB"), "storeB", GC);
+  Guardian ClientG(Net, Net.addNode("client"), "client", GC);
+
+  GradesDb Db = installGradesDb(*DbG);
+  WindowSystem W = installWindowSystem(WinG);
+  TxnKv KvA = installTxnKv(StoreAG);
+  TxnKv KvB = installTxnKv(StoreBG);
+
+  const int N = 40;
+  int DashboardRounds = 0;
+  bool SawCrashExn = false, RecoveredOk = false;
+  int AuditCommits = 0;
+
+  // Crash the grades db mid-run; restart it (fresh guardian) later.
+  GradesDb Db2;
+  S.schedule(msec(8), [&] { Net.crash(DbNode); });
+  S.schedule(msec(100), [&] {
+    Net.restart(DbNode);
+    DbG = std::make_unique<Guardian>(Net, DbNode, "db2", GC);
+    Db2 = installGradesDb(*DbG);
+  });
+
+  // The dashboard: record grades and mirror averages into a window.
+  ClientG.spawnProcess("dashboard", [&] {
+    auto A = ClientG.newAgent();
+    WindowPorts Win =
+        bindHandler(ClientG, A, W.CreateWindow).call(wire::Unit{}).value();
+    auto Puts = bindHandler(ClientG, A, Win.Puts);
+
+    auto RunRound = [&](GradesDb &Target) -> std::optional<Exn> {
+      PromiseQueue<Promise<double, NoSuchStudent>> Q(S);
+      ArmResult Bad =
+          Coenter(S)
+              .arm("record",
+                   [&]() -> ArmResult {
+                     auto RA = ClientG.newAgent();
+                     auto Rec = bindHandler(ClientG, RA, Target.RecordGrade);
+                     for (int I = 0; I < N; ++I)
+                       Q.enq(Rec.streamCall(strprintf("stu%02d", I),
+                                            int32_t(60 + I % 30)));
+                     return Rec.synch().toExn();
+                   })
+              .arm("display",
+                   [&]() -> ArmResult {
+                     for (int I = 0; I < N; ++I) {
+                       const auto &O = Q.deq().claim();
+                       if (!O.isNormal())
+                         return O.toExn();
+                       Puts.streamCall(strprintf("%.0f ", O.value()));
+                     }
+                     return Puts.synch().toExn();
+                   })
+              .run();
+      ++DashboardRounds;
+      return Bad;
+    };
+
+    // Round 1 hits the crash.
+    auto Bad = RunRound(Db);
+    if (Bad) {
+      SawCrashExn = true;
+      // Back off past the restart, then run against the new incarnation.
+      S.sleep(msec(150));
+      auto Bad2 = RunRound(Db2);
+      RecoveredOk = !Bad2.has_value();
+    }
+  });
+
+  // The auditor: distributed transactions across the two stores, running
+  // concurrently with everything else; must stay atomic throughout.
+  ClientG.spawnProcess("auditor", [&] {
+    for (int T = 0; T < 6; ++T) {
+      TwoPhaseCoordinator Txn(ClientG);
+      size_t IA = Txn.enlist(KvA);
+      size_t IB = Txn.enlist(KvB);
+      Txn.put(IA, strprintf("audit%d", T), "a");
+      Txn.put(IB, strprintf("audit%d", T), "b");
+      if (Txn.commit() == TwoPhaseResult::Committed)
+        ++AuditCommits;
+      S.sleep(msec(10));
+    }
+  });
+
+  S.run();
+
+  EXPECT_TRUE(SawCrashExn) << "the crash should have surfaced";
+  EXPECT_TRUE(RecoveredOk) << "the rerun against db2 should succeed";
+  EXPECT_EQ(DashboardRounds, 2);
+  // The second round recorded everything on the new incarnation.
+  EXPECT_EQ(Db2.Db->RecordCalls, static_cast<uint64_t>(N));
+  // The auditor's transactions never tore: both stores agree exactly.
+  EXPECT_EQ(AuditCommits, 6);
+  EXPECT_EQ(KvA.Store->Data.size(), KvB.Store->Data.size());
+  for (auto &[K, V] : KvA.Store->Data)
+    EXPECT_TRUE(KvB.Store->Data.count(K)) << K;
+  // The window holds one line per successfully displayed average; round 1
+  // may have displayed a prefix before dying, round 2 displayed all N.
+  auto &Windows = W.Screen->Windows;
+  ASSERT_EQ(Windows.size(), 1u);
+}
+
+} // namespace

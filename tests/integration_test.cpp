@@ -1,0 +1,372 @@
+//===- integration_test.cpp - Cross-module end-to-end scenarios -----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/GradesDb.h"
+#include "promises/apps/KvStore.h"
+#include "promises/apps/Mailer.h"
+#include "promises/apps/Printer.h"
+#include "promises/apps/WindowSystem.h"
+#include "promises/core/Coenter.h"
+#include "promises/core/Fork.h"
+#include "promises/core/PromiseQueue.h"
+#include "promises/support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+TEST(Integration, GradesPipelineUnderLossPrintsExactly) {
+  // The full grades composition on a lossy, reordering network: output
+  // must be byte-identical to the fault-free run.
+  Simulation S;
+  net::NetConfig NC;
+  NC.LossRate = 0.25;
+  NC.JitterMax = msec(3);
+  NC.Seed = 77;
+  net::Network Net(S, NC);
+  Guardian DbG(Net, Net.addNode("db"), "db");
+  Guardian PrG(Net, Net.addNode("pr"), "pr");
+  Guardian Client(Net, Net.addNode("cl"), "cl");
+  apps::GradesDb Db = apps::installGradesDb(DbG);
+  apps::Printer Pr = apps::installPrinter(PrG);
+
+  const int N = 60;
+  Client.spawnProcess("main", [&] {
+    PromiseQueue<Promise<double, apps::NoSuchStudent>> Q(S);
+    ArmResult Bad =
+        Coenter(S)
+            .arm("record",
+                 [&]() -> ArmResult {
+                   auto A = Client.newAgent();
+                   auto Rec = bindHandler(Client, A, Db.RecordGrade);
+                   for (int I = 0; I < N; ++I)
+                     Q.enq(Rec.streamCall(strprintf("stu%03d", I),
+                                          int32_t(50 + I)));
+                   return Rec.synch().toExn();
+                 })
+            .arm("print",
+                 [&]() -> ArmResult {
+                   auto A = Client.newAgent();
+                   auto Print = bindHandler(Client, A, Pr.Print);
+                   for (int I = 0; I < N; ++I)
+                     Print.streamCall(
+                         strprintf("stu%03d=%.1f", I,
+                                   Q.deq().claim().value()));
+                   return Print.synch().toExn();
+                 })
+            .run();
+    EXPECT_FALSE(Bad.has_value())
+        << Bad->Name << ": " << Bad->What;
+  });
+  S.run();
+  ASSERT_EQ(Pr.Out->Lines.size(), static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Pr.Out->Lines[static_cast<size_t>(I)],
+              strprintf("stu%03d=%.1f", I, static_cast<double>(50 + I)));
+  EXPECT_EQ(Db.Db->RecordCalls, static_cast<uint64_t>(N));
+}
+
+TEST(Integration, ServerRestartCompletesWorkload) {
+  // A server crash mid-workload: the first half fails with unavailable;
+  // after a node restart with a fresh guardian incarnation, the client
+  // retries the failed items and completes.
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  net::NodeId SN = Net.addNode("server");
+  Guardian Client(Net, Net.addNode("client"), "client");
+  GuardianConfig GC;
+  GC.Stream.RetransmitTimeout = msec(10);
+  GC.Stream.MaxRetries = 2;
+
+  auto Server = std::make_unique<Guardian>(Net, SN, "server", GC);
+  apps::KvStore Kv = apps::installKvStore(*Server);
+
+  // Crash at 5ms; restart at 60ms with a new guardian (new entity
+  // incarnation, new ports — found via this shared slot).
+  apps::KvStore *Current = &Kv;
+  S.schedule(msec(5), [&] { Net.crash(SN); });
+  apps::KvStore Kv2;
+  S.schedule(msec(60), [&] {
+    Net.restart(SN);
+    Server = std::make_unique<Guardian>(Net, SN, "server2", GC);
+    Kv2 = apps::installKvStore(*Server);
+    Current = &Kv2;
+  });
+
+  int Succeeded = 0, Retried = 0;
+  Client.spawnProcess("driver", [&] {
+    for (int I = 0; I < 20; ++I) {
+      for (int Attempt = 0; Attempt < 10; ++Attempt) {
+        auto H = bindHandler(Client, Client.newAgent(), Current->Put);
+        auto O = H.call(strprintf("key%02d", I), std::string("v"));
+        if (O.isNormal()) {
+          ++Succeeded;
+          break;
+        }
+        ++Retried;
+        // Unavailable: "no point in the user retrying the call right
+        // away" — back off past the restart.
+        S.sleep(msec(20));
+      }
+    }
+  });
+  S.run();
+  EXPECT_EQ(Succeeded, 20);
+  EXPECT_GT(Retried, 0);
+  EXPECT_EQ(Kv2.Store->Data.size() + Kv.Store->Data.size(), 20u);
+}
+
+TEST(Integration, ManyWindowsManyClients) {
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian ServerG(Net, Net.addNode("ws"), "ws");
+  apps::WindowSystemConfig WC;
+  WC.ServiceTime = usec(20);
+  apps::WindowSystem W = apps::installWindowSystem(ServerG, WC);
+
+  const int NumClients = 6;
+  std::vector<std::unique_ptr<Guardian>> Clients;
+  int Done = 0;
+  for (int C = 0; C < NumClients; ++C) {
+    Clients.push_back(std::make_unique<Guardian>(
+        Net, Net.addNode(strprintf("c%d", C)), strprintf("c%d", C)));
+    Guardian *CG = Clients.back().get();
+    CG->spawnProcess("ui", [&, C, CG] {
+      auto A = CG->newAgent();
+      auto Create = bindHandler(*CG, A, W.CreateWindow);
+      auto O = Create.call(wire::Unit{});
+      ASSERT_TRUE(O.isNormal());
+      apps::WindowPorts Win = O.value();
+      auto Puts = bindHandler(*CG, A, Win.Puts);
+      for (int I = 0; I < 25; ++I)
+        Puts.streamCall(strprintf("%d.%d ", C, I));
+      ASSERT_TRUE(Puts.synch().ok());
+      auto Text =
+          bindHandler(*CG, A, Win.Contents).call(wire::Unit{}).value();
+      std::string Expect;
+      for (int I = 0; I < 25; ++I)
+        Expect += strprintf("%d.%d ", C, I);
+      EXPECT_EQ(Text, Expect) << "client " << C;
+      ++Done;
+    });
+  }
+  S.run();
+  EXPECT_EQ(Done, NumClients);
+  EXPECT_EQ(W.Screen->Windows.size(), static_cast<size_t>(NumClients));
+}
+
+TEST(Integration, MixedRpcStreamSendOnOneStream) {
+  // All three call forms interleaved on a single stream keep the global
+  // call order at the server.
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian Server(Net, Net.addNode("s"), "s");
+  Guardian Client(Net, Net.addNode("c"), "c");
+  std::vector<int32_t> ServerOrder;
+  auto Log = Server.addHandler<int32_t(int32_t)>(
+      "log", [&](int32_t V) -> Outcome<int32_t> {
+        ServerOrder.push_back(V);
+        return V;
+      });
+  Client.spawnProcess("driver", [&] {
+    auto H = bindHandler(Client, Client.newAgent(), Log);
+    H.streamCall(int32_t(1));
+    H.send(int32_t(2));
+    EXPECT_EQ(H.call(int32_t(3)).value(), 3); // RPC flushes 1 and 2 too.
+    H.streamCall(int32_t(4));
+    H.send(int32_t(5));
+    EXPECT_TRUE(H.synch().ok());
+  });
+  S.run();
+  EXPECT_EQ(ServerOrder, (std::vector<int32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Integration, MailerManyClientsConsistency) {
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian MailerG(Net, Net.addNode("mailer"), "mailer");
+  apps::MailerConfig MC;
+  MC.ServiceTime = usec(100);
+  apps::Mailer M = apps::installMailer(MailerG, MC);
+  for (int U = 0; U < 4; ++U)
+    M.Mail->Boxes[strprintf("user%d", U)];
+
+  const int Senders = 4, PerSender = 15;
+  std::vector<std::unique_ptr<Guardian>> Clients;
+  int TotalRead = 0;
+  for (int C = 0; C < Senders; ++C) {
+    Clients.push_back(std::make_unique<Guardian>(
+        Net, Net.addNode(strprintf("mc%d", C)), strprintf("mc%d", C)));
+    Guardian *CG = Clients.back().get();
+    CG->spawnProcess("user", [&, C, CG] {
+      auto A = CG->newAgent();
+      auto Send = bindHandler(*CG, A, M.SendMail);
+      auto Read = bindHandler(*CG, A, M.ReadMail);
+      std::string Me = strprintf("user%d", C);
+      // Everyone mails everyone (including themselves).
+      for (int U = 0; U < Senders; ++U)
+        Send.streamCall(strprintf("user%d", U),
+                        strprintf("from%d-%d", C, U));
+      for (int R = 0; R < PerSender - Senders; ++R)
+        Send.streamCall(Me, strprintf("note%d", R));
+      // Same stream: the read sees all of this client's own sends.
+      auto P = Read.streamCall(Me);
+      Read.flush();
+      const auto &O = P.claim();
+      ASSERT_TRUE(O.isNormal());
+      TotalRead += static_cast<int>(O.value().size());
+    });
+  }
+  S.run();
+  // Every message was delivered exactly once: whatever each client read
+  // plus whatever is still in boxes equals everything sent.
+  size_t StillBoxed = 0;
+  for (auto &[User, Box] : M.Mail->Boxes)
+    StillBoxed += Box.size();
+  EXPECT_EQ(static_cast<size_t>(TotalRead) + StillBoxed,
+            static_cast<size_t>(Senders * PerSender));
+}
+
+TEST(Integration, AtomicGradesCompositionAbortsOnPrinterFailure) {
+  // The full Section 4.2 story: record (staged) + print as a coenter; the
+  // printer jams, the coenter terminates the group, and the recovery arm
+  // aborts the batch — no grades are recorded ("if it is not possible to
+  // record all grades, none will be recorded").
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian DbG(Net, Net.addNode("db"), "db");
+  Guardian PrG(Net, Net.addNode("pr"), "pr");
+  Guardian Client(Net, Net.addNode("cl"), "cl");
+  apps::GradesDb Db = apps::installGradesDb(DbG);
+  apps::PrinterConfig PC;
+  PC.JamEvery = 10; // The printer jams on the 10th line.
+  apps::Printer Pr = apps::installPrinter(PrG, PC);
+
+  const int N = 40;
+  bool Aborted = false;
+  Client.spawnProcess("main", [&] {
+    auto A0 = Client.newAgent();
+    uint32_t Batch =
+        bindHandler(Client, A0, Db.BeginBatch).call(wire::Unit{}).value();
+    PromiseQueue<Promise<double, apps::NoSuchStudent, apps::NoSuchBatch>>
+        Q(S);
+    ArmResult Bad =
+        Coenter(S)
+            .arm("record",
+                 [&]() -> ArmResult {
+                   auto A = Client.newAgent();
+                   auto Rec = bindHandler(Client, A, Db.RecordInBatch);
+                   for (int I = 0; I < N; ++I)
+                     Q.enq(Rec.streamCall(Batch, strprintf("stu%02d", I),
+                                          int32_t(60 + I)));
+                   return Rec.synch().toExn();
+                 })
+            .arm("print",
+                 [&]() -> ArmResult {
+                   auto A = Client.newAgent();
+                   auto Print = bindHandler(Client, A, Pr.Print);
+                   for (int I = 0; I < N; ++I) {
+                     const auto &O = Q.deq().claim();
+                     if (!O.isNormal())
+                       return O.toExn();
+                     Print.streamCall(strprintf("line %.1f", O.value()));
+                   }
+                   auto R = Print.synch();
+                   return R.toExn();
+                 })
+            .run();
+    if (Bad) {
+      // Recovery: abandon everything staged so far.
+      auto Abort = bindHandler(Client, Client.newAgent(), Db.AbortBatch);
+      Aborted = Abort.call(Batch).isNormal();
+    } else {
+      auto Commit = bindHandler(Client, Client.newAgent(), Db.CommitBatch);
+      Commit.call(Batch);
+    }
+  });
+  S.run();
+  EXPECT_TRUE(Aborted);
+  EXPECT_GT(Pr.Out->Jams, 0u);
+  // Atomicity held for the database: nothing recorded. (Printing is an
+  // external activity — lines already printed cannot be unprinted, the
+  // paper's footnote 4.)
+  EXPECT_TRUE(Db.Db->Grades.empty());
+  EXPECT_EQ(Db.Db->RecordCalls, 0u);
+}
+
+TEST(Integration, OneReplyForManySendsPattern) {
+  // Paper Section 5: "Sometimes, pairing of send/receive takes the form
+  // of one reply for many calls; we can accomplish this with sends."
+  // N sends accumulate server-side; a single RPC fetches the aggregate.
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian Server(Net, Net.addNode("s"), "s");
+  Guardian Client(Net, Net.addNode("c"), "c");
+  int64_t Acc = 0;
+  auto Add = Server.addHandler<wire::Unit(int32_t)>(
+      "add", [&](int32_t V) -> Outcome<wire::Unit> {
+        Acc += V;
+        return wire::Unit{};
+      });
+  auto Total = Server.addHandler<int64_t(wire::Unit)>(
+      "total", [&](wire::Unit) -> Outcome<int64_t> { return Acc; });
+  int64_t Got = 0;
+  uint64_t ReplyBatchesForSends = 0;
+  Client.spawnProcess("driver", [&] {
+    auto A = Client.newAgent();
+    auto HAdd = bindHandler(Client, A, Add);
+    auto HTotal = bindHandler(Client, A, Total);
+    for (int32_t I = 1; I <= 100; ++I)
+      HAdd.send(I);
+    // One RPC pairs with all 100 sends; same stream, so it runs after
+    // every add completed.
+    Got = HTotal.call(wire::Unit{}).value();
+    ReplyBatchesForSends = Server.transport().counters().ReplyBatchesSent;
+  });
+  S.run();
+  EXPECT_EQ(Got, 5050);
+  // The wire never carried 100 explicit replies: sends omit them.
+  EXPECT_LT(ReplyBatchesForSends, 20u);
+}
+
+TEST(Integration, ForkAndStreamComposition) {
+  // Forked local workers feed a remote stream; the paper's uniform
+  // treatment of local and remote promises.
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  Guardian Server(Net, Net.addNode("s"), "s");
+  Guardian Client(Net, Net.addNode("c"), "c");
+  apps::KvStore Kv = apps::installKvStore(Server);
+  int Stored = 0;
+  Client.spawnProcess("driver", [&] {
+    // Locally compute values in parallel forks...
+    std::vector<Promise<int>> Local;
+    for (int I = 0; I < 12; ++I)
+      Local.push_back(fork(S, [&, I] {
+        S.sleep(usec(200));
+        return I * I;
+      }));
+    // ...and stream each result to the server as it is claimed.
+    auto H = bindHandler(Client, Client.newAgent(), Kv.Put);
+    for (int I = 0; I < 12; ++I)
+      H.streamCall(strprintf("sq%02d", I),
+                   std::to_string(Local[static_cast<size_t>(I)]
+                                      .claim()
+                                      .value()));
+    ASSERT_TRUE(H.synch().ok());
+    Stored = static_cast<int>(Kv.Store->Data.size());
+  });
+  S.run();
+  EXPECT_EQ(Stored, 12);
+  EXPECT_EQ(Kv.Store->Data["sq11"], "121");
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- property_actions_test.cpp - Action invariants under chaos ----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Properties of the atomic-action substrate under randomized schedules:
+//
+//   T1 conservation: workers transfer units between cells under actions,
+//      with random aborts and random forced kills; the total is invariant
+//      whatever interleaving, abort, or kill pattern occurs;
+//   T2 no lock leaks: after the storm, every cell is unlocked;
+//   T3 doomed actions never commit;
+//   T4 determinism: identical seeds replay identically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/actions/AtomicCell.h"
+#include "promises/core/Coenter.h"
+#include "promises/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace promises;
+using namespace promises::actions;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+struct StormResult {
+  int32_t Total = 0;
+  bool AllUnlocked = true;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  Time Elapsed = 0;
+};
+
+StormResult runStorm(uint64_t Seed) {
+  Simulation S;
+  ActionConfig AC;
+  AC.LockTimeout = msec(3);
+  ActionManager M(S, AC);
+  const int NumCells = 6;
+  const int Workers = 10;
+  std::vector<std::unique_ptr<AtomicCell<int32_t>>> Cells;
+  for (int I = 0; I < NumCells; ++I)
+    Cells.push_back(std::make_unique<AtomicCell<int32_t>>(M, 100));
+
+  Rng Root(Seed);
+  std::vector<ProcessHandle> Procs;
+  for (int W = 0; W < Workers; ++W) {
+    uint64_t MySeed = Root.next();
+    Procs.push_back(S.spawn("worker", [&, MySeed] {
+      Rng R(MySeed);
+      for (int Op = 0; Op < 12; ++Op) {
+        Action A(M);
+        auto &Src = *Cells[R.below(NumCells)];
+        auto &Dst = *Cells[R.below(NumCells)];
+        int32_t Amount = static_cast<int32_t>(R.between(1, 9));
+        int32_t Have = Src.read(A);
+        if (&Src != &Dst && Have >= Amount && !A.doomed()) {
+          Src.write(A, Have - Amount);
+          S.sleep(usec(R.below(300))); // Hold locks a while.
+          Dst.write(A, Dst.read(A) + Amount);
+        }
+        if (A.doomed()) {
+          A.abort();
+          continue;
+        }
+        if (R.chance(0.25))
+          A.abort(); // Voluntary rollback.
+        else
+          A.commit(); // May still abort if doomed en route.
+      }
+    }));
+  }
+  // Chaos: kill a random worker partway through (its in-flight action
+  // must roll back via RAII).
+  uint64_t VictimIdx = Root.below(Workers);
+  S.schedule(msec(1 + Root.below(5)), [&, VictimIdx] {
+    S.kill(Procs[VictimIdx]);
+  });
+  S.run();
+
+  StormResult Out;
+  for (auto &C : Cells) {
+    Out.Total += C->peek();
+    Out.AllUnlocked = Out.AllUnlocked && !C->locked();
+  }
+  Out.Commits = M.commits();
+  Out.Aborts = M.aborts();
+  Out.Elapsed = S.now();
+  return Out;
+}
+
+class ActionStormSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ActionStormSweep, MoneyIsConservedAndLocksReleased) {
+  StormResult R = runStorm(GetParam());
+  EXPECT_EQ(R.Total, 600) << "conservation violated"; // T1
+  EXPECT_TRUE(R.AllUnlocked) << "lock leak";          // T2
+  EXPECT_GT(R.Commits, 0u);
+  EXPECT_GT(R.Aborts, 0u); // The chaos really exercised rollback.
+}
+
+TEST_P(ActionStormSweep, ReplaysIdentically) { // T4
+  StormResult A = runStorm(GetParam());
+  StormResult B = runStorm(GetParam());
+  EXPECT_EQ(A.Total, B.Total);
+  EXPECT_EQ(A.Commits, B.Commits);
+  EXPECT_EQ(A.Aborts, B.Aborts);
+  EXPECT_EQ(A.Elapsed, B.Elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ActionStormSweep,
+                         ::testing::Values(7, 21, 42, 77, 101, 500, 9001,
+                                           31337));
+
+TEST(ActionProperty, DoomedNeverCommits) { // T3
+  Simulation S;
+  ActionConfig AC;
+  AC.LockTimeout = msec(1);
+  ActionManager M(S, AC);
+  AtomicCell<int32_t> Cell(M, 0);
+  int CommitsReported = 0;
+  S.spawn("holder", [&] {
+    Action A(M);
+    Cell.write(A, 1);
+    S.sleep(msec(30));
+    if (A.commit())
+      ++CommitsReported;
+  });
+  for (int I = 0; I < 5; ++I)
+    S.spawn("contender", [&] {
+      S.sleep(usec(100));
+      Action B(M);
+      Cell.write(B, 99); // Times out, dooms B.
+      bool Committed = B.commit();
+      EXPECT_FALSE(Committed);
+      if (Committed)
+        ++CommitsReported;
+    });
+  S.run();
+  EXPECT_EQ(CommitsReported, 1);
+  EXPECT_EQ(Cell.peek(), 1);
+  EXPECT_EQ(M.commits(), 1u);
+  EXPECT_EQ(M.aborts(), 5u);
+}
+
+} // namespace

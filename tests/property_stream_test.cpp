@@ -1,0 +1,227 @@
+//===- property_stream_test.cpp - Stream invariants under faults ----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Parameterized sweeps over the fault grid (loss x duplication x jitter x
+// batch size x seed), checking the call-stream guarantees of paper
+// Section 2 as properties:
+//
+//   P1  every issued call eventually gets exactly one outcome;
+//   P2  outcomes arrive in call order;
+//   P3  each call is delivered to user code exactly once (exactly-once);
+//   P4  promise readiness is monotone in call order (i+1 ready => i ready);
+//   P5  normal outcomes carry the right payloads;
+//   P6  the same configuration replays identically (determinism).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+struct AppError {
+  static constexpr const char *Name = "app_error";
+};
+} // namespace
+
+namespace promises::wire {
+template <> struct Codec<AppError> {
+  static void encode(Encoder &, const AppError &) {}
+  static AppError decode(Decoder &) { return {}; }
+};
+} // namespace promises::wire
+
+namespace {
+
+struct FaultParams {
+  double Loss;
+  double Dup;
+  uint64_t JitterUs;
+  size_t Batch;
+  uint64_t Seed;
+  bool ParallelGroup = false; ///< Exercise out-of-order completions.
+  bool StateShaped = false;   ///< Exercise full-state reply batches.
+
+  friend std::ostream &operator<<(std::ostream &OS, const FaultParams &P) {
+    return OS << "loss" << static_cast<int>(P.Loss * 100) << "_dup"
+              << static_cast<int>(P.Dup * 100) << "_jit" << P.JitterUs
+              << "_b" << P.Batch << "_s" << P.Seed
+              << (P.ParallelGroup ? "_par" : "")
+              << (P.StateShaped ? "_ss" : "");
+  }
+};
+
+struct RunResult {
+  Time Elapsed = 0;
+  uint64_t Datagrams = 0;
+  std::vector<int32_t> Order; // Fulfillment order, by call index.
+  int Failures = 0;
+  bool DeliveredExactlyOnce = true;
+  bool ReadinessMonotone = true;
+  bool PayloadsCorrect = true;
+  bool ExecutionOrdered = true; ///< Server ran calls in issue order
+                                ///< (meaningful for gated groups only).
+};
+
+constexpr int NumCalls = 150;
+
+RunResult runWorkload(const FaultParams &FP) {
+  RunResult R;
+  Simulation S;
+  net::NetConfig NC;
+  NC.LossRate = FP.Loss;
+  NC.DupRate = FP.Dup;
+  NC.JitterMax = usec(FP.JitterUs);
+  NC.Seed = FP.Seed;
+  net::Network Net(S, NC);
+  GuardianConfig GC;
+  GC.Stream.MaxBatchCalls = FP.Batch;
+  GC.Stream.MaxReplyBatch = FP.Batch;
+  GC.Stream.StateShapedReplies = FP.StateShaped;
+  Guardian Server(Net, Net.addNode("server"), "server", GC);
+  Guardian Client(Net, Net.addNode("client"), "client", GC);
+  stream::GroupId Group = Guardian::DefaultGroup;
+  if (FP.ParallelGroup) {
+    Group = Server.createGroup();
+    Server.setParallelGroup(Group);
+  }
+
+  struct Seen {
+    std::map<int32_t, int> Count;
+    std::vector<int32_t> ExecOrder;
+  };
+  auto ServerSeen = std::make_shared<Seen>();
+  auto Work = Server.addHandler<int32_t(int32_t), AppError>(
+      "work", Group,
+      [ServerSeen, &S](int32_t V) -> Outcome<int32_t, AppError> {
+        ++ServerSeen->Count[V];
+        ServerSeen->ExecOrder.push_back(V);
+        // Variable service time: under a parallel group, later calls can
+        // finish first, exercising out-of-order completion buffering.
+        S.sleep(usec(20 + static_cast<uint64_t>(V * 13) % 90));
+        if (V % 11 == 0)
+          return AppError{};
+        return V + 1000;
+      });
+
+  Client.spawnProcess("driver", [&] {
+    auto H = bindHandler(Client, Client.newAgent(), Work);
+    std::vector<Promise<int32_t, AppError>> Ps;
+    for (int32_t I = 0; I < NumCalls; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    // Claim the last promise; then verify monotonicity + claim the rest
+    // in a scrambled order (claims may happen in any order).
+    Ps.back().claim();
+    for (int I = 0; I + 1 < NumCalls; ++I)
+      if (Ps[static_cast<size_t>(I + 1)].ready() &&
+          !Ps[static_cast<size_t>(I)].ready())
+        R.ReadinessMonotone = false;
+    for (int I = NumCalls - 1; I >= 0; --I) {
+      const auto &O = Ps[static_cast<size_t>(I)].claim();
+      R.Order.push_back(I);
+      if (O.isNormal()) {
+        if (O.value() != I + 1000)
+          R.PayloadsCorrect = false;
+      } else if (O.is<AppError>()) {
+        if (I % 11 != 0)
+          R.PayloadsCorrect = false;
+      } else {
+        ++R.Failures;
+      }
+    }
+  });
+  S.run();
+  R.Elapsed = S.now();
+  R.Datagrams = Net.counters().DatagramsSent;
+  for (const auto &[V, N] : ServerSeen->Count)
+    if (N != 1)
+      R.DeliveredExactlyOnce = false;
+  if (ServerSeen->Count.size() != NumCalls)
+    R.DeliveredExactlyOnce = false;
+  // P2b: with the default gated execution, the handler bodies STARTED in
+  // issue order, whatever the datagram schedule did.
+  if (!FP.ParallelGroup)
+    for (size_t I = 1; I < ServerSeen->ExecOrder.size(); ++I)
+      if (ServerSeen->ExecOrder[I] != ServerSeen->ExecOrder[I - 1] + 1)
+        R.ExecutionOrdered = false;
+  return R;
+}
+
+class StreamFaultSweep : public ::testing::TestWithParam<FaultParams> {};
+
+TEST_P(StreamFaultSweep, GuaranteesHoldUnderFaults) {
+  RunResult R = runWorkload(GetParam());
+  EXPECT_EQ(R.Order.size(), static_cast<size_t>(NumCalls)) << "P1 violated";
+  EXPECT_EQ(R.Failures, 0) << "P1: unexpected unavailable/failure";
+  EXPECT_TRUE(R.DeliveredExactlyOnce) << "P3 violated";
+  EXPECT_TRUE(R.ReadinessMonotone) << "P4 violated";
+  EXPECT_TRUE(R.PayloadsCorrect) << "P5 violated";
+  EXPECT_TRUE(R.ExecutionOrdered) << "P2b violated";
+}
+
+TEST_P(StreamFaultSweep, RunsAreDeterministic) {
+  RunResult A = runWorkload(GetParam());
+  RunResult B = runWorkload(GetParam());
+  EXPECT_EQ(A.Elapsed, B.Elapsed) << "P6 violated";
+  EXPECT_EQ(A.Datagrams, B.Datagrams) << "P6 violated";
+}
+
+std::vector<FaultParams> faultGrid() {
+  std::vector<FaultParams> Grid;
+  const double Losses[] = {0.0, 0.15, 0.35};
+  const double Dups[] = {0.0, 0.3};
+  const uint64_t Jitters[] = {0, 3000};
+  const size_t Batches[] = {1, 4, 16};
+  uint64_t Seed = 1000;
+  for (double L : Losses)
+    for (double D : Dups)
+      for (uint64_t J : Jitters)
+        for (size_t B : Batches)
+          Grid.push_back(FaultParams{L, D, J, B, ++Seed});
+  return Grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamFaultSweep, ::testing::ValuesIn(faultGrid()),
+    [](const ::testing::TestParamInfo<FaultParams> &Info) {
+      std::ostringstream OS;
+      OS << Info.param;
+      return OS.str();
+    });
+
+// Reduced grids for the two transport variants: parallel in-stream
+// execution (out-of-order completions) and state-shaped reply batches.
+std::vector<FaultParams> variantGrid() {
+  std::vector<FaultParams> Grid;
+  uint64_t Seed = 9000;
+  for (double L : {0.0, 0.3})
+    for (uint64_t J : {uint64_t(0), uint64_t(3000)}) {
+      FaultParams Par{L, 0.0, J, 8, ++Seed};
+      Par.ParallelGroup = true;
+      Grid.push_back(Par);
+      FaultParams SS{L, 0.0, J, 8, ++Seed};
+      SS.StateShaped = true;
+      Grid.push_back(SS);
+    }
+  return Grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, StreamFaultSweep, ::testing::ValuesIn(variantGrid()),
+    [](const ::testing::TestParamInfo<FaultParams> &Info) {
+      std::ostringstream OS;
+      OS << Info.param;
+      return OS.str();
+    });
+
+} // namespace

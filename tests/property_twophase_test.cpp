@@ -1,0 +1,108 @@
+//===- property_twophase_test.cpp - 2PC atomicity under faults ------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Property: across a sweep of loss rates and seeds, a distributed
+// transaction over two participants never ends *partially applied
+// silently* — either both participants applied, neither did, or the
+// coordinator reported the in-doubt/abort outcome honestly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/TwoPhase.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::apps;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct FaultCase {
+  double Loss;
+  uint64_t Seed;
+  bool CrashB; ///< Crash participant B at a random-ish time.
+
+  friend std::ostream &operator<<(std::ostream &OS, const FaultCase &C) {
+    return OS << "loss" << static_cast<int>(C.Loss * 100) << "_s" << C.Seed
+              << (C.CrashB ? "_crash" : "");
+  }
+};
+
+class TwoPhaseFaultSweep : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(TwoPhaseFaultSweep, NeverSilentlyPartial) {
+  const FaultCase &C = GetParam();
+  Simulation S;
+  net::NetConfig NC;
+  NC.LossRate = C.Loss;
+  NC.Seed = C.Seed;
+  net::Network Net(S, NC);
+  GuardianConfig GC;
+  GC.Stream.RetransmitTimeout = msec(10);
+  GC.Stream.MaxRetries = 3;
+  net::NodeId NB = Net.addNode("b-node");
+  Guardian GA(Net, Net.addNode("a-node"), "a", GC);
+  Guardian GB(Net, NB, "b", GC);
+  Guardian Client(Net, Net.addNode("cl"), "cl", GC);
+  TxnKv KvA = installTxnKv(GA);
+  TxnKv KvB = installTxnKv(GB);
+
+  if (C.CrashB)
+    S.schedule(msec(5 + C.Seed % 40), [&] { Net.crash(NB); });
+
+  TwoPhaseResult R = TwoPhaseResult::Aborted;
+  bool Finished = false;
+  Client.spawnProcess("txn", [&] {
+    TwoPhaseCoordinator T(Client);
+    size_t A = T.enlist(KvA);
+    size_t B = T.enlist(KvB);
+    T.put(A, "k", "va");
+    T.put(B, "k", "vb");
+    R = T.commit();
+    Finished = true;
+  });
+  S.run();
+  ASSERT_TRUE(Finished) << "coordinator hung";
+
+  bool AApplied = KvA.Store->Data.count("k") != 0;
+  bool BApplied = KvB.Store->Data.count("k") != 0;
+  switch (R) {
+  case TwoPhaseResult::Committed:
+    EXPECT_TRUE(AApplied && BApplied);
+    break;
+  case TwoPhaseResult::Aborted:
+    // Neither applied. (A crashed participant's volatile state is empty,
+    // which also counts as not-applied.)
+    EXPECT_FALSE(AApplied);
+    EXPECT_FALSE(BApplied);
+    break;
+  case TwoPhaseResult::InDoubt:
+    // Divergence is possible but must have been *reported*.
+    SUCCEED();
+    break;
+  }
+  // No locks may leak on live participants.
+  EXPECT_TRUE(KvA.Store->Locks.empty() || R == TwoPhaseResult::InDoubt);
+}
+
+std::vector<FaultCase> cases() {
+  std::vector<FaultCase> Out;
+  for (double Loss : {0.0, 0.2, 0.4})
+    for (uint64_t Seed : {11ull, 22ull, 33ull, 44ull})
+      for (bool Crash : {false, true})
+        Out.push_back({Loss, Seed, Crash});
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoPhaseFaultSweep, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<FaultCase> &Info) {
+      std::ostringstream OS;
+      OS << Info.param;
+      return OS.str();
+    });
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- runtime_parallel_test.cpp - Parallel-group override tests ----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// The paper's explicit override (Section 2.1 footnote): processing calls
+// on the same stream in parallel, while the sender still sees replies in
+// call order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct ParallelFixture : ::testing::Test {
+  Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> Server, Client;
+  stream::GroupId PGroup = 0;
+  HandlerRef<int32_t(int32_t)> Work;
+  std::vector<std::string> Log;
+
+  void build(sim::Time Service = msec(5)) {
+    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Server = std::make_unique<Guardian>(*Net, Net->addNode("s"), "s");
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("c"), "c");
+    PGroup = Server->createGroup();
+    Server->setParallelGroup(PGroup);
+    Work = Server->addHandler<int32_t(int32_t)>(
+        "work", PGroup, [this, Service](int32_t V) -> Outcome<int32_t> {
+          Log.push_back("start:" + std::to_string(V));
+          // Later calls take *less* time, so parallel execution finishes
+          // them out of order.
+          S.sleep(Service * static_cast<uint64_t>(4 - V));
+          Log.push_back("end:" + std::to_string(V));
+          return V * 10;
+        });
+  }
+};
+
+TEST_F(ParallelFixture, CallsOnOneStreamRunConcurrently) {
+  build();
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Work);
+    auto P1 = H.streamCall(int32_t(1)); // 15ms of service.
+    auto P2 = H.streamCall(int32_t(2)); // 10ms.
+    auto P3 = H.streamCall(int32_t(3)); // 5ms.
+    H.flush();
+    P1.claim();
+    P2.claim();
+    P3.claim();
+  });
+  S.run();
+  // All three started before any finished: parallel execution.
+  ASSERT_EQ(Log.size(), 6u);
+  EXPECT_EQ(Log[0], "start:1");
+  EXPECT_EQ(Log[1], "start:2");
+  EXPECT_EQ(Log[2], "start:3");
+  EXPECT_EQ(Log[3], "end:3"); // Shortest finishes first.
+  EXPECT_EQ(Log[4], "end:2");
+  EXPECT_EQ(Log[5], "end:1");
+}
+
+TEST_F(ParallelFixture, RepliesStillFulfillInCallOrder) {
+  build();
+  std::vector<int32_t> ClaimOrder;
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Work);
+    std::vector<Promise<int32_t>> Ps;
+    for (int32_t I = 1; I <= 3; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    // Promise 3's call finishes first at the server, but readiness stays
+    // ordered: claim 3, then check 1 and 2 are ready too.
+    Ps[2].claim();
+    EXPECT_TRUE(Ps[0].ready());
+    EXPECT_TRUE(Ps[1].ready());
+    for (auto &P : Ps)
+      ClaimOrder.push_back(P.claim().value());
+  });
+  S.run();
+  EXPECT_EQ(ClaimOrder, (std::vector<int32_t>{10, 20, 30}));
+}
+
+TEST_F(ParallelFixture, ParallelGroupIsFasterThanSequential) {
+  // Same workload on a gated group vs the parallel group.
+  build();
+  auto SeqWork = Server->addHandler<int32_t(int32_t)>(
+      "seq_work", Guardian::DefaultGroup,
+      [this](int32_t V) -> Outcome<int32_t> {
+        S.sleep(msec(5) * static_cast<uint64_t>(4 - V));
+        return V * 10;
+      });
+  Time ParallelDone = 0, SequentialDone = 0;
+  Client->spawnProcess("par", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Work);
+    std::vector<Promise<int32_t>> Ps;
+    for (int32_t I = 1; I <= 3; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    for (auto &P : Ps)
+      P.claim();
+    ParallelDone = S.now();
+  });
+  Client->spawnProcess("seq", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), SeqWork);
+    std::vector<Promise<int32_t>> Ps;
+    for (int32_t I = 1; I <= 3; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    for (auto &P : Ps)
+      P.claim();
+    SequentialDone = S.now();
+  });
+  S.run();
+  // Parallel: ~max(15,10,5)ms of service; sequential: ~30ms.
+  EXPECT_LT(ParallelDone, SequentialDone);
+}
+
+TEST_F(ParallelFixture, ExceptionsInParallelGroupStayOrdered) {
+  build();
+  auto Throwy = Server->addHandler<int32_t(int32_t)>(
+      "throwy", PGroup, [this](int32_t V) -> Outcome<int32_t> {
+        S.sleep(msec(static_cast<uint64_t>(V)));
+        if (V == 2)
+          return Failure{"boom"};
+        return V;
+      });
+  std::vector<const char *> Kinds;
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Throwy);
+    std::vector<Promise<int32_t>> Ps;
+    for (int32_t I = 1; I <= 3; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    for (auto &P : Ps)
+      Kinds.push_back(P.claim().exceptionName());
+  });
+  S.run();
+  ASSERT_EQ(Kinds.size(), 3u);
+  EXPECT_STREQ(Kinds[0], "");
+  EXPECT_STREQ(Kinds[1], "failure");
+  EXPECT_STREQ(Kinds[2], "");
+}
+
+TEST_F(ParallelFixture, DisableRestoresGating) {
+  build();
+  Server->setParallelGroup(PGroup, false);
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Work);
+    auto P1 = H.streamCall(int32_t(1));
+    auto P2 = H.streamCall(int32_t(2));
+    H.flush();
+    P2.claim();
+    (void)P1;
+  });
+  S.run();
+  // Gated: strict start/end nesting.
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_EQ(Log[0], "start:1");
+  EXPECT_EQ(Log[1], "end:1");
+  EXPECT_EQ(Log[2], "start:2");
+  EXPECT_EQ(Log[3], "end:2");
+}
+
+} // namespace

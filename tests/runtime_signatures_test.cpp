@@ -1,0 +1,155 @@
+//===- runtime_signatures_test.cpp - Handler signature coverage -----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// The paper's promise types have "a results part, listing the type or
+// types of objects returned by the handler call in the normal case" —
+// multiple results map onto tuples here. This suite pins down signature
+// corners: tuple results, vector/optional arguments, zero-argument
+// handlers, and unit results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct SigFixture : ::testing::Test {
+  Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> Server, Client;
+
+  void build() {
+    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Server = std::make_unique<Guardian>(*Net, Net->addNode("s"), "s");
+    Client = std::make_unique<Guardian>(*Net, Net->addNode("c"), "c");
+  }
+};
+
+TEST_F(SigFixture, MultipleResultsViaTuple) {
+  build();
+  // "returns (real, int, string)" — a stats handler returning mean,
+  // count, and label at once.
+  using Multi = std::tuple<double, int32_t, std::string>;
+  auto Stats = Server->addHandler<Multi(std::vector<int32_t>)>(
+      "stats", [](std::vector<int32_t> Vs) -> Outcome<Multi> {
+        double Sum = 0;
+        for (int32_t V : Vs)
+          Sum += V;
+        double Mean = Vs.empty() ? 0 : Sum / static_cast<double>(Vs.size());
+        return Multi{Mean, static_cast<int32_t>(Vs.size()), "ok"};
+      });
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Stats);
+    auto O = H.call(std::vector<int32_t>{2, 4, 6});
+    ASSERT_TRUE(O.isNormal());
+    auto [Mean, Count, Label] = O.value();
+    EXPECT_EQ(Mean, 4.0);
+    EXPECT_EQ(Count, 3);
+    EXPECT_EQ(Label, "ok");
+  });
+  S.run();
+}
+
+TEST_F(SigFixture, ZeroArgumentHandler) {
+  build();
+  int Calls = 0;
+  auto Tick = Server->addHandler<int32_t(wire::Unit)>(
+      "tick", [&](wire::Unit) -> Outcome<int32_t> { return ++Calls; });
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Tick);
+    EXPECT_EQ(H.call(wire::Unit{}).value(), 1);
+    EXPECT_EQ(H.call(wire::Unit{}).value(), 2);
+  });
+  S.run();
+}
+
+TEST_F(SigFixture, OptionalAndNestedContainerArguments) {
+  build();
+  using Arg = std::optional<std::vector<std::pair<std::string, int32_t>>>;
+  auto Count = Server->addHandler<int32_t(Arg)>(
+      "count", [](Arg A) -> Outcome<int32_t> {
+        return A ? static_cast<int32_t>(A->size()) : -1;
+      });
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Count);
+    EXPECT_EQ(H.call(Arg{}).value(), -1);
+    Arg Some{{{"a", 1}, {"b", 2}}};
+    EXPECT_EQ(H.call(Some).value(), 2);
+  });
+  S.run();
+}
+
+TEST_F(SigFixture, LargeStringPayloadRoundTrips) {
+  build();
+  auto Echo = Server->addHandler<std::string(std::string)>(
+      "echo", [](std::string V) -> Outcome<std::string> { return V; });
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Echo);
+    std::string Big(64 * 1024, 'q');
+    Big[12345] = 'X';
+    auto O = H.call(Big);
+    ASSERT_TRUE(O.isNormal());
+    EXPECT_EQ(O.value(), Big);
+  });
+  S.run();
+}
+
+TEST_F(SigFixture, OutstandingTracksIssueAndFulfil) {
+  build();
+  auto Slow = Server->addHandler<int32_t(int32_t)>(
+      "slow", [&](int32_t V) -> Outcome<int32_t> {
+        S.sleep(msec(5));
+        return V;
+      });
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Slow);
+    EXPECT_EQ(H.outstanding(), 0u);
+    auto P1 = H.streamCall(int32_t(1));
+    auto P2 = H.streamCall(int32_t(2));
+    EXPECT_EQ(H.outstanding(), 2u);
+    H.flush();
+    P1.claim();
+    EXPECT_EQ(H.outstanding(), 1u);
+    P2.claim();
+    EXPECT_EQ(H.outstanding(), 0u);
+  });
+  S.run();
+}
+
+TEST_F(SigFixture, SameHandlerBoundToTwoAgentsIsTwoStreams) {
+  build();
+  std::vector<int32_t> ServerOrder;
+  auto Log = Server->addHandler<int32_t(int32_t)>(
+      "log", [&](int32_t V) -> Outcome<int32_t> {
+        ServerOrder.push_back(V);
+        S.sleep(msec(2));
+        return V;
+      });
+  Time Done1 = 0, Done2 = 0;
+  Client->spawnProcess("p1", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Log);
+    H.call(int32_t(1));
+    Done1 = S.now();
+  });
+  Client->spawnProcess("p2", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Log);
+    H.call(int32_t(2));
+    Done2 = S.now();
+  });
+  S.run();
+  // Both executed concurrently (different streams): completion within
+  // one service time of each other, not serialized.
+  Time Gap = Done1 > Done2 ? Done1 - Done2 : Done2 - Done1;
+  EXPECT_LT(Gap, msec(2));
+  EXPECT_EQ(ServerOrder.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+//===- sim_more_test.cpp - Kernel edge cases -------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Second kernel suite: interactions between kill, wound, timers, and the
+// event loop that the first suite does not pin down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/sim/Simulation.h"
+#include "promises/sim/Sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace promises::sim;
+
+namespace {
+
+TEST(SimMore, ScheduleFromInsideProcess) {
+  Simulation S;
+  Time FiredAt = 0;
+  S.spawn("p", [&] {
+    S.sleep(msec(1));
+    S.schedule(msec(2), [&] { FiredAt = S.now(); });
+  });
+  S.run();
+  EXPECT_EQ(FiredAt, msec(3));
+}
+
+TEST(SimMore, CancelFromInsideProcess) {
+  Simulation S;
+  bool Fired = false;
+  uint64_t Id = S.schedule(msec(5), [&] { Fired = true; });
+  S.spawn("p", [&] {
+    S.sleep(msec(1));
+    S.cancel(Id);
+  });
+  S.run();
+  EXPECT_FALSE(Fired);
+}
+
+TEST(SimMore, WoundThenKillStillDeliversOnce) {
+  Simulation S;
+  WaitQueue Q(S);
+  bool Reached = false;
+  auto P = S.spawn("victim", [&] {
+    Q.wait();
+    Reached = true;
+  });
+  S.spawn("killer", [&] {
+    S.sleep(msec(1));
+    S.wound(P);
+    EXPECT_FALSE(P->finished()); // Wound alone does not terminate.
+    S.kill(P);
+    S.join(P);
+    EXPECT_TRUE(P->finished());
+  });
+  S.run();
+  EXPECT_FALSE(Reached);
+}
+
+TEST(SimMore, KillDuringSleepDoesNotAdvanceClockToWakeTime) {
+  Simulation S;
+  auto P = S.spawn("sleeper", [&] { S.sleep(sec(100)); });
+  S.spawn("killer", [&] {
+    S.sleep(msec(1));
+    S.kill(P);
+  });
+  S.run();
+  EXPECT_TRUE(P->finished());
+  EXPECT_LT(S.now(), sec(1)); // The stale wake event was cancelled.
+}
+
+TEST(SimMore, JoinChainCompletesInOrder) {
+  Simulation S;
+  std::vector<int> Order;
+  auto A = S.spawn("a", [&] {
+    S.sleep(msec(3));
+    Order.push_back(1);
+  });
+  auto B = S.spawn("b", [&] {
+    S.join(A);
+    Order.push_back(2);
+  });
+  S.spawn("c", [&] {
+    S.join(B);
+    Order.push_back(3);
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimMore, NotifyBeforeWaitIsLost) {
+  // Wait queues are not semaphores: a notify with no waiter vanishes.
+  Simulation S;
+  WaitQueue Q(S);
+  bool WokeEarly = true;
+  S.spawn("notifier", [&] { Q.notifyOne(); });
+  S.spawn("waiter", [&] {
+    S.sleep(msec(1)); // Notify already happened and was lost.
+    WokeEarly = Q.waitFor(msec(3));
+  });
+  S.run();
+  EXPECT_FALSE(WokeEarly);
+}
+
+TEST(SimMore, YieldNowIsFairAmongPeers) {
+  Simulation S;
+  std::vector<int> Order;
+  for (int I = 0; I < 3; ++I)
+    S.spawn("p", [&, I] {
+      for (int R = 0; R < 2; ++R) {
+        Order.push_back(I);
+        S.yieldNow();
+      }
+    });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(SimMore, RunForZeroProcessesNothing) {
+  Simulation S;
+  bool Fired = false;
+  S.schedule(msec(1), [&] { Fired = true; });
+  EXPECT_TRUE(S.runFor(0));
+  EXPECT_FALSE(Fired);
+  EXPECT_EQ(S.now(), 0u);
+}
+
+TEST(SimMore, RunForPicksUpWhereItLeftOff) {
+  Simulation S;
+  std::vector<Time> Fires;
+  for (int I = 1; I <= 5; ++I)
+    S.schedule(msec(static_cast<uint64_t>(I)), [&] {
+      Fires.push_back(S.now());
+    });
+  S.runFor(msec(2));
+  EXPECT_EQ(Fires.size(), 2u);
+  S.runFor(msec(2));
+  EXPECT_EQ(Fires.size(), 4u);
+  S.run();
+  EXPECT_EQ(Fires.size(), 5u);
+}
+
+TEST(SimMore, ProcessSpawnedDuringRunForIsScheduled) {
+  Simulation S;
+  bool InnerRan = false;
+  S.schedule(msec(1), [&] {
+    S.spawn("inner", [&] { InnerRan = true; });
+  });
+  S.runFor(msec(5));
+  EXPECT_TRUE(InnerRan);
+}
+
+TEST(SimMore, SelfKillTerminatesAtNextBlockingPoint) {
+  Simulation S;
+  std::vector<int> Trace;
+  ProcessHandle Self;
+  Self = S.spawn("self-killer", [&] {
+    Trace.push_back(1);
+    S.kill(Self);
+    Trace.push_back(2); // Still runs: delivery is deferred to a yield.
+    S.sleep(msec(1));
+    Trace.push_back(3); // Never runs.
+  });
+  S.run();
+  EXPECT_EQ(Trace, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(Self->finished());
+}
+
+TEST(SimMore, CriticalSectionExitDeliversPendingSelfKill) {
+  Simulation S;
+  std::vector<int> Trace;
+  ProcessHandle Self;
+  Self = S.spawn("p", [&] {
+    {
+      CriticalSection Cs;
+      S.kill(Self);
+      S.sleep(msec(1)); // Blocking point inside the section: deferred.
+      Trace.push_back(1);
+    }
+    Trace.push_back(2); // Never runs: delivered at section exit.
+  });
+  S.run();
+  EXPECT_EQ(Trace, (std::vector<int>{1}));
+}
+
+TEST(SimMore, TimedWaitNotifiedJustBeforeTimeout) {
+  // Notify and timeout scheduled for the same instant: notify wins when
+  // it was scheduled first.
+  Simulation S;
+  WaitQueue Q(S);
+  bool Notified = false;
+  S.spawn("n", [&] {
+    S.sleep(msec(2)); // Scheduled before the waiter's timeout fires.
+    Q.notifyOne();
+  });
+  S.spawn("w", [&] {
+    S.sleep(msec(1)); // Hmm: wait starts at 1ms, times out at 3ms.
+    Notified = Q.waitFor(msec(2));
+  });
+  S.run();
+  EXPECT_TRUE(Notified);
+}
+
+TEST(SimMore, LiveProcessCountTracksLifecycles) {
+  Simulation S;
+  WaitQueue Q(S);
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+  auto P1 = S.spawn("p1", [&] { Q.wait(); });
+  auto P2 = S.spawn("p2", [] {});
+  S.run();
+  EXPECT_EQ(S.liveProcessCount(), 1u); // P1 blocked, P2 done.
+  S.kill(P1);
+  S.run();
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+  (void)P2;
+}
+
+TEST(SimMore, ManySimultaneousTimersFireInScheduleOrder) {
+  Simulation S;
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    S.schedule(msec(1), [&, I] { Order.push_back(I); });
+  S.run();
+  ASSERT_EQ(Order.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[static_cast<size_t>(I)], I);
+}
+
+TEST(SimMutexMore, KilledWaiterDoesNotInheritTheLock) {
+  Simulation S;
+  SimMutex M(S);
+  bool ThirdGotLock = false;
+  auto Holder = S.spawn("holder", [&] {
+    SimMutex::Guard G(M);
+    S.sleep(msec(5));
+  });
+  auto Waiter = S.spawn("waiter", [&] {
+    S.sleep(msec(1));
+    SimMutex::Guard G(M); // Killed while waiting here.
+    FAIL() << "killed waiter must not acquire";
+  });
+  S.spawn("third", [&] {
+    S.sleep(msec(2));
+    S.kill(Waiter);
+    SimMutex::Guard G(M); // Gets the lock when the holder releases.
+    ThirdGotLock = true;
+    EXPECT_EQ(S.now(), msec(5));
+  });
+  S.run();
+  EXPECT_TRUE(ThirdGotLock);
+  (void)Holder;
+}
+
+} // namespace

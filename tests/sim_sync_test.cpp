@@ -1,0 +1,226 @@
+//===- sim_sync_test.cpp - SimMutex/SimCondVar unit tests -----------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/sim/Sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace promises::sim;
+
+namespace {
+
+TEST(SimMutex, UncontendedLockUnlock) {
+  Simulation S;
+  SimMutex M(S);
+  bool Done = false;
+  S.spawn("p", [&] {
+    M.lock();
+    EXPECT_TRUE(M.heldByCurrent());
+    M.unlock();
+    EXPECT_FALSE(M.heldByCurrent());
+    Done = true;
+  });
+  S.run();
+  EXPECT_TRUE(Done);
+}
+
+TEST(SimMutex, ContendedLockBlocksUntilRelease) {
+  Simulation S;
+  SimMutex M(S);
+  std::vector<int> Order;
+  S.spawn("holder", [&] {
+    M.lock();
+    Order.push_back(1);
+    S.sleep(msec(5));
+    Order.push_back(2);
+    M.unlock();
+  });
+  S.spawn("waiter", [&] {
+    S.sleep(msec(1));
+    M.lock();
+    Order.push_back(3);
+    EXPECT_EQ(S.now(), msec(5));
+    M.unlock();
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimMutex, TryLockFailsWhenHeld) {
+  Simulation S;
+  SimMutex M(S);
+  S.spawn("holder", [&] {
+    M.lock();
+    S.sleep(msec(5));
+    M.unlock();
+  });
+  S.spawn("trier", [&] {
+    S.sleep(msec(1));
+    EXPECT_FALSE(M.tryLock());
+    S.sleep(msec(10));
+    EXPECT_TRUE(M.tryLock());
+    M.unlock();
+  });
+  S.run();
+}
+
+TEST(SimMutex, GuardReleasesOnScopeExit) {
+  Simulation S;
+  SimMutex M(S);
+  S.spawn("p", [&] {
+    {
+      SimMutex::Guard G(M);
+      EXPECT_TRUE(M.heldByCurrent());
+    }
+    EXPECT_FALSE(M.heldByCurrent());
+  });
+  S.run();
+}
+
+TEST(SimMutex, FifoHandoffAmongWaiters) {
+  Simulation S;
+  SimMutex M(S);
+  std::vector<int> Order;
+  S.spawn("holder", [&] {
+    M.lock();
+    S.sleep(msec(5));
+    M.unlock();
+  });
+  for (int I = 0; I < 3; ++I)
+    S.spawn("w", [&, I] {
+      S.sleep(msec(1 + static_cast<uint64_t>(I)));
+      SimMutex::Guard G(M);
+      Order.push_back(I);
+    });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimCondVar, WaitWakesOnNotify) {
+  Simulation S;
+  SimMutex M(S);
+  SimCondVar Cv(S);
+  bool Flag = false;
+  bool SawFlag = false;
+  S.spawn("waiter", [&] {
+    SimMutex::Guard G(M);
+    while (!Flag)
+      Cv.wait(M);
+    SawFlag = true;
+    EXPECT_TRUE(M.heldByCurrent()); // Relocked after wait.
+  });
+  S.spawn("setter", [&] {
+    S.sleep(msec(1));
+    SimMutex::Guard G(M);
+    Flag = true;
+    Cv.notifyOne();
+  });
+  S.run();
+  EXPECT_TRUE(SawFlag);
+}
+
+TEST(SimCondVar, NotifyAllWakesAllWaiters) {
+  Simulation S;
+  SimMutex M(S);
+  SimCondVar Cv(S);
+  bool Go = false;
+  int Woken = 0;
+  for (int I = 0; I < 4; ++I)
+    S.spawn("w", [&] {
+      SimMutex::Guard G(M);
+      while (!Go)
+        Cv.wait(M);
+      ++Woken;
+    });
+  S.spawn("setter", [&] {
+    S.sleep(msec(1));
+    SimMutex::Guard G(M);
+    Go = true;
+    Cv.notifyAll();
+  });
+  S.run();
+  EXPECT_EQ(Woken, 4);
+}
+
+TEST(SimCondVar, WaitForTimesOutAndRelocks) {
+  Simulation S;
+  SimMutex M(S);
+  SimCondVar Cv(S);
+  S.spawn("w", [&] {
+    SimMutex::Guard G(M);
+    EXPECT_FALSE(Cv.waitFor(M, msec(2)));
+    EXPECT_TRUE(M.heldByCurrent());
+    EXPECT_EQ(S.now(), msec(2));
+  });
+  S.run();
+}
+
+TEST(SimCondVar, KilledWaiterRelocksBeforeUnwinding) {
+  // A process killed while in Cv.wait must reacquire the mutex so its
+  // scoped guard can release it during unwind; afterwards the mutex must
+  // be free for others.
+  Simulation S;
+  SimMutex M(S);
+  SimCondVar Cv(S);
+  ProcessHandle Victim;
+  Victim = S.spawn("victim", [&] {
+    SimMutex::Guard G(M);
+    for (;;)
+      Cv.wait(M);
+  });
+  bool OtherGotLock = false;
+  S.spawn("killer", [&] {
+    S.sleep(msec(1));
+    S.kill(Victim);
+    S.join(Victim);
+    SimMutex::Guard G(M);
+    OtherGotLock = true;
+  });
+  S.run();
+  EXPECT_TRUE(Victim->finished());
+  EXPECT_TRUE(OtherGotLock);
+}
+
+TEST(SimCondVar, MonitorStyleBoundedBuffer) {
+  // A classic monitor (paper: queues "can be implemented using ...
+  // monitors"): producer/consumer over a bounded buffer.
+  Simulation S;
+  SimMutex M(S);
+  SimCondVar NotFull(S), NotEmpty(S);
+  std::vector<int> Buf;
+  const size_t Cap = 3;
+  std::vector<int> Consumed;
+
+  S.spawn("producer", [&] {
+    for (int I = 0; I < 10; ++I) {
+      SimMutex::Guard G(M);
+      while (Buf.size() == Cap)
+        NotFull.wait(M);
+      Buf.push_back(I);
+      NotEmpty.notifyOne();
+    }
+  });
+  S.spawn("consumer", [&] {
+    for (int I = 0; I < 10; ++I) {
+      SimMutex::Guard G(M);
+      while (Buf.empty())
+        NotEmpty.wait(M);
+      Consumed.push_back(Buf.front());
+      Buf.erase(Buf.begin());
+      NotFull.notifyOne();
+      // Slow consumer forces the producer to block on NotFull.
+      S.sleep(usec(10));
+    }
+  });
+  S.run();
+  ASSERT_EQ(Consumed.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Consumed[static_cast<size_t>(I)], I);
+}
+
+} // namespace

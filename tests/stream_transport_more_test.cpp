@@ -1,0 +1,282 @@
+//===- stream_transport_more_test.cpp - Transport edge cases --------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Second transport suite: protocol details beyond the basics — ack/probe
+// traffic, delta reply batches, incarnation filtering, and counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/stream/StreamTransport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace promises;
+using namespace promises::stream;
+using namespace promises::sim;
+
+namespace {
+
+wire::Bytes bytesOf(uint32_t V) {
+  wire::Encoder E;
+  E.writeU32(V);
+  return E.take();
+}
+
+struct Fixture : ::testing::Test {
+  Simulation S;
+  net::NetConfig NC;
+  StreamConfig SC;
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<StreamTransport> Client, Server;
+  net::NodeId CN = 0, SN = 0;
+
+  /// Calls held for manual completion.
+  std::vector<IncomingCall> Held;
+
+  void build(bool HoldCalls = false) {
+    Net = std::make_unique<net::Network>(S, NC);
+    CN = Net->addNode("client");
+    SN = Net->addNode("server");
+    Client = std::make_unique<StreamTransport>(*Net, CN, SC);
+    Server = std::make_unique<StreamTransport>(*Net, SN, SC);
+    if (HoldCalls) {
+      Server->setCallSink(
+          [this](IncomingCall IC) { Held.push_back(std::move(IC)); });
+    } else {
+      Server->setCallSink([](IncomingCall IC) {
+        IC.Complete(ReplyStatus::Normal, 0, IC.Args, "");
+      });
+    }
+  }
+};
+
+TEST_F(Fixture, SenderAcksRepliesSoTheReceiverTrims) {
+  build();
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(1), false, false,
+                    [&](const ReplyOutcome &) { ++Got; });
+  Client->flush(A, Server->address(), 1);
+  S.run();
+  EXPECT_EQ(Got, 1);
+  // After quiescence an ack-only batch must have flowed (the reply was
+  // consumed and the receiver told about it).
+  EXPECT_GE(Client->counters().AckBatchesSent, 1u);
+}
+
+TEST_F(Fixture, ProbesFireOnlyWhenRepliesStall) {
+  // A server that never completes: delivery acks flow, but fulfillment
+  // stalls, so the sender probes — and breaks after the retry budget.
+  SC.RetransmitTimeout = msec(15);
+  SC.MaxRetries = 4;
+  build(/*HoldCalls=*/true);
+  AgentId A = Client->newAgent();
+  std::vector<ReplyOutcome::Kind> Out;
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(1), false, false,
+                    [&](const ReplyOutcome &O) { Out.push_back(O.K); });
+  Client->flush(A, Server->address(), 1);
+  S.run();
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], ReplyOutcome::Kind::Unavailable);
+  EXPECT_GE(Client->counters().Probes, 1u);
+  // Calls were delivered (acked), so these are probes, not retransmits.
+  EXPECT_EQ(Client->counters().Retransmissions, 0u);
+  EXPECT_EQ(Held.size(), 1u);
+}
+
+TEST_F(Fixture, NoProbesWhileProgressFlows) {
+  // Slow-but-steady completion: the retransmit timer sees progress every
+  // round and neither probes nor retransmits.
+  SC.RetransmitTimeout = msec(8);
+  build(/*HoldCalls=*/true);
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  for (uint32_t I = 0; I < 6; ++I)
+    Client->issueCall(A, Server->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++Got; });
+  Client->flush(A, Server->address(), 1);
+  // Complete one held call every 5ms (faster than the retry budget).
+  S.spawn("server-worker", [&] {
+    for (int I = 0; I < 6; ++I) {
+      while (Held.size() <= static_cast<size_t>(I))
+        S.sleep(msec(1));
+      S.sleep(msec(5));
+      Held[static_cast<size_t>(I)].Complete(ReplyStatus::Normal, 0, {}, "");
+    }
+  });
+  S.run();
+  EXPECT_EQ(Got, 6);
+  EXPECT_EQ(Client->counters().Probes, 0u);
+  EXPECT_EQ(Client->counters().Retransmissions, 0u);
+  EXPECT_FALSE(Client->isBroken(A, Server->address(), 1));
+}
+
+TEST_F(Fixture, DeltaReplyBatchesDoNotResendOldReplies) {
+  // With clean links, the bytes on the wire stay linear in call count:
+  // each explicit reply is transmitted exactly once.
+  SC.MaxBatchCalls = 4;
+  SC.MaxReplyBatch = 4;
+  build();
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  for (uint32_t I = 0; I < 64; ++I)
+    Client->issueCall(A, Server->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++Got; });
+  Client->flush(A, Server->address(), 1);
+  S.run();
+  EXPECT_EQ(Got, 64);
+  // Each reply ~21 bytes on the wire; allow generous framing overhead.
+  // The state-shaped alternative would send O(N^2/batch) reply bytes.
+  EXPECT_LT(Net->counters().BytesSent, 64u * 120u);
+}
+
+TEST_F(Fixture, RepliesFromOldIncarnationAreDropped) {
+  build(/*HoldCalls=*/true);
+  AgentId A = Client->newAgent();
+  std::vector<ReplyOutcome::Kind> Out;
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(1), false, false,
+                    [&](const ReplyOutcome &O) { Out.push_back(O.K); });
+  Client->flush(A, Server->address(), 1);
+  S.runFor(msec(10)); // Call delivered and held.
+  ASSERT_EQ(Held.size(), 1u);
+  // Restart: the outstanding call resolves unavailable; a new call goes
+  // out on incarnation 2.
+  Client->restart(A, Server->address(), 1);
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(2), false, false,
+                    [&](const ReplyOutcome &O) { Out.push_back(O.K); });
+  Client->flush(A, Server->address(), 1);
+  S.runFor(msec(10));
+  // NOW the old incarnation's held call completes; its reply batch must
+  // be ignored by the sender (stale incarnation), not fulfil call 1 of
+  // incarnation 2.
+  Held[0].Complete(ReplyStatus::Normal, 0, bytesOf(1), "");
+  S.runFor(msec(10));
+  ASSERT_EQ(Out.size(), 1u); // Only the restart-unavailable so far.
+  EXPECT_EQ(Out[0], ReplyOutcome::Kind::Unavailable);
+  // The second call is still outstanding, awaiting the *new* stream's
+  // execution (held in Held[1] eventually).
+  ASSERT_GE(Held.size(), 2u);
+  Held[1].Complete(ReplyStatus::Normal, 0, bytesOf(2), "");
+  S.run();
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[1], ReplyOutcome::Kind::Normal);
+}
+
+TEST_F(Fixture, ByteBasedBatchingCountsPayloads) {
+  SC.MaxBatchCalls = 1000;
+  SC.MaxBatchBytes = 100;
+  SC.FlushInterval = sec(10);
+  build();
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  // 30-byte payloads: transmits roughly every 4 calls.
+  for (uint32_t I = 0; I < 12; ++I) {
+    wire::Encoder E;
+    for (int B = 0; B < 30; ++B)
+      E.writeU8(static_cast<uint8_t>(B));
+    Client->issueCall(A, Server->address(), 1, 1, E.take(), false, false,
+                      [&](const ReplyOutcome &) { ++Got; });
+  }
+  S.run();
+  EXPECT_EQ(Got, 12);
+  EXPECT_GE(Client->counters().CallBatchesSent, 3u);
+}
+
+TEST_F(Fixture, SynchOnFreshStreamReturnsImmediately) {
+  build();
+  AgentId A = Client->newAgent();
+  SynchOutcome SO;
+  Time Took = 0;
+  S.spawn("p", [&] {
+    Time T0 = S.now();
+    SO = Client->synch(A, Server->address(), 1);
+    Took = S.now() - T0;
+  });
+  S.run();
+  EXPECT_EQ(SO.S, SynchOutcome::Status::AllNormal);
+  EXPECT_EQ(Took, 0u);
+}
+
+TEST_F(Fixture, FlushOnUnknownStreamIsNoop) {
+  build();
+  Client->flush(Client->newAgent(), Server->address(), 1);
+  S.run();
+  EXPECT_EQ(Net->counters().DatagramsSent, 0u);
+}
+
+TEST_F(Fixture, MalformedDatagramsAreIgnored) {
+  build();
+  // Raw garbage straight at the transport's address.
+  net::Address From = Net->bind(CN, [](net::Datagram) {});
+  Net->send(From, Server->address(), wire::Bytes{0xde, 0xad, 0xbe, 0xef});
+  Net->send(From, Server->address(), wire::Bytes{});
+  S.run();
+  EXPECT_EQ(Server->receiverStreamCount(), 0u);
+}
+
+TEST_F(Fixture, CountersTellAConsistentStory) {
+  build();
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  for (uint32_t I = 0; I < 20; ++I)
+    Client->issueCall(A, Server->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++Got; });
+  Client->flush(A, Server->address(), 1);
+  S.run();
+  const StreamCounters &C = Client->counters();
+  const StreamCounters &Sv = Server->counters();
+  EXPECT_EQ(C.CallsIssued, 20u);
+  EXPECT_EQ(Sv.CallsDelivered, 20u);
+  EXPECT_EQ(Sv.DuplicateCallsDropped, 0u);
+  EXPECT_EQ(C.SenderBreaks, 0u);
+  EXPECT_EQ(Sv.ReceiverBreaks, 0u);
+  EXPECT_EQ(C.Restarts, 0u);
+  EXPECT_GT(C.CallBatchesSent, 0u);
+  EXPECT_GT(Sv.ReplyBatchesSent, 0u);
+  EXPECT_EQ(Got, 20);
+}
+
+TEST_F(Fixture, SynchDoesNotHangOnTransportShutdown) {
+  build(/*HoldCalls=*/true); // Server never completes.
+  AgentId A = Client->newAgent();
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(1), false, false,
+                    /*OnReply=*/nullptr);
+  SynchOutcome SO;
+  bool Returned = false;
+  S.spawn("syncher", [&] {
+    SO = Client->synch(A, Server->address(), 1);
+    Returned = true;
+  });
+  S.schedule(msec(5), [&] { Client->shutdown(); });
+  S.runFor(msec(100));
+  ASSERT_TRUE(Returned) << "synch hung on a dead transport";
+  EXPECT_EQ(SO.S, SynchOutcome::Status::Unavailable);
+  EXPECT_EQ(SO.Reason, "transport shut down");
+}
+
+TEST_F(Fixture, TwoTransportsCanTalkInBothDirections) {
+  // Full duplex: each side is sender and receiver at once.
+  build();
+  Client->setCallSink([](IncomingCall IC) {
+    IC.Complete(ReplyStatus::Normal, 0, IC.Args, "");
+  });
+  int GotAtClient = 0, GotAtServer = 0;
+  AgentId CA = Client->newAgent();
+  AgentId SA = Server->newAgent();
+  for (uint32_t I = 0; I < 10; ++I) {
+    Client->issueCall(CA, Server->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++GotAtClient; });
+    Server->issueCall(SA, Client->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++GotAtServer; });
+  }
+  Client->flush(CA, Server->address(), 1);
+  Server->flush(SA, Client->address(), 1);
+  S.run();
+  EXPECT_EQ(GotAtClient, 10);
+  EXPECT_EQ(GotAtServer, 10);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- support_trace_test.cpp - Trace facility tests ----------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/support/Trace.h"
+
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct TraceCapture {
+  std::vector<std::string> Lines;
+  TraceCapture() {
+    setTraceSink([this](const std::string &L) { Lines.push_back(L); });
+  }
+  ~TraceCapture() { setTraceSink(nullptr); }
+  bool contains(const std::string &Needle) const {
+    for (const auto &L : Lines)
+      if (L.find(Needle) != std::string::npos)
+        return true;
+    return false;
+  }
+};
+
+TEST(Trace, DisabledByDefault) {
+  // No sink, no env var (the test runner does not set PROMISES_TRACE).
+  EXPECT_FALSE(traceEnabled());
+  tracef("should vanish %d", 1); // Must be a no-op, not a crash.
+}
+
+TEST(Trace, SinkReceivesFormattedLines) {
+  TraceCapture Cap;
+  EXPECT_TRUE(traceEnabled());
+  tracef("hello %s %d", "world", 42);
+  ASSERT_EQ(Cap.Lines.size(), 1u);
+  EXPECT_EQ(Cap.Lines[0], "hello world 42");
+}
+
+TEST(Trace, TransportEmitsLifecycleEvents) {
+  TraceCapture Cap;
+  Simulation S;
+  net::Network Net(S, net::NetConfig{});
+  net::NodeId SN = Net.addNode("s");
+  GuardianConfig GC;
+  GC.Stream.RetransmitTimeout = msec(10);
+  GC.Stream.MaxRetries = 1;
+  Guardian Server(Net, SN, "s", GC);
+  Guardian Client(Net, Net.addNode("c"), "c", GC);
+  auto Echo = Server.addHandler<int32_t(int32_t)>(
+      "echo", [](int32_t V) -> Outcome<int32_t> { return V; });
+  Client.spawnProcess("main", [&] {
+    auto H = bindHandler(Client, Client.newAgent(), Echo);
+    H.call(int32_t(1));             // issue + tx + reply events.
+    Net.crash(SN);                  // Later calls break the stream.
+    H.streamCall(int32_t(2));
+    H.flush();
+    S.sleep(msec(100));
+  });
+  S.run();
+  EXPECT_TRUE(Cap.contains("issue"));
+  EXPECT_TRUE(Cap.contains("tx call-batch"));
+  EXPECT_TRUE(Cap.contains("tx reply-batch"));
+  EXPECT_TRUE(Cap.contains("break sender"));
+}
+
+TEST(Trace, SinkRemovalStopsDelivery) {
+  auto Cap = std::make_unique<TraceCapture>();
+  tracef("one");
+  EXPECT_EQ(Cap->Lines.size(), 1u);
+  Cap.reset(); // Uninstalls.
+  tracef("two");
+  EXPECT_FALSE(traceEnabled());
+}
+
+} // namespace

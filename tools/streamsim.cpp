@@ -1,0 +1,202 @@
+//===- streamsim.cpp - Interactive call-stream workload explorer -----------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// A command-line harness around the simulator: run a configurable
+// client/server workload and print the transport-level outcome. Useful
+// for exploring the design space beyond the canned benchmarks, e.g.
+//
+//   streamsim --calls 1000 --mode stream --batch 32 --loss 0.2
+//   streamsim --calls 100 --mode rpc --service-us 500
+//   PROMISES_TRACE=1 streamsim --calls 4 --mode stream
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/apps/KvStore.h"
+#include "promises/runtime/RemoteHandler.h"
+#include "promises/support/StrUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+
+namespace {
+
+struct Options {
+  int Calls = 256;
+  std::string Mode = "stream"; // stream | rpc | send
+  size_t Batch = 16;
+  size_t PayloadBytes = 16;
+  uint64_t ServiceUs = 100;
+  double Loss = 0.0;
+  double Dup = 0.0;
+  uint64_t JitterUs = 0;
+  uint64_t Seed = 1;
+  uint64_t CrashAtMs = 0; ///< 0 = never.
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --calls N         number of calls (default 256)\n"
+      "  --mode M          stream | rpc | send (default stream)\n"
+      "  --batch B         calls per batch (default 16)\n"
+      "  --payload BYTES   argument size (default 16)\n"
+      "  --service-us T    server service time per call (default 100)\n"
+      "  --loss P          datagram loss probability (default 0)\n"
+      "  --dup P           datagram duplication probability (default 0)\n"
+      "  --jitter-us T     max extra delivery delay (default 0)\n"
+      "  --seed S          fault RNG seed (default 1)\n"
+      "  --crash-at-ms T   crash the server at virtual time T (default "
+      "never)\n"
+      "set PROMISES_TRACE=1 for a transport event trace\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    auto Need = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    const char *A = Argv[I];
+    const char *V = nullptr;
+    if (!std::strcmp(A, "--calls") && (V = Need(A)))
+      O.Calls = std::atoi(V);
+    else if (!std::strcmp(A, "--mode") && (V = Need(A)))
+      O.Mode = V;
+    else if (!std::strcmp(A, "--batch") && (V = Need(A)))
+      O.Batch = static_cast<size_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--payload") && (V = Need(A)))
+      O.PayloadBytes = static_cast<size_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--service-us") && (V = Need(A)))
+      O.ServiceUs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--loss") && (V = Need(A)))
+      O.Loss = std::atof(V);
+    else if (!std::strcmp(A, "--dup") && (V = Need(A)))
+      O.Dup = std::atof(V);
+    else if (!std::strcmp(A, "--jitter-us") && (V = Need(A)))
+      O.JitterUs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--seed") && (V = Need(A)))
+      O.Seed = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--crash-at-ms") && (V = Need(A)))
+      O.CrashAtMs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage(Argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", A);
+      usage(Argv[0]);
+      return false;
+    }
+    if (!V && std::strcmp(A, "--help") && std::strcmp(A, "-h"))
+      return false;
+  }
+  if (O.Mode != "stream" && O.Mode != "rpc" && O.Mode != "send") {
+    std::fprintf(stderr, "error: bad --mode '%s'\n", O.Mode.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+
+  sim::Simulation S;
+  net::NetConfig NC;
+  NC.LossRate = O.Loss;
+  NC.DupRate = O.Dup;
+  NC.JitterMax = sim::usec(O.JitterUs);
+  NC.Seed = O.Seed;
+  net::Network Net(S, NC);
+
+  GuardianConfig GC;
+  GC.Stream.MaxBatchCalls = O.Batch;
+  GC.Stream.MaxReplyBatch = O.Batch;
+  net::NodeId SN = Net.addNode("server");
+  Guardian Server(Net, SN, "server", GC);
+  Guardian Client(Net, Net.addNode("client"), "client", GC);
+  apps::KvStoreConfig KC;
+  KC.ServiceTime = sim::usec(O.ServiceUs);
+  apps::KvStore Kv = apps::installKvStore(Server, KC);
+
+  if (O.CrashAtMs != 0)
+    S.schedule(sim::msec(O.CrashAtMs), [&] { Net.crash(SN); });
+
+  int Normal = 0, Unavail = 0, Failed = 0;
+  Client.spawnProcess("driver", [&] {
+    auto H = bindHandler(Client, Client.newAgent(), Kv.Echo);
+    std::string Payload(O.PayloadBytes, 'x');
+    if (O.Mode == "rpc") {
+      for (int I = 0; I < O.Calls; ++I) {
+        auto Out = H.call(Payload);
+        (Out.isNormal()         ? Normal
+         : Out.is<Unavailable>() ? Unavail
+                                 : Failed)++;
+      }
+      return;
+    }
+    if (O.Mode == "send") {
+      for (int I = 0; I < O.Calls; ++I)
+        H.send(Payload);
+      auto R = H.synch();
+      Normal = R.ok() ? O.Calls : 0;
+      return;
+    }
+    std::vector<Promise<std::string>> Ps;
+    for (int I = 0; I < O.Calls; ++I)
+      Ps.push_back(H.streamCall(Payload));
+    H.flush();
+    for (auto &P : Ps) {
+      const auto &Out = P.claim();
+      (Out.isNormal()          ? Normal
+       : Out.is<Unavailable>() ? Unavail
+                               : Failed)++;
+    }
+  });
+  S.run();
+
+  const auto &NetC = Net.counters();
+  const auto &TC = Client.transport().counters();
+  double Secs = static_cast<double>(S.now()) / 1e9;
+  std::printf("mode=%s calls=%d batch=%zu payload=%zuB service=%lluus "
+              "loss=%.2f dup=%.2f jitter=%lluus seed=%llu\n",
+              O.Mode.c_str(), O.Calls, O.Batch, O.PayloadBytes,
+              static_cast<unsigned long long>(O.ServiceUs), O.Loss, O.Dup,
+              static_cast<unsigned long long>(O.JitterUs),
+              static_cast<unsigned long long>(O.Seed));
+  std::printf("  virtual time     %s\n", formatDuration(S.now()).c_str());
+  if (Secs > 0)
+    std::printf("  throughput       %.0f calls/s\n",
+                static_cast<double>(O.Calls) / Secs);
+  std::printf("  outcomes         %d normal, %d unavailable, %d failure\n",
+              Normal, Unavail, Failed);
+  std::printf("  datagrams        %llu sent, %llu delivered, %llu dropped\n",
+              static_cast<unsigned long long>(NetC.DatagramsSent),
+              static_cast<unsigned long long>(NetC.DatagramsDelivered),
+              static_cast<unsigned long long>(NetC.DatagramsDropped));
+  std::printf("  wire bytes       %llu\n",
+              static_cast<unsigned long long>(NetC.BytesSent));
+  std::printf("  call batches     %llu (+%llu acks/probes), retrans %llu, "
+              "breaks %llu, restarts %llu\n",
+              static_cast<unsigned long long>(TC.CallBatchesSent),
+              static_cast<unsigned long long>(TC.AckBatchesSent),
+              static_cast<unsigned long long>(TC.Retransmissions),
+              static_cast<unsigned long long>(TC.SenderBreaks),
+              static_cast<unsigned long long>(TC.Restarts));
+  return Normal + Unavail + Failed == O.Calls || O.Mode == "send" ? 0 : 1;
+}
