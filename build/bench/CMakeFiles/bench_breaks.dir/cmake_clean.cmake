@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breaks.dir/bench_breaks.cpp.o"
+  "CMakeFiles/bench_breaks.dir/bench_breaks.cpp.o.d"
+  "bench_breaks"
+  "bench_breaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flush_synch.dir/bench_flush_synch.cpp.o"
+  "CMakeFiles/bench_flush_synch.dir/bench_flush_synch.cpp.o.d"
+  "bench_flush_synch"
+  "bench_flush_synch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush_synch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

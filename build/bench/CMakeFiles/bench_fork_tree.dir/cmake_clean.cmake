@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fork_tree.dir/bench_fork_tree.cpp.o"
+  "CMakeFiles/bench_fork_tree.dir/bench_fork_tree.cpp.o.d"
+  "bench_fork_tree"
+  "bench_fork_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fork_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grades.dir/bench_grades.cpp.o"
+  "CMakeFiles/bench_grades.dir/bench_grades.cpp.o.d"
+  "bench_grades"
+  "bench_grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

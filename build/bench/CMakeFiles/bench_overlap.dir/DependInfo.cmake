@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_overlap.cpp" "bench/CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o" "gcc" "bench/CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/promises_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/promises_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/actions/CMakeFiles/promises_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/promises_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/promises_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/promises_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/promises_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/promises_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/promises_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_per_item.dir/bench_per_item.cpp.o"
+  "CMakeFiles/bench_per_item.dir/bench_per_item.cpp.o.d"
+  "bench_per_item"
+  "bench_per_item.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_per_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

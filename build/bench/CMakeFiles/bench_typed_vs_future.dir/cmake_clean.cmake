@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typed_vs_future.dir/bench_typed_vs_future.cpp.o"
+  "CMakeFiles/bench_typed_vs_future.dir/bench_typed_vs_future.cpp.o.d"
+  "bench_typed_vs_future"
+  "bench_typed_vs_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typed_vs_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

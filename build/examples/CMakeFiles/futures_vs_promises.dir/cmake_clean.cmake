@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futures_vs_promises.dir/futures_vs_promises.cpp.o"
+  "CMakeFiles/futures_vs_promises.dir/futures_vs_promises.cpp.o.d"
+  "futures_vs_promises"
+  "futures_vs_promises.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futures_vs_promises.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for futures_vs_promises.
+# This may be replaced when dependencies are built.

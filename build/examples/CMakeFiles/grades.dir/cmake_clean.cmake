@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grades.dir/grades.cpp.o"
+  "CMakeFiles/grades.dir/grades.cpp.o.d"
+  "grades"
+  "grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

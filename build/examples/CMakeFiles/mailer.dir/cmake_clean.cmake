@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailer.dir/mailer.cpp.o"
+  "CMakeFiles/mailer.dir/mailer.cpp.o.d"
+  "mailer"
+  "mailer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

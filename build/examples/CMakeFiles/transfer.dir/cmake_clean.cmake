@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer.dir/transfer.cpp.o"
+  "CMakeFiles/transfer.dir/transfer.cpp.o.d"
+  "transfer"
+  "transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windows.dir/windows.cpp.o"
+  "CMakeFiles/windows.dir/windows.cpp.o.d"
+  "windows"
+  "windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for windows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grades "/root/repo/build/examples/grades")
+set_tests_properties(example_grades PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline "/root/repo/build/examples/pipeline")
+set_tests_properties(example_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mailer "/root/repo/build/examples/mailer")
+set_tests_properties(example_mailer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_windows "/root/repo/build/examples/windows")
+set_tests_properties(example_windows PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transfer "/root/repo/build/examples/transfer")
+set_tests_properties(example_transfer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;promises_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_futures_vs_promises "/root/repo/build/examples/futures_vs_promises")
+set_tests_properties(example_futures_vs_promises PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;promises_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_actions.dir/Action.cpp.o"
+  "CMakeFiles/promises_actions.dir/Action.cpp.o.d"
+  "libpromises_actions.a"
+  "libpromises_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

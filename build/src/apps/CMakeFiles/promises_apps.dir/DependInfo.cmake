@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/GradesDb.cpp" "src/apps/CMakeFiles/promises_apps.dir/GradesDb.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/GradesDb.cpp.o.d"
+  "/root/repo/src/apps/KvStore.cpp" "src/apps/CMakeFiles/promises_apps.dir/KvStore.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/KvStore.cpp.o.d"
+  "/root/repo/src/apps/Mailer.cpp" "src/apps/CMakeFiles/promises_apps.dir/Mailer.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/Mailer.cpp.o.d"
+  "/root/repo/src/apps/Printer.cpp" "src/apps/CMakeFiles/promises_apps.dir/Printer.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/Printer.cpp.o.d"
+  "/root/repo/src/apps/TwoPhase.cpp" "src/apps/CMakeFiles/promises_apps.dir/TwoPhase.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/TwoPhase.cpp.o.d"
+  "/root/repo/src/apps/WindowSystem.cpp" "src/apps/CMakeFiles/promises_apps.dir/WindowSystem.cpp.o" "gcc" "src/apps/CMakeFiles/promises_apps.dir/WindowSystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/promises_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/promises_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/promises_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/promises_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/promises_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/promises_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

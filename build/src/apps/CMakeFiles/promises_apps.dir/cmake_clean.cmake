@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_apps.dir/GradesDb.cpp.o"
+  "CMakeFiles/promises_apps.dir/GradesDb.cpp.o.d"
+  "CMakeFiles/promises_apps.dir/KvStore.cpp.o"
+  "CMakeFiles/promises_apps.dir/KvStore.cpp.o.d"
+  "CMakeFiles/promises_apps.dir/Mailer.cpp.o"
+  "CMakeFiles/promises_apps.dir/Mailer.cpp.o.d"
+  "CMakeFiles/promises_apps.dir/Printer.cpp.o"
+  "CMakeFiles/promises_apps.dir/Printer.cpp.o.d"
+  "CMakeFiles/promises_apps.dir/TwoPhase.cpp.o"
+  "CMakeFiles/promises_apps.dir/TwoPhase.cpp.o.d"
+  "CMakeFiles/promises_apps.dir/WindowSystem.cpp.o"
+  "CMakeFiles/promises_apps.dir/WindowSystem.cpp.o.d"
+  "libpromises_apps.a"
+  "libpromises_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_core.dir/Coenter.cpp.o"
+  "CMakeFiles/promises_core.dir/Coenter.cpp.o.d"
+  "libpromises_core.a"
+  "libpromises_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

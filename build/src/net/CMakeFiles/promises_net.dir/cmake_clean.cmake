@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_net.dir/Network.cpp.o"
+  "CMakeFiles/promises_net.dir/Network.cpp.o.d"
+  "libpromises_net.a"
+  "libpromises_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

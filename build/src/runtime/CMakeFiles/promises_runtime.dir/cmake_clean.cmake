@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_runtime.dir/Guardian.cpp.o"
+  "CMakeFiles/promises_runtime.dir/Guardian.cpp.o.d"
+  "libpromises_runtime.a"
+  "libpromises_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

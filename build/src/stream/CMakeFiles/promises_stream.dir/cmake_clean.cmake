@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_stream.dir/StreamTransport.cpp.o"
+  "CMakeFiles/promises_stream.dir/StreamTransport.cpp.o.d"
+  "libpromises_stream.a"
+  "libpromises_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/promises_support.dir/StrUtil.cpp.o.d"
+  "CMakeFiles/promises_support.dir/Trace.cpp.o"
+  "CMakeFiles/promises_support.dir/Trace.cpp.o.d"
+  "libpromises_support.a"
+  "libpromises_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/property_actions_test.cpp.o"
+  "CMakeFiles/property_test.dir/property_actions_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property_sim_test.cpp.o"
+  "CMakeFiles/property_test.dir/property_sim_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property_stream_test.cpp.o"
+  "CMakeFiles/property_test.dir/property_stream_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property_twophase_test.cpp.o"
+  "CMakeFiles/property_test.dir/property_twophase_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property_wire_test.cpp.o"
+  "CMakeFiles/property_test.dir/property_wire_test.cpp.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

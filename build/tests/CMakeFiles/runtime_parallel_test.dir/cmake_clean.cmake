@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_parallel_test.dir/runtime_parallel_test.cpp.o"
+  "CMakeFiles/runtime_parallel_test.dir/runtime_parallel_test.cpp.o.d"
+  "runtime_parallel_test"
+  "runtime_parallel_test.pdb"
+  "runtime_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

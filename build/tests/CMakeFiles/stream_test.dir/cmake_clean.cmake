@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_test.dir/stream_transport_more_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream_transport_more_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream_transport_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream_transport_test.cpp.o.d"
+  "stream_test"
+  "stream_test.pdb"
+  "stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

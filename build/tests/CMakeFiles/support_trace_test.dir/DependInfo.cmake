@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support_trace_test.cpp" "tests/CMakeFiles/support_trace_test.dir/support_trace_test.cpp.o" "gcc" "tests/CMakeFiles/support_trace_test.dir/support_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/promises_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/promises_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/promises_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/promises_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/promises_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/promises_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_trace_test.dir/support_trace_test.cpp.o"
+  "CMakeFiles/support_trace_test.dir/support_trace_test.cpp.o.d"
+  "support_trace_test"
+  "support_trace_test.pdb"
+  "support_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim.dir/streamsim.cpp.o"
+  "CMakeFiles/streamsim.dir/streamsim.cpp.o.d"
+  "streamsim"
+  "streamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_streamsim_stream "/root/repo/build/tools/streamsim" "--calls" "64" "--mode" "stream" "--loss" "0.2")
+set_tests_properties(tool_streamsim_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_streamsim_rpc "/root/repo/build/tools/streamsim" "--calls" "16" "--mode" "rpc")
+set_tests_properties(tool_streamsim_rpc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_streamsim_send "/root/repo/build/tools/streamsim" "--calls" "32" "--mode" "send")
+set_tests_properties(tool_streamsim_send PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_streamsim_crash "/root/repo/build/tools/streamsim" "--calls" "64" "--mode" "stream" "--crash-at-ms" "2")
+set_tests_properties(tool_streamsim_crash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
