@@ -25,7 +25,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 namespace promises::benchutil {
 
@@ -56,6 +58,25 @@ inline void reportVirtual(benchmark::State &State, sim::Time Elapsed,
     State.counters["calls_s"] =
         static_cast<double>(Calls) / (static_cast<double>(Elapsed) / 1e9);
   State.counters["dgrams"] = static_cast<double>(NC.DatagramsSent);
+}
+
+/// Exports the simulation's observability state when PROMISES_METRICS_DIR
+/// is set: `<dir>/<Name>.metrics.jsonl` (all instruments + events) and
+/// `<dir>/<Name>.trace.json` (chrome://tracing). No-op otherwise, so
+/// benchmark timing is unaffected by default.
+inline void exportObservability(const std::string &Name,
+                                sim::Simulation &S) {
+  const char *Dir = std::getenv("PROMISES_METRICS_DIR");
+  if (!Dir || !Dir[0])
+    return;
+  const MetricsRegistry &Reg = S.metrics();
+  std::string Safe = Name; // Benchmark names contain '/' (args).
+  for (char &C : Safe)
+    if (C == '/' || C == ':')
+      C = '_';
+  std::string Base = std::string(Dir) + "/" + Safe;
+  Reg.writeJsonLinesFile(Base + ".metrics.jsonl");
+  Reg.writeChromeTraceFile(Base + ".trace.json");
 }
 
 } // namespace promises::benchutil

@@ -19,6 +19,7 @@
 #include "promises/actions/AtomicCell.h"
 #include "promises/apps/TwoPhase.h"
 #include "promises/core/Coenter.h"
+#include "promises/support/StrUtil.h"
 
 using namespace promises;
 using namespace promises::benchutil;
@@ -27,8 +28,9 @@ using namespace promises::runtime;
 
 namespace {
 
-void runPipelinedEchoes(benchmark::State &State, runtime::GuardianConfig GC,
-                        net::NetConfig NC, int N) {
+void runPipelinedEchoes(benchmark::State &State, const char *Tag,
+                        runtime::GuardianConfig GC, net::NetConfig NC,
+                        int N) {
   apps::KvStoreConfig KC;
   KC.ServiceTime = sim::usec(100);
   KvWorld W(NC, GC, KC);
@@ -46,6 +48,7 @@ void runPipelinedEchoes(benchmark::State &State, runtime::GuardianConfig GC,
                 W.Net->counters());
   State.counters["kbytes"] =
       static_cast<double>(W.Net->counters().BytesSent) / 1024.0;
+  exportObservability(strprintf("%s_n%d", Tag, N), W.S);
 }
 
 void BM_ReplyShape(benchmark::State &State) {
@@ -54,7 +57,7 @@ void BM_ReplyShape(benchmark::State &State) {
   for (auto _ : State) {
     runtime::GuardianConfig GC;
     GC.Stream.StateShapedReplies = StateShaped;
-    runPipelinedEchoes(State, GC, net::NetConfig(), N);
+    runPipelinedEchoes(State, "ablation_reply_shape", GC, net::NetConfig(), N);
   }
 }
 
@@ -63,7 +66,7 @@ void BM_AckDelay(benchmark::State &State) {
   for (auto _ : State) {
     runtime::GuardianConfig GC;
     GC.Stream.AckDelay = Delay;
-    runPipelinedEchoes(State, GC, net::NetConfig(), 512);
+    runPipelinedEchoes(State, "ablation_ack_delay", GC, net::NetConfig(), 512);
   }
 }
 
@@ -75,7 +78,7 @@ void BM_RetransTimeoutUnderLoss(benchmark::State &State) {
     net::NetConfig NC;
     NC.LossRate = 0.2;
     NC.Seed = 3;
-    runPipelinedEchoes(State, GC, NC, 256);
+    runPipelinedEchoes(State, "ablation_retrans", GC, NC, 256);
   }
 }
 

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "promises/support/StrUtil.h"
 
 using namespace promises;
 using namespace promises::benchutil;
@@ -47,6 +48,8 @@ void BM_BatchSweep(benchmark::State &State) {
     reportVirtual(State, W.S.now(), N, W.Net->counters());
     State.counters["bytes"] =
         static_cast<double>(W.Net->counters().BytesSent);
+    exportObservability(strprintf("batching_b%zu_p%zu", Batch, PayloadBytes),
+                        W.S);
   }
 }
 

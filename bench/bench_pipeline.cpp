@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "promises/core/Coenter.h"
 #include "promises/core/PromiseQueue.h"
 #include "promises/runtime/RemoteHandler.h"
@@ -78,6 +79,8 @@ void BM_Sequential(benchmark::State &State) {
     });
     W.S.run();
     State.counters["vms"] = sim::toMillis(W.S.now());
+    benchutil::exportObservability(
+        strprintf("pipeline_seq_n%d_l%d", N, Levels), W.S);
   }
 }
 
@@ -114,6 +117,8 @@ void BM_Composed(benchmark::State &State) {
     });
     W.S.run();
     State.counters["vms"] = sim::toMillis(W.S.now());
+    benchutil::exportObservability(
+        strprintf("pipeline_comp_n%d_l%d", N, Levels), W.S);
   }
 }
 

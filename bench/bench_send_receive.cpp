@@ -18,6 +18,7 @@
 
 #include "BenchUtil.h"
 #include "promises/baseline/SendReceive.h"
+#include "promises/support/StrUtil.h"
 
 using namespace promises;
 using namespace promises::baseline;
@@ -77,6 +78,7 @@ void BM_SendReceive(benchmark::State &State) {
     S.run();
     reportVirtual(State, S.now(), static_cast<uint64_t>(N),
                   Net.counters());
+    exportObservability(strprintf("send_receive_n%d", N), S);
   }
 }
 
@@ -99,6 +101,7 @@ void BM_StreamPromises(benchmark::State &State) {
     W.S.run();
     reportVirtual(State, W.S.now(), static_cast<uint64_t>(N),
                   W.Net->counters());
+    exportObservability(strprintf("stream_promises_n%d", N), W.S);
   }
 }
 
@@ -114,6 +117,7 @@ void BM_PlainRpc(benchmark::State &State) {
     W.S.run();
     reportVirtual(State, W.S.now(), static_cast<uint64_t>(N),
                   W.Net->counters());
+    exportObservability(strprintf("plain_rpc_n%d", N), W.S);
   }
 }
 

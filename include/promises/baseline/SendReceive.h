@@ -44,6 +44,9 @@ public:
   /// Binds a mailbox on \p Node.
   Mailbox(net::Network &Net, net::NodeId Node,
           stream::StreamConfig Cfg = stream::StreamConfig());
+  ~Mailbox();
+  Mailbox(const Mailbox &) = delete;
+  Mailbox &operator=(const Mailbox &) = delete;
 
   /// The address peers send to.
   net::Address address() const { return Transport->address(); }
@@ -71,6 +74,10 @@ private:
   static constexpr stream::PortId MsgPort = 1;
   static constexpr stream::GroupId MsgGroup = 1;
 
+  MetricsRegistry &Reg;
+  MetricLabels Labels;
+  Counter *MsgsSent = nullptr;
+  Counter *MsgsReceived = nullptr;
   std::unique_ptr<stream::StreamTransport> Transport;
   // A raw deque + wait queue rather than PromiseQueue: deliveries arrive
   // in scheduler context, where monitor-style primitives are off-limits.

@@ -74,12 +74,16 @@ struct NetConfig {
   uint64_t Seed = 1;
 };
 
-/// Message and byte counters, per node and network-wide.
+/// Message and byte counters, per node and network-wide. A thin value view
+/// assembled from the registry-backed cells (see support/Metrics.h); at
+/// quiescence DatagramsSent + DatagramsDuplicated ==
+/// DatagramsDelivered + DatagramsDropped.
 struct NetCounters {
-  uint64_t DatagramsSent = 0;
+  uint64_t DatagramsSent = 0;       ///< send() calls (copies not counted).
   uint64_t DatagramsDelivered = 0;
-  uint64_t DatagramsDropped = 0; ///< Loss, partition, crash, or no bind.
-  uint64_t BytesSent = 0;        ///< Includes per-datagram header bytes.
+  uint64_t DatagramsDropped = 0;    ///< Loss, partition, crash, or no bind.
+  uint64_t DatagramsDuplicated = 0; ///< Extra in-flight copies from DupRate.
+  uint64_t BytesSent = 0;           ///< Includes per-datagram header bytes.
 };
 
 /// The simulated network. Owns node state; endpoints are bound to
@@ -133,37 +137,63 @@ public:
 
   /// --- Introspection ---
 
-  const NetCounters &counters() const { return Totals; }
-  const NetCounters &counters(NodeId N) const;
+  /// Network-wide and per-node counter snapshots (thin views of the
+  /// registry cells; see simulation().metrics() for the registry itself).
+  NetCounters counters() const;
+  NetCounters counters(NodeId N) const;
 
   /// Virtual time at which a node's transmit path becomes free; the
   /// transmit backlog is max(0, txFreeAt - now).
   sim::Time txFreeAt(NodeId N) const;
 
 private:
+  /// Registry-backed counter cells behind one NetCounters view.
+  struct CounterCells {
+    Counter *Sent = nullptr;
+    Counter *Delivered = nullptr;
+    Counter *Dropped = nullptr;
+    Counter *Duplicated = nullptr;
+    Counter *Bytes = nullptr;
+    NetCounters view() const {
+      return {Sent->value(), Delivered->value(), Dropped->value(),
+              Duplicated->value(), Bytes->value()};
+    }
+  };
+
   struct Node {
     std::string Name;
     bool Up = true;
     sim::Time TxFreeAt = 0;
     sim::Time RxFreeAt = 0;
     uint32_t NextPort = 1;
-    NetCounters Counters;
+    CounterCells Counters;
     std::vector<std::function<void()>> CrashObservers;
+  };
+
+  /// Per-directed-link observability, created lazily while enabled.
+  struct LinkStats {
+    Counter *Drops = nullptr;
+    Histogram *LatencyUs = nullptr;
   };
 
   Node &node(NodeId N);
   const Node &node(NodeId N) const;
+  void registerCells(CounterCells &C, MetricLabels Labels);
   double lossBetween(NodeId A, NodeId B) const;
-  void arrive(Datagram D);
+  LinkStats &linkStats(NodeId From, NodeId To);
+  void countDrop(NodeId From, NodeId To);
+  void arrive(Datagram D, sim::Time SentAt);
 
   sim::Simulation &Sim;
+  MetricsRegistry &Reg;
   NetConfig Cfg;
   Rng Rand;
   std::vector<Node> Nodes;
   std::map<Address, std::function<void(Datagram)>> Binds;
   std::set<std::pair<NodeId, NodeId>> Partitions;
   std::map<std::pair<NodeId, NodeId>, double> LinkLoss;
-  NetCounters Totals;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> Links;
+  CounterCells Totals;
 };
 
 } // namespace promises::net

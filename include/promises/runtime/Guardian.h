@@ -170,8 +170,12 @@ public:
   sim::ProcessHandle spawnProcess(std::string ProcName,
                                   std::function<void()> Body);
 
-  /// Number of handler calls this guardian has started executing.
-  uint64_t callsExecuted() const { return CallsExecuted; }
+  /// Number of handler calls this guardian has started executing (a thin
+  /// view of the registry's runtime.calls_executed cell).
+  uint64_t callsExecuted() const { return CallsExec->value(); }
+
+  /// Number of orphaned call executions destroyed after stream death.
+  uint64_t orphansDestroyed() const { return OrphansDestroyed->value(); }
 
 private:
   struct ExecDomain {
@@ -194,10 +198,12 @@ private:
   net::NodeId Node;
   std::string Name;
   GuardianConfig Cfg;
+  MetricsRegistry &Reg;
   bool Crashed = false;
   stream::GroupId NextGroup = DefaultGroup + 1;
   stream::PortId NextPort = 1;
-  uint64_t CallsExecuted = 0;
+  Counter *CallsExec = nullptr;
+  Counter *OrphansDestroyed = nullptr;
   std::unique_ptr<stream::StreamTransport> Transport;
   std::map<stream::PortId, std::function<void(stream::IncomingCall &)>>
       Executors;

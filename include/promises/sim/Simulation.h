@@ -31,6 +31,7 @@
 #define PROMISES_SIM_SIMULATION_H
 
 #include "promises/sim/Time.h"
+#include "promises/support/Metrics.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -208,6 +209,12 @@ public:
   /// Current virtual time.
   Time now() const { return NowNs; }
 
+  /// The observability registry shared by every layer of this world (see
+  /// docs/OBSERVABILITY.md). The kernel registers sim.context_switches,
+  /// sim.event_queue_depth, sim.live_processes, and sim.processes_spawned.
+  MetricsRegistry &metrics() { return Metrics; }
+  const MetricsRegistry &metrics() const { return Metrics; }
+
   /// Creates a process that will start running at the current time (once
   /// the event loop reaches its start event).
   ProcessHandle spawn(std::string Name, std::function<void()> Body);
@@ -269,7 +276,8 @@ public:
 
   /// Total number of scheduler->process handoffs so far. A direct measure
   /// of the process-management burden discussed in paper Section 4.3.
-  uint64_t contextSwitches() const { return NumSwitches; }
+  /// (Thin view of the sim.context_switches registry counter.)
+  uint64_t contextSwitches() const { return CtxSwitches->value(); }
 
   /// Number of processes spawned so far.
   uint64_t processesSpawned() const { return NextProcId; }
@@ -310,12 +318,15 @@ private:
   /// drains; used by the destructor.
   void shutdown();
 
+  /// Declared first so instrument handles outlive everything else.
+  MetricsRegistry Metrics;
+  Counter *CtxSwitches = nullptr; ///< sim.context_switches.
+
   Time NowNs = 0;
   bool StopRequested = false;
   bool ShuttingDown = false;
   uint64_t NextProcId = 0;
   uint64_t NextEventSeq = 0;
-  uint64_t NumSwitches = 0;
 
   std::map<QueueKey, uint64_t> Queue; ///< (time, seq) -> event id.
   std::unordered_map<uint64_t, EventPayload> Events;

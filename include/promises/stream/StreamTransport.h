@@ -39,6 +39,7 @@
 
 #include "promises/net/Network.h"
 #include "promises/stream/Messages.h"
+#include "promises/support/Metrics.h"
 
 #include <functional>
 #include <map>
@@ -134,7 +135,10 @@ struct SynchOutcome {
   std::string Reason;
 };
 
-/// Traffic and event counters for one transport.
+/// Traffic and event counters for one transport. A thin value view of the
+/// registry-backed cells (see support/Metrics.h). At quiescence every
+/// issued call has exactly one outcome, so
+/// CallsIssued == CallsFulfilled + CallsBroken.
 struct StreamCounters {
   uint64_t CallsIssued = 0;
   uint64_t CallBatchesSent = 0; ///< Batches that carried calls.
@@ -147,6 +151,8 @@ struct StreamCounters {
   uint64_t SenderBreaks = 0;
   uint64_t ReceiverBreaks = 0;
   uint64_t Restarts = 0;
+  uint64_t CallsFulfilled = 0; ///< Outcomes delivered by reply processing.
+  uint64_t CallsBroken = 0;    ///< Outcomes delivered by a stream break.
 };
 
 /// One entity's endpoint of the call-stream layer: the sending side of all
@@ -245,7 +251,8 @@ public:
 
   bool isShutDown() const { return Dead; }
 
-  const StreamCounters &counters() const { return Counters; }
+  /// Counter snapshot (thin view of the registry cells).
+  StreamCounters counters() const;
 
   /// --- Test introspection ---
   size_t senderStreamCount() const { return Senders.size(); }
@@ -292,8 +299,22 @@ private:
 
   void onDatagram(net::Datagram D);
 
+  /// Registry-backed cells behind the StreamCounters view, plus the
+  /// transport's histograms (gated on the registry's enabled flag).
+  struct Cells {
+    Counter *CallsIssued, *CallBatchesSent, *AckBatchesSent,
+        *ReplyBatchesSent, *CallsDelivered, *DuplicateCallsDropped,
+        *Retransmissions, *Probes, *SenderBreaks, *ReceiverBreaks, *Restarts,
+        *CallsFulfilled, *CallsBroken;
+    Histogram *CallLatencyUs;      ///< issue -> outcome, microseconds.
+    Histogram *BatchOccupancy;     ///< Calls per fresh call batch.
+    Histogram *ReplyOccupancy;     ///< Replies per reply batch.
+    Histogram *RetransmitBatch;    ///< Calls per retransmit batch.
+  };
+
   net::Network &Net;
   net::NodeId Node;
+  MetricsRegistry &Reg;
   StreamConfig Cfg;
   net::Address Addr;
   bool Dead = false;
@@ -301,7 +322,7 @@ private:
   uint64_t NextStreamTag = 1;
   std::function<void(IncomingCall)> CallSink;
   std::function<void(uint64_t)> StreamDeadHook;
-  StreamCounters Counters;
+  Cells Counters;
 
   std::map<SenderKey, std::unique_ptr<SenderStream>> Senders;
   std::map<ReceiverKey, std::unique_ptr<ReceiverStream>> Receivers;

@@ -65,7 +65,9 @@ public:
   }
 
   /// Exact percentile by nearest-rank; \p P in [0, 100]. 0 when empty.
-  double percentile(double P) {
+  /// Const so snapshots can be passed around by const reference; the sort
+  /// cache is mutable.
+  double percentile(double P) const {
     assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
     if (Samples.empty())
       return 0.0;
@@ -76,18 +78,18 @@ public:
   }
 
   /// Median, i.e. percentile(50).
-  double median() { return percentile(50.0); }
+  double median() const { return percentile(50.0); }
 
 private:
-  void ensureSorted() {
+  void ensureSorted() const {
     if (!Sorted) {
       std::sort(Samples.begin(), Samples.end());
       Sorted = true;
     }
   }
 
-  std::vector<double> Samples;
-  bool Sorted = true;
+  mutable std::vector<double> Samples;
+  mutable bool Sorted = true;
 };
 
 } // namespace promises

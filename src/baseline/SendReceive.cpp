@@ -10,7 +10,13 @@ using namespace promises;
 using namespace promises::baseline;
 
 Mailbox::Mailbox(net::Network &Net, net::NodeId Node,
-                 stream::StreamConfig Cfg) {
+                 stream::StreamConfig Cfg)
+    : Reg(Net.simulation().metrics()), Labels{{"node", Net.nodeName(Node)}} {
+  MsgsSent = &Reg.counter("baseline.msgs_sent", Labels);
+  MsgsReceived = &Reg.counter("baseline.msgs_received", Labels);
+  Reg.gaugeProbe("baseline.inbox_depth", [this] {
+    return static_cast<double>(Inbox.size());
+  }, Labels);
   Transport = std::make_unique<stream::StreamTransport>(Net, Node, Cfg);
   InboxWaiters = std::make_unique<sim::WaitQueue>(Net.simulation());
   Transport->setCallSink([this](stream::IncomingCall IC) {
@@ -25,15 +31,24 @@ Mailbox::Mailbox(net::Network &Net, net::NodeId Node,
     M.Payload = D.readBytes();
     if (D.failed())
       return; // Malformed envelope: drop.
+    MsgsReceived->inc();
     Inbox.push_back(std::move(M));
     InboxWaiters->notifyOne();
   });
+}
+
+Mailbox::~Mailbox() {
+  // Freeze the probe gauge: the registry outlives this mailbox, and a
+  // probe capturing `this` must not dangle.
+  double Final = static_cast<double>(Inbox.size());
+  Reg.gaugeProbe("baseline.inbox_depth", [Final] { return Final; }, Labels);
 }
 
 void Mailbox::sendMsg(net::Address To, wire::Bytes Payload) {
   auto It = Agents.find(To);
   if (It == Agents.end())
     It = Agents.emplace(To, Transport->newAgent()).first;
+  MsgsSent->inc();
   wire::Encoder E;
   wire::Codec<net::Address>::encode(E, Transport->address());
   E.writeBytes(Payload.data(), Payload.size());

@@ -6,6 +6,8 @@
 
 #include "promises/net/Network.h"
 
+#include "promises/support/StrUtil.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -13,13 +15,26 @@ using namespace promises;
 using namespace promises::net;
 using sim::Time;
 
+void Network::registerCells(CounterCells &C, MetricLabels Labels) {
+  C.Sent = &Reg.counter("net.datagrams_sent", Labels);
+  C.Delivered = &Reg.counter("net.datagrams_delivered", Labels);
+  C.Dropped = &Reg.counter("net.datagrams_dropped", Labels);
+  C.Duplicated = &Reg.counter("net.datagrams_duplicated", Labels);
+  C.Bytes = &Reg.counter("net.bytes_sent", std::move(Labels));
+}
+
 Network::Network(sim::Simulation &S, NetConfig C)
-    : Sim(S), Cfg(C), Rand(C.Seed) {}
+    : Sim(S), Reg(S.metrics()), Cfg(C), Rand(C.Seed) {
+  registerCells(Totals, {});
+}
 
 NodeId Network::addNode(std::string Name) {
+  NodeId N = static_cast<NodeId>(Nodes.size());
   Nodes.push_back(Node{});
   Nodes.back().Name = std::move(Name);
-  return static_cast<NodeId>(Nodes.size() - 1);
+  registerCells(Nodes.back().Counters,
+                {{"node", Nodes.back().Name}, {"id", strprintf("%u", N)}});
+  return N;
 }
 
 Network::Node &Network::node(NodeId N) {
@@ -79,6 +94,8 @@ void Network::crash(NodeId N) {
   if (!Nd.Up)
     return;
   Nd.Up = false;
+  if (Reg.enabled())
+    Reg.emit({Sim.now(), EventKind::NodeCrash, N, 0, 0, 0, Nd.Name});
   // Remove every binding on the node; later deliveries count as drops.
   for (auto It = Binds.begin(); It != Binds.end();) {
     if (It->first.Node == N)
@@ -99,10 +116,30 @@ void Network::restart(NodeId N) {
   Nd.Up = true;
   Nd.TxFreeAt = Sim.now();
   Nd.RxFreeAt = Sim.now();
+  if (Reg.enabled())
+    Reg.emit({Sim.now(), EventKind::NodeRestart, N, 0, 0, 0, Nd.Name});
 }
 
-const NetCounters &Network::counters(NodeId N) const {
-  return node(N).Counters;
+NetCounters Network::counters() const { return Totals.view(); }
+
+NetCounters Network::counters(NodeId N) const {
+  return node(N).Counters.view();
+}
+
+Network::LinkStats &Network::linkStats(NodeId From, NodeId To) {
+  auto [It, Inserted] = Links.try_emplace({From, To});
+  if (Inserted) {
+    MetricLabels L{{"link", node(From).Name + "->" + node(To).Name}};
+    It->second.Drops = &Reg.counter("net.link_drops", L);
+    It->second.LatencyUs = &Reg.histogram("net.link_latency_us", std::move(L));
+  }
+  return It->second;
+}
+
+void Network::countDrop(NodeId From, NodeId To) {
+  Totals.Dropped->inc();
+  if (Reg.enabled())
+    linkStats(From, To).Drops->inc();
 }
 
 sim::Time Network::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
@@ -110,13 +147,13 @@ sim::Time Network::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
 void Network::send(Address From, Address To, wire::Bytes Payload) {
   Node &Sender = node(From.Node);
   uint64_t WireBytes = Payload.size() + Cfg.HeaderBytes;
-  ++Totals.DatagramsSent;
-  Totals.BytesSent += WireBytes;
-  ++Sender.Counters.DatagramsSent;
-  Sender.Counters.BytesSent += WireBytes;
+  Totals.Sent->inc();
+  Totals.Bytes->inc(WireBytes);
+  Sender.Counters.Sent->inc();
+  Sender.Counters.Bytes->inc(WireBytes);
 
   if (!Sender.Up) {
-    ++Totals.DatagramsDropped;
+    countDrop(From.Node, To.Node);
     return;
   }
 
@@ -129,46 +166,56 @@ void Network::send(Address From, Address To, wire::Bytes Payload) {
   // Loss and partition at transmission time.
   if (isPartitioned(From.Node, To.Node) ||
       Rand.chance(lossBetween(From.Node, To.Node))) {
-    ++Totals.DatagramsDropped;
+    countDrop(From.Node, To.Node);
     return;
   }
 
   Time Jitter = Cfg.JitterMax != 0 ? Rand.below(Cfg.JitterMax + 1) : 0;
   Time ArriveAt = Sender.TxFreeAt + Cfg.Propagation + Jitter;
   int Copies = Rand.chance(Cfg.DupRate) ? 2 : 1;
+  if (Copies == 2) {
+    Totals.Duplicated->inc();
+    Sender.Counters.Duplicated->inc();
+  }
+  Time SentAt = Sim.now();
   for (int I = 0; I != Copies; ++I) {
     Datagram D{From, To, Payload};
-    Sim.schedule(ArriveAt - Sim.now(),
-                 [this, D = std::move(D)]() mutable { arrive(std::move(D)); });
+    Sim.schedule(ArriveAt - Sim.now(), [this, D = std::move(D), SentAt]() mutable {
+      arrive(std::move(D), SentAt);
+    });
   }
 }
 
-void Network::arrive(Datagram D) {
+void Network::arrive(Datagram D, Time SentAt) {
   // Conditions are re-checked at arrival so that partitions and crashes
   // that happen while a datagram is in flight still drop it (the source of
   // the paper's *asynchronous* breaks).
   Node &Receiver = node(D.To.Node);
   if (!Receiver.Up || isPartitioned(D.From.Node, D.To.Node)) {
-    ++Totals.DatagramsDropped;
+    countDrop(D.From.Node, D.To.Node);
     return;
   }
   uint64_t WireBytes = D.Payload.size() + Cfg.HeaderBytes;
   Time Busy = Cfg.RecvKernelOverhead + WireBytes * Cfg.PerByte;
   Time Start = std::max(Sim.now(), Receiver.RxFreeAt);
   Receiver.RxFreeAt = Start + Busy;
-  Sim.schedule(Start + Busy - Sim.now(), [this, D = std::move(D)]() mutable {
+  Sim.schedule(Start + Busy - Sim.now(),
+               [this, D = std::move(D), SentAt]() mutable {
     Node &R = node(D.To.Node);
     if (!R.Up) {
-      ++Totals.DatagramsDropped;
+      countDrop(D.From.Node, D.To.Node);
       return;
     }
     auto It = Binds.find(D.To);
     if (It == Binds.end()) {
-      ++Totals.DatagramsDropped;
+      countDrop(D.From.Node, D.To.Node);
       return;
     }
-    ++Totals.DatagramsDelivered;
-    ++R.Counters.DatagramsDelivered;
+    Totals.Delivered->inc();
+    R.Counters.Delivered->inc();
+    if (Reg.enabled())
+      linkStats(D.From.Node, D.To.Node)
+          .LatencyUs->observe(static_cast<double>(Sim.now() - SentAt) / 1e3);
     It->second(std::move(D));
   });
 }

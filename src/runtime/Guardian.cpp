@@ -15,7 +15,24 @@ using namespace promises::runtime;
 
 Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
                    GuardianConfig Cfg)
-    : Net(Net), Node(Node), Name(std::move(Name)), Cfg(Cfg) {
+    : Net(Net), Node(Node), Name(std::move(Name)), Cfg(Cfg),
+      Reg(Net.simulation().metrics()) {
+  MetricLabels L{{"guardian", this->Name},
+                 {"node", strprintf("%u", Node)}};
+  CallsExec = &Reg.counter("runtime.calls_executed", L);
+  OrphansDestroyed = &Reg.counter("runtime.orphans_destroyed", L);
+  Reg.gaugeProbe("runtime.handler_queue_depth", [this] {
+    size_t N = 0;
+    for (const auto &[Tag, D] : Domains)
+      N += D.Waiting.size();
+    return static_cast<double>(N);
+  }, L);
+  Reg.gaugeProbe("runtime.live_call_processes", [this] {
+    size_t N = 0;
+    for (const auto &[Tag, D] : Domains)
+      N += D.Running.size();
+    return static_cast<double>(N);
+  }, L);
   Transport = std::make_unique<stream::StreamTransport>(Net, Node, Cfg.Stream);
   Transport->setCallSink(
       [this](stream::IncomingCall IC) { onIncomingCall(std::move(IC)); });
@@ -27,6 +44,14 @@ Guardian::~Guardian() {
   // Stop traffic first so no new call processes are spawned while the
   // executor table is being torn down.
   Transport->shutdown();
+  // Freeze the probe gauges at their final value: the registry outlives
+  // this guardian, and a probe capturing `this` must not dangle.
+  MetricLabels L{{"guardian", Name}, {"node", strprintf("%u", Node)}};
+  for (const char *G : {"runtime.handler_queue_depth",
+                        "runtime.live_call_processes"}) {
+    double Final = Reg.gauge(G, L).value();
+    Reg.gaugeProbe(G, [Final] { return Final; }, L);
+  }
 }
 
 void Guardian::onNodeCrash() {
@@ -60,16 +85,29 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
                              static_cast<unsigned long long>(Call->CallSeq));
   ExecDomain &D = domain(Call->StreamTag);
   sim::ProcessHandle P;
+  // A handler killed mid-flight (node crash, orphan destruction) unwinds
+  // out of the body without reaching trailing statements, so the executor
+  // tables — which feed the probe gauges — are cleaned by a guard, not by
+  // straight-line code.
+  struct Cleanup {
+    ExecDomain &D;
+    stream::Seq Mine;
+    ~Cleanup() {
+      D.Waiting.erase(Mine);
+      D.Running.erase(Mine);
+    }
+  };
   if (isParallelGroup(Call->Group)) {
     // Explicit override: no gating; the transport reorders completions
     // back into call order for the sender.
     P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
+      Cleanup C{D, Call->CallSeq};
       runCall(*Call);
-      D.Running.erase(Call->CallSeq);
     });
   } else {
     P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
       stream::Seq Mine = Call->CallSeq;
+      Cleanup C{D, Mine};
       if (D.DoneThrough + 1 != Mine) {
         auto &Q = D.Waiting[Mine];
         if (!Q)
@@ -80,7 +118,6 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
       }
       runCall(*Call);
       D.DoneThrough = Mine;
-      D.Running.erase(Mine);
       auto Next = D.Waiting.find(Mine + 1);
       if (Next != D.Waiting.end())
         Next->second->notifyOne();
@@ -100,9 +137,14 @@ void Guardian::onStreamDead(uint64_t Tag) {
     return;
   sim::Process *Self = sim::Simulation::current();
   sim::Simulation &Sim = Net.simulation();
-  for (auto &[Seq, PH] : It->second.Running)
-    if (PH.get() != Self)
-      Sim.kill(PH);
+  for (auto &[Seq, PH] : It->second.Running) {
+    if (PH.get() == Self)
+      continue;
+    OrphansDestroyed->inc();
+    if (Reg.enabled())
+      Reg.emit({Sim.now(), EventKind::OrphanDestroyed, Node, Tag, Seq, 0, {}});
+    Sim.kill(PH);
+  }
   It->second.Running.clear();
 }
 
@@ -111,7 +153,7 @@ void Guardian::runCall(stream::IncomingCall &IC) {
   // never needs to deal with them."
   if (Transport->isReceiverBroken(IC.StreamTag))
     return;
-  ++CallsExecuted;
+  CallsExec->inc();
   auto It = Executors.find(IC.Port);
   if (It == Executors.end()) {
     IC.Complete(stream::ReplyStatus::Failure, 0, {}, "no such port");

@@ -185,7 +185,17 @@ CriticalSection::~CriticalSection() noexcept(false) {
 // Simulation
 //===----------------------------------------------------------------------===//
 
-Simulation::Simulation() = default;
+Simulation::Simulation() {
+  CtxSwitches = &Metrics.counter("sim.context_switches");
+  Metrics.gaugeProbe("sim.event_queue_depth",
+                     [this] { return static_cast<double>(Queue.size()); });
+  Metrics.gaugeProbe("sim.live_processes", [this] {
+    return static_cast<double>(liveProcessCount());
+  });
+  Metrics.gaugeProbe("sim.processes_spawned", [this] {
+    return static_cast<double>(NextProcId);
+  });
+}
 
 Simulation::~Simulation() { shutdown(); }
 
@@ -230,7 +240,7 @@ void Simulation::makeReady(Process *P) {
 
 void Simulation::switchTo(Process *P) {
   assert(CurrentProc == nullptr && "nested switchTo");
-  ++NumSwitches;
+  CtxSwitches->inc();
   P->State = ProcState::Running;
   {
     std::lock_guard<std::mutex> L(P->Mu);

@@ -78,6 +78,7 @@ struct StreamTransport::SenderStream {
   struct Slot {
     bool NoReply = false;
     bool IsRpc = false;
+    sim::Time IssuedAt = 0; ///< For the call-latency histogram.
     ReplyCallback Cb;
   };
   /// Calls kept for retransmission: (AckedCallThrough, NextSeq).
@@ -161,9 +162,46 @@ struct StreamTransport::ReceiverStream {
 
 StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
                                  StreamConfig Cfg)
-    : Net(Net), Node(Node), Cfg(Cfg) {
+    : Net(Net), Node(Node), Reg(Net.simulation().metrics()), Cfg(Cfg) {
   Addr = Net.bind(Node, [this](net::Datagram D) { onDatagram(std::move(D)); });
   Net.onCrash(Node, [this] { shutdown(); });
+  // (node, port) identifies this transport even with several per node.
+  MetricLabels L{{"node", Net.nodeName(Node)},
+                 {"port", strprintf("%u", Addr.Port)}};
+  Counters.CallsIssued = &Reg.counter("stream.calls_issued", L);
+  Counters.CallBatchesSent = &Reg.counter("stream.call_batches_sent", L);
+  Counters.AckBatchesSent = &Reg.counter("stream.ack_batches_sent", L);
+  Counters.ReplyBatchesSent = &Reg.counter("stream.reply_batches_sent", L);
+  Counters.CallsDelivered = &Reg.counter("stream.calls_delivered", L);
+  Counters.DuplicateCallsDropped =
+      &Reg.counter("stream.duplicate_calls_dropped", L);
+  Counters.Retransmissions = &Reg.counter("stream.retransmissions", L);
+  Counters.Probes = &Reg.counter("stream.probes", L);
+  Counters.SenderBreaks = &Reg.counter("stream.sender_breaks", L);
+  Counters.ReceiverBreaks = &Reg.counter("stream.receiver_breaks", L);
+  Counters.Restarts = &Reg.counter("stream.restarts", L);
+  Counters.CallsFulfilled = &Reg.counter("stream.calls_fulfilled", L);
+  Counters.CallsBroken = &Reg.counter("stream.calls_broken", L);
+  Counters.CallLatencyUs = &Reg.histogram("stream.call_latency_us", L);
+  Counters.BatchOccupancy = &Reg.histogram("stream.batch_occupancy", L);
+  Counters.ReplyOccupancy = &Reg.histogram("stream.reply_batch_occupancy", L);
+  Counters.RetransmitBatch = &Reg.histogram("stream.retransmit_batch", L);
+}
+
+StreamCounters StreamTransport::counters() const {
+  return {Counters.CallsIssued->value(),
+          Counters.CallBatchesSent->value(),
+          Counters.AckBatchesSent->value(),
+          Counters.ReplyBatchesSent->value(),
+          Counters.CallsDelivered->value(),
+          Counters.DuplicateCallsDropped->value(),
+          Counters.Retransmissions->value(),
+          Counters.Probes->value(),
+          Counters.SenderBreaks->value(),
+          Counters.ReceiverBreaks->value(),
+          Counters.Restarts->value(),
+          Counters.CallsFulfilled->value(),
+          Counters.CallsBroken->value()};
 }
 
 StreamTransport::~StreamTransport() { shutdown(); }
@@ -237,9 +275,13 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   SenderStream::Slot Slot;
   Slot.NoReply = NoReply;
   Slot.IsRpc = IsRpc;
+  Slot.IssuedAt = Net.simulation().now();
   Slot.Cb = std::move(OnReply);
   S.Slots.emplace(Sq, std::move(Slot));
-  ++Counters.CallsIssued;
+  Counters.CallsIssued->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::CallIssued, Node, Agent, Sq,
+              0, {}});
   if (traceEnabled())
     tracef("issue agent=%llu group=%u port=%u seq=%llu%s%s",
            static_cast<unsigned long long>(Agent), Group, Port,
@@ -292,13 +334,21 @@ void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
     assert(It != S.Window.end() && "call missing from window");
     M.Calls.push_back(It->second);
   }
-  if (IsRetransmit)
-    Counters.Retransmissions += M.Calls.size();
+  if (IsRetransmit) {
+    Counters.Retransmissions->inc(M.Calls.size());
+    Counters.RetransmitBatch->observe(static_cast<double>(M.Calls.size()));
+  }
   S.LastAckSent = S.FulfilledThrough;
-  if (M.Calls.empty())
-    ++Counters.AckBatchesSent;
-  else
-    ++Counters.CallBatchesSent;
+  if (M.Calls.empty()) {
+    Counters.AckBatchesSent->inc();
+  } else {
+    Counters.CallBatchesSent->inc();
+    if (!IsRetransmit)
+      Counters.BatchOccupancy->observe(static_cast<double>(M.Calls.size()));
+  }
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::CallBatchTx, Node, S.Agent,
+              M.Calls.size(), 0, {}});
   if (traceEnabled())
     tracef("tx call-batch agent=%llu inc=%u calls=%zu ack=%llu%s%s",
            static_cast<unsigned long long>(S.Agent), S.Inc, M.Calls.size(),
@@ -363,7 +413,7 @@ void StreamTransport::onSenderRetransTimer(SenderStream &S) {
   } else {
     // Calls delivered but replies missing: probe so the receiver resends
     // its unacked-reply state.
-    ++Counters.Probes;
+    Counters.Probes->inc();
     sendCallBatch(S, 1, 0, /*FlushReplies=*/true, /*IsRetransmit=*/false);
   }
   armSenderRetransTimer(S);
@@ -459,6 +509,14 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
     }
     S.FulfilledThrough = Next;
     Progress = true;
+    Counters.CallsFulfilled->inc();
+    if (Reg.enabled()) {
+      sim::Time Now = Net.simulation().now();
+      sim::Time Lat = Now - SlotIt->second.IssuedAt;
+      Counters.CallLatencyUs->observe(static_cast<double>(Lat) / 1e3);
+      Reg.emit({SlotIt->second.IssuedAt, EventKind::CallSpan, Node, S.Agent,
+                Next, Lat, {}});
+    }
     bool WasRpc = SlotIt->second.IsRpc;
     ReplyCallback Cb = std::move(SlotIt->second.Cb);
     S.Slots.erase(SlotIt);
@@ -481,7 +539,10 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
                                   std::string Reason) {
   if (S.Broken)
     return;
-  ++Counters.SenderBreaks;
+  Counters.SenderBreaks->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::SenderBreak, Node, S.Agent,
+              S.Inc, 0, Reason});
   if (traceEnabled())
     tracef("break sender agent=%llu inc=%u %s: %s",
            static_cast<unsigned long long>(S.Agent), S.Inc,
@@ -501,6 +562,7 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
     auto It = S.Slots.begin();
     assert(It->first == S.FulfilledThrough + 1 && "slot gap at break");
     S.FulfilledThrough = It->first;
+    Counters.CallsBroken->inc();
     ReplyCallback Cb = std::move(It->second.Cb);
     S.Slots.erase(It);
     if (Cb)
@@ -527,7 +589,10 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
 
 void StreamTransport::reincarnate(SenderStream &S) {
   assert(S.Broken && "reincarnate of a live stream");
-  ++Counters.Restarts;
+  Counters.Restarts->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::StreamRestart, Node, S.Agent,
+              static_cast<uint64_t>(S.Inc) + 1, 0, {}});
   if (traceEnabled())
     tracef("restart agent=%llu inc=%u->%u",
            static_cast<unsigned long long>(S.Agent), S.Inc, S.Inc + 1);
@@ -630,6 +695,9 @@ StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
     if (Slot->AckTimerArmed)
       Sim.cancel(Slot->AckTimer);
     ReceiversByTag.erase(Slot->Tag);
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::StreamSuperseded, Node,
+                Slot->Tag, M.Inc, 0, {}});
     if (StreamDeadHook)
       StreamDeadHook(Slot->Tag); // Orphaned executions get destroyed.
   }
@@ -667,7 +735,7 @@ void StreamTransport::handleCallBatch(const net::Address &From,
   bool SawDuplicate = false;
   for (const CallReq &C : M.Calls) {
     if (C.S < R.NextExpected || R.Future.count(C.S)) {
-      ++Counters.DuplicateCallsDropped;
+      Counters.DuplicateCallsDropped->inc();
       SawDuplicate = true;
       continue;
     }
@@ -695,7 +763,7 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
     CallReq C = std::move(R.Future.begin()->second);
     R.Future.erase(R.Future.begin());
     ++R.NextExpected;
-    ++Counters.CallsDelivered;
+    Counters.CallsDelivered->inc();
     IncomingCall IC;
     IC.StreamTag = R.Tag;
     IC.CallSeq = C.S;
@@ -806,7 +874,11 @@ void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
     Sim.cancel(R.AckTimer);
     R.AckTimerArmed = false;
   }
-  ++Counters.ReplyBatchesSent;
+  Counters.ReplyBatchesSent->inc();
+  Counters.ReplyOccupancy->observe(static_cast<double>(M.Replies.size()));
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::ReplyBatchTx, Node, R.Tag,
+              M.Replies.size(), 0, {}});
   if (traceEnabled())
     tracef("tx reply-batch agent=%llu inc=%u replies=%zu ack=%llu ct=%llu%s",
            static_cast<unsigned long long>(R.Agent), R.Inc,
@@ -861,7 +933,10 @@ void StreamTransport::breakReceiverStream(uint64_t StreamTag,
   ReceiverStream &R = *It->second;
   if (R.Broken)
     return;
-  ++Counters.ReceiverBreaks;
+  Counters.ReceiverBreaks->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::ReceiverBreak, Node,
+              StreamTag, 0, 0, Reason});
   if (traceEnabled())
     tracef("break receiver tag=%llu: %s",
            static_cast<unsigned long long>(StreamTag), Reason.c_str());

@@ -1,0 +1,355 @@
+//===- Metrics.cpp - Observability core -------------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/support/Metrics.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+using namespace promises;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void Histogram::record(double Sample) {
+  if (Count == 0) {
+    Min = Max = Sample;
+  } else {
+    Min = std::min(Min, Sample);
+    Max = std::max(Max, Sample);
+  }
+  ++Count;
+  Sum += Sample;
+  ++Buckets[bucketIndex(Sample)];
+}
+
+double Histogram::representative(size_t B) const {
+  // Geometric midpoint of [2^(B-1), 2^B); bucket 0 covers "< 1".
+  double V = B == 0 ? 0.5 : std::ldexp(1.4142135623730951, static_cast<int>(B) - 1);
+  return std::clamp(V, Min, Max);
+}
+
+double Histogram::percentile(double P) const {
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  if (Count == 0)
+    return 0.0;
+  uint64_t Rank = static_cast<uint64_t>((P / 100.0) *
+                                        static_cast<double>(Count - 1));
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Rank)
+      return representative(B);
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Event kinds
+//===----------------------------------------------------------------------===//
+
+const char *promises::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::CallIssued:
+    return "call_issued";
+  case EventKind::CallSpan:
+    return "call";
+  case EventKind::CallBatchTx:
+    return "call_batch_tx";
+  case EventKind::ReplyBatchTx:
+    return "reply_batch_tx";
+  case EventKind::SenderBreak:
+    return "sender_break";
+  case EventKind::ReceiverBreak:
+    return "receiver_break";
+  case EventKind::StreamRestart:
+    return "stream_restart";
+  case EventKind::StreamSuperseded:
+    return "stream_superseded";
+  case EventKind::OrphanDestroyed:
+    return "orphan_destroyed";
+  case EventKind::NodeCrash:
+    return "node_crash";
+  case EventKind::NodeRestart:
+    return "node_restart";
+  case EventKind::Custom:
+    break;
+  }
+  return "custom";
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::MetricsRegistry() : EnabledFlag(enabledByEnvironment()) {}
+
+bool MetricsRegistry::enabledByEnvironment() {
+  const char *A = std::getenv("PROMISES_METRICS");
+  const char *B = std::getenv("PROMISES_METRICS_DIR");
+  return (A && A[0] != '\0') || (B && B[0] != '\0');
+}
+
+std::string MetricsRegistry::key(const std::string &Name,
+                                 const MetricLabels &Labels) {
+  std::string K = Name;
+  K.push_back('{');
+  for (const auto &[L, V] : Labels) {
+    K += L;
+    K.push_back('=');
+    K += V;
+    K.push_back(',');
+  }
+  K.push_back('}');
+  return K;
+}
+
+MetricsRegistry::Instrument &MetricsRegistry::find(Type T,
+                                                   const std::string &Name,
+                                                   MetricLabels Labels) {
+  auto [It, Inserted] = Instruments.try_emplace(key(Name, Labels));
+  Instrument &I = It->second;
+  if (Inserted) {
+    I.T = T;
+    I.Name = Name;
+    I.Labels = std::move(Labels);
+    switch (T) {
+    case Type::Counter:
+      I.C = &CounterPool.emplace_back(Counter());
+      break;
+    case Type::Gauge:
+      I.G = &GaugePool.emplace_back(Gauge());
+      break;
+    case Type::Histogram:
+      I.H = &HistogramPool.emplace_back(Histogram(&EnabledFlag));
+      break;
+    }
+  }
+  assert(I.T == T && "metric re-registered with a different type");
+  return I;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  MetricLabels Labels) {
+  return *find(Type::Counter, Name, std::move(Labels)).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, MetricLabels Labels) {
+  return *find(Type::Gauge, Name, std::move(Labels)).G;
+}
+
+Gauge &MetricsRegistry::gaugeProbe(const std::string &Name,
+                                   std::function<double()> Probe,
+                                   MetricLabels Labels) {
+  Gauge &G = *find(Type::Gauge, Name, std::move(Labels)).G;
+  G.Probe = std::move(Probe);
+  return G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      MetricLabels Labels) {
+  return *find(Type::Histogram, Name, std::move(Labels)).H;
+}
+
+void MetricsRegistry::emit(TraceEvent E) {
+  if (!EnabledFlag)
+    return;
+  if (Events.size() >= MaxEvents) {
+    ++DroppedEvents;
+    return;
+  }
+  Events.push_back(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void jsonEscape(std::ostream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void writeLabelsJson(std::ostream &OS, const MetricLabels &Labels) {
+  OS << "{";
+  bool First = true;
+  for (const auto &[L, V] : Labels) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"";
+    jsonEscape(OS, L);
+    OS << "\":\"";
+    jsonEscape(OS, V);
+    OS << "\"";
+  }
+  OS << "}";
+}
+
+std::string labelsText(const MetricLabels &Labels) {
+  if (Labels.empty())
+    return "";
+  std::string S = "{";
+  for (size_t I = 0; I < Labels.size(); ++I) {
+    if (I)
+      S += ",";
+    S += Labels[I].first + "=" + Labels[I].second;
+  }
+  S += "}";
+  return S;
+}
+
+} // namespace
+
+void MetricsRegistry::writeSummary(std::ostream &OS) const {
+  for (const auto &[K, I] : Instruments) {
+    OS << "  " << I.Name << labelsText(I.Labels) << " = ";
+    switch (I.T) {
+    case Type::Counter:
+      OS << I.C->value();
+      break;
+    case Type::Gauge:
+      OS << I.G->value();
+      break;
+    case Type::Histogram:
+      if (I.H->count() == 0) {
+        OS << "(no samples)";
+      } else {
+        OS << "count " << I.H->count() << ", mean " << I.H->mean()
+           << ", min " << I.H->min() << ", p50 " << I.H->percentile(50)
+           << ", p90 " << I.H->percentile(90) << ", p99 "
+           << I.H->percentile(99) << ", max " << I.H->max();
+      }
+      break;
+    }
+    OS << "\n";
+  }
+  if (!Events.empty() || DroppedEvents)
+    OS << "  trace events: " << Events.size() << " captured, "
+       << DroppedEvents << " dropped\n";
+}
+
+void MetricsRegistry::writeJsonLines(std::ostream &OS) const {
+  for (const auto &[K, I] : Instruments) {
+    OS << "{\"type\":\"";
+    switch (I.T) {
+    case Type::Counter:
+      OS << "counter";
+      break;
+    case Type::Gauge:
+      OS << "gauge";
+      break;
+    case Type::Histogram:
+      OS << "histogram";
+      break;
+    }
+    OS << "\",\"name\":\"";
+    jsonEscape(OS, I.Name);
+    OS << "\",\"labels\":";
+    writeLabelsJson(OS, I.Labels);
+    switch (I.T) {
+    case Type::Counter:
+      OS << ",\"value\":" << I.C->value();
+      break;
+    case Type::Gauge:
+      OS << ",\"value\":" << I.G->value();
+      break;
+    case Type::Histogram:
+      OS << ",\"count\":" << I.H->count() << ",\"sum\":" << I.H->sum()
+         << ",\"min\":" << I.H->min() << ",\"max\":" << I.H->max()
+         << ",\"mean\":" << I.H->mean() << ",\"p50\":" << I.H->percentile(50)
+         << ",\"p90\":" << I.H->percentile(90)
+         << ",\"p99\":" << I.H->percentile(99);
+      break;
+    }
+    OS << "}\n";
+  }
+  for (const TraceEvent &E : Events) {
+    OS << "{\"type\":\"event\",\"kind\":\"" << eventKindName(E.Kind)
+       << "\",\"ts_ns\":" << E.TsNs << ",\"node\":" << E.Node
+       << ",\"id\":" << E.Id << ",\"seq\":" << E.Seq;
+    if (E.DurNs)
+      OS << ",\"dur_ns\":" << E.DurNs;
+    if (!E.Detail.empty()) {
+      OS << ",\"detail\":\"";
+      jsonEscape(OS, E.Detail);
+      OS << "\"";
+    }
+    OS << "}\n";
+  }
+  if (DroppedEvents)
+    OS << "{\"type\":\"meta\",\"dropped_events\":" << DroppedEvents << "}\n";
+}
+
+void MetricsRegistry::writeChromeTrace(std::ostream &OS) const {
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
+    // chrome://tracing timestamps are microseconds.
+    OS << "\n{\"name\":\"" << eventKindName(E.Kind) << "\",\"cat\":\"promises\""
+       << ",\"ph\":\"" << (E.DurNs ? "X" : "i") << "\",\"ts\":"
+       << static_cast<double>(E.TsNs) / 1000.0;
+    if (E.DurNs)
+      OS << ",\"dur\":" << static_cast<double>(E.DurNs) / 1000.0;
+    else
+      OS << ",\"s\":\"t\"";
+    OS << ",\"pid\":" << E.Node << ",\"tid\":" << E.Id
+       << ",\"args\":{\"seq\":" << E.Seq;
+    if (!E.Detail.empty()) {
+      OS << ",\"detail\":\"";
+      jsonEscape(OS, E.Detail);
+      OS << "\"";
+    }
+    OS << "}}";
+  }
+  OS << "\n]}\n";
+}
+
+bool MetricsRegistry::writeJsonLinesFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeJsonLines(OS);
+  return true;
+}
+
+bool MetricsRegistry::writeChromeTraceFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeChromeTrace(OS);
+  return true;
+}

@@ -136,6 +136,19 @@ TEST(Stats, AddAfterPercentileResorts) {
   EXPECT_EQ(S.min(), 1.0);
 }
 
+TEST(Stats, PercentileAndMedianAreConst) {
+  Stats S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(I);
+  // percentile/median are callable through a const reference: the sort
+  // cache is an implementation detail (mutable), not part of the
+  // observable state.
+  const Stats &C = S;
+  EXPECT_EQ(C.median(), C.percentile(50));
+  EXPECT_EQ(C.percentile(0), 1.0);
+  EXPECT_EQ(C.percentile(100), 10.0);
+}
+
 TEST(StrUtil, FormatDurationUnits) {
   EXPECT_EQ(formatDuration(5), "5ns");
   EXPECT_EQ(formatDuration(1500), "1.50us");

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,13 @@ struct Options {
   uint64_t JitterUs = 0;
   uint64_t Seed = 1;
   uint64_t CrashAtMs = 0; ///< 0 = never.
+  bool Metrics = false;   ///< Print the registry summary at exit.
+  std::string MetricsOut; ///< JSON Lines snapshot path ("" = none).
+  std::string TraceOut;   ///< chrome://tracing path ("" = none).
+
+  bool observabilityOn() const {
+    return Metrics || !MetricsOut.empty() || !TraceOut.empty();
+  }
 };
 
 void usage(const char *Argv0) {
@@ -56,6 +64,9 @@ void usage(const char *Argv0) {
       "  --seed S          fault RNG seed (default 1)\n"
       "  --crash-at-ms T   crash the server at virtual time T (default "
       "never)\n"
+      "  --metrics         print the metrics-registry summary at exit\n"
+      "  --metrics-out F   write a JSON Lines metrics snapshot to F\n"
+      "  --trace-out F     write a chrome://tracing event file to F\n"
       "set PROMISES_TRACE=1 for a transport event trace\n",
       Argv0);
 }
@@ -91,6 +102,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Seed = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--crash-at-ms") && (V = Need(A)))
       O.CrashAtMs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--metrics")) {
+      O.Metrics = true;
+      continue;
+    } else if (!std::strcmp(A, "--metrics-out") && (V = Need(A)))
+      O.MetricsOut = V;
+    else if (!std::strcmp(A, "--trace-out") && (V = Need(A)))
+      O.TraceOut = V;
     else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
       usage(Argv[0]);
       return false;
@@ -117,6 +135,8 @@ int main(int Argc, char **Argv) {
     return 2;
 
   sim::Simulation S;
+  if (O.observabilityOn())
+    S.metrics().setEnabled(true);
   net::NetConfig NC;
   NC.LossRate = O.Loss;
   NC.DupRate = O.Dup;
@@ -198,5 +218,23 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(TC.Retransmissions),
               static_cast<unsigned long long>(TC.SenderBreaks),
               static_cast<unsigned long long>(TC.Restarts));
+  if (O.Metrics) {
+    std::printf("metrics registry:\n");
+    std::fflush(stdout);
+    S.metrics().writeSummary(std::cout);
+  }
+  bool ExportOk = true;
+  if (!O.MetricsOut.empty() &&
+      !S.metrics().writeJsonLinesFile(O.MetricsOut)) {
+    std::fprintf(stderr, "error: cannot write %s\n", O.MetricsOut.c_str());
+    ExportOk = false;
+  }
+  if (!O.TraceOut.empty() &&
+      !S.metrics().writeChromeTraceFile(O.TraceOut)) {
+    std::fprintf(stderr, "error: cannot write %s\n", O.TraceOut.c_str());
+    ExportOk = false;
+  }
+  if (!ExportOk)
+    return 1;
   return Normal + Unavail + Failed == O.Calls || O.Mode == "send" ? 0 : 1;
 }
