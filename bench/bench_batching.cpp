@@ -53,10 +53,49 @@ void BM_BatchSweep(benchmark::State &State) {
   }
 }
 
+// Flow-control companion: a saturating issuer over a lossy link, sweeping
+// the in-flight window (0 = unbounded). A bounded window caps the unacked
+// buffer a loss episode can force into retransmission, so retransmitted
+// bytes and peak occupancy fall as the window shrinks, at some cost in
+// completion time.
+void BM_WindowSweep(benchmark::State &State) {
+  const size_t Window = static_cast<size_t>(State.range(0));
+  const int N = 512;
+  for (auto _ : State) {
+    net::NetConfig NC;
+    NC.LossRate = 0.05;
+    runtime::GuardianConfig GC;
+    GC.Stream.MaxInFlightCalls = Window;
+    GC.Stream.MaxRetries = 1000; // The loss is noise, not a break.
+    apps::KvStoreConfig KC;
+    KC.ServiceTime = 0;
+    KvWorld W(NC, GC, KC);
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      std::vector<Promise<std::string>> Ps;
+      for (int I = 0; I < N; ++I)
+        Ps.push_back(H.streamCall(std::string(8, 'x')));
+      H.flush();
+      for (auto &P : Ps)
+        benchmark::DoNotOptimize(P.claim());
+    });
+    W.S.run();
+    reportVirtual(State, W.S.now(), N, W.Net->counters());
+    const stream::StreamCounters C = W.Client->transport().counters();
+    State.counters["retx_B"] = static_cast<double>(C.RetransmittedBytes);
+    State.counters["blocked"] = static_cast<double>(C.CallsBlocked);
+    exportObservability(strprintf("windowsweep_w%zu", Window), W.S);
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_BatchSweep)
     ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {8, 256}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WindowSweep)
+    ->Args({0})->Args({8})->Args({32})->Args({128})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

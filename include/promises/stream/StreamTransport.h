@@ -40,6 +40,7 @@
 #include "promises/net/Network.h"
 #include "promises/stream/Messages.h"
 #include "promises/support/Metrics.h"
+#include "promises/support/Rng.h"
 
 #include <functional>
 #include <map>
@@ -59,9 +60,29 @@ struct StreamConfig {
   /// Receiver-side analogues for reply batching.
   size_t MaxReplyBatch = 16;
   sim::Time ReplyFlushInterval = sim::msec(1);
-  /// Retransmit/probe cadence and the break threshold.
+  /// Retransmit/probe cadence and the break threshold. RetransmitTimeout
+  /// is the *base* cadence: every unproductive retransmit round multiplies
+  /// the current timeout by RetransBackoff, capped at
+  /// max(RetransmitTimeoutMax, RetransmitTimeout); any progress (or
+  /// quiescence) resets it to the base. Each firing is additionally
+  /// delayed by a deterministic jitter uniform in
+  /// [0, timeout * RetransJitter], drawn from an Rng seeded with
+  /// RetransSeed (xor'd with the endpoint identity), so synchronized
+  /// senders do not retransmit in lockstep yet replays stay identical.
   sim::Time RetransmitTimeout = sim::msec(20);
   int MaxRetries = 8;
+  double RetransBackoff = 2.0;
+  sim::Time RetransmitTimeoutMax = sim::msec(160);
+  double RetransJitter = 0.1;
+  uint64_t RetransSeed = 1;
+  /// Sender-side flow control: issueCall blocks the calling process once
+  /// this many calls (or argument bytes) are in flight — issued but not
+  /// yet delivery-acknowledged — on one stream. 0 means unbounded (the
+  /// pre-flow-control behavior). Blocked issuers resume in issue order as
+  /// acknowledgements shrink the window; callers outside a simulated
+  /// process cannot block and bypass the limit.
+  size_t MaxInFlightCalls = 0;
+  size_t MaxInFlightBytes = 0;
   /// Delay before a pure acknowledgement is sent (piggybacking window).
   sim::Time AckDelay = sim::msec(1);
   /// When true (paper Section 3: broken streams are "restarted
@@ -153,6 +174,8 @@ struct StreamCounters {
   uint64_t Restarts = 0;
   uint64_t CallsFulfilled = 0; ///< Outcomes delivered by reply processing.
   uint64_t CallsBroken = 0;    ///< Outcomes delivered by a stream break.
+  uint64_t CallsBlocked = 0;   ///< Issuers that hit a full in-flight window.
+  uint64_t RetransmittedBytes = 0; ///< Argument bytes re-sent.
 };
 
 /// One entity's endpoint of the call-stream layer: the sending side of all
@@ -257,10 +280,33 @@ public:
   /// --- Test introspection ---
   size_t senderStreamCount() const { return Senders.size(); }
   size_t receiverStreamCount() const { return Receivers.size(); }
+  /// Fully-broken sender streams reduced to tombstones (incarnation +
+  /// break outcome only); a later call on the same key resurrects them.
+  size_t retiredStreamCount() const { return Retired.size(); }
+  /// Timers currently armed across all sender and receiver streams.
+  size_t armedTimerCount() const;
+  /// Calls in flight (issued but not delivery-acknowledged) on one stream;
+  /// the quantity MaxInFlightCalls bounds.
+  size_t senderWindowSize(AgentId Agent, net::Address Remote,
+                          GroupId Group) const;
 
 private:
   struct SenderStream;
   struct ReceiverStream;
+
+  /// What survives of a fully-broken sender stream: enough to keep
+  /// isBroken() observable and to resurrect the stream — with incarnation
+  /// continuity, so the receiver's stale-incarnation filter still works —
+  /// when the agent calls again.
+  struct RetiredSender {
+    Incarnation Inc = 1;
+    bool IsFailure = false;
+    std::string Reason;
+    bool ExceptionSinceMark = false;
+    bool BreakSinceMark = false;
+    bool BreakSinceMarkIsFailure = false;
+    std::string BreakSinceMarkReason;
+  };
 
   using SenderKey = std::tuple<AgentId, net::NodeId, uint32_t, GroupId>;
   using ReceiverKey = std::tuple<net::NodeId, uint32_t, AgentId, GroupId>;
@@ -276,6 +322,7 @@ private:
   void transmitNewCalls(SenderStream &S, bool FlushReplies);
   void sendCallBatch(SenderStream &S, Seq FromSeq, Seq ThroughSeq,
                      bool FlushReplies, bool IsRetransmit);
+  void retransmitWindow(SenderStream &S);
   void armSenderFlushTimer(SenderStream &S);
   void armSenderRetransTimer(SenderStream &S);
   void armSenderAckTimer(SenderStream &S);
@@ -284,6 +331,9 @@ private:
   void fulfillInOrder(SenderStream &S);
   void breakSender(SenderStream &S, bool IsFailure, std::string Reason);
   void reincarnate(SenderStream &S);
+  bool windowFull(const SenderStream &S) const;
+  void blockForWindow(SenderStream &S);
+  void maybeRetireSender(const SenderKey &K);
 
   // Receiver-side machinery.
   ReceiverStream &getReceiver(const net::Address &From,
@@ -305,11 +355,13 @@ private:
     Counter *CallsIssued, *CallBatchesSent, *AckBatchesSent,
         *ReplyBatchesSent, *CallsDelivered, *DuplicateCallsDropped,
         *Retransmissions, *Probes, *SenderBreaks, *ReceiverBreaks, *Restarts,
-        *CallsFulfilled, *CallsBroken;
+        *CallsFulfilled, *CallsBroken, *CallsBlocked, *RetransmittedBytes;
     Histogram *CallLatencyUs;      ///< issue -> outcome, microseconds.
     Histogram *BatchOccupancy;     ///< Calls per fresh call batch.
     Histogram *ReplyOccupancy;     ///< Replies per reply batch.
     Histogram *RetransmitBatch;    ///< Calls per retransmit batch.
+    Histogram *WindowOccupancy;    ///< In-flight calls, sampled at issue.
+    Histogram *BlockTimeUs;        ///< Time an issuer spent blocked.
   };
 
   net::Network &Net;
@@ -323,8 +375,10 @@ private:
   std::function<void(IncomingCall)> CallSink;
   std::function<void(uint64_t)> StreamDeadHook;
   Cells Counters;
+  Rng RetransRng; ///< Deterministic retransmit jitter (see StreamConfig).
 
   std::map<SenderKey, std::unique_ptr<SenderStream>> Senders;
+  std::map<SenderKey, RetiredSender> Retired;
   std::map<ReceiverKey, std::unique_ptr<ReceiverStream>> Receivers;
   std::map<uint64_t, ReceiverStream *> ReceiversByTag;
 };

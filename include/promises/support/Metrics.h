@@ -141,6 +141,9 @@ enum class EventKind : uint8_t {
   OrphanDestroyed,  ///< Orphaned call execution killed (Seq=call seq).
   NodeCrash,        ///< Network node went down.
   NodeRestart,      ///< Network node came back up.
+  SenderBlocked,    ///< Issuer blocked on a full in-flight window
+                    ///< (Seq=window occupancy).
+  SenderUnblocked,  ///< Blocked issuer resumed (DurNs = time blocked).
   Custom,           ///< Anything else; see Detail.
 };
 

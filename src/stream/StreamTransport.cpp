@@ -6,9 +6,11 @@
 
 #include "promises/stream/StreamTransport.h"
 
+#include "promises/sim/Sync.h"
 #include "promises/support/StrUtil.h"
 #include "promises/support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace promises;
@@ -60,7 +62,8 @@ promises::stream::decodeMessage(const wire::Bytes &B) {
 struct StreamTransport::SenderStream {
   SenderStream(sim::Simulation &S, AgentId A, net::Address R, GroupId G)
       : Agent(A), Remote(R), Group(G),
-        FulfillQ(std::make_unique<sim::WaitQueue>(S)) {}
+        FulfillQ(std::make_unique<sim::WaitQueue>(S)), WindowMx(S),
+        WindowCv(S) {}
 
   AgentId Agent;
   net::Address Remote;
@@ -88,6 +91,7 @@ struct StreamTransport::SenderStream {
   /// Explicit replies received but not yet consumable in order.
   std::map<Seq, WireReply> PendingReplies;
   size_t BufferedBytes = 0; ///< Untransmitted argument bytes.
+  size_t WindowBytes = 0;   ///< Argument bytes retained in Window.
 
   bool Broken = false;
   bool BrokenIsFailure = false;
@@ -109,8 +113,15 @@ struct StreamTransport::SenderStream {
   int Retries = 0;
   Seq LastProgressAcked = 0;
   Seq LastProgressFulfilled = 0;
+  sim::Time CurrentRto = 0; ///< Backed-off retransmit timeout; 0 = base.
 
   std::unique_ptr<sim::WaitQueue> FulfillQ; ///< synch waiters.
+  /// Processes currently blocked on this stream (synch, or a full
+  /// in-flight window). A pinned stream must not be retired: the blocked
+  /// frames hold references into it.
+  int PinCount = 0;
+  sim::SimMutex WindowMx;   ///< Guards the window-space condition.
+  sim::SimCondVar WindowCv; ///< Signalled when window space frees.
 
   Seq untransmittedCount() const { return NextSeq - 1 - TransmittedThrough; }
   Seq outstanding() const { return NextSeq - 1 - FulfilledThrough; }
@@ -182,10 +193,19 @@ StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
   Counters.Restarts = &Reg.counter("stream.restarts", L);
   Counters.CallsFulfilled = &Reg.counter("stream.calls_fulfilled", L);
   Counters.CallsBroken = &Reg.counter("stream.calls_broken", L);
+  Counters.CallsBlocked = &Reg.counter("stream.calls_blocked", L);
+  Counters.RetransmittedBytes =
+      &Reg.counter("stream.retransmitted_bytes", L);
   Counters.CallLatencyUs = &Reg.histogram("stream.call_latency_us", L);
   Counters.BatchOccupancy = &Reg.histogram("stream.batch_occupancy", L);
   Counters.ReplyOccupancy = &Reg.histogram("stream.reply_batch_occupancy", L);
   Counters.RetransmitBatch = &Reg.histogram("stream.retransmit_batch", L);
+  Counters.WindowOccupancy = &Reg.histogram("stream.window_occupancy", L);
+  Counters.BlockTimeUs = &Reg.histogram("stream.block_time_us", L);
+  // Endpoint identity decorrelates the jitter streams of transports that
+  // share a seed without sacrificing replay determinism.
+  RetransRng.reseed(Cfg.RetransSeed ^
+                    (static_cast<uint64_t>(Node) << 32) ^ Addr.Port);
 }
 
 StreamCounters StreamTransport::counters() const {
@@ -201,7 +221,9 @@ StreamCounters StreamTransport::counters() const {
           Counters.ReceiverBreaks->value(),
           Counters.Restarts->value(),
           Counters.CallsFulfilled->value(),
-          Counters.CallsBroken->value()};
+          Counters.CallsBroken->value(),
+          Counters.CallsBlocked->value(),
+          Counters.RetransmittedBytes->value()};
 }
 
 StreamTransport::~StreamTransport() { shutdown(); }
@@ -221,8 +243,10 @@ void StreamTransport::shutdown() {
     if (S->AckTimerArmed)
       Sim.cancel(S->AckTimer);
     S->FlushTimerArmed = S->RetransTimerArmed = S->AckTimerArmed = false;
-    // Processes blocked in synch must not hang on a dead transport.
+    // Processes blocked in synch or on a full window must not hang on a
+    // dead transport.
     S->FulfillQ->notifyAll();
+    S->WindowCv.notifyAll();
   }
   for (auto &[K, R] : Receivers) {
     if (R->ReplyFlushTimerArmed)
@@ -245,10 +269,88 @@ StreamTransport::findSender(AgentId A, net::Address R, GroupId G) const {
 
 StreamTransport::SenderStream &
 StreamTransport::getSender(AgentId A, net::Address R, GroupId G) {
-  auto &Slot = Senders[senderKey(A, R, G)];
-  if (!Slot)
+  SenderKey Key = senderKey(A, R, G);
+  auto &Slot = Senders[Key];
+  if (!Slot) {
     Slot = std::make_unique<SenderStream>(Net.simulation(), A, R, G);
+    auto It = Retired.find(Key);
+    if (It != Retired.end()) {
+      // Resurrect the retired stream as the broken stream it was: the
+      // preserved incarnation keeps the receiver's stale-incarnation
+      // filter working, and the preserved break outcome keeps the
+      // broken-stream paths (AutoRestart, synch marks) uniform.
+      Slot->Inc = It->second.Inc;
+      Slot->Broken = true;
+      Slot->BrokenIsFailure = It->second.IsFailure;
+      Slot->BreakReason = It->second.Reason;
+      Slot->ExceptionSinceMark = It->second.ExceptionSinceMark;
+      Slot->BreakSinceMark = It->second.BreakSinceMark;
+      Slot->BreakSinceMarkIsFailure = It->second.BreakSinceMarkIsFailure;
+      Slot->BreakSinceMarkReason = It->second.BreakSinceMarkReason;
+      Retired.erase(It);
+    }
+  }
   return *Slot;
+}
+
+bool StreamTransport::windowFull(const SenderStream &S) const {
+  return (Cfg.MaxInFlightCalls > 0 &&
+          S.Window.size() >= Cfg.MaxInFlightCalls) ||
+         (Cfg.MaxInFlightBytes > 0 && S.WindowBytes >= Cfg.MaxInFlightBytes);
+}
+
+void StreamTransport::blockForWindow(SenderStream &S) {
+  sim::Time T0 = Net.simulation().now();
+  Counters.CallsBlocked->inc();
+  if (Reg.enabled())
+    Reg.emit({T0, EventKind::SenderBlocked, Node, S.Agent, S.Window.size(),
+              0, {}});
+  if (traceEnabled())
+    tracef("window full agent=%llu inflight=%zu/%zu bytes=%zu/%zu",
+           static_cast<unsigned long long>(S.Agent), S.Window.size(),
+           Cfg.MaxInFlightCalls, S.WindowBytes, Cfg.MaxInFlightBytes);
+  ++S.PinCount;
+  struct Unpin {
+    int &Count;
+    ~Unpin() { --Count; }
+  } U{S.PinCount};
+  {
+    // FIFO mutex + condition: blocked issuers reacquire in block order,
+    // so window space is handed out in issue (= seq) order.
+    sim::SimMutex::Guard G(S.WindowMx);
+    while (!Dead && !S.Broken && windowFull(S))
+      S.WindowCv.wait(S.WindowMx);
+  }
+  sim::Time Blocked = Net.simulation().now() - T0;
+  Counters.BlockTimeUs->observe(static_cast<double>(Blocked) / 1e3);
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::SenderUnblocked, Node,
+              S.Agent, S.Window.size(), Blocked, {}});
+}
+
+void StreamTransport::maybeRetireSender(const SenderKey &K) {
+  if (Dead)
+    return;
+  auto It = Senders.find(K);
+  if (It == Senders.end())
+    return;
+  SenderStream &S = *It->second;
+  if (!S.Broken || S.PinCount > 0)
+    return;
+  assert(!S.FlushTimerArmed && !S.RetransTimerArmed && !S.AckTimerArmed &&
+         "broken stream left a timer armed");
+  assert(S.Slots.empty() && S.Window.empty() &&
+         "broken stream retains calls");
+  RetiredSender T;
+  T.Inc = S.Inc;
+  T.IsFailure = S.BrokenIsFailure;
+  T.Reason = S.BreakReason;
+  T.ExceptionSinceMark = S.ExceptionSinceMark;
+  T.BreakSinceMark = S.BreakSinceMark;
+  T.BreakSinceMarkIsFailure = S.BreakSinceMarkIsFailure;
+  T.BreakSinceMarkReason = S.BreakSinceMarkReason;
+  Retired[K] = std::move(T);
+  Senders.erase(It);
 }
 
 StreamTransport::IssueResult
@@ -258,9 +360,23 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   if (Dead)
     return {false, false, "transport shut down"};
   SenderStream &S = getSender(Agent, Remote, Group);
+  // Flow control: block (in issue order) until the in-flight window has
+  // room. Only simulated processes can block; scheduler-context callers
+  // (timers, tests poking the transport directly) bypass the limit. A
+  // broken stream's window is empty, so it never blocks — the break
+  // handling below decides what happens to the call.
+  if ((Cfg.MaxInFlightCalls > 0 || Cfg.MaxInFlightBytes > 0) &&
+      sim::Simulation::inProcess() && !S.Broken && windowFull(S)) {
+    blockForWindow(S);
+    if (Dead)
+      return {false, false, "transport shut down"};
+  }
   if (S.Broken) {
-    if (!Cfg.AutoRestart)
-      return {false, S.BrokenIsFailure, S.BreakReason};
+    if (!Cfg.AutoRestart) {
+      IssueResult R{false, S.BrokenIsFailure, S.BreakReason};
+      maybeRetireSender(senderKey(Agent, Remote, Group));
+      return R;
+    }
     reincarnate(S);
   }
   Seq Sq = S.NextSeq++;
@@ -270,8 +386,10 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   Req.NoReply = NoReply;
   Req.FlushReply = IsRpc;
   S.BufferedBytes += Args.size();
+  S.WindowBytes += Args.size();
   Req.Args = std::move(Args);
   S.Window.emplace(Sq, std::move(Req));
+  Counters.WindowOccupancy->observe(static_cast<double>(S.Window.size()));
   SenderStream::Slot Slot;
   Slot.NoReply = NoReply;
   Slot.IsRpc = IsRpc;
@@ -337,6 +455,10 @@ void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
   if (IsRetransmit) {
     Counters.Retransmissions->inc(M.Calls.size());
     Counters.RetransmitBatch->observe(static_cast<double>(M.Calls.size()));
+    size_t Bytes = 0;
+    for (const CallReq &C : M.Calls)
+      Bytes += C.Args.size();
+    Counters.RetransmittedBytes->inc(Bytes);
   }
   S.LastAckSent = S.FulfilledThrough;
   if (M.Calls.empty()) {
@@ -370,17 +492,49 @@ void StreamTransport::armSenderFlushTimer(SenderStream &S) {
   });
 }
 
+/// Re-sends the unacknowledged window in chunks that respect the batch
+/// limits, exactly like fresh transmission does. One chunk always carries
+/// at least one call, even when that call alone exceeds MaxBatchBytes.
+/// Only the last chunk asks the receiver to flush replies: one recovery
+/// reply-batch per round, not one per chunk.
+void StreamTransport::retransmitWindow(SenderStream &S) {
+  size_t MaxCalls = std::max<size_t>(1, Cfg.MaxBatchCalls);
+  Seq From = S.AckedCallThrough + 1;
+  Seq Last = S.TransmittedThrough;
+  while (From <= Last) {
+    Seq Through = From;
+    size_t Bytes = S.Window.at(From).Args.size();
+    while (Through < Last && Through - From + 1 < MaxCalls) {
+      size_t NextBytes = S.Window.at(Through + 1).Args.size();
+      if (Bytes + NextBytes > Cfg.MaxBatchBytes)
+        break;
+      Bytes += NextBytes;
+      ++Through;
+    }
+    sendCallBatch(S, From, Through, /*FlushReplies=*/Through == Last,
+                  /*IsRetransmit=*/true);
+    From = Through + 1;
+  }
+}
+
 void StreamTransport::armSenderRetransTimer(SenderStream &S) {
   if (S.RetransTimerArmed || S.Broken || Dead)
     return;
   S.RetransTimerArmed = true;
-  S.RetransTimer =
-      Net.simulation().schedule(Cfg.RetransmitTimeout, [this, &S] {
-        S.RetransTimerArmed = false;
-        if (Dead || S.Broken)
-          return;
-        onSenderRetransTimer(S);
-      });
+  sim::Time Base = S.CurrentRto ? S.CurrentRto : Cfg.RetransmitTimeout;
+  sim::Time Delay = Base;
+  if (Cfg.RetransJitter > 0) {
+    auto Span = static_cast<uint64_t>(static_cast<double>(Base) *
+                                      Cfg.RetransJitter);
+    if (Span > 0)
+      Delay += static_cast<sim::Time>(RetransRng.below(Span + 1));
+  }
+  S.RetransTimer = Net.simulation().schedule(Delay, [this, &S] {
+    S.RetransTimerArmed = false;
+    if (Dead || S.Broken)
+      return;
+    onSenderRetransTimer(S);
+  });
 }
 
 void StreamTransport::onSenderRetransTimer(SenderStream &S) {
@@ -388,13 +542,15 @@ void StreamTransport::onSenderRetransTimer(SenderStream &S) {
   bool AwaitingReply = S.FulfilledThrough < S.TransmittedThrough;
   if (!AwaitingAck && !AwaitingReply) {
     S.Retries = 0;
+    S.CurrentRto = 0;
     return; // Quiesced; the timer stays disarmed until the next transmit.
   }
   // Progress since the last firing: all is well — reset the retry budget
-  // and keep waiting without retransmitting or probing.
+  // (and the backoff) and keep waiting without retransmitting or probing.
   if (S.AckedCallThrough > S.LastProgressAcked ||
       S.FulfilledThrough > S.LastProgressFulfilled) {
     S.Retries = 0;
+    S.CurrentRto = 0;
     S.LastProgressAcked = S.AckedCallThrough;
     S.LastProgressFulfilled = S.FulfilledThrough;
     armSenderRetransTimer(S);
@@ -405,17 +561,23 @@ void StreamTransport::onSenderRetransTimer(SenderStream &S) {
   if (++S.Retries > Cfg.MaxRetries) {
     // The system "tried hard"; give up and break (paper, Section 2).
     breakSender(S, /*IsFailure=*/false, "cannot communicate");
+    maybeRetireSender(senderKey(S.Agent, S.Remote, S.Group));
     return;
   }
   if (AwaitingAck) {
-    sendCallBatch(S, S.AckedCallThrough + 1, S.TransmittedThrough,
-                  /*FlushReplies=*/true, /*IsRetransmit=*/true);
+    retransmitWindow(S);
   } else {
     // Calls delivered but replies missing: probe so the receiver resends
     // its unacked-reply state.
     Counters.Probes->inc();
     sendCallBatch(S, 1, 0, /*FlushReplies=*/true, /*IsRetransmit=*/false);
   }
+  // An unproductive round: back off before the next firing, up to the cap.
+  sim::Time Cap = std::max(Cfg.RetransmitTimeoutMax, Cfg.RetransmitTimeout);
+  sim::Time Cur = S.CurrentRto ? S.CurrentRto : Cfg.RetransmitTimeout;
+  double Factor = std::max(1.0, Cfg.RetransBackoff);
+  S.CurrentRto = std::min(
+      Cap, static_cast<sim::Time>(static_cast<double>(Cur) * Factor));
   armSenderRetransTimer(S);
 }
 
@@ -438,11 +600,15 @@ void StreamTransport::handleReplyBatch(const net::Address &From,
   if (!S || S->Broken || M.Inc != S->Inc)
     return;
 
-  // Delivery acknowledgements let the retransmission window shrink.
+  // Delivery acknowledgements let the retransmission window shrink — and
+  // window space frees the oldest blocked issuer first (FIFO wakeup).
   if (M.AckCallThrough > S->AckedCallThrough) {
     S->AckedCallThrough = M.AckCallThrough;
-    S->Window.erase(S->Window.begin(),
-                    S->Window.upper_bound(S->AckedCallThrough));
+    auto End = S->Window.upper_bound(S->AckedCallThrough);
+    for (auto It = S->Window.begin(); It != End; ++It)
+      S->WindowBytes -= It->second.Args.size();
+    S->Window.erase(S->Window.begin(), End);
+    S->WindowCv.notifyAll();
   }
 
   // Merge explicit replies; detect a batch that carries nothing new
@@ -464,7 +630,11 @@ void StreamTransport::handleReplyBatch(const net::Address &From,
   Seq Before = S->FulfilledThrough;
   fulfillInOrder(*S);
   if (M.Broken) {
+    AgentId Agent = S->Agent;
+    net::Address Remote = S->Remote;
+    GroupId Group = S->Group;
     breakSender(*S, M.BreakIsFailure, M.BreakReason);
+    maybeRetireSender(senderKey(Agent, Remote, Group));
     return;
   }
   if (!M.Replies.empty() && !AnyNew) {
@@ -571,6 +741,7 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
   S.Window.clear();
   S.PendingReplies.clear();
   S.BufferedBytes = 0;
+  S.WindowBytes = 0;
   sim::Simulation &Sim = Net.simulation();
   if (S.FlushTimerArmed) {
     Sim.cancel(S.FlushTimer);
@@ -585,6 +756,9 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
     S.AckTimerArmed = false;
   }
   S.FulfillQ->notifyAll();
+  // Issuers blocked on window space observe the break and decide between
+  // reincarnation and failure when they resume.
+  S.WindowCv.notifyAll();
 }
 
 void StreamTransport::reincarnate(SenderStream &S) {
@@ -607,12 +781,15 @@ void StreamTransport::reincarnate(SenderStream &S) {
   S.Slots.clear();
   S.PendingReplies.clear();
   S.BufferedBytes = 0;
+  S.WindowBytes = 0;
   S.Broken = false;
   S.BrokenIsFailure = false;
   S.BreakReason.clear();
   S.Retries = 0;
   S.LastProgressAcked = 0;
   S.LastProgressFulfilled = 0;
+  S.CurrentRto = 0;
+  S.WindowCv.notifyAll(); // The fresh incarnation's window is empty.
 }
 
 void StreamTransport::flush(AgentId Agent, net::Address Remote,
@@ -629,11 +806,21 @@ SynchOutcome StreamTransport::synch(AgentId Agent, net::Address Remote,
                                     GroupId Group) {
   assert(sim::Simulation::inProcess() &&
          "synch must be called from a simulated process");
+  SenderKey Key = senderKey(Agent, Remote, Group);
   SenderStream &S = getSender(Agent, Remote, Group);
   if (!S.Broken)
     transmitNewCalls(S, /*FlushReplies=*/true);
-  while (!S.Broken && !Dead && S.outstanding() > 0)
-    S.FulfillQ->wait();
+  {
+    // Pin the stream across the blocking wait: a break must not retire it
+    // out from under this frame.
+    ++S.PinCount;
+    struct Unpin {
+      int &Count;
+      ~Unpin() { --Count; }
+    } U{S.PinCount};
+    while (!S.Broken && !Dead && S.outstanding() > 0)
+      S.FulfillQ->wait();
+  }
   SynchOutcome Out;
   if (Dead && S.outstanding() > 0) {
     // The transport died under us; the window cannot be vouched for.
@@ -649,6 +836,7 @@ SynchOutcome StreamTransport::synch(AgentId Agent, net::Address Remote,
     Out.S = SynchOutcome::Status::ExceptionReply;
   }
   S.resetMark();
+  maybeRetireSender(Key);
   return Out;
 }
 
@@ -664,8 +852,27 @@ void StreamTransport::restart(AgentId Agent, net::Address Remote,
 
 bool StreamTransport::isBroken(AgentId Agent, net::Address Remote,
                                GroupId Group) const {
+  if (SenderStream *S = findSender(Agent, Remote, Group))
+    return S->Broken;
+  return Retired.count(senderKey(Agent, Remote, Group)) != 0;
+}
+
+size_t StreamTransport::armedTimerCount() const {
+  size_t N = 0;
+  for (const auto &[K, S] : Senders)
+    N += static_cast<size_t>(S->FlushTimerArmed) +
+         static_cast<size_t>(S->RetransTimerArmed) +
+         static_cast<size_t>(S->AckTimerArmed);
+  for (const auto &[K, R] : Receivers)
+    N += static_cast<size_t>(R->ReplyFlushTimerArmed) +
+         static_cast<size_t>(R->AckTimerArmed);
+  return N;
+}
+
+size_t StreamTransport::senderWindowSize(AgentId Agent, net::Address Remote,
+                                         GroupId Group) const {
   SenderStream *S = findSender(Agent, Remote, Group);
-  return S && S->Broken;
+  return S ? S->Window.size() : 0;
 }
 
 Seq StreamTransport::outstandingCalls(AgentId Agent, net::Address Remote,

@@ -78,6 +78,10 @@ const char *promises::eventKindName(EventKind K) {
     return "node_crash";
   case EventKind::NodeRestart:
     return "node_restart";
+  case EventKind::SenderBlocked:
+    return "sender_blocked";
+  case EventKind::SenderUnblocked:
+    return "sender_unblocked";
   case EventKind::Custom:
     break;
   }

@@ -257,6 +257,88 @@ TEST_F(Fixture, SynchDoesNotHangOnTransportShutdown) {
   EXPECT_EQ(SO.Reason, "transport shut down");
 }
 
+TEST_F(Fixture, RetransmitBatchesRespectConfiguredLimits) {
+  // Regression: a retransmission used to resend the whole unacked window
+  // as a single batch, ignoring MaxBatchCalls/MaxBatchBytes. Partition
+  // the link so a large window accumulates, heal it, and check that every
+  // retransmit batch stayed within the configured limit.
+  SC.MaxBatchCalls = 4;
+  SC.RetransmitTimeout = msec(10);
+  SC.MaxRetries = 20; // Survive the partition.
+  build();
+  S.metrics().setEnabled(true);
+  Net->setPartitioned(CN, SN, true);
+  AgentId A = Client->newAgent();
+  int Got = 0;
+  for (uint32_t I = 0; I < 40; ++I)
+    Client->issueCall(A, Server->address(), 1, 1, bytesOf(I), false, false,
+                      [&](const ReplyOutcome &) { ++Got; });
+  Client->flush(A, Server->address(), 1);
+  S.schedule(msec(60), [&] { Net->setPartitioned(CN, SN, false); });
+  S.run();
+  EXPECT_EQ(Got, 40);
+  EXPECT_FALSE(Client->isBroken(A, Server->address(), 1));
+  EXPECT_GE(Client->counters().Retransmissions, 1u);
+  EXPECT_GT(Client->counters().RetransmittedBytes, 0u);
+  Histogram &H = S.metrics().histogram("stream.retransmit_batch",
+                                       {{"node", "client"}, {"port", "1"}});
+  ASSERT_GE(H.count(), 2u); // The window needed several chunks.
+  EXPECT_LE(H.max(), 4.0);
+}
+
+TEST_F(Fixture, FullyBrokenStreamsRetireAndResurrectOnReuse) {
+  // Regression: broken sender streams used to stay in the sender map (and
+  // could leave timers armed) forever. Now they are reduced to tombstones
+  // once every outcome has been delivered, and a later call on the same
+  // key resurrects them with incarnation continuity.
+  SC.RetransmitTimeout = msec(5);
+  SC.MaxRetries = 1;
+  build();
+  Net->setPartitioned(CN, SN, true);
+  constexpr int N = 8;
+  AgentId Agents[N];
+  std::vector<ReplyOutcome::Kind> Out;
+  for (int I = 0; I < N; ++I) {
+    Agents[I] = Client->newAgent();
+    Client->issueCall(Agents[I], Server->address(), 1, 1, bytesOf(1), false,
+                      false,
+                      [&](const ReplyOutcome &O) { Out.push_back(O.K); });
+    Client->flush(Agents[I], Server->address(), 1);
+  }
+  S.run();
+  // Every stream broke...
+  ASSERT_EQ(Out.size(), static_cast<size_t>(N));
+  for (ReplyOutcome::Kind K : Out)
+    EXPECT_EQ(K, ReplyOutcome::Kind::Unavailable);
+  // ...and was reclaimed: no live stream state, no armed timers, but
+  // isBroken() still answers from the tombstone.
+  EXPECT_EQ(Client->senderStreamCount(), 0u);
+  EXPECT_EQ(Client->retiredStreamCount(), static_cast<size_t>(N));
+  EXPECT_EQ(Client->armedTimerCount(), 0u);
+  EXPECT_TRUE(Client->isBroken(Agents[0], Server->address(), 1));
+  const StreamCounters C = Client->counters();
+  EXPECT_EQ(C.CallsIssued, C.CallsFulfilled + C.CallsBroken);
+
+  // Reuse after healing: the tombstone resurrects, AutoRestart
+  // reincarnates past the dead incarnation, and calls flow again.
+  Net->setPartitioned(CN, SN, false);
+  int Got = 0;
+  for (int I = 0; I < N; ++I) {
+    Client->issueCall(Agents[I], Server->address(), 1, 1, bytesOf(2), false,
+                      false, [&](const ReplyOutcome &O) {
+                        if (O.K == ReplyOutcome::Kind::Normal)
+                          ++Got;
+                      });
+    Client->flush(Agents[I], Server->address(), 1);
+  }
+  S.run();
+  EXPECT_EQ(Got, N);
+  EXPECT_EQ(Client->counters().Restarts, static_cast<uint64_t>(N));
+  EXPECT_EQ(Client->retiredStreamCount(), 0u);
+  EXPECT_EQ(Client->senderStreamCount(), static_cast<size_t>(N));
+  EXPECT_EQ(Client->armedTimerCount(), 0u);
+}
+
 TEST_F(Fixture, TwoTransportsCanTalkInBothDirections) {
   // Full duplex: each side is sender and receiver at once.
   build();

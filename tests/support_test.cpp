@@ -126,6 +126,27 @@ TEST(Stats, PercentilesNearestRank) {
   EXPECT_NEAR(S.percentile(90), 90.0, 1.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Empty: every percentile is 0, not a crash or a read past the end.
+  Stats Empty;
+  EXPECT_EQ(Empty.percentile(0), 0.0);
+  EXPECT_EQ(Empty.percentile(100), 0.0);
+  // Single sample: rank (P/100)*(N-1) is 0 for every P, so all
+  // percentiles collapse to that one sample.
+  Stats One;
+  One.add(42.0);
+  EXPECT_EQ(One.percentile(0), 42.0);
+  EXPECT_EQ(One.percentile(50), 42.0);
+  EXPECT_EQ(One.percentile(100), 42.0);
+  EXPECT_EQ(One.median(), 42.0);
+  // Two samples: P=0 and P=100 hit the exact extremes.
+  Stats Two;
+  Two.add(-3.0);
+  Two.add(7.0);
+  EXPECT_EQ(Two.percentile(0), -3.0);
+  EXPECT_EQ(Two.percentile(100), 7.0);
+}
+
 TEST(Stats, AddAfterPercentileResorts) {
   Stats S;
   S.add(5.0);

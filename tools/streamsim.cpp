@@ -39,7 +39,11 @@ struct Options {
   double Dup = 0.0;
   uint64_t JitterUs = 0;
   uint64_t Seed = 1;
-  uint64_t CrashAtMs = 0; ///< 0 = never.
+  size_t Window = 0;       ///< MaxInFlightCalls; 0 = unbounded.
+  size_t WindowBytes = 0;  ///< MaxInFlightBytes; 0 = unbounded.
+  double Backoff = 2.0;    ///< Retransmit backoff multiplier.
+  uint64_t RtoMaxUs = 0;   ///< Backoff cap; 0 = keep the default.
+  uint64_t CrashAtMs = 0;  ///< 0 = never.
   bool Metrics = false;   ///< Print the registry summary at exit.
   std::string MetricsOut; ///< JSON Lines snapshot path ("" = none).
   std::string TraceOut;   ///< chrome://tracing path ("" = none).
@@ -62,6 +66,10 @@ void usage(const char *Argv0) {
       "  --dup P           datagram duplication probability (default 0)\n"
       "  --jitter-us T     max extra delivery delay (default 0)\n"
       "  --seed S          fault RNG seed (default 1)\n"
+      "  --window N        max in-flight (unacked) calls; 0 = unbounded\n"
+      "  --window-bytes B  max in-flight argument bytes; 0 = unbounded\n"
+      "  --backoff F       retransmit backoff multiplier (default 2)\n"
+      "  --rto-max-us T    retransmit backoff cap (default 160000)\n"
       "  --crash-at-ms T   crash the server at virtual time T (default "
       "never)\n"
       "  --metrics         print the metrics-registry summary at exit\n"
@@ -100,6 +108,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.JitterUs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--seed") && (V = Need(A)))
       O.Seed = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--window") && (V = Need(A)))
+      O.Window = static_cast<size_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--window-bytes") && (V = Need(A)))
+      O.WindowBytes = static_cast<size_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--backoff") && (V = Need(A)))
+      O.Backoff = std::atof(V);
+    else if (!std::strcmp(A, "--rto-max-us") && (V = Need(A)))
+      O.RtoMaxUs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--crash-at-ms") && (V = Need(A)))
       O.CrashAtMs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--metrics")) {
@@ -147,6 +163,12 @@ int main(int Argc, char **Argv) {
   GuardianConfig GC;
   GC.Stream.MaxBatchCalls = O.Batch;
   GC.Stream.MaxReplyBatch = O.Batch;
+  GC.Stream.MaxInFlightCalls = O.Window;
+  GC.Stream.MaxInFlightBytes = O.WindowBytes;
+  GC.Stream.RetransBackoff = O.Backoff;
+  if (O.RtoMaxUs != 0)
+    GC.Stream.RetransmitTimeoutMax = sim::usec(O.RtoMaxUs);
+  GC.Stream.RetransSeed = O.Seed;
   net::NodeId SN = Net.addNode("server");
   Guardian Server(Net, SN, "server", GC);
   Guardian Client(Net, Net.addNode("client"), "client", GC);
@@ -218,6 +240,10 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(TC.Retransmissions),
               static_cast<unsigned long long>(TC.SenderBreaks),
               static_cast<unsigned long long>(TC.Restarts));
+  std::printf("  flow control     %llu issuers blocked, %llu bytes "
+              "retransmitted\n",
+              static_cast<unsigned long long>(TC.CallsBlocked),
+              static_cast<unsigned long long>(TC.RetransmittedBytes));
   if (O.Metrics) {
     std::printf("metrics registry:\n");
     std::fflush(stdout);
