@@ -1,0 +1,150 @@
+//===- promises/chaos/Chaos.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic chaos harness for the recovery paths the paper's
+/// robustness story depends on (Sections 2-3): crashes and partitions must
+/// surface as `unavailable`/`failure`, streams must reincarnate without
+/// violating exactly-once ordered delivery, and orphaned executions must
+/// be destroyed.
+///
+/// A seed-driven ChaosPlan injects node crashes/restarts, link partitions
+/// and heals, loss bursts, and transport shutdowns at randomized virtual
+/// times while a multi-client/multi-server workload runs; at quiescence a
+/// battery of invariants is checked (counter conservation, exactly-once
+/// per-stream execution order, no leaked timers or broken-stream map
+/// entries, no live or gated call processes, every promise resolved).
+/// Everything — fault times, workload, trace-event stream — is a pure
+/// function of the seed, so a failing seed replays byte-identically and
+/// becomes a one-line regression test.
+///
+/// See docs/FAULTS.md for the profiles, the invariants, and the
+/// seed-replay workflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_CHAOS_CHAOS_H
+#define PROMISES_CHAOS_CHAOS_H
+
+#include "promises/sim/Simulation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace promises::chaos {
+
+/// Shape of the fault mix. The weights pick the next injection's kind;
+/// gaps space injections; outages bound how long a fault lasts before its
+/// paired heal/restart. Base* are the ambient network conditions outside
+/// bursts.
+struct ChaosProfile {
+  std::string Name;
+  double CrashWeight = 0;
+  double PartitionWeight = 0;
+  double LossBurstWeight = 0;
+  double ShutdownWeight = 0;
+  sim::Time MinGap = sim::msec(8);
+  sim::Time MaxGap = sim::msec(40);
+  sim::Time MinOutage = sim::msec(10);
+  sim::Time MaxOutage = sim::msec(70);
+  double BurstLoss = 0.5;  ///< Link loss rate during a loss burst.
+  double BaseLoss = 0.02;  ///< Ambient datagram loss.
+  double BaseDup = 0.01;   ///< Ambient datagram duplication.
+  sim::Time BaseJitter = sim::usec(500); ///< Ambient reordering jitter.
+
+  static const ChaosProfile &crashes();
+  static const ChaosProfile &partitions();
+  static const ChaosProfile &loss();
+  static const ChaosProfile &mixed();
+  /// Profile by name, or nullptr.
+  static const ChaosProfile *byName(std::string_view Name);
+  static std::vector<std::string> names();
+};
+
+/// One run's parameters. Everything observable is a function of these.
+struct ChaosOptions {
+  uint64_t Seed = 1;
+  ChaosProfile Profile = ChaosProfile::mixed();
+  size_t OpsPerClient = 96;
+  size_t Clients = 2;
+  size_t Servers = 2;
+  /// Injection window; after it closes a cleanup phase heals every link
+  /// and restarts every crashed node so the workload can drain.
+  sim::Time Horizon = sim::msec(300);
+};
+
+/// One planned injection (or its paired recovery).
+struct ChaosAction {
+  enum class Kind : uint8_t {
+    CrashNode,         ///< Crash server Server's node.
+    RestartNode,       ///< Restart it and reincarnate its guardian.
+    TransportShutdown, ///< Shut down the current server transport only.
+    ServerReincarnate, ///< New guardian incarnation on the (up) node.
+    PartitionLink,     ///< Cut client Client <-> server Server.
+    HealLink,
+    LossBurstStart,    ///< Raise loss on the link to Rate.
+    LossBurstEnd,      ///< Restore the profile's ambient loss.
+  };
+  sim::Time At = 0;
+  Kind K = Kind::CrashNode;
+  uint32_t Server = 0;
+  uint32_t Client = 0; ///< Only meaningful for link faults.
+  double Rate = 0;     ///< Only meaningful for loss bursts.
+};
+
+/// Human-readable one-liner for a planned action.
+std::string formatAction(const ChaosAction &A);
+
+/// The full, deterministic fault schedule for one (seed, profile, shape).
+struct ChaosPlan {
+  uint64_t Seed = 0;
+  std::string Profile;
+  std::vector<ChaosAction> Actions;
+
+  static ChaosPlan generate(const ChaosOptions &O);
+};
+
+/// What one run observed, plus any invariant violations.
+struct ChaosReport {
+  std::vector<std::string> Violations;
+  bool ok() const { return Violations.empty(); }
+
+  // Faults actually applied (plan actions can be no-ops, e.g. a crash of
+  // an already-down node).
+  uint64_t Crashes = 0, Restarts = 0, Shutdowns = 0, Reincarnations = 0;
+  uint64_t Partitions = 0, LossBursts = 0;
+
+  // Workload tallies. Claimed outcomes must satisfy
+  // Normal + Unavailable + Failed + ExceptionReplies == OpsIssued - Sends.
+  uint64_t OpsIssued = 0, Sends = 0, Synchs = 0;
+  uint64_t Normal = 0, Unavailable = 0, Failed = 0, ExceptionReplies = 0;
+  uint64_t Executions = 0;        ///< Handler bodies entered, all servers.
+  uint64_t OrphansDestroyed = 0;  ///< Across all server incarnations.
+  uint64_t StaleEpochDrops = 0;   ///< Pre-crash datagrams dropped.
+
+  // Determinism oracle: the structured trace-event stream digested in
+  // order. Two runs of the same options must agree exactly.
+  uint64_t TraceEvents = 0;
+  uint64_t TraceHash = 0;
+  sim::Time VirtualEnd = 0;
+
+  /// One line: tallies + hash (violations not included).
+  std::string summary() const;
+};
+
+/// Runs the workload under the plan derived from \p O and checks the
+/// invariants at quiescence. Deterministic: equal options give equal
+/// reports, including the trace hash.
+ChaosReport runChaos(const ChaosOptions &O);
+
+/// The chaossim command line that reproduces \p O.
+std::string replayCommand(const ChaosOptions &O);
+
+} // namespace promises::chaos
+
+#endif // PROMISES_CHAOS_CHAOS_H

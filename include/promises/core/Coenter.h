@@ -38,6 +38,8 @@
 #include "promises/core/Exceptions.h"
 #include "promises/sim/Simulation.h"
 
+#include <string>
+
 #include <functional>
 #include <optional>
 #include <string>
@@ -70,11 +72,15 @@ public:
   }
 
   /// Adds one arm per element of \p Items (the dynamic coenter). \p Body
-  /// is invoked with a copy of the element.
+  /// is invoked with a copy of the element. Arms are named "arm[<index>]"
+  /// so trace events and exception reports from dynamic coenters stay
+  /// distinguishable.
   template <typename Container, typename Fn>
   Coenter &armEach(const Container &Items, Fn Body) {
+    size_t Index = 0;
     for (const auto &Item : Items)
-      arm("arm", [Body, Item]() -> ArmResult { return Body(Item); });
+      arm("arm[" + std::to_string(Index++) + "]",
+          [Body, Item]() -> ArmResult { return Body(Item); });
     return *this;
   }
 

@@ -40,16 +40,27 @@ namespace promises::net {
 /// Identifies a node in the network.
 using NodeId = uint32_t;
 
-/// A bound datagram endpoint: (node, port number).
+/// A bound datagram endpoint: (node, port number, node incarnation).
+///
+/// The epoch names the incarnation of the node the port was bound in. A
+/// restart bumps the node's epoch and resets port allocation, so an
+/// address minted before a crash can never alias a binding made after the
+/// restart even when the port number is reused — datagrams addressed to a
+/// previous epoch are dropped at delivery.
 struct Address {
   NodeId Node = 0;
   uint32_t Port = 0;
+  uint32_t Epoch = 0;
 
   friend bool operator==(const Address &A, const Address &B) {
-    return A.Node == B.Node && A.Port == B.Port;
+    return A.Node == B.Node && A.Port == B.Port && A.Epoch == B.Epoch;
   }
   friend bool operator<(const Address &A, const Address &B) {
-    return A.Node != B.Node ? A.Node < B.Node : A.Port < B.Port;
+    if (A.Node != B.Node)
+      return A.Node < B.Node;
+    if (A.Epoch != B.Epoch)
+      return A.Epoch < B.Epoch;
+    return A.Port < B.Port;
   }
 };
 
@@ -119,10 +130,16 @@ public:
   /// and from it is dropped, and crash observers fire.
   void crash(NodeId N);
 
-  /// Brings a crashed node back up (with no bindings).
+  /// Brings a crashed node back up (with no bindings). The node enters a
+  /// new epoch and port numbering restarts from 1, so addresses bound
+  /// before the crash are permanently dead even if their port numbers are
+  /// reused by the new incarnation.
   void restart(NodeId N);
 
   bool isUp(NodeId N) const;
+
+  /// Current incarnation of \p N (0 until the first restart).
+  uint32_t nodeEpoch(NodeId N) const;
 
   /// Cuts or heals the (symmetric) link between two nodes.
   void setPartitioned(NodeId A, NodeId B, bool Cut);
@@ -146,6 +163,11 @@ public:
   /// transmit backlog is max(0, txFreeAt - now).
   sim::Time txFreeAt(NodeId N) const;
 
+  /// Datagrams dropped because they addressed a previous node epoch
+  /// (stale traffic from before a crash/restart). Also counted in
+  /// DatagramsDropped.
+  uint64_t staleEpochDrops() const;
+
 private:
   /// Registry-backed counter cells behind one NetCounters view.
   struct CounterCells {
@@ -165,6 +187,7 @@ private:
     bool Up = true;
     sim::Time TxFreeAt = 0;
     sim::Time RxFreeAt = 0;
+    uint32_t Epoch = 0;
     uint32_t NextPort = 1;
     CounterCells Counters;
     std::vector<std::function<void()>> CrashObservers;
@@ -194,6 +217,7 @@ private:
   std::map<std::pair<NodeId, NodeId>, double> LinkLoss;
   std::map<std::pair<NodeId, NodeId>, LinkStats> Links;
   CounterCells Totals;
+  Counter *StaleDrops = nullptr;
 };
 
 } // namespace promises::net
@@ -205,11 +229,13 @@ template <> struct Codec<net::Address> {
   static void encode(Encoder &E, const net::Address &A) {
     E.writeU32(A.Node);
     E.writeU32(A.Port);
+    E.writeU32(A.Epoch);
   }
   static net::Address decode(Decoder &D) {
     net::Address A;
     A.Node = D.readU32();
     A.Port = D.readU32();
+    A.Epoch = D.readU32();
     return A;
   }
 };

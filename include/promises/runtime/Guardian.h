@@ -177,6 +177,25 @@ public:
   /// Number of orphaned call executions destroyed after stream death.
   uint64_t orphansDestroyed() const { return OrphansDestroyed->value(); }
 
+  /// Handler-call processes currently alive (executing or gated). Must be
+  /// 0 at quiescence: anything else means executor bookkeeping leaked on a
+  /// kill path. Same quantity the runtime.live_call_processes gauge reads.
+  size_t liveCallProcessCount() const {
+    size_t N = 0;
+    for (const auto &[Tag, D] : Domains)
+      N += D.Running.size();
+    return N;
+  }
+
+  /// Delivered handler calls still gated behind an earlier call on their
+  /// stream. Must be 0 at quiescence.
+  size_t gatedCallCount() const {
+    size_t N = 0;
+    for (const auto &[Tag, D] : Domains)
+      N += D.Waiting.size();
+    return N;
+  }
+
 private:
   struct ExecDomain {
     stream::Seq DoneThrough = 0;

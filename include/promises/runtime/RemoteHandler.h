@@ -105,8 +105,13 @@ public:
   template <typename... As> std::optional<core::Exn> send(As &&...Args) {
     PromiseT P = issue(/*NoReply=*/true, /*IsRpc=*/false,
                        std::forward<As>(Args)...);
-    if (P.ready() && !P.claim().isNormal())
-      return P.claim().toExn(); // Born-ready = immediate local failure.
+    if (P.ready()) {
+      // Born-ready = immediate local failure. Claim exactly once and
+      // convert the claimed outcome.
+      const OutcomeT &O = P.claim();
+      if (!O.isNormal())
+        return O.toExn();
+    }
     return std::nullopt;
   }
 

@@ -285,6 +285,11 @@ public:
   size_t retiredStreamCount() const { return Retired.size(); }
   /// Timers currently armed across all sender and receiver streams.
   size_t armedTimerCount() const;
+  /// Broken sender streams still holding full state. Transient while a
+  /// process is pinned in synch or undelivered outcomes remain; at
+  /// quiescence every broken stream must have been reduced to a tombstone,
+  /// so a nonzero value then means reclamation leaked.
+  size_t brokenSenderStreamCount() const;
   /// Calls in flight (issued but not delivery-acknowledged) on one stream;
   /// the quantity MaxInFlightCalls bounds.
   size_t senderWindowSize(AgentId Agent, net::Address Remote,
@@ -308,11 +313,15 @@ private:
     std::string BreakSinceMarkReason;
   };
 
-  using SenderKey = std::tuple<AgentId, net::NodeId, uint32_t, GroupId>;
-  using ReceiverKey = std::tuple<net::NodeId, uint32_t, AgentId, GroupId>;
+  // Keys carry the full epoch-qualified address: streams to different
+  // incarnations of a remote node never share state, so a post-restart
+  // binding that reuses a port number cannot inherit (or corrupt) the
+  // sequencing of a stream to the pre-crash incarnation.
+  using SenderKey = std::tuple<AgentId, net::Address, GroupId>;
+  using ReceiverKey = std::tuple<net::Address, AgentId, GroupId>;
 
   static SenderKey senderKey(AgentId A, net::Address R, GroupId G) {
-    return {A, R.Node, R.Port, G};
+    return {A, R, G};
   }
 
   SenderStream *findSender(AgentId A, net::Address R, GroupId G) const;

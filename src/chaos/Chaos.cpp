@@ -1,0 +1,600 @@
+//===- Chaos.cpp - Deterministic fault injection ---------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/chaos/Chaos.h"
+
+#include "promises/runtime/RemoteHandler.h"
+#include "promises/support/StrUtil.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+using namespace promises;
+using namespace promises::chaos;
+using sim::Time;
+
+//===----------------------------------------------------------------------===//
+// Profiles
+//===----------------------------------------------------------------------===//
+
+const ChaosProfile &ChaosProfile::crashes() {
+  static const ChaosProfile P = [] {
+    ChaosProfile X;
+    X.Name = "crashes";
+    X.CrashWeight = 0.7;
+    X.ShutdownWeight = 0.3;
+    X.MinOutage = sim::msec(15);
+    X.MaxOutage = sim::msec(80);
+    return X;
+  }();
+  return P;
+}
+
+const ChaosProfile &ChaosProfile::partitions() {
+  static const ChaosProfile P = [] {
+    ChaosProfile X;
+    X.Name = "partitions";
+    X.PartitionWeight = 1.0;
+    X.MinOutage = sim::msec(10);
+    X.MaxOutage = sim::msec(60);
+    return X;
+  }();
+  return P;
+}
+
+const ChaosProfile &ChaosProfile::loss() {
+  static const ChaosProfile P = [] {
+    ChaosProfile X;
+    X.Name = "loss";
+    X.LossBurstWeight = 1.0;
+    X.MinGap = sim::msec(6);
+    X.MaxGap = sim::msec(30);
+    X.MinOutage = sim::msec(10);
+    X.MaxOutage = sim::msec(50);
+    X.BaseLoss = 0.05;
+    X.BaseJitter = sim::msec(1);
+    return X;
+  }();
+  return P;
+}
+
+const ChaosProfile &ChaosProfile::mixed() {
+  static const ChaosProfile P = [] {
+    ChaosProfile X;
+    X.Name = "mixed";
+    X.CrashWeight = 0.3;
+    X.PartitionWeight = 0.3;
+    X.LossBurstWeight = 0.25;
+    X.ShutdownWeight = 0.15;
+    return X;
+  }();
+  return P;
+}
+
+const ChaosProfile *ChaosProfile::byName(std::string_view Name) {
+  for (const ChaosProfile *P :
+       {&crashes(), &partitions(), &loss(), &mixed()})
+    if (P->Name == Name)
+      return P;
+  return nullptr;
+}
+
+std::vector<std::string> ChaosProfile::names() {
+  return {crashes().Name, partitions().Name, loss().Name, mixed().Name};
+}
+
+//===----------------------------------------------------------------------===//
+// Plan generation
+//===----------------------------------------------------------------------===//
+
+std::string chaos::formatAction(const ChaosAction &A) {
+  double Ms = static_cast<double>(A.At) / 1e6;
+  switch (A.K) {
+  case ChaosAction::Kind::CrashNode:
+    return strprintf("%8.2fms crash srv%u", Ms, A.Server);
+  case ChaosAction::Kind::RestartNode:
+    return strprintf("%8.2fms restart srv%u", Ms, A.Server);
+  case ChaosAction::Kind::TransportShutdown:
+    return strprintf("%8.2fms shutdown srv%u transport", Ms, A.Server);
+  case ChaosAction::Kind::ServerReincarnate:
+    return strprintf("%8.2fms reincarnate srv%u", Ms, A.Server);
+  case ChaosAction::Kind::PartitionLink:
+    return strprintf("%8.2fms partition cli%u <-> srv%u", Ms, A.Client,
+                     A.Server);
+  case ChaosAction::Kind::HealLink:
+    return strprintf("%8.2fms heal cli%u <-> srv%u", Ms, A.Client, A.Server);
+  case ChaosAction::Kind::LossBurstStart:
+    return strprintf("%8.2fms loss burst cli%u <-> srv%u rate %.2f", Ms,
+                     A.Client, A.Server, A.Rate);
+  case ChaosAction::Kind::LossBurstEnd:
+    return strprintf("%8.2fms loss burst end cli%u <-> srv%u", Ms, A.Client,
+                     A.Server);
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t mixSeed(uint64_t Seed, uint64_t Salt) {
+  uint64_t X = Seed + 0x9e3779b97f4a7c15ull * (Salt + 1);
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+ChaosPlan ChaosPlan::generate(const ChaosOptions &O) {
+  const ChaosProfile &P = O.Profile;
+  ChaosPlan Plan;
+  Plan.Seed = O.Seed;
+  Plan.Profile = P.Name;
+  Rng R(mixSeed(O.Seed, std::hash<std::string>{}(P.Name)));
+
+  using K = ChaosAction::Kind;
+  double Total = P.CrashWeight + P.PartitionWeight + P.LossBurstWeight +
+                 P.ShutdownWeight;
+  Time T = static_cast<Time>(R.between(P.MinGap, P.MaxGap));
+  while (Total > 0 && T < O.Horizon) {
+    Time Outage = static_cast<Time>(R.between(P.MinOutage, P.MaxOutage));
+    auto Srv = static_cast<uint32_t>(R.below(O.Servers));
+    auto Cli = static_cast<uint32_t>(R.below(O.Clients));
+    double Pick = R.unit() * Total;
+    if ((Pick -= P.CrashWeight) < 0) {
+      Plan.Actions.push_back({T, K::CrashNode, Srv, 0, 0});
+      Plan.Actions.push_back({T + Outage, K::RestartNode, Srv, 0, 0});
+    } else if ((Pick -= P.PartitionWeight) < 0) {
+      Plan.Actions.push_back({T, K::PartitionLink, Srv, Cli, 0});
+      Plan.Actions.push_back({T + Outage, K::HealLink, Srv, Cli, 0});
+    } else if ((Pick -= P.LossBurstWeight) < 0) {
+      Plan.Actions.push_back({T, K::LossBurstStart, Srv, Cli, P.BurstLoss});
+      Plan.Actions.push_back({T + Outage, K::LossBurstEnd, Srv, Cli,
+                              P.BaseLoss});
+    } else {
+      Plan.Actions.push_back({T, K::TransportShutdown, Srv, 0, 0});
+      Plan.Actions.push_back({T + Outage, K::ServerReincarnate, Srv, 0, 0});
+    }
+    T += static_cast<Time>(R.between(P.MinGap, P.MaxGap));
+  }
+
+  // Cleanup phase: after the injection window (plus the longest possible
+  // outstanding outage) everything heals, so the workload always drains.
+  Time End = O.Horizon + P.MaxOutage + sim::msec(1);
+  for (uint32_t S = 0; S != O.Servers; ++S) {
+    Plan.Actions.push_back({End, K::RestartNode, S, 0, 0});
+    Plan.Actions.push_back({End, K::ServerReincarnate, S, 0, 0});
+  }
+  for (uint32_t S = 0; S != O.Servers; ++S)
+    for (uint32_t C = 0; C != O.Clients; ++C) {
+      Plan.Actions.push_back({End, K::HealLink, S, C, 0});
+      Plan.Actions.push_back({End, K::LossBurstEnd, S, C, P.BaseLoss});
+    }
+
+  std::stable_sort(Plan.Actions.begin(), Plan.Actions.end(),
+                   [](const ChaosAction &A, const ChaosAction &B) {
+                     return A.At < B.At;
+                   });
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Workload
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The one declared exception of the chaos service; raised for a
+/// deterministic subset of ops so exception replies flow under faults.
+struct ChaosBusy {
+  static constexpr const char *Name = "chaos_busy";
+  uint64_t Op = 0;
+};
+
+} // namespace
+
+namespace promises::wire {
+template <> struct Codec<ChaosBusy> {
+  static void encode(Encoder &E, const ChaosBusy &V) { E.writeU64(V.Op); }
+  static ChaosBusy decode(Decoder &D) { return {D.readU64()}; }
+};
+} // namespace promises::wire
+
+namespace {
+
+constexpr bool opRaises(uint64_t Op) { return Op % 13 == 5; }
+
+/// Slow ops hold the server long enough that a stream superseded after a
+/// break can still catch its predecessor executing — the orphan-
+/// destruction path (paper, Section 4.2).
+constexpr bool opIsSlow(uint64_t Op) { return Op % 23 == 11; }
+
+using RecordSig = uint64_t(uint32_t, uint64_t);
+using RecordRef = runtime::HandlerRef<RecordSig, ChaosBusy>;
+using RecordHandler = runtime::RemoteHandler<RecordSig, ChaosBusy>;
+using RecordPromise = core::Promise<uint64_t, ChaosBusy>;
+using RecordOutcome = core::Outcome<uint64_t, ChaosBusy>;
+
+/// One handler execution, as observed server-side.
+struct ExecEntry {
+  uint32_t Gen = 0; ///< Guardian incarnation (globally unique).
+  uint32_t Client = 0;
+  uint64_t Op = 0;
+};
+
+/// One server identity: a node that hosts a succession of guardian
+/// incarnations. Old incarnations are kept (never destroyed mid-run) so
+/// their transports can be audited at quiescence.
+struct ServerSlot {
+  net::NodeId Node = 0;
+  runtime::Guardian *Current = nullptr;
+  RecordRef Record;
+  bool TransportDead = false; ///< Shutdown injected since last incarnation.
+};
+
+struct World {
+  explicit World(const ChaosOptions &Opt);
+
+  void applyAction(const ChaosAction &A);
+  void installServer(size_t Slot);
+  void runDriver(uint32_t Client);
+  ChaosReport finish();
+
+  ChaosOptions O;
+  ChaosPlan Plan;
+  sim::Simulation S;
+  std::unique_ptr<net::Network> Net;
+  std::vector<ServerSlot> Slots;
+  std::vector<net::NodeId> ClientNodes;
+  std::vector<std::unique_ptr<runtime::Guardian>> ServerGuardians;
+  std::vector<std::unique_ptr<runtime::Guardian>> ClientGuardians;
+  std::vector<std::vector<stream::AgentId>> Agents; ///< [client][slot].
+  std::vector<ExecEntry> Log;
+  uint32_t NextGen = 0;
+  ChaosReport Report;
+};
+
+stream::StreamConfig chaosStreamConfig(uint64_t Seed, uint64_t Salt) {
+  stream::StreamConfig C;
+  // Tightened loss recovery so breaks land within a fault outage instead
+  // of dominating the run; a small window keeps flow control in play.
+  C.MaxBatchCalls = 8;
+  C.RetransmitTimeout = sim::msec(6);
+  C.RetransmitTimeoutMax = sim::msec(30);
+  C.MaxRetries = 3;
+  C.MaxInFlightCalls = 8;
+  C.RetransSeed = mixSeed(Seed, Salt);
+  return C;
+}
+
+World::World(const ChaosOptions &Opt) : O(Opt), Plan(ChaosPlan::generate(Opt)) {
+  // The trace-event stream is the determinism oracle; always record it.
+  S.metrics().setEnabled(true);
+
+  net::NetConfig NC;
+  NC.LossRate = O.Profile.BaseLoss;
+  NC.DupRate = O.Profile.BaseDup;
+  NC.JitterMax = O.Profile.BaseJitter;
+  NC.Propagation = sim::msec(1);
+  NC.Seed = mixSeed(O.Seed, 0);
+  Net = std::make_unique<net::Network>(S, NC);
+
+  Slots.resize(O.Servers);
+  for (size_t I = 0; I != O.Servers; ++I)
+    Slots[I].Node = Net->addNode(strprintf("srv%zu", I));
+  for (size_t I = 0; I != O.Clients; ++I)
+    ClientNodes.push_back(Net->addNode(strprintf("cli%zu", I)));
+
+  for (size_t I = 0; I != O.Servers; ++I)
+    installServer(I);
+
+  Agents.resize(O.Clients);
+  for (uint32_t C = 0; C != O.Clients; ++C) {
+    runtime::GuardianConfig GC;
+    GC.Stream = chaosStreamConfig(O.Seed, 1000 + C);
+    ClientGuardians.push_back(std::make_unique<runtime::Guardian>(
+        *Net, ClientNodes[C], strprintf("cli%u", C), GC));
+    for (size_t Sl = 0; Sl != O.Servers; ++Sl)
+      Agents[C].push_back(ClientGuardians[C]->newAgent());
+    ClientGuardians[C]->spawnProcess("driver",
+                                     [this, C] { runDriver(C); });
+  }
+
+  for (const ChaosAction &A : Plan.Actions)
+    S.schedule(A.At, [this, A] { applyAction(A); });
+}
+
+void World::installServer(size_t Slot) {
+  ServerSlot &SS = Slots[Slot];
+  uint32_t Gen = ++NextGen;
+  runtime::GuardianConfig GC;
+  GC.Stream = chaosStreamConfig(O.Seed, 2000 + Gen);
+  auto G = std::make_unique<runtime::Guardian>(
+      *Net, SS.Node, strprintf("srv%zu#%u", Slot, Gen), GC);
+  SS.Record = G->addHandler<RecordSig, ChaosBusy>(
+      "record", [this, Gen](uint32_t Client, uint64_t Op) -> RecordOutcome {
+        Log.push_back({Gen, Client, Op});
+        ++Report.Executions;
+        // Slow ops outlive the sender's break threshold (~72ms of silence
+        // under the chaos stream config), so the sender legitimately
+        // gives up on them and reincarnates; the superseding batch then
+        // catches the old incarnation mid-execution and orphan
+        // destruction fires.
+        S.sleep(opIsSlow(Op) ? sim::msec(100) : sim::usec(100));
+        if (opRaises(Op))
+          return ChaosBusy{Op};
+        return Op;
+      });
+  SS.Current = G.get();
+  SS.TransportDead = false;
+  ServerGuardians.push_back(std::move(G));
+}
+
+void World::applyAction(const ChaosAction &A) {
+  using K = ChaosAction::Kind;
+  ServerSlot &SS = Slots[A.Server];
+  switch (A.K) {
+  case K::CrashNode:
+    if (Net->isUp(SS.Node)) {
+      Net->crash(SS.Node);
+      ++Report.Crashes;
+    }
+    break;
+  case K::RestartNode:
+    if (!Net->isUp(SS.Node)) {
+      Net->restart(SS.Node);
+      installServer(A.Server);
+      ++Report.Restarts;
+    }
+    break;
+  case K::TransportShutdown:
+    if (Net->isUp(SS.Node) && !SS.TransportDead && !SS.Current->crashed()) {
+      SS.Current->transport().shutdown();
+      SS.TransportDead = true;
+      ++Report.Shutdowns;
+    }
+    break;
+  case K::ServerReincarnate:
+    if (Net->isUp(SS.Node) && SS.TransportDead) {
+      installServer(A.Server);
+      ++Report.Reincarnations;
+    }
+    break;
+  case K::PartitionLink:
+    Net->setPartitioned(ClientNodes[A.Client], SS.Node, true);
+    ++Report.Partitions;
+    break;
+  case K::HealLink:
+    Net->setPartitioned(ClientNodes[A.Client], SS.Node, false);
+    break;
+  case K::LossBurstStart:
+    Net->setLinkLoss(ClientNodes[A.Client], SS.Node, A.Rate);
+    ++Report.LossBursts;
+    break;
+  case K::LossBurstEnd:
+    Net->setLinkLoss(ClientNodes[A.Client], SS.Node, A.Rate);
+    break;
+  }
+}
+
+void World::runDriver(uint32_t Client) {
+  Rng R(mixSeed(O.Seed, 3000 + Client));
+
+  struct PendingOp {
+    RecordPromise P;
+    uint64_t Op;
+  };
+  std::vector<PendingOp> Pending;
+
+  auto tally = [this](const RecordOutcome &Out, uint64_t Op) {
+    if (Out.isNormal()) {
+      ++Report.Normal;
+      if (Out.value() != Op)
+        Report.Violations.push_back(strprintf(
+            "payload mismatch: op %llu returned %llu",
+            static_cast<unsigned long long>(Op),
+            static_cast<unsigned long long>(Out.value())));
+    } else if (Out.is<ChaosBusy>()) {
+      ++Report.ExceptionReplies;
+      if (Out.get<ChaosBusy>().Op != Op)
+        Report.Violations.push_back(strprintf(
+            "exception payload mismatch on op %llu",
+            static_cast<unsigned long long>(Op)));
+    } else if (Out.is<core::Unavailable>()) {
+      ++Report.Unavailable;
+    } else {
+      ++Report.Failed;
+    }
+  };
+  auto claimAll = [&] {
+    for (PendingOp &PO : Pending)
+      tally(PO.P.claim(), PO.Op);
+    Pending.clear();
+  };
+
+  for (uint64_t Op = 1; Op <= O.OpsPerClient; ++Op) {
+    size_t Slot = R.below(O.Servers);
+    RecordHandler H(*ClientGuardians[Client], Agents[Client][Slot],
+                    Slots[Slot].Record);
+    ++Report.OpsIssued;
+    uint64_t Pick = R.below(10);
+    if (Pick < 6) {
+      Pending.push_back({H.streamCall(Client, Op), Op});
+      if (Pending.size() >= 8)
+        claimAll();
+    } else if (Pick < 8) {
+      tally(H.call(Client, Op), Op);
+    } else {
+      ++Report.Sends;
+      H.send(Client, Op);
+    }
+    if (R.below(8) == 0) {
+      H.synch();
+      ++Report.Synchs;
+    }
+    S.sleep(sim::usec(R.between(50, 1500)));
+  }
+  claimAll();
+  // Drain every stream this client still has sends or replies outstanding
+  // on; synch blocks until the remote executed (or the stream broke), so
+  // after this loop every promise this driver created is resolved.
+  for (size_t Slot = 0; Slot != O.Servers; ++Slot) {
+    RecordHandler H(*ClientGuardians[Client], Agents[Client][Slot],
+                    Slots[Slot].Record);
+    H.synch();
+    ++Report.Synchs;
+  }
+}
+
+uint64_t fnv1a(uint64_t H, uint64_t V) {
+  for (int I = 0; I != 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+ChaosReport World::finish() {
+  ChaosReport &Rep = Report;
+  Rep.VirtualEnd = S.now();
+
+  auto violate = [&](std::string Msg) {
+    Rep.Violations.push_back(std::move(Msg));
+  };
+
+  // 1. Quiescence: the scheduler drained, so any live process is stuck
+  // forever (a missed wakeup on a kill/break path).
+  if (size_t N = S.liveProcessCount())
+    violate(strprintf("%zu processes still live at quiescence", N));
+
+  // 2. Network conservation: every datagram is delivered or dropped.
+  net::NetCounters NC = Net->counters();
+  if (NC.DatagramsSent + NC.DatagramsDuplicated !=
+      NC.DatagramsDelivered + NC.DatagramsDropped)
+    violate(strprintf("net conservation: %llu sent + %llu dup != %llu "
+                      "delivered + %llu dropped",
+                      (unsigned long long)NC.DatagramsSent,
+                      (unsigned long long)NC.DatagramsDuplicated,
+                      (unsigned long long)NC.DatagramsDelivered,
+                      (unsigned long long)NC.DatagramsDropped));
+  Rep.StaleEpochDrops = Net->staleEpochDrops();
+
+  // 3. Per-transport conservation and hygiene, clients and every server
+  // incarnation alike.
+  auto audit = [&](const std::string &Who, runtime::Guardian &G) {
+    stream::StreamCounters C = G.transport().counters();
+    if (C.CallsIssued != C.CallsFulfilled + C.CallsBroken)
+      violate(strprintf("%s: %llu issued != %llu fulfilled + %llu broken",
+                        Who.c_str(), (unsigned long long)C.CallsIssued,
+                        (unsigned long long)C.CallsFulfilled,
+                        (unsigned long long)C.CallsBroken));
+    if (size_t N = G.transport().armedTimerCount())
+      violate(strprintf("%s: %zu timers still armed", Who.c_str(), N));
+    if (size_t N = G.transport().brokenSenderStreamCount())
+      violate(strprintf("%s: %zu broken sender streams not reclaimed",
+                        Who.c_str(), N));
+    if (size_t N = G.liveCallProcessCount())
+      violate(strprintf("%s: %zu call processes leaked", Who.c_str(), N));
+    if (size_t N = G.gatedCallCount())
+      violate(strprintf("%s: %zu gated calls leaked", Who.c_str(), N));
+    Rep.OrphansDestroyed += G.orphansDestroyed();
+  };
+  for (size_t C = 0; C != ClientGuardians.size(); ++C)
+    audit(strprintf("cli%zu", C), *ClientGuardians[C]);
+  for (auto &G : ServerGuardians)
+    audit(G->name(), *G);
+
+  // 4. Client accounting: every claimed op has exactly one outcome.
+  if (Rep.Normal + Rep.Unavailable + Rep.Failed + Rep.ExceptionReplies !=
+      Rep.OpsIssued - Rep.Sends)
+    violate(strprintf(
+        "outcome conservation: %llu+%llu+%llu+%llu != %llu issued - %llu "
+        "sends",
+        (unsigned long long)Rep.Normal, (unsigned long long)Rep.Unavailable,
+        (unsigned long long)Rep.Failed,
+        (unsigned long long)Rep.ExceptionReplies,
+        (unsigned long long)Rep.OpsIssued, (unsigned long long)Rep.Sends));
+
+  // 5. Exactly-once: no (client, op) executed twice, across every server
+  // incarnation. The network may duplicate datagrams and senders
+  // retransmit, but user code must see each call at most once.
+  std::set<std::pair<uint32_t, uint64_t>> Seen;
+  for (const ExecEntry &E : Log)
+    if (!Seen.insert({E.Client, E.Op}).second)
+      violate(strprintf("op %llu from cli%u executed twice",
+                        (unsigned long long)E.Op, E.Client));
+
+  // 6. Ordered execution: within one guardian incarnation, one client's
+  // ops execute in issue order (ops lost to breaks leave gaps, never
+  // inversions). Across incarnations order is not comparable — a call
+  // reported `unavailable` may legitimately still execute late on an old
+  // incarnation whose transport was shut down mid-backlog.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> LastOp;
+  for (const ExecEntry &E : Log) {
+    uint64_t &Last = LastOp[{E.Gen, E.Client}];
+    if (E.Op <= Last)
+      violate(strprintf("order inversion: cli%u op %llu after op %llu in "
+                        "gen %u",
+                        E.Client, (unsigned long long)E.Op,
+                        (unsigned long long)Last, E.Gen));
+    Last = E.Op;
+  }
+
+  // 7. Determinism oracle: digest the full trace-event stream in order.
+  const MetricsRegistry &Reg = S.metrics();
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const TraceEvent &E : Reg.events()) {
+    H = fnv1a(H, E.TsNs);
+    H = fnv1a(H, static_cast<uint64_t>(E.Kind));
+    H = fnv1a(H, E.Node);
+    H = fnv1a(H, E.Id);
+    H = fnv1a(H, E.Seq);
+    H = fnv1a(H, E.DurNs);
+    for (char C : E.Detail)
+      H = fnv1a(H, static_cast<unsigned char>(C));
+  }
+  Rep.TraceEvents = Reg.events().size() + Reg.droppedEvents();
+  Rep.TraceHash = H;
+  return Rep;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+ChaosReport chaos::runChaos(const ChaosOptions &O) {
+  World W(O);
+  W.S.run();
+  return W.finish();
+}
+
+std::string chaos::replayCommand(const ChaosOptions &O) {
+  return strprintf("chaossim --seed %llu --profile %s --ops %zu --clients "
+                   "%zu --servers %zu --horizon-ms %llu",
+                   static_cast<unsigned long long>(O.Seed),
+                   O.Profile.Name.c_str(), O.OpsPerClient, O.Clients,
+                   O.Servers,
+                   static_cast<unsigned long long>(O.Horizon / 1000000));
+}
+
+std::string ChaosReport::summary() const {
+  return strprintf(
+      "ops=%llu normal=%llu unavailable=%llu failed=%llu exn=%llu "
+      "sends=%llu exec=%llu orphans=%llu crashes=%llu restarts=%llu "
+      "shutdowns=%llu parts=%llu bursts=%llu stale=%llu vms=%.3f "
+      "trace=%llu@%016llx",
+      (unsigned long long)OpsIssued, (unsigned long long)Normal,
+      (unsigned long long)Unavailable, (unsigned long long)Failed,
+      (unsigned long long)ExceptionReplies, (unsigned long long)Sends,
+      (unsigned long long)Executions, (unsigned long long)OrphansDestroyed,
+      (unsigned long long)Crashes, (unsigned long long)Restarts,
+      (unsigned long long)Shutdowns, (unsigned long long)Partitions,
+      (unsigned long long)LossBursts, (unsigned long long)StaleEpochDrops,
+      static_cast<double>(VirtualEnd) / 1e6,
+      (unsigned long long)TraceEvents, (unsigned long long)TraceHash);
+}

@@ -26,6 +26,7 @@ void Network::registerCells(CounterCells &C, MetricLabels Labels) {
 Network::Network(sim::Simulation &S, NetConfig C)
     : Sim(S), Reg(S.metrics()), Cfg(C), Rand(C.Seed) {
   registerCells(Totals, {});
+  StaleDrops = &Reg.counter("net.datagrams_stale_dropped", {});
 }
 
 NodeId Network::addNode(std::string Name) {
@@ -52,7 +53,7 @@ const std::string &Network::nodeName(NodeId N) const { return node(N).Name; }
 Address Network::bind(NodeId N, std::function<void(Datagram)> Handler) {
   Node &Nd = node(N);
   assert(Nd.Up && "bind on a crashed node");
-  Address A{N, Nd.NextPort++};
+  Address A{N, Nd.NextPort++, Nd.Epoch};
   Binds[A] = std::move(Handler);
   return A;
 }
@@ -116,6 +117,11 @@ void Network::restart(NodeId N) {
   Nd.Up = true;
   Nd.TxFreeAt = Sim.now();
   Nd.RxFreeAt = Sim.now();
+  // The new incarnation reuses port numbers (a rebooted kernel starts
+  // allocating from scratch); the epoch bump keeps addresses from the old
+  // incarnation dead — see the stale-epoch check in arrive().
+  ++Nd.Epoch;
+  Nd.NextPort = 1;
   if (Reg.enabled())
     Reg.emit({Sim.now(), EventKind::NodeRestart, N, 0, 0, 0, Nd.Name});
 }
@@ -141,6 +147,10 @@ void Network::countDrop(NodeId From, NodeId To) {
   if (Reg.enabled())
     linkStats(From, To).Drops->inc();
 }
+
+uint32_t Network::nodeEpoch(NodeId N) const { return node(N).Epoch; }
+
+uint64_t Network::staleEpochDrops() const { return StaleDrops->value(); }
 
 sim::Time Network::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
 
@@ -203,6 +213,13 @@ void Network::arrive(Datagram D, Time SentAt) {
                [this, D = std::move(D), SentAt]() mutable {
     Node &R = node(D.To.Node);
     if (!R.Up) {
+      countDrop(D.From.Node, D.To.Node);
+      return;
+    }
+    // A datagram sent before a crash must not land in the post-restart
+    // incarnation, even if the new incarnation rebound the same port.
+    if (D.To.Epoch != R.Epoch) {
+      StaleDrops->inc();
       countDrop(D.From.Node, D.To.Node);
       return;
     }

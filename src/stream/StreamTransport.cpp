@@ -869,6 +869,13 @@ size_t StreamTransport::armedTimerCount() const {
   return N;
 }
 
+size_t StreamTransport::brokenSenderStreamCount() const {
+  size_t N = 0;
+  for (const auto &[K, S] : Senders)
+    N += static_cast<size_t>(S->Broken);
+  return N;
+}
+
 size_t StreamTransport::senderWindowSize(AgentId Agent, net::Address Remote,
                                          GroupId Group) const {
   SenderStream *S = findSender(Agent, Remote, Group);
@@ -887,7 +894,7 @@ Seq StreamTransport::outstandingCalls(AgentId Agent, net::Address Remote,
 
 StreamTransport::ReceiverStream &
 StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
-  ReceiverKey Key{From.Node, From.Port, M.Agent, M.Group};
+  ReceiverKey Key{From, M.Agent, M.Group};
   auto &Slot = Receivers[Key];
   if (Slot && Slot->Inc == M.Inc)
     return *Slot;
@@ -922,7 +929,7 @@ StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
 void StreamTransport::handleCallBatch(const net::Address &From,
                                       const CallBatchMsg &M) {
   // Filter stale incarnations before touching state.
-  ReceiverKey Key{From.Node, From.Port, M.Agent, M.Group};
+  ReceiverKey Key{From, M.Agent, M.Group};
   auto Existing = Receivers.find(Key);
   if (Existing != Receivers.end() && M.Inc < Existing->second->Inc)
     return;

@@ -1,0 +1,174 @@
+//===- chaos_test.cpp - Chaos-harness tests -------------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// Two layers: the harness itself (plan generation and replay must be pure
+// functions of the seed; every profile's invariant battery must hold), and
+// a directed recovery-path regression that pins the epoch-qualified
+// address fix — retransmits addressed to a crashed incarnation must never
+// execute on the incarnation that reuses its port.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/chaos/Chaos.h"
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+using namespace promises;
+using namespace promises::chaos;
+using namespace promises::sim;
+
+namespace {
+
+ChaosOptions smallRun(uint64_t Seed, const ChaosProfile &P) {
+  ChaosOptions O;
+  O.Seed = Seed;
+  O.Profile = P;
+  O.OpsPerClient = 48;
+  return O;
+}
+
+TEST(ChaosPlanTest, GenerationIsDeterministic) {
+  ChaosOptions O = smallRun(42, ChaosProfile::mixed());
+  ChaosPlan A = ChaosPlan::generate(O);
+  ChaosPlan B = ChaosPlan::generate(O);
+  ASSERT_FALSE(A.Actions.empty());
+  ASSERT_EQ(A.Actions.size(), B.Actions.size());
+  for (size_t I = 0; I < A.Actions.size(); ++I)
+    EXPECT_EQ(formatAction(A.Actions[I]), formatAction(B.Actions[I]));
+  // Actions come out time-sorted so the run can schedule them directly.
+  for (size_t I = 1; I < A.Actions.size(); ++I)
+    EXPECT_LE(A.Actions[I - 1].At, A.Actions[I].At);
+}
+
+TEST(ChaosPlanTest, DifferentSeedsGiveDifferentPlans) {
+  ChaosPlan A = ChaosPlan::generate(smallRun(1, ChaosProfile::mixed()));
+  ChaosPlan B = ChaosPlan::generate(smallRun(2, ChaosProfile::mixed()));
+  std::string SA, SB;
+  for (const ChaosAction &X : A.Actions)
+    SA += formatAction(X) + "\n";
+  for (const ChaosAction &X : B.Actions)
+    SB += formatAction(X) + "\n";
+  EXPECT_NE(SA, SB);
+}
+
+TEST(ChaosRunTest, MixedSeedsSatisfyInvariants) {
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    ChaosOptions O = smallRun(Seed, ChaosProfile::mixed());
+    ChaosReport R = runChaos(O);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.summary()
+                        << (R.Violations.empty() ? ""
+                                                 : "\n  " + R.Violations[0])
+                        << "\n  replay: " << replayCommand(O);
+    EXPECT_EQ(R.OpsIssued, O.OpsPerClient * O.Clients);
+    EXPECT_GT(R.Executions, 0u);
+    // Every claimed outcome is accounted for.
+    EXPECT_EQ(R.Normal + R.Unavailable + R.Failed + R.ExceptionReplies,
+              R.OpsIssued - R.Sends);
+  }
+}
+
+TEST(ChaosRunTest, EveryProfileSatisfiesInvariants) {
+  for (const std::string &Name : ChaosProfile::names()) {
+    ChaosOptions O = smallRun(9, *ChaosProfile::byName(Name));
+    ChaosReport R = runChaos(O);
+    EXPECT_TRUE(R.ok()) << Name << ": " << R.summary() << "\n  replay: "
+                        << replayCommand(O);
+  }
+}
+
+TEST(ChaosRunTest, ReplayIsByteIdentical) {
+  ChaosOptions O = smallRun(11, ChaosProfile::mixed());
+  ChaosReport A = runChaos(O);
+  ChaosReport B = runChaos(O);
+  ASSERT_TRUE(A.ok()) << A.summary();
+  // The trace digest covers every structured event in emission order; two
+  // equal hashes over equal-length streams mean the runs were
+  // observationally identical, not merely similar.
+  EXPECT_EQ(A.TraceHash, B.TraceHash);
+  EXPECT_EQ(A.TraceEvents, B.TraceEvents);
+  EXPECT_EQ(A.VirtualEnd, B.VirtualEnd);
+  EXPECT_EQ(A.Normal, B.Normal);
+  EXPECT_EQ(A.Unavailable, B.Unavailable);
+  EXPECT_EQ(A.Executions, B.Executions);
+  EXPECT_EQ(A.OrphansDestroyed, B.OrphansDestroyed);
+  EXPECT_EQ(A.StaleEpochDrops, B.StaleEpochDrops);
+}
+
+TEST(ChaosRunTest, CrashProfileExercisesRecoveryMachinery) {
+  // One known-good seed that drives the paths this PR hardens: node
+  // crashes with port-reusing restarts (stale-epoch drops) and breaks.
+  ChaosOptions O = smallRun(7, ChaosProfile::crashes());
+  ChaosReport R = runChaos(O);
+  ASSERT_TRUE(R.ok()) << R.summary() << "\n  replay: " << replayCommand(O);
+  EXPECT_GT(R.Crashes, 0u);
+  EXPECT_GT(R.Restarts, 0u);
+  EXPECT_GT(R.Unavailable, 0u);
+}
+
+TEST(ChaosDirected, RetransmitsDoNotExecuteOnNewIncarnation) {
+  // Regression for the stale-datagram bug: a restarted node reuses its
+  // port space, so an in-flight call batch (or its retransmits) addressed
+  // to the crashed incarnation lands on the same (node, port) as the new
+  // guardian. Restart epochs must drop it; before the fix the new
+  // incarnation executed the call while the client also saw a break.
+  Simulation S;
+  net::NetConfig NC; // Default 2ms propagation keeps the batch in flight.
+  net::Network Net(S, NC);
+  net::NodeId SN = Net.addNode("server");
+  net::NodeId CN = Net.addNode("client");
+
+  runtime::GuardianConfig GC;
+  GC.Stream.RetransmitTimeout = msec(5);
+  GC.Stream.MaxRetries = 1;
+
+  uint64_t Exec1 = 0, Exec2 = 0;
+  auto Server1 = std::make_unique<runtime::Guardian>(Net, SN, "server#1", GC);
+  auto Ref1 = Server1->addHandler<uint64_t(uint64_t)>(
+      "echo", [&](uint64_t V) -> core::Outcome<uint64_t> {
+        ++Exec1;
+        return V;
+      });
+  runtime::Guardian Client(Net, CN, "client", GC);
+
+  std::unique_ptr<runtime::Guardian> Server2;
+  std::optional<core::Exn> Err;
+  Client.spawnProcess("driver", [&] {
+    auto H = runtime::bindHandler(Client, Client.newAgent(), Ref1);
+    auto P = H.streamCall(uint64_t{42});
+    H.flush();
+    Err = P.claim().toExn();
+  });
+  S.schedule(msec(1), [&] {
+    Net.crash(SN);
+    Net.restart(SN);
+    Server2 = std::make_unique<runtime::Guardian>(Net, SN, "server#2", GC);
+    Server2->addHandler<uint64_t(uint64_t)>(
+        "echo", [&](uint64_t V) -> core::Outcome<uint64_t> {
+          ++Exec2;
+          return V;
+        });
+    // Same port, new epoch: the addresses must never compare equal.
+    EXPECT_EQ(Server2->address().Port, Server1->address().Port);
+    EXPECT_NE(Server2->address().Epoch, Server1->address().Epoch);
+  });
+  S.run();
+
+  // Neither incarnation ran the call: #1 died before delivery, #2 only
+  // ever saw stale-epoch datagrams.
+  EXPECT_EQ(Exec1, 0u);
+  EXPECT_EQ(Exec2, 0u);
+  ASSERT_TRUE(Server2);
+  EXPECT_EQ(Server2->callsExecuted(), 0u);
+  EXPECT_GE(Net.staleEpochDrops(), 1u);
+  // The client saw exactly one outcome for the call: a break.
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_EQ(Err->Name, "unavailable");
+}
+
+} // namespace

@@ -143,6 +143,29 @@ TEST(CoenterMore, ArmEachStopsSiblingsOnFirstException) {
   EXPECT_EQ(Completed, 1);
 }
 
+TEST(CoenterMore, ArmEachNamesArmsByIndex) {
+  // Regression: armEach used to spawn every arm under the same name
+  // ("arm"), making exception reports and traces from a coenter over a
+  // collection ambiguous. Arms are now named by position.
+  Simulation S;
+  std::vector<int> Items{10, 20, 30};
+  std::vector<std::string> Names;
+  S.spawn("p", [&] {
+    Coenter(S)
+        .armEach(Items,
+                 [&](int) -> ArmResult {
+                   Names.push_back(Simulation::current()->name());
+                   return {};
+                 })
+        .run();
+  });
+  S.run();
+  ASSERT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names[0], "arm[0]");
+  EXPECT_EQ(Names[1], "arm[1]");
+  EXPECT_EQ(Names[2], "arm[2]");
+}
+
 TEST(CoenterMore, ArmsSeeSharedStateWrittenBeforeRun) {
   Simulation S;
   int Shared = 0;

@@ -456,6 +456,35 @@ TEST_F(RuntimeFixture, NestedCallsCascadeAcrossGuardians) {
   EXPECT_EQ(Result, 37);
 }
 
+TEST_F(RuntimeFixture, SendReportsBornReadyFailureExactlyOnce) {
+  // Regression: send() used to both claim() a born-ready promise and then
+  // claim it again to build the returned exception. The failure must be
+  // claimed once and surfaced as the returned Exn.
+  GC.Stream.RetransmitTimeout = msec(5);
+  GC.Stream.MaxRetries = 1;
+  GC.Stream.AutoRestart = false;
+  build();
+  std::optional<core::Exn> First, Second;
+  SynchResult SR;
+  Client->spawnProcess("driver", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Note);
+    Net->crash(SN);
+    // Issued before the break is known: the promise is pending, so send
+    // reports nothing locally (the break surfaces at synch).
+    First = H.send(std::string("one"));
+    SR = H.synch(); // Blocks until the retransmit timer breaks the stream.
+    // With AutoRestart off the broken stream cannot reincarnate, so this
+    // send fails immediately with a born-ready promise.
+    Second = H.send(std::string("two"));
+  });
+  S.run();
+  EXPECT_FALSE(First.has_value());
+  EXPECT_EQ(SR.K, SynchResult::Kind::Unavailable);
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(Second->Name, "unavailable");
+  EXPECT_TRUE(ExecLog.empty()); // The server never ran either note.
+}
+
 TEST_F(RuntimeFixture, HandlerRefCodecRoundTrips) {
   build();
   auto B = wire::encodeToBytes(RecordGrade);

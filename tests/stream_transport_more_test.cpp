@@ -339,6 +339,41 @@ TEST_F(Fixture, FullyBrokenStreamsRetireAndResurrectOnReuse) {
   EXPECT_EQ(Client->armedTimerCount(), 0u);
 }
 
+TEST_F(Fixture, TombstoneSynchReportsBreakAcrossResurrection) {
+  // Companion to the resurrection test above, pinning the synch-window
+  // semantics across retirement: the break recorded before a sender
+  // stream was reduced to a tombstone must still be reported — exactly
+  // once — by the next synch, which resurrects the stream.
+  SC.RetransmitTimeout = msec(5);
+  SC.MaxRetries = 1;
+  build();
+  Net->setPartitioned(CN, SN, true);
+  AgentId A = Client->newAgent();
+  ReplyOutcome::Kind K{};
+  Client->issueCall(A, Server->address(), 1, 1, bytesOf(1), false, false,
+                    [&](const ReplyOutcome &O) { K = O.K; });
+  Client->flush(A, Server->address(), 1);
+  S.run();
+  ASSERT_EQ(K, ReplyOutcome::Kind::Unavailable);
+  ASSERT_EQ(Client->senderStreamCount(), 0u);
+  ASSERT_EQ(Client->retiredStreamCount(), 1u);
+
+  Net->setPartitioned(CN, SN, false);
+  SynchOutcome First, Second;
+  S.spawn("p", [&] {
+    First = Client->synch(A, Server->address(), 1);
+    Second = Client->synch(A, Server->address(), 1);
+  });
+  S.run();
+  // The first synch after the break reports its kind, with the
+  // transport's reason carried through the tombstone...
+  EXPECT_EQ(First.S, SynchOutcome::Status::Unavailable);
+  EXPECT_NE(First.Reason.find("cannot communicate"), std::string::npos)
+      << First.Reason;
+  // ...and the mark reset leaves the next window clean.
+  EXPECT_EQ(Second.S, SynchOutcome::Status::AllNormal);
+}
+
 TEST_F(Fixture, TwoTransportsCanTalkInBothDirections) {
   // Full duplex: each side is sender and receiver at once.
   build();
