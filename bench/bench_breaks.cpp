@@ -15,6 +15,10 @@
 //    time from crash to every outstanding promise being resolved, sweeping
 //    the retry budget (detection ~ RetransmitTimeout * MaxRetries).
 //  - BM_RestartCost: break + auto-restart + rerun of the workload.
+//  - BM_FailFast: 16 sequential calls against a partitioned server, with
+//    the circuit breaker off (every call blocks for the full break
+//    detection) vs on (the first break trips the breaker and the rest
+//    resolve as born-ready unavailable without touching the network).
 //
 //===----------------------------------------------------------------------===//
 
@@ -111,6 +115,38 @@ void BM_RestartCost(benchmark::State &State) {
   }
 }
 
+void BM_FailFast(benchmark::State &State) {
+  // Arg: breaker threshold (0 = breaker off). With a flapping (here:
+  // partitioned) endpoint, fail-fast turns N sequential break detections
+  // into one detection plus N-1 immediate unavailable outcomes.
+  const size_t Threshold = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    runtime::GuardianConfig GC;
+    GC.Stream.RetransmitTimeout = sim::msec(20);
+    GC.Stream.MaxRetries = 3;
+    GC.Stream.BreakerThreshold = Threshold;
+    KvWorld W(net::NetConfig(), GC);
+    sim::Time Start = 0, ResolvedAt = 0;
+    W.Client->spawnProcess("driver", [&] {
+      auto H = bindHandler(*W.Client, W.Client->newAgent(), W.Kv.Echo);
+      W.Net->setPartitioned(W.Server->nodeId(), W.Client->nodeId(), true);
+      Start = W.S.now();
+      for (int I = 0; I < 16; ++I) {
+        auto P = H.streamCall(std::string("x"));
+        H.flush();
+        P.claim(); // Unavailable: slow break, or instant once tripped.
+      }
+      ResolvedAt = W.S.now();
+    });
+    W.S.run();
+    State.counters["resolve_ms"] = sim::toMillis(ResolvedAt - Start);
+    State.counters["fast_fails"] = static_cast<double>(
+        W.Client->transport().counters().BreakerFastFails);
+    State.counters["breaks"] = static_cast<double>(
+        W.Client->transport().counters().SenderBreaks);
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_LossOverhead)->Arg(0)->Arg(10)->Arg(20)->Arg(40)
@@ -118,5 +154,7 @@ BENCHMARK(BM_LossOverhead)->Arg(0)->Arg(10)->Arg(20)->Arg(40)
 BENCHMARK(BM_CrashDetection)->Arg(1)->Arg(3)->Arg(8)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RestartCost)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FailFast)->Arg(0)->Arg(2)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

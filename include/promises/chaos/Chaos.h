@@ -76,6 +76,11 @@ struct ChaosOptions {
   /// Injection window; after it closes a cleanup phase heals every link
   /// and restarts every crashed node so the workload can drain.
   sim::Time Horizon = sim::msec(300);
+  /// Exercise the resilience layer: a deterministic subset of ops carries
+  /// wire deadlines, another subset is cancelled mid-flight, idempotent
+  /// ops ride a retry policy, clients run a circuit breaker, and servers
+  /// shed under admission control. Extra invariants apply (see FAULTS.md).
+  bool Deadlines = false;
 };
 
 /// One planned injection (or its paired recovery).
@@ -126,6 +131,16 @@ struct ChaosReport {
   uint64_t Executions = 0;        ///< Handler bodies entered, all servers.
   uint64_t OrphansDestroyed = 0;  ///< Across all server incarnations.
   uint64_t StaleEpochDrops = 0;   ///< Pre-crash datagrams dropped.
+
+  // Resilience tallies (all zero unless ChaosOptions::Deadlines).
+  // Client-observed: final claimed outcomes split by unavailable reason.
+  uint64_t Expired = 0, Cancelled = 0, Shed = 0, FastFails = 0;
+  // Server-side counters, summed across every incarnation; each bounds
+  // its client-observed counterpart from above (replies can be lost to
+  // breaks, and retried attempts count once per attempt server-side).
+  uint64_t ServerExpired = 0, ServerShed = 0, ServerCancelled = 0;
+  uint64_t Retries = 0;     ///< Retry attempts issued, all clients.
+  uint64_t CancelsSent = 0; ///< Cancel messages sent, all clients.
 
   // Determinism oracle: the structured trace-event stream digested in
   // order. Two runs of the same options must agree exactly.

@@ -47,6 +47,31 @@ struct Failure {
   friend bool operator==(const Failure &, const Failure &) = default;
 };
 
+/// Canonical reason strings carried by the built-in exceptions. The
+/// runtime and transport construct every system-originated Unavailable /
+/// Failure from these, so tests and the chaos oracle can match on symbols
+/// instead of prose.
+namespace reasons {
+/// The issuing process was wounded; the runtime refuses to start calls on
+/// its behalf (paper, Section 4.2).
+inline constexpr const char *WoundedCaller = "calling process is wounded";
+/// A call-stream break: retransmits exhausted without any acknowledgment.
+inline constexpr const char *CannotCommunicate = "cannot communicate";
+/// The local transport was shut down with calls outstanding.
+inline constexpr const char *TransportShutDown = "transport shut down";
+/// The sender restarted a stream, abandoning its outstanding calls.
+inline constexpr const char *StreamRestarted = "stream restarted by sender";
+/// The caller cancelled the call before its outcome arrived.
+inline constexpr const char *Cancelled = "cancelled";
+/// The call's deadline passed before the receiver started executing it.
+inline constexpr const char *DeadlineExpired = "deadline expired";
+/// The receiving guardian shed the call under admission control.
+inline constexpr const char *Overloaded = "overloaded";
+/// The endpoint circuit breaker is open; the call failed fast without
+/// touching the network.
+inline constexpr const char *CircuitOpen = "circuit open";
+} // namespace reasons
+
 /// Every user-declared exception is a struct with a static Name.
 template <typename E>
 concept ExceptionType = requires {

@@ -77,6 +77,33 @@ public:
     return *St->Value;
   }
 
+  /// Bounded claim: waits until the promise is ready or until \p Duration
+  /// of virtual time has elapsed, whichever comes first. Returns the
+  /// outcome, or nullptr on timeout. A timeout leaves the promise
+  /// untouched — "a promise can be claimed multiple times", so a later
+  /// claim (bounded or not) can still succeed. Kill delivery point while
+  /// blocked.
+  const OutcomeType *claimFor(sim::Time Duration) const {
+    assert(valid() && "claimFor() on an invalid promise");
+    if (St->Value.has_value())
+      return &*St->Value;
+    assert(St->Waiters && "blocking claim outside a simulation");
+    return claimUntil(St->Waiters->simulation().now() + Duration);
+  }
+
+  /// As claimFor, but with an absolute virtual-time deadline.
+  const OutcomeType *claimUntil(sim::Time Deadline) const {
+    assert(valid() && "claimUntil() on an invalid promise");
+    while (!St->Value.has_value()) {
+      assert(St->Waiters && "blocking claim outside a simulation");
+      sim::Time Now = St->Waiters->simulation().now();
+      if (Now >= Deadline)
+        return nullptr;
+      St->Waiters->waitFor(Deadline - Now);
+    }
+    return &*St->Value;
+  }
+
   /// Claims and dispatches in one step (the except-statement idiom):
   ///
   /// \code

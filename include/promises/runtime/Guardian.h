@@ -44,6 +44,11 @@ struct GuardianConfig {
   /// what makes initiating many calls take time, and hence what stream
   /// composition overlaps (Section 4).
   sim::Time EncodeCpu = sim::usec(10);
+  /// Admission control: when nonzero, an incoming call that would push the
+  /// number of live handler-call processes (executing + gated) past this
+  /// bound is shed immediately with unavailable("overloaded") instead of
+  /// being spawned. 0 disables shedding.
+  size_t MaxPendingCalls = 0;
 };
 
 /// An active entity: handler table, port groups, processes, and the
@@ -177,6 +182,33 @@ public:
   /// Number of orphaned call executions destroyed after stream death.
   uint64_t orphansDestroyed() const { return OrphansDestroyed->value(); }
 
+  /// Number of delivered calls dropped because their deadline passed
+  /// before execution started.
+  uint64_t deadlinesExpired() const { return DeadlinesExpired->value(); }
+
+  /// Number of incoming calls shed by admission control.
+  uint64_t callsShed() const { return CallsShed->value(); }
+
+  /// Number of retry attempts issued by this guardian's clients.
+  uint64_t retriesIssued() const { return Retries->value(); }
+
+  /// Retry budget: takes one retry token for calls to \p Remote. The
+  /// bucket starts at \p Budget and is debited 1.0 per retry; successful
+  /// calls credit it back (creditRetryToken), capped at \p Budget. Returns
+  /// false when the bucket is exhausted — the caller must not retry.
+  /// Budget <= 0 disables the mechanism (always allowed).
+  bool takeRetryToken(const net::Address &Remote, double Budget);
+
+  /// Credits \p Credit back into \p Remote's retry bucket (capped at
+  /// \p Budget). Called on successful outcomes so sustained success
+  /// replenishes the budget.
+  void creditRetryToken(const net::Address &Remote, double Budget,
+                        double Credit);
+
+  /// Records one retry attempt (counter + trace event). \p Attempt is the
+  /// 1-based attempt number about to be issued.
+  void noteRetry(stream::AgentId Agent, int Attempt);
+
   /// Handler-call processes currently alive (executing or gated). Must be
   /// 0 at quiescence: anything else means executor bookkeeping leaked on a
   /// kill path. Same quantity the runtime.live_call_processes gauge reads.
@@ -204,6 +236,10 @@ private:
     std::map<stream::Seq, std::unique_ptr<sim::WaitQueue>> Waiting;
     /// Live call executions, for orphan destruction when the stream dies.
     std::map<stream::Seq, sim::ProcessHandle> Running;
+    /// Seqs whose processes were cancelled before completing: they can no
+    /// longer advance DoneThrough themselves, so advanceDomain() skips
+    /// over them to unblock successors.
+    std::set<stream::Seq> Aborted;
   };
 
   void onStreamDead(uint64_t Tag);
@@ -211,6 +247,12 @@ private:
   void onIncomingCall(stream::IncomingCall IC);
   void runCall(stream::IncomingCall &IC);
   ExecDomain &domain(uint64_t Tag);
+  /// Advances DoneThrough over contiguously aborted seqs and wakes the
+  /// next gated call, if any.
+  void advanceDomain(ExecDomain &D);
+  /// Transport cancel hook: kills the call process for (Tag, Sq) if it is
+  /// still running, and unblocks its successors.
+  void cancelCall(uint64_t Tag, stream::Seq Sq);
   void onNodeCrash();
 
   net::Network &Net;
@@ -223,12 +265,17 @@ private:
   stream::PortId NextPort = 1;
   Counter *CallsExec = nullptr;
   Counter *OrphansDestroyed = nullptr;
+  Counter *DeadlinesExpired = nullptr;
+  Counter *CallsShed = nullptr;
+  Counter *Retries = nullptr;
   std::unique_ptr<stream::StreamTransport> Transport;
   std::map<stream::PortId, std::function<void(stream::IncomingCall &)>>
       Executors;
   std::map<stream::PortId, std::string> PortNames;
   std::map<uint64_t, ExecDomain> Domains;
   std::set<stream::GroupId> ParallelGroups;
+  /// Per-remote retry token buckets (see takeRetryToken).
+  std::map<net::Address, double> RetryTokens;
   std::vector<sim::ProcessHandle> Procs;
 };
 

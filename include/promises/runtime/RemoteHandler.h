@@ -28,11 +28,15 @@
 #ifndef PROMISES_RUNTIME_REMOTEHANDLER_H
 #define PROMISES_RUNTIME_REMOTEHANDLER_H
 
+#include "promises/core/Exceptions.h"
 #include "promises/core/Promise.h"
 #include "promises/runtime/Guardian.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <optional>
+#include <utility>
 
 namespace promises::runtime {
 
@@ -63,6 +67,38 @@ struct SynchResult {
   }
 };
 
+/// Client retry policy for calls through one RemoteHandler. Retries only
+/// re-issue calls that terminated with `unavailable` (transient,
+/// conserving outcomes); exception replies and failures are final. A call
+/// the user cancelled is never retried.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  int MaxAttempts = 1;
+  /// Backoff before attempt 2, doubling per attempt (virtual time).
+  sim::Time Backoff = sim::msec(1);
+  /// Backoff ceiling.
+  sim::Time BackoffMax = sim::msec(64);
+  /// Per-endpoint retry token bucket size (shared across all handlers of
+  /// the calling guardian to that endpoint). <= 0 disables budgeting.
+  double Budget = 10.0;
+  /// Tokens credited back per successful call, capped at Budget.
+  double BudgetCredit = 0.5;
+  /// When true (the default), only calls on a handler that was
+  /// declareIdempotent()-ed are retried: an `unavailable` outcome does not
+  /// say whether the call executed, so re-issuing a non-idempotent call
+  /// risks duplicate effects.
+  bool IdempotentOnly = true;
+};
+
+/// Identifies one issued call for cancellation. Obtained from
+/// streamCallCancellable; invalid (S == 0) when the call failed locally
+/// before reaching the stream.
+struct CallHandle {
+  stream::Seq S = 0;
+  stream::Incarnation Inc = 0;
+  bool valid() const { return S != 0; }
+};
+
 /// A handler reference bound to a local guardian and an agent — the thing
 /// calls are made through.
 template <typename Sig, core::ExceptionType... Exs> class RemoteHandler {
@@ -82,11 +118,64 @@ public:
   const HandlerRef<Sig, Exs...> &ref() const { return Ref; }
   stream::AgentId agent() const { return Agent; }
 
+  /// Attaches a retry policy: calls through this handler that terminate
+  /// with `unavailable` are transparently re-issued (subject to the
+  /// policy's idempotence rule, budget, and the call's deadline).
+  RemoteHandler &withRetryPolicy(RetryPolicy P) {
+    Policy = P;
+    return *this;
+  }
+  const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// Attaches a per-call deadline (relative virtual time): every call
+  /// issued through this handler carries now+D on the wire, and the
+  /// receiver drops it with unavailable("deadline expired") if execution
+  /// has not started by then. 0 disables.
+  RemoteHandler &withDeadline(sim::Time D) {
+    Deadline = D;
+    return *this;
+  }
+  sim::Time deadline() const { return Deadline; }
+
+  /// Declares the remote handler idempotent: executing it twice is
+  /// equivalent to executing it once, so a retry policy may re-issue it
+  /// after `unavailable` even though the original may have executed.
+  RemoteHandler &declareIdempotent(bool On = true) {
+    Idempotent = On;
+    return *this;
+  }
+  bool idempotent() const { return Idempotent; }
+
   /// Stream call: returns immediately with a (usually blocked) promise;
   /// the caller runs in parallel with the call (paper, Section 3).
   template <typename... As> PromiseT streamCall(As &&...Args) {
-    return issue(/*NoReply=*/false, /*IsRpc=*/false,
+    return issue(/*NoReply=*/false, /*IsRpc=*/false, nullptr,
                  std::forward<As>(Args)...);
+  }
+
+  /// Stream call that can be cancelled: also returns a CallHandle to pass
+  /// to cancel(). Cancellable calls are never auto-retried (a retry would
+  /// invalidate the handle).
+  template <typename... As>
+  std::pair<PromiseT, CallHandle> streamCallCancellable(As &&...Args) {
+    CallHandle H;
+    PromiseT P = issue(/*NoReply=*/false, /*IsRpc=*/false, &H,
+                       std::forward<As>(Args)...);
+    return {std::move(P), H};
+  }
+
+  /// Best-effort cancellation of an in-flight call. If the call has not
+  /// completed at the receiver, its execution is destroyed (or never
+  /// started) and the promise is fulfilled with unavailable("cancelled"),
+  /// in stream order. Returns false when the transport no longer knows
+  /// the call (already fulfilled, stream restarted, ...) — the promise
+  /// then resolves with the call's real outcome.
+  bool cancel(const CallHandle &H) {
+    assert(valid());
+    if (!H.valid())
+      return false;
+    return Local->transport().cancelCall(Agent, Ref.Entity, Ref.Group, H.S,
+                                         H.Inc);
   }
 
   /// RPC: sends immediately and blocks the calling process for the
@@ -94,7 +183,7 @@ public:
   template <typename... As> OutcomeT call(As &&...Args) {
     assert(sim::Simulation::inProcess() &&
            "RPC must be made from a simulated process");
-    PromiseT P = issue(/*NoReply=*/false, /*IsRpc=*/true,
+    PromiseT P = issue(/*NoReply=*/false, /*IsRpc=*/true, nullptr,
                        std::forward<As>(Args)...);
     return P.claim();
   }
@@ -103,7 +192,7 @@ public:
   /// transmitted; exceptions are discoverable via synch. Returns the
   /// immediate issue error if the call could not even be made.
   template <typename... As> std::optional<core::Exn> send(As &&...Args) {
-    PromiseT P = issue(/*NoReply=*/true, /*IsRpc=*/false,
+    PromiseT P = issue(/*NoReply=*/true, /*IsRpc=*/false, nullptr,
                        std::forward<As>(Args)...);
     if (P.ready()) {
       // Born-ready = immediate local failure. Claim exactly once and
@@ -153,13 +242,72 @@ public:
   }
 
 private:
+  /// State threaded through the attempts of one retryable call. Held by
+  /// shared_ptr: the issue callback and any scheduled re-attempt keep it
+  /// alive; the promise side only holds the Resolver.
+  struct RetryCtx {
+    Guardian *G;
+    stream::AgentId Agent;
+    HandlerRef<Sig, Exs...> Ref;
+    wire::Bytes Args;
+    bool NoReply, IsRpc;
+    sim::Time DeadlineAt;
+    RetryPolicy Policy;
+    int Attempt = 1;
+    core::Resolver<Ret, Exs...> R;
+  };
+
+  /// Issues attempt Ctx->Attempt. On unavailable — the only conserving,
+  /// possibly-transient outcome — schedules the next attempt on the
+  /// virtual clock with doubled backoff, as long as attempts, deadline,
+  /// and the per-endpoint retry budget allow. User-cancelled calls
+  /// (unavailable("cancelled")) are final: retrying would resurrect a
+  /// call the program explicitly tore down.
+  static void issueAttempt(std::shared_ptr<RetryCtx> C) {
+    auto Issue = C->G->transport().issueCall(
+        C->Agent, C->Ref.Entity, C->Ref.Group, C->Ref.Port,
+        wire::Bytes(C->Args), C->NoReply, C->IsRpc,
+        [C](const stream::ReplyOutcome &RO) {
+          if (RO.K == stream::ReplyOutcome::Kind::Unavailable &&
+              RO.Reason != core::reasons::Cancelled &&
+              C->Attempt < C->Policy.MaxAttempts &&
+              (C->DeadlineAt == 0 ||
+               C->G->simulation().now() < C->DeadlineAt) &&
+              C->G->takeRetryToken(C->Ref.Entity, C->Policy.Budget)) {
+            sim::Time Delay = C->Policy.Backoff;
+            for (int I = 1; I < C->Attempt; ++I)
+              Delay = std::min(C->Policy.BackoffMax, Delay * 2);
+            ++C->Attempt;
+            C->G->noteRetry(C->Agent, C->Attempt);
+            // Scheduled (not process) context: the re-issue never blocks
+            // on a full in-flight window; issueCall queues it.
+            C->G->simulation().schedule(Delay, [C] { issueAttempt(C); });
+            return;
+          }
+          if (RO.K == stream::ReplyOutcome::Kind::Normal)
+            C->G->creditRetryToken(C->Ref.Entity, C->Policy.Budget,
+                                   C->Policy.BudgetCredit);
+          C->R.fulfill(detail::wireToOutcome<Ret, Exs...>(RO));
+        },
+        C->DeadlineAt);
+    if (!Issue.Issued) {
+      // Local refusal (shut down, circuit open, ...): final. Retrying
+      // here would hammer an endpoint the breaker just isolated.
+      if (Issue.IsFailure)
+        C->R.fulfill(OutcomeT(core::Failure{Issue.Reason}));
+      else
+        C->R.fulfill(OutcomeT(core::Unavailable{Issue.Reason}));
+    }
+  }
+
   template <typename... As>
-  PromiseT issue(bool NoReply, bool IsRpc, As &&...Args) {
+  PromiseT issue(bool NoReply, bool IsRpc, CallHandle *HandleOut,
+                 As &&...Args) {
     assert(valid() && "call through an unbound RemoteHandler");
     // A wounded process "cannot make any remote calls" (paper, 4.2).
     if (sim::Process *P = sim::Simulation::current(); P && P->wounded())
       return PromiseT::makeReady(
-          OutcomeT(core::Unavailable{"calling process is wounded"}));
+          OutcomeT(core::Unavailable{core::reasons::WoundedCaller}));
     // Encoding is synchronous caller work (paper, Section 3, step 1).
     if (sim::Simulation::inProcess() && Local->config().EncodeCpu != 0)
       Local->simulation().sleep(Local->config().EncodeCpu);
@@ -169,23 +317,43 @@ private:
     if (!ArgsB) // Encode failure: fail without making the call (step 1).
       return PromiseT::makeReady(
           OutcomeT(core::Failure{"could not encode: " + Why}));
-    auto [P, R] = core::makePromise<Ret, Exs...>(Local->simulation());
-    auto Issue = Local->transport().issueCall(
-        Agent, Ref.Entity, Ref.Group, Ref.Port, std::move(*ArgsB), NoReply,
-        IsRpc, [R = R](const stream::ReplyOutcome &RO) {
-          R.fulfill(detail::wireToOutcome<Ret, Exs...>(RO));
-        });
-    if (!Issue.Issued) {
-      if (Issue.IsFailure)
-        return PromiseT::makeReady(OutcomeT(core::Failure{Issue.Reason}));
-      return PromiseT::makeReady(OutcomeT(core::Unavailable{Issue.Reason}));
+    sim::Time DeadlineAt =
+        Deadline != 0 ? Local->simulation().now() + Deadline : 0;
+    bool Retryable = Policy.MaxAttempts > 1 && !NoReply &&
+                     HandleOut == nullptr &&
+                     (Idempotent || !Policy.IdempotentOnly);
+    if (!Retryable) {
+      auto [P, R] = core::makePromise<Ret, Exs...>(Local->simulation());
+      auto Issue = Local->transport().issueCall(
+          Agent, Ref.Entity, Ref.Group, Ref.Port, std::move(*ArgsB), NoReply,
+          IsRpc,
+          [R = R](const stream::ReplyOutcome &RO) {
+            R.fulfill(detail::wireToOutcome<Ret, Exs...>(RO));
+          },
+          DeadlineAt);
+      if (!Issue.Issued) {
+        if (Issue.IsFailure)
+          return PromiseT::makeReady(OutcomeT(core::Failure{Issue.Reason}));
+        return PromiseT::makeReady(OutcomeT(core::Unavailable{Issue.Reason}));
+      }
+      if (HandleOut)
+        *HandleOut = CallHandle{Issue.S, Issue.Inc};
+      return P;
     }
+    auto [P, R] = core::makePromise<Ret, Exs...>(Local->simulation());
+    auto C = std::make_shared<RetryCtx>(
+        RetryCtx{Local, Agent, Ref, std::move(*ArgsB), NoReply, IsRpc,
+                 DeadlineAt, Policy, 1, R});
+    issueAttempt(std::move(C));
     return P;
   }
 
   Guardian *Local = nullptr;
   stream::AgentId Agent = 0;
   HandlerRef<Sig, Exs...> Ref;
+  RetryPolicy Policy;
+  sim::Time Deadline = 0;
+  bool Idempotent = false;
 };
 
 /// Binds \p Ref to \p Local and \p Agent.

@@ -150,6 +150,7 @@ using ProcessHandle = std::shared_ptr<Process>;
 class WaitQueue {
 public:
   explicit WaitQueue(Simulation &S) : Sim(S) {}
+  ~WaitQueue();
   WaitQueue(const WaitQueue &) = delete;
   WaitQueue &operator=(const WaitQueue &) = delete;
 
@@ -168,6 +169,10 @@ public:
 
   /// Number of processes currently blocked here.
   size_t waiterCount() const { return Waiters.size(); }
+
+  /// The simulation this queue blocks in (for deadline arithmetic in
+  /// bounded claims).
+  Simulation &simulation() const { return Sim; }
 
 private:
   friend class Simulation;

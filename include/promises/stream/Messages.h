@@ -13,6 +13,9 @@
 ///  * ReplyBatchMsg — the receiving end's state for one stream: cumulative
 ///    delivery/completion acknowledgements, every still-unacknowledged
 ///    explicit reply, and (when the stream is broken) the break marker.
+///  * CancelMsg — best-effort cancellation of specific outstanding calls;
+///    the receiver tears the call processes down and completes the calls
+///    with Unavailable{cancelled} through the normal reply path.
 ///
 /// ReplyBatchMsg is deliberately *state-shaped* rather than delta-shaped:
 /// any reply batch whose CompletedThrough covers call n also carries n's
@@ -58,6 +61,9 @@ enum class ReplyStatus : uint8_t {
                  ///< encoded exception arguments.
   Failure = 2,   ///< The `failure` built-in (e.g. decode failure, no such
                  ///< port); Reason explains.
+  Unavailable = 3, ///< The `unavailable` built-in scoped to this one call
+                   ///< (deadline expired, cancelled, shed); Reason
+                   ///< explains. Unlike a break, the stream stays usable.
 };
 
 /// One call request inside a CallBatchMsg.
@@ -66,6 +72,10 @@ struct CallReq {
   PortId Port = 0;
   bool NoReply = false;    ///< A "send": normal replies are omitted.
   bool FlushReply = false; ///< RPC: flush the reply as soon as available.
+  uint64_t DeadlineNs = 0; ///< Absolute virtual-time deadline; the
+                           ///< receiver drops the call with
+                           ///< Unavailable{deadline expired} if execution
+                           ///< has not started by then. 0 = none.
   wire::Bytes Args;
 
   friend bool operator==(const CallReq &, const CallReq &) = default;
@@ -111,8 +121,22 @@ struct ReplyBatchMsg {
                          const ReplyBatchMsg &) = default;
 };
 
+/// Sender -> receiver: cancel specific outstanding calls. Fire-and-forget
+/// (never retransmitted): a lost cancel just means the call completes
+/// normally, which the sender must tolerate anyway. Cancelled calls are
+/// completed with ReplyStatus::Unavailable through the regular reply
+/// machinery, so ordering and conservation are untouched.
+struct CancelMsg {
+  AgentId Agent = 0;
+  GroupId Group = 0;
+  Incarnation Inc = 1;
+  std::vector<Seq> Seqs;
+
+  friend bool operator==(const CancelMsg &, const CancelMsg &) = default;
+};
+
 /// Any stream-layer message.
-using Message = std::variant<CallBatchMsg, ReplyBatchMsg>;
+using Message = std::variant<CallBatchMsg, ReplyBatchMsg, CancelMsg>;
 
 /// Encodes \p M with a leading kind byte.
 wire::Bytes encodeMessage(const Message &M);
@@ -130,6 +154,7 @@ template <> struct Codec<stream::CallReq> {
     E.writeU32(V.Port);
     E.writeBool(V.NoReply);
     E.writeBool(V.FlushReply);
+    E.writeU64(V.DeadlineNs);
     E.writeBytes(V.Args.data(), V.Args.size());
   }
   static stream::CallReq decode(Decoder &D) {
@@ -138,6 +163,7 @@ template <> struct Codec<stream::CallReq> {
     V.Port = D.readU32();
     V.NoReply = D.readBool();
     V.FlushReply = D.readBool();
+    V.DeadlineNs = D.readU64();
     V.Args = D.readBytes();
     return V;
   }
@@ -155,7 +181,7 @@ template <> struct Codec<stream::WireReply> {
     stream::WireReply V;
     V.S = D.readU64();
     uint8_t Raw = D.readU8();
-    if (Raw > static_cast<uint8_t>(stream::ReplyStatus::Failure)) {
+    if (Raw > static_cast<uint8_t>(stream::ReplyStatus::Unavailable)) {
       D.fail("bad reply status");
       Raw = 0;
     }
@@ -211,6 +237,23 @@ template <> struct Codec<stream::ReplyBatchMsg> {
     V.BreakIsFailure = D.readBool();
     V.BreakReason = D.readString();
     V.Replies = Codec<std::vector<stream::WireReply>>::decode(D);
+    return V;
+  }
+};
+
+template <> struct Codec<stream::CancelMsg> {
+  static void encode(Encoder &E, const stream::CancelMsg &V) {
+    E.writeU64(V.Agent);
+    E.writeU32(V.Group);
+    E.writeU32(V.Inc);
+    Codec<std::vector<stream::Seq>>::encode(E, V.Seqs);
+  }
+  static stream::CancelMsg decode(Decoder &D) {
+    stream::CancelMsg V;
+    V.Agent = D.readU64();
+    V.Group = D.readU32();
+    V.Inc = D.readU32();
+    V.Seqs = Codec<std::vector<stream::Seq>>::decode(D);
     return V;
   }
 };

@@ -94,6 +94,17 @@ struct StreamConfig {
   /// of only new replies. Correct but quadratic in flight-depth; see
   /// bench_ablation.
   bool StateShapedReplies = false;
+  /// Endpoint circuit breaker: after this many consecutive
+  /// communication-timeout breaks on one (agent, remote, group) stream,
+  /// further issues fail fast with Unavailable{circuit open} — no promise
+  /// blocks, nothing touches the network — until a half-open probe draws
+  /// any reply batch from the remote. 0 disables (the default). Breaks
+  /// caused by receiver-reported failures (decode errors) do not count:
+  /// they prove the endpoint is reachable.
+  int BreakerThreshold = 0;
+  /// Delay between a breaker opening (or a fail-fast finding it open) and
+  /// the next half-open probe.
+  sim::Time BreakerCooldown = sim::msec(50);
 };
 
 /// The sender-visible outcome of one stream call.
@@ -138,6 +149,7 @@ struct IncomingCall {
   GroupId Group = 0;
   PortId Port = 0;
   bool NoReply = false;
+  sim::Time DeadlineNs = 0; ///< Absolute deadline from the wire; 0 = none.
   wire::Bytes Args;
   /// The runtime must invoke this exactly once when the call completes.
   /// Out-of-order completions within a stream are buffered; the sender
@@ -176,6 +188,13 @@ struct StreamCounters {
   uint64_t CallsBroken = 0;    ///< Outcomes delivered by a stream break.
   uint64_t CallsBlocked = 0;   ///< Issuers that hit a full in-flight window.
   uint64_t RetransmittedBytes = 0; ///< Argument bytes re-sent.
+  uint64_t CancelsSent = 0;        ///< Cancel messages sent (sender side).
+  uint64_t CallsCancelled = 0;     ///< Calls completed as cancelled
+                                   ///< (receiver side).
+  uint64_t BreakerFastFails = 0;   ///< Issues failed fast by an open breaker.
+  uint64_t BreakerOpens = 0;
+  uint64_t BreakerCloses = 0;
+  uint64_t BreakerProbes = 0;      ///< Half-open probes sent.
 };
 
 /// One entity's endpoint of the call-stream layer: the sending side of all
@@ -216,22 +235,48 @@ public:
   AgentId newAgent() { return ++LastAgent; }
 
   /// Outcome of issueCall: when Issued is false the call was never sent
-  /// (broken stream with AutoRestart off, or shut-down transport) and
-  /// OnReply was not retained — the caller raises the indicated exception
-  /// directly, without creating a promise (paper, Section 3, step 1).
+  /// (broken stream with AutoRestart off, shut-down transport, or open
+  /// circuit breaker) and OnReply was not retained — the caller raises the
+  /// indicated exception directly, without creating a promise (paper,
+  /// Section 3, step 1). On success S/Inc identify the call for
+  /// cancelCall().
   struct IssueResult {
     bool Issued = true;
     bool IsFailure = false; ///< Else unavailable.
     std::string Reason;
+    Seq S = 0;
+    Incarnation Inc = 0;
   };
 
   /// Issues a call on the stream (Agent -> Remote transport's Group).
   /// \p NoReply marks a "send" (no normal result flows back); \p IsRpc
   /// flushes the request immediately and asks the receiver to flush the
   /// reply. \p OnReply fires exactly once, in call order per stream.
+  /// \p DeadlineAt, when nonzero, is carried to the receiver, which drops
+  /// the call with Unavailable{deadline expired} if execution has not
+  /// started by that (absolute, virtual) time.
   IssueResult issueCall(AgentId Agent, net::Address Remote, GroupId Group,
                         PortId Port, wire::Bytes Args, bool NoReply,
-                        bool IsRpc, ReplyCallback OnReply);
+                        bool IsRpc, ReplyCallback OnReply,
+                        sim::Time DeadlineAt = 0);
+
+  /// Best-effort cancellation of one outstanding call previously issued on
+  /// the stream: sends a single (never retransmitted) cancel message. The
+  /// receiver kills the call process if it is already executing, and in
+  /// all cases completes the call with Unavailable{cancelled} through the
+  /// normal reply path, so the promise fulfills in call order and every
+  /// counter is conserved. Returns false when nothing was sent (unknown or
+  /// broken stream, stale incarnation, or the outcome already arrived).
+  bool cancelCall(AgentId Agent, net::Address Remote, GroupId Group, Seq S,
+                  Incarnation Inc);
+
+  /// Installs the hook invoked (in scheduler context) when a cancel
+  /// message targets a call already handed to the runtime: the runtime
+  /// kills the call's process via the orphan-destruction machinery; the
+  /// transport then completes the call as cancelled.
+  void setCallCancelHook(std::function<void(uint64_t StreamTag, Seq S)> Hook) {
+    CallCancelHook = std::move(Hook);
+  }
 
   /// Expedites buffered calls on the stream and asks the far side to flush
   /// replies (paper's `flush`). No-op on unknown/broken streams.
@@ -294,6 +339,11 @@ public:
   /// the quantity MaxInFlightCalls bounds.
   size_t senderWindowSize(AgentId Agent, net::Address Remote,
                           GroupId Group) const;
+  /// Breaker state for one endpoint: 0 closed (or no breaker), 1 open,
+  /// 2 half-open (probe sent, awaiting any reply).
+  int breakerState(AgentId Agent, net::Address Remote, GroupId Group) const;
+  /// Breakers currently not closed (what the breaker.state gauge reports).
+  size_t openBreakerCount() const;
 
 private:
   struct SenderStream;
@@ -327,6 +377,22 @@ private:
   SenderStream *findSender(AgentId A, net::Address R, GroupId G) const;
   SenderStream &getSender(AgentId A, net::Address R, GroupId G);
 
+  /// Endpoint circuit breaker (tentpole 4). Keyed like sender streams but
+  /// surviving their retirement: the breaker must stay tripped while the
+  /// broken stream collapses to a tombstone.
+  struct Breaker {
+    int Consecutive = 0; ///< Timeout breaks since the last sign of life.
+    uint8_t State = 0;   ///< 0 closed, 1 open, 2 half-open.
+    Incarnation ProbeInc = 1; ///< Fallback incarnation for probes.
+    bool ProbeTimerArmed = false;
+    uint64_t ProbeTimer = 0;
+  };
+
+  void breakerOnTimeoutBreak(const SenderKey &K, Incarnation Inc);
+  void breakerOnReply(const SenderKey &K);
+  void armBreakerProbe(const SenderKey &K);
+  void sendBreakerProbe(const SenderKey &K, Breaker &B);
+
   // Sender-side machinery.
   void transmitNewCalls(SenderStream &S, bool FlushReplies);
   void sendCallBatch(SenderStream &S, Seq FromSeq, Seq ThroughSeq,
@@ -348,6 +414,7 @@ private:
   ReceiverStream &getReceiver(const net::Address &From,
                               const CallBatchMsg &M);
   void handleCallBatch(const net::Address &From, const CallBatchMsg &M);
+  void handleCancel(const net::Address &From, const CancelMsg &M);
   void deliverReadyCalls(ReceiverStream &R);
   void completeCall(ReceiverStream &R, Seq S, bool NoReply, bool FlushReply,
                     ReplyStatus St, uint32_t ExTag, wire::Bytes Payload,
@@ -364,7 +431,9 @@ private:
     Counter *CallsIssued, *CallBatchesSent, *AckBatchesSent,
         *ReplyBatchesSent, *CallsDelivered, *DuplicateCallsDropped,
         *Retransmissions, *Probes, *SenderBreaks, *ReceiverBreaks, *Restarts,
-        *CallsFulfilled, *CallsBroken, *CallsBlocked, *RetransmittedBytes;
+        *CallsFulfilled, *CallsBroken, *CallsBlocked, *RetransmittedBytes,
+        *CancelsSent, *CallsCancelled, *BreakerFastFails, *BreakerOpens,
+        *BreakerCloses, *BreakerProbes;
     Histogram *CallLatencyUs;      ///< issue -> outcome, microseconds.
     Histogram *BatchOccupancy;     ///< Calls per fresh call batch.
     Histogram *ReplyOccupancy;     ///< Replies per reply batch.
@@ -383,11 +452,13 @@ private:
   uint64_t NextStreamTag = 1;
   std::function<void(IncomingCall)> CallSink;
   std::function<void(uint64_t)> StreamDeadHook;
+  std::function<void(uint64_t, Seq)> CallCancelHook;
   Cells Counters;
   Rng RetransRng; ///< Deterministic retransmit jitter (see StreamConfig).
 
   std::map<SenderKey, std::unique_ptr<SenderStream>> Senders;
   std::map<SenderKey, RetiredSender> Retired;
+  std::map<SenderKey, Breaker> Breakers;
   std::map<ReceiverKey, std::unique_ptr<ReceiverStream>> Receivers;
   std::map<uint64_t, ReceiverStream *> ReceiversByTag;
 };

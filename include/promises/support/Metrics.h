@@ -144,6 +144,16 @@ enum class EventKind : uint8_t {
   SenderBlocked,    ///< Issuer blocked on a full in-flight window
                     ///< (Seq=window occupancy).
   SenderUnblocked,  ///< Blocked issuer resumed (DurNs = time blocked).
+  DeadlineExpired,  ///< Receiver dropped a call whose deadline passed
+                    ///< before execution (Id=stream tag, Seq=call seq).
+  CallCancelled,    ///< Call completed as cancelled (Id=stream tag).
+  CallRetry,        ///< Client re-issued a call after `unavailable`
+                    ///< (Id=agent, Seq=attempt number).
+  CallShed,         ///< Guardian shed an incoming call under admission
+                    ///< control (Id=stream tag, Seq=call seq).
+  BreakerOpen,      ///< Endpoint circuit breaker tripped open (Id=agent,
+                    ///< Seq=consecutive timeout breaks).
+  BreakerClose,     ///< Breaker closed: a reply proved reachability.
   Custom,           ///< Anything else; see Detail.
 };
 

@@ -212,6 +212,18 @@ constexpr bool opRaises(uint64_t Op) { return Op % 13 == 5; }
 /// destruction path (paper, Section 4.2).
 constexpr bool opIsSlow(uint64_t Op) { return Op % 23 == 11; }
 
+// Resilience-workload predicates (only consulted when
+// ChaosOptions::Deadlines). Deterministic functions of the op number, so
+// replays and the relaxed exactly-once invariant agree on which ops may
+// legitimately re-execute.
+constexpr bool opIdempotent(uint64_t Op) { return Op % 3 == 0; }
+constexpr bool opHasDeadline(uint64_t Op) { return Op % 7 == 3; }
+constexpr bool opCancels(uint64_t Op) { return Op % 11 == 4; }
+
+/// Retry-policy attempt cap for idempotent ops; the relaxed exactly-once
+/// invariant allows up to this many executions per idempotent op.
+constexpr int ChaosMaxAttempts = 3;
+
 using RecordSig = uint64_t(uint32_t, uint64_t);
 using RecordRef = runtime::HandlerRef<RecordSig, ChaosBusy>;
 using RecordHandler = runtime::RemoteHandler<RecordSig, ChaosBusy>;
@@ -295,6 +307,12 @@ World::World(const ChaosOptions &Opt) : O(Opt), Plan(ChaosPlan::generate(Opt)) {
   for (uint32_t C = 0; C != O.Clients; ++C) {
     runtime::GuardianConfig GC;
     GC.Stream = chaosStreamConfig(O.Seed, 1000 + C);
+    if (O.Deadlines) {
+      // Endpoint circuit breaking: two consecutive timeout breaks trip
+      // the breaker; a short cooldown keeps probes inside fault outages.
+      GC.Stream.BreakerThreshold = 2;
+      GC.Stream.BreakerCooldown = sim::msec(8);
+    }
     ClientGuardians.push_back(std::make_unique<runtime::Guardian>(
         *Net, ClientNodes[C], strprintf("cli%u", C), GC));
     for (size_t Sl = 0; Sl != O.Servers; ++Sl)
@@ -312,6 +330,8 @@ void World::installServer(size_t Slot) {
   uint32_t Gen = ++NextGen;
   runtime::GuardianConfig GC;
   GC.Stream = chaosStreamConfig(O.Seed, 2000 + Gen);
+  if (O.Deadlines)
+    GC.MaxPendingCalls = 6; // Admission control: shed under backlog.
   auto G = std::make_unique<runtime::Guardian>(
       *Net, SS.Node, strprintf("srv%zu#%u", Slot, Gen), GC);
   SS.Record = G->addHandler<RecordSig, ChaosBusy>(
@@ -405,6 +425,15 @@ void World::runDriver(uint32_t Client) {
             static_cast<unsigned long long>(Op)));
     } else if (Out.is<core::Unavailable>()) {
       ++Report.Unavailable;
+      const std::string &Why = Out.get<core::Unavailable>().Reason;
+      if (Why == core::reasons::DeadlineExpired)
+        ++Report.Expired;
+      else if (Why == core::reasons::Cancelled)
+        ++Report.Cancelled;
+      else if (Why == core::reasons::Overloaded)
+        ++Report.Shed;
+      else if (Why == core::reasons::CircuitOpen)
+        ++Report.FastFails;
     } else {
       ++Report.Failed;
     }
@@ -419,10 +448,34 @@ void World::runDriver(uint32_t Client) {
     size_t Slot = R.below(O.Servers);
     RecordHandler H(*ClientGuardians[Client], Agents[Client][Slot],
                     Slots[Slot].Record);
+    if (O.Deadlines) {
+      if (opIdempotent(Op)) {
+        runtime::RetryPolicy RP;
+        RP.MaxAttempts = ChaosMaxAttempts;
+        RP.Backoff = sim::msec(2);
+        RP.BackoffMax = sim::msec(16);
+        RP.Budget = 8.0;
+        RP.BudgetCredit = 0.5;
+        H.withRetryPolicy(RP).declareIdempotent();
+      }
+      if (opHasDeadline(Op))
+        H.withDeadline(sim::msec(4));
+    }
     ++Report.OpsIssued;
     uint64_t Pick = R.below(10);
     if (Pick < 6) {
-      Pending.push_back({H.streamCall(Client, Op), Op});
+      if (O.Deadlines && opCancels(Op)) {
+        // Cancellable call: let it get airborne, then tear it down. The
+        // promise still resolves (usually with unavailable("cancelled"),
+        // sometimes with the real outcome if the cancel lost the race).
+        auto [P, CH] = H.streamCallCancellable(Client, Op);
+        Pending.push_back({std::move(P), Op});
+        S.sleep(sim::usec(300));
+        if (CH.valid())
+          H.cancel(CH);
+      } else {
+        Pending.push_back({H.streamCall(Client, Op), Op});
+      }
       if (Pending.size() >= 8)
         claimAll();
     } else if (Pick < 8) {
@@ -507,6 +560,57 @@ ChaosReport World::finish() {
   for (auto &G : ServerGuardians)
     audit(G->name(), *G);
 
+  // 3b. Resilience accounting. Server-side counters bound the
+  // client-observed ones from above: a deadline drop, shed, or cancel is
+  // only *seen* by the client if its reply survives (and a retried op
+  // tallies client-side once, on its final outcome, while every attempt
+  // counts server-side).
+  uint64_t TransportFastFails = 0;
+  for (auto &G : ClientGuardians) {
+    Rep.Retries += G->retriesIssued();
+    Rep.CancelsSent += G->transport().counters().CancelsSent;
+    TransportFastFails += G->transport().counters().BreakerFastFails;
+  }
+  for (auto &G : ServerGuardians) {
+    Rep.ServerExpired += G->deadlinesExpired();
+    Rep.ServerShed += G->callsShed();
+  }
+  // Transport counters are labelled (node, port) and ports restart at 1
+  // after a node crash, so a reincarnated transport can share its
+  // predecessor's counters — summing them per guardian would double
+  // count. The trace-event stream has exactly one CallCancelled per
+  // server-side cancellation, so count those instead.
+  for (const TraceEvent &E : S.metrics().events())
+    if (E.Kind == EventKind::CallCancelled)
+      ++Rep.ServerCancelled;
+  auto boundedBy = [&](const char *What, uint64_t Observed,
+                       uint64_t Bound) {
+    if (Observed > Bound)
+      violate(strprintf("%s: %llu client-observed > %llu bound", What,
+                        (unsigned long long)Observed,
+                        (unsigned long long)Bound));
+  };
+  boundedBy("deadline drops", Rep.Expired, Rep.ServerExpired);
+  boundedBy("sheds", Rep.Shed, Rep.ServerShed);
+  boundedBy("cancels", Rep.Cancelled, Rep.ServerCancelled);
+  boundedBy("fast-fails", Rep.FastFails, TransportFastFails);
+  // Each cancel completion traces back to exactly one cancel message
+  // (duplicated or re-delivered cancels are deduplicated).
+  boundedBy("cancel completions", Rep.ServerCancelled, Rep.CancelsSent);
+  if (Rep.Expired + Rep.Cancelled + Rep.Shed + Rep.FastFails >
+      Rep.Unavailable)
+    violate(strprintf("unavailable split exceeds total: %llu+%llu+%llu+%llu "
+                      "> %llu",
+                      (unsigned long long)Rep.Expired,
+                      (unsigned long long)Rep.Cancelled,
+                      (unsigned long long)Rep.Shed,
+                      (unsigned long long)Rep.FastFails,
+                      (unsigned long long)Rep.Unavailable));
+  if (!O.Deadlines &&
+      (Rep.Retries | Rep.CancelsSent | Rep.ServerExpired | Rep.ServerShed |
+       Rep.ServerCancelled))
+    violate("resilience machinery fired without --deadlines");
+
   // 4. Client accounting: every claimed op has exactly one outcome.
   if (Rep.Normal + Rep.Unavailable + Rep.Failed + Rep.ExceptionReplies !=
       Rep.OpsIssued - Rep.Sends)
@@ -520,20 +624,35 @@ ChaosReport World::finish() {
 
   // 5. Exactly-once: no (client, op) executed twice, across every server
   // incarnation. The network may duplicate datagrams and senders
-  // retransmit, but user code must see each call at most once.
-  std::set<std::pair<uint32_t, uint64_t>> Seen;
-  for (const ExecEntry &E : Log)
-    if (!Seen.insert({E.Client, E.Op}).second)
-      violate(strprintf("op %llu from cli%u executed twice",
-                        (unsigned long long)E.Op, E.Client));
+  // retransmit, but user code must see each call at most once. Under
+  // --deadlines, retry policies deliberately re-issue idempotent ops —
+  // those may execute up to ChaosMaxAttempts times, but a non-idempotent
+  // op must still execute at most once even when the mix includes
+  // deadlines, sheds, and cancels.
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> ExecCount;
+  for (const ExecEntry &E : Log) {
+    uint64_t N = ++ExecCount[{E.Client, E.Op}];
+    uint64_t Allowed =
+        (O.Deadlines && opIdempotent(E.Op)) ? ChaosMaxAttempts : 1;
+    if (N == Allowed + 1)
+      violate(strprintf("op %llu from cli%u executed more than %llu times",
+                        (unsigned long long)E.Op, E.Client,
+                        (unsigned long long)Allowed));
+  }
 
   // 6. Ordered execution: within one guardian incarnation, one client's
   // ops execute in issue order (ops lost to breaks leave gaps, never
   // inversions). Across incarnations order is not comparable — a call
   // reported `unavailable` may legitimately still execute late on an old
-  // incarnation whose transport was shut down mid-backlog.
+  // incarnation whose transport was shut down mid-backlog. Retried
+  // (idempotent) ops under --deadlines re-issue with fresh sequence
+  // numbers out of issue order, so they are excluded there; everything
+  // else — including cancelled and deadline-carrying ops — must stay
+  // ordered.
   std::map<std::pair<uint32_t, uint32_t>, uint64_t> LastOp;
   for (const ExecEntry &E : Log) {
+    if (O.Deadlines && opIdempotent(E.Op))
+      continue;
     uint64_t &Last = LastOp[{E.Gen, E.Client}];
     if (E.Op <= Last)
       violate(strprintf("order inversion: cli%u op %llu after op %llu in "
@@ -575,11 +694,12 @@ ChaosReport chaos::runChaos(const ChaosOptions &O) {
 
 std::string chaos::replayCommand(const ChaosOptions &O) {
   return strprintf("chaossim --seed %llu --profile %s --ops %zu --clients "
-                   "%zu --servers %zu --horizon-ms %llu",
+                   "%zu --servers %zu --horizon-ms %llu%s",
                    static_cast<unsigned long long>(O.Seed),
                    O.Profile.Name.c_str(), O.OpsPerClient, O.Clients,
                    O.Servers,
-                   static_cast<unsigned long long>(O.Horizon / 1000000));
+                   static_cast<unsigned long long>(O.Horizon / 1000000),
+                   O.Deadlines ? " --deadlines" : "");
 }
 
 std::string ChaosReport::summary() const {
@@ -596,5 +716,20 @@ std::string ChaosReport::summary() const {
       (unsigned long long)Shutdowns, (unsigned long long)Partitions,
       (unsigned long long)LossBursts, (unsigned long long)StaleEpochDrops,
       static_cast<double>(VirtualEnd) / 1e6,
-      (unsigned long long)TraceEvents, (unsigned long long)TraceHash);
+      (unsigned long long)TraceEvents, (unsigned long long)TraceHash) +
+         (Retries | CancelsSent | ServerExpired | ServerShed |
+                  ServerCancelled | Expired | Cancelled | Shed | FastFails
+              ? strprintf(" expired=%llu/%llu cancelled=%llu/%llu "
+                          "shed=%llu/%llu fastfail=%llu retries=%llu "
+                          "cancels=%llu",
+                          (unsigned long long)Expired,
+                          (unsigned long long)ServerExpired,
+                          (unsigned long long)Cancelled,
+                          (unsigned long long)ServerCancelled,
+                          (unsigned long long)Shed,
+                          (unsigned long long)ServerShed,
+                          (unsigned long long)FastFails,
+                          (unsigned long long)Retries,
+                          (unsigned long long)CancelsSent)
+              : std::string());
 }

@@ -6,8 +6,10 @@
 
 #include "promises/runtime/Guardian.h"
 
+#include "promises/core/Exceptions.h"
 #include "promises/support/StrUtil.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace promises;
@@ -21,6 +23,9 @@ Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
                  {"node", strprintf("%u", Node)}};
   CallsExec = &Reg.counter("runtime.calls_executed", L);
   OrphansDestroyed = &Reg.counter("runtime.orphans_destroyed", L);
+  DeadlinesExpired = &Reg.counter("call.deadline_expired", L);
+  CallsShed = &Reg.counter("call.shed", L);
+  Retries = &Reg.counter("call.retries", L);
   Reg.gaugeProbe("runtime.handler_queue_depth", [this] {
     size_t N = 0;
     for (const auto &[Tag, D] : Domains)
@@ -37,6 +42,8 @@ Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
   Transport->setCallSink(
       [this](stream::IncomingCall IC) { onIncomingCall(std::move(IC)); });
   Transport->setStreamDeadHook([this](uint64_t Tag) { onStreamDead(Tag); });
+  Transport->setCallCancelHook(
+      [this](uint64_t Tag, stream::Seq Sq) { cancelCall(Tag, Sq); });
   Net.onCrash(Node, [this] { onNodeCrash(); });
 }
 
@@ -77,6 +84,26 @@ Guardian::ExecDomain &Guardian::domain(uint64_t Tag) { return Domains[Tag]; }
 void Guardian::onIncomingCall(stream::IncomingCall IC) {
   if (Crashed)
     return;
+  // Admission control: shed the call before spawning a process for it.
+  // The reply is a conserving outcome — the sender sees
+  // unavailable("overloaded") in order, like any other completion.
+  if (Cfg.MaxPendingCalls != 0 &&
+      liveCallProcessCount() >= Cfg.MaxPendingCalls) {
+    CallsShed->inc();
+    // A shed seq never spawns a process; settle it in the domain so the
+    // calls behind it do not gate on it forever.
+    ExecDomain &SD = domain(IC.StreamTag);
+    if (IC.CallSeq > SD.DoneThrough) {
+      SD.Aborted.insert(IC.CallSeq);
+      advanceDomain(SD);
+    }
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::CallShed, Node,
+                IC.StreamTag, IC.CallSeq, 0, {}});
+    IC.Complete(stream::ReplyStatus::Unavailable, 0, {},
+                core::reasons::Overloaded);
+    return;
+  }
   // One process (and agent) per call. The process waits for its turn so
   // that calls on the same stream appear to execute in call order; calls
   // on different streams (different tags) proceed concurrently.
@@ -118,13 +145,67 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
       }
       runCall(*Call);
       D.DoneThrough = Mine;
-      auto Next = D.Waiting.find(Mine + 1);
-      if (Next != D.Waiting.end())
-        Next->second->notifyOne();
+      advanceDomain(D);
     });
   }
   D.Running.emplace(Call->CallSeq, P);
   Procs.push_back(std::move(P));
+}
+
+void Guardian::advanceDomain(ExecDomain &D) {
+  // Cancelled calls never execute their own trailing bookkeeping, so step
+  // DoneThrough over any contiguous run of aborted seqs before waking the
+  // next gated call.
+  while (D.Aborted.erase(D.DoneThrough + 1))
+    ++D.DoneThrough;
+  auto Next = D.Waiting.find(D.DoneThrough + 1);
+  if (Next != D.Waiting.end())
+    Next->second->notifyOne();
+}
+
+void Guardian::cancelCall(uint64_t Tag, stream::Seq Sq) {
+  // The call may never have entered the domain at all (cancelled at
+  // delivery inside the transport) — the seq must still be marked settled
+  // or its successors would gate on it forever.
+  ExecDomain &D = domain(Tag);
+  auto RIt = D.Running.find(Sq);
+  if (RIt != D.Running.end()) {
+    // Tear the call process down through the same machinery as orphan
+    // destruction. Erase the Running entry here, not just in the
+    // process's cleanup guard: a process killed before its first turn
+    // never runs its body, so the guard never fires.
+    Net.simulation().kill(RIt->second);
+    D.Running.erase(RIt);
+  }
+  if (Sq > D.DoneThrough) {
+    D.Aborted.insert(Sq);
+    advanceDomain(D);
+  }
+}
+
+bool Guardian::takeRetryToken(const net::Address &Remote, double Budget) {
+  if (Budget <= 0)
+    return true;
+  auto [It, Inserted] = RetryTokens.try_emplace(Remote, Budget);
+  if (It->second < 1.0)
+    return false;
+  It->second -= 1.0;
+  return true;
+}
+
+void Guardian::creditRetryToken(const net::Address &Remote, double Budget,
+                                double Credit) {
+  if (Budget <= 0)
+    return;
+  auto [It, Inserted] = RetryTokens.try_emplace(Remote, Budget);
+  It->second = std::min(Budget, It->second + Credit);
+}
+
+void Guardian::noteRetry(stream::AgentId Agent, int Attempt) {
+  Retries->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::CallRetry, Node, Agent,
+              static_cast<uint64_t>(Attempt), 0, {}});
 }
 
 void Guardian::onStreamDead(uint64_t Tag) {
@@ -153,6 +234,18 @@ void Guardian::runCall(stream::IncomingCall &IC) {
   // never needs to deal with them."
   if (Transport->isReceiverBroken(IC.StreamTag))
     return;
+  // Deadline check happens at execution start, after any stream-order
+  // gating: a call that spent its whole deadline queued behind earlier
+  // calls is dropped without running the handler.
+  if (IC.DeadlineNs != 0 && Net.simulation().now() >= IC.DeadlineNs) {
+    DeadlinesExpired->inc();
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::DeadlineExpired, Node,
+                IC.StreamTag, IC.CallSeq, 0, {}});
+    IC.Complete(stream::ReplyStatus::Unavailable, 0, {},
+                core::reasons::DeadlineExpired);
+    return;
+  }
   CallsExec->inc();
   auto It = Executors.find(IC.Port);
   if (It == Executors.end()) {

@@ -107,6 +107,15 @@ void WaitQueue::enqueueCurrent(Process *P) {
   P->State = ProcState::Blocked;
 }
 
+WaitQueue::~WaitQueue() {
+  // A queue should outlive its waiters, but during teardown after a
+  // failed run (e.g. a violation left processes blocked at quiescence)
+  // owners can be destroyed first. Detach the waiters so a later kill
+  // does not dereference a dangling WaitingOn.
+  for (Process *P : Waiters)
+    P->WaitingOn = nullptr;
+}
+
 void WaitQueue::removeWaiter(Process *P) {
   auto It = std::find(Waiters.begin(), Waiters.end(), P);
   assert(It != Waiters.end() && "process not waiting here");

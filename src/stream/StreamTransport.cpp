@@ -6,12 +6,14 @@
 
 #include "promises/stream/StreamTransport.h"
 
+#include "promises/core/Exceptions.h"
 #include "promises/sim/Sync.h"
 #include "promises/support/StrUtil.h"
 #include "promises/support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace promises;
 using namespace promises::stream;
@@ -24,6 +26,7 @@ using sim::Time;
 namespace {
 constexpr uint8_t KindCallBatch = 1;
 constexpr uint8_t KindReplyBatch = 2;
+constexpr uint8_t KindCancel = 3;
 } // namespace
 
 wire::Bytes promises::stream::encodeMessage(const Message &M) {
@@ -31,9 +34,12 @@ wire::Bytes promises::stream::encodeMessage(const Message &M) {
   if (const auto *CB = std::get_if<CallBatchMsg>(&M)) {
     E.writeU8(KindCallBatch);
     wire::Codec<CallBatchMsg>::encode(E, *CB);
-  } else {
+  } else if (const auto *RB = std::get_if<ReplyBatchMsg>(&M)) {
     E.writeU8(KindReplyBatch);
-    wire::Codec<ReplyBatchMsg>::encode(E, std::get<ReplyBatchMsg>(M));
+    wire::Codec<ReplyBatchMsg>::encode(E, *RB);
+  } else {
+    E.writeU8(KindCancel);
+    wire::Codec<CancelMsg>::encode(E, std::get<CancelMsg>(M));
   }
   assert(!E.failed() && "stream messages must always encode");
   return E.take();
@@ -48,6 +54,8 @@ promises::stream::decodeMessage(const wire::Bytes &B) {
     M = wire::Codec<CallBatchMsg>::decode(D);
   else if (Kind == KindReplyBatch)
     M = wire::Codec<ReplyBatchMsg>::decode(D);
+  else if (Kind == KindCancel)
+    M = wire::Codec<CancelMsg>::decode(D);
   else
     return std::nullopt;
   if (D.failed() || !D.atEnd())
@@ -161,6 +169,13 @@ struct StreamTransport::ReceiverStream {
   bool BrokenIsFailure = false;
   std::string BreakReason;
 
+  /// Seqs cancelled by the sender. Undelivered seqs wait here until
+  /// delivery order reaches them (then complete as cancelled without
+  /// touching user code); already-delivered seqs are added after their
+  /// cancel completion so a killed-but-critical-section call process
+  /// cannot complete the call a second time when it finally unwinds.
+  std::set<Seq> Cancelled;
+
   bool ReplyFlushTimerArmed = false;
   uint64_t ReplyFlushTimer = 0;
   bool AckTimerArmed = false;
@@ -196,6 +211,15 @@ StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
   Counters.CallsBlocked = &Reg.counter("stream.calls_blocked", L);
   Counters.RetransmittedBytes =
       &Reg.counter("stream.retransmitted_bytes", L);
+  Counters.CancelsSent = &Reg.counter("stream.cancels_sent", L);
+  Counters.CallsCancelled = &Reg.counter("call.cancelled", L);
+  Counters.BreakerFastFails = &Reg.counter("breaker.fast_fails", L);
+  Counters.BreakerOpens = &Reg.counter("breaker.opened", L);
+  Counters.BreakerCloses = &Reg.counter("breaker.closed", L);
+  Counters.BreakerProbes = &Reg.counter("breaker.probes", L);
+  Reg.gaugeProbe("breaker.state", [this] {
+    return static_cast<double>(openBreakerCount());
+  }, L);
   Counters.CallLatencyUs = &Reg.histogram("stream.call_latency_us", L);
   Counters.BatchOccupancy = &Reg.histogram("stream.batch_occupancy", L);
   Counters.ReplyOccupancy = &Reg.histogram("stream.reply_batch_occupancy", L);
@@ -223,10 +247,24 @@ StreamCounters StreamTransport::counters() const {
           Counters.CallsFulfilled->value(),
           Counters.CallsBroken->value(),
           Counters.CallsBlocked->value(),
-          Counters.RetransmittedBytes->value()};
+          Counters.RetransmittedBytes->value(),
+          Counters.CancelsSent->value(),
+          Counters.CallsCancelled->value(),
+          Counters.BreakerFastFails->value(),
+          Counters.BreakerOpens->value(),
+          Counters.BreakerCloses->value(),
+          Counters.BreakerProbes->value()};
 }
 
-StreamTransport::~StreamTransport() { shutdown(); }
+StreamTransport::~StreamTransport() {
+  shutdown();
+  // Freeze the breaker.state probe at its final value: the registry
+  // outlives this transport, and a probe capturing `this` must not dangle.
+  MetricLabels L{{"node", Net.nodeName(Node)},
+                 {"port", strprintf("%u", Addr.Port)}};
+  double Final = static_cast<double>(openBreakerCount());
+  Reg.gaugeProbe("breaker.state", [Final] { return Final; }, L);
+}
 
 void StreamTransport::shutdown() {
   if (Dead)
@@ -254,6 +292,11 @@ void StreamTransport::shutdown() {
     if (R->AckTimerArmed)
       Sim.cancel(R->AckTimer);
     R->ReplyFlushTimerArmed = R->AckTimerArmed = false;
+  }
+  for (auto &[K, B] : Breakers) {
+    if (B.ProbeTimerArmed)
+      Sim.cancel(B.ProbeTimer);
+    B.ProbeTimerArmed = false;
   }
 }
 
@@ -356,9 +399,24 @@ void StreamTransport::maybeRetireSender(const SenderKey &K) {
 StreamTransport::IssueResult
 StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
                            PortId Port, wire::Bytes Args, bool NoReply,
-                           bool IsRpc, ReplyCallback OnReply) {
+                           bool IsRpc, ReplyCallback OnReply,
+                           sim::Time DeadlineAt) {
   if (Dead)
-    return {false, false, "transport shut down"};
+    return {false, false, core::reasons::TransportShutDown};
+  // Circuit breaker: a tripped endpoint fails fast before any stream state
+  // is touched — no seq consumed, no datagram sent, no promise blocks.
+  if (Cfg.BreakerThreshold > 0) {
+    SenderKey Key = senderKey(Agent, Remote, Group);
+    auto BIt = Breakers.find(Key);
+    if (BIt != Breakers.end() && BIt->second.State != 0) {
+      Counters.BreakerFastFails->inc();
+      if (traceEnabled())
+        tracef("fast-fail agent=%llu group=%u: breaker open",
+               static_cast<unsigned long long>(Agent), Group);
+      armBreakerProbe(Key);
+      return {false, false, core::reasons::CircuitOpen};
+    }
+  }
   SenderStream &S = getSender(Agent, Remote, Group);
   // Flow control: block (in issue order) until the in-flight window has
   // room. Only simulated processes can block; scheduler-context callers
@@ -369,7 +427,7 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
       sim::Simulation::inProcess() && !S.Broken && windowFull(S)) {
     blockForWindow(S);
     if (Dead)
-      return {false, false, "transport shut down"};
+      return {false, false, core::reasons::TransportShutDown};
   }
   if (S.Broken) {
     if (!Cfg.AutoRestart) {
@@ -385,6 +443,7 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   Req.Port = Port;
   Req.NoReply = NoReply;
   Req.FlushReply = IsRpc;
+  Req.DeadlineNs = DeadlineAt;
   S.BufferedBytes += Args.size();
   S.WindowBytes += Args.size();
   Req.Args = std::move(Args);
@@ -417,7 +476,35 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   } else {
     armSenderFlushTimer(S);
   }
-  return {};
+  return {true, false, {}, Sq, S.Inc};
+}
+
+bool StreamTransport::cancelCall(AgentId Agent, net::Address Remote,
+                                 GroupId Group, Seq Sq, Incarnation Inc) {
+  if (Dead)
+    return false;
+  SenderStream *S = findSender(Agent, Remote, Group);
+  if (!S || S->Broken || S->Inc != Inc)
+    return false;
+  if (Sq <= S->FulfilledThrough || Sq >= S->NextSeq)
+    return false; // Outcome already known, or never issued.
+  // The receiver can only act on a cancel for a call it will see: push any
+  // untransmitted prefix out first so the cancel never overtakes the call
+  // into a void.
+  if (S->TransmittedThrough < Sq)
+    transmitNewCalls(*S, /*FlushReplies=*/false);
+  CancelMsg M;
+  M.Agent = Agent;
+  M.Group = Group;
+  M.Inc = S->Inc;
+  M.Seqs.push_back(Sq);
+  Counters.CancelsSent->inc();
+  if (traceEnabled())
+    tracef("tx cancel agent=%llu inc=%u seq=%llu",
+           static_cast<unsigned long long>(Agent), S->Inc,
+           static_cast<unsigned long long>(Sq));
+  Net.send(Addr, Remote, encodeMessage(Message(std::move(M))));
+  return true;
 }
 
 void StreamTransport::transmitNewCalls(SenderStream &S, bool FlushReplies) {
@@ -560,8 +647,15 @@ void StreamTransport::onSenderRetransTimer(SenderStream &S) {
   S.LastProgressFulfilled = S.FulfilledThrough;
   if (++S.Retries > Cfg.MaxRetries) {
     // The system "tried hard"; give up and break (paper, Section 2).
-    breakSender(S, /*IsFailure=*/false, "cannot communicate");
-    maybeRetireSender(senderKey(S.Agent, S.Remote, S.Group));
+    SenderKey Key = senderKey(S.Agent, S.Remote, S.Group);
+    Incarnation Inc = S.Inc;
+    breakSender(S, /*IsFailure=*/false, core::reasons::CannotCommunicate);
+    // Only timeout breaks feed the circuit breaker: they are the
+    // endpoint-unreachable signal. Receiver-reported breaks arrive in
+    // reply batches, proving reachability.
+    if (Cfg.BreakerThreshold > 0)
+      breakerOnTimeoutBreak(Key, Inc);
+    maybeRetireSender(Key);
     return;
   }
   if (AwaitingAck) {
@@ -596,6 +690,11 @@ void StreamTransport::armSenderAckTimer(SenderStream &S) {
 
 void StreamTransport::handleReplyBatch(const net::Address &From,
                                        const ReplyBatchMsg &M) {
+  // Any reply batch proves the endpoint is reachable, so it closes an
+  // open/half-open breaker — before the liveness checks below, because the
+  // probed stream is typically broken or already retired to a tombstone.
+  if (Cfg.BreakerThreshold > 0)
+    breakerOnReply(senderKey(M.Agent, From, M.Group));
   SenderStream *S = findSender(M.Agent, From, M.Group);
   if (!S || S->Broken || M.Inc != S->Inc)
     return;
@@ -670,6 +769,12 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
         O.K = ReplyOutcome::Kind::Failure;
         O.Reason = W.Reason;
         break;
+      case ReplyStatus::Unavailable:
+        // Per-call unavailability (deadline expired, cancelled, shed):
+        // the stream itself stays healthy.
+        O.K = ReplyOutcome::Kind::Unavailable;
+        O.Reason = W.Reason;
+        break;
       }
       S.PendingReplies.erase(RIt);
     } else if (SlotIt->second.NoReply) {
@@ -694,8 +799,7 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
       // "since the last synch or regular RPC on the stream": an RPC's own
       // completion starts a fresh synch window.
       S.resetMark();
-    } else if (O.K == ReplyOutcome::Kind::Exception ||
-               O.K == ReplyOutcome::Kind::Failure) {
+    } else if (O.K != ReplyOutcome::Kind::Normal) {
       S.ExceptionSinceMark = true;
     }
     if (Cb)
@@ -825,7 +929,7 @@ SynchOutcome StreamTransport::synch(AgentId Agent, net::Address Remote,
   if (Dead && S.outstanding() > 0) {
     // The transport died under us; the window cannot be vouched for.
     Out.S = SynchOutcome::Status::Unavailable;
-    Out.Reason = "transport shut down";
+    Out.Reason = core::reasons::TransportShutDown;
     return Out;
   }
   if (S.BreakSinceMark) {
@@ -846,7 +950,7 @@ void StreamTransport::restart(AgentId Agent, net::Address Remote,
     return;
   SenderStream &S = getSender(Agent, Remote, Group);
   if (!S.Broken)
-    breakSender(S, /*IsFailure=*/false, "stream restarted by sender");
+    breakSender(S, /*IsFailure=*/false, core::reasons::StreamRestarted);
   reincarnate(S);
 }
 
@@ -866,6 +970,8 @@ size_t StreamTransport::armedTimerCount() const {
   for (const auto &[K, R] : Receivers)
     N += static_cast<size_t>(R->ReplyFlushTimerArmed) +
          static_cast<size_t>(R->AckTimerArmed);
+  for (const auto &[K, B] : Breakers)
+    N += static_cast<size_t>(B.ProbeTimerArmed);
   return N;
 }
 
@@ -880,6 +986,108 @@ size_t StreamTransport::senderWindowSize(AgentId Agent, net::Address Remote,
                                          GroupId Group) const {
   SenderStream *S = findSender(Agent, Remote, Group);
   return S ? S->Window.size() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Endpoint circuit breaker
+//===----------------------------------------------------------------------===//
+
+void StreamTransport::breakerOnTimeoutBreak(const SenderKey &K,
+                                            Incarnation Inc) {
+  Breaker &B = Breakers[K];
+  B.ProbeInc = Inc;
+  if (B.State != 0)
+    return; // Already open; probes decide when to close.
+  if (++B.Consecutive < Cfg.BreakerThreshold)
+    return;
+  B.State = 1;
+  Counters.BreakerOpens->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::BreakerOpen, Node,
+              std::get<0>(K), static_cast<uint64_t>(B.Consecutive), 0, {}});
+  if (traceEnabled())
+    tracef("breaker open agent=%llu group=%u after %d breaks",
+           static_cast<unsigned long long>(std::get<0>(K)), std::get<2>(K),
+           B.Consecutive);
+  armBreakerProbe(K);
+}
+
+void StreamTransport::breakerOnReply(const SenderKey &K) {
+  auto It = Breakers.find(K);
+  if (It == Breakers.end())
+    return;
+  Breaker &B = It->second;
+  // Any reply batch — even a break notice — proves reachability: reset
+  // the consecutive-timeout count, and close the breaker if tripped.
+  B.Consecutive = 0;
+  if (B.State == 0)
+    return;
+  B.State = 0;
+  if (B.ProbeTimerArmed) {
+    Net.simulation().cancel(B.ProbeTimer);
+    B.ProbeTimerArmed = false;
+  }
+  Counters.BreakerCloses->inc();
+  if (Reg.enabled())
+    Reg.emit({Net.simulation().now(), EventKind::BreakerClose, Node,
+              std::get<0>(K), 0, 0, {}});
+  if (traceEnabled())
+    tracef("breaker close agent=%llu group=%u",
+           static_cast<unsigned long long>(std::get<0>(K)), std::get<2>(K));
+}
+
+void StreamTransport::armBreakerProbe(const SenderKey &K) {
+  auto It = Breakers.find(K);
+  if (It == Breakers.end() || It->second.ProbeTimerArmed || Dead)
+    return;
+  It->second.ProbeTimerArmed = true;
+  // The timer fires exactly once (rearmed only by the next fail-fast), so
+  // an unreachable endpoint cannot keep the event queue alive forever.
+  It->second.ProbeTimer =
+      Net.simulation().schedule(Cfg.BreakerCooldown, [this, K] {
+        auto BIt = Breakers.find(K);
+        if (BIt == Breakers.end())
+          return;
+        BIt->second.ProbeTimerArmed = false;
+        if (Dead || BIt->second.State == 0)
+          return;
+        sendBreakerProbe(K, BIt->second);
+      });
+}
+
+void StreamTransport::sendBreakerProbe(const SenderKey &K, Breaker &B) {
+  // Probe at the newest incarnation this endpoint knows about so the
+  // receiver's stale-incarnation filter lets it through.
+  Incarnation Inc = B.ProbeInc;
+  if (auto It = Senders.find(K); It != Senders.end())
+    Inc = It->second->Inc;
+  else if (auto RIt = Retired.find(K); RIt != Retired.end())
+    Inc = RIt->second.Inc;
+  B.State = 2; // Half-open: one probe in flight, any reply closes.
+  Counters.BreakerProbes->inc();
+  CallBatchMsg M;
+  M.Agent = std::get<0>(K);
+  M.Group = std::get<2>(K);
+  M.Inc = Inc;
+  M.FlushReplies = true;
+  Counters.AckBatchesSent->inc();
+  if (traceEnabled())
+    tracef("breaker probe agent=%llu group=%u inc=%u",
+           static_cast<unsigned long long>(M.Agent), M.Group, Inc);
+  Net.send(Addr, std::get<1>(K), encodeMessage(Message(std::move(M))));
+}
+
+int StreamTransport::breakerState(AgentId Agent, net::Address Remote,
+                                  GroupId Group) const {
+  auto It = Breakers.find(senderKey(Agent, Remote, Group));
+  return It != Breakers.end() ? It->second.State : 0;
+}
+
+size_t StreamTransport::openBreakerCount() const {
+  size_t N = 0;
+  for (const auto &[K, B] : Breakers)
+    N += static_cast<size_t>(B.State != 0);
+  return N;
 }
 
 Seq StreamTransport::outstandingCalls(AgentId Agent, net::Address Remote,
@@ -977,6 +1185,27 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
     CallReq C = std::move(R.Future.begin()->second);
     R.Future.erase(R.Future.begin());
     ++R.NextExpected;
+    if (R.Cancelled.count(C.S)) {
+      // Cancelled before delivery: never reaches user code, but still
+      // completes (as cancelled) through the reply path so the sender's
+      // accounting is conserved.
+      Counters.CallsCancelled->inc();
+      if (Reg.enabled())
+        Reg.emit({Net.simulation().now(), EventKind::CallCancelled, Node,
+                  R.Tag, C.S, 0, {}});
+      if (traceEnabled())
+        tracef("cancel tag=%llu seq=%llu (at delivery)",
+               static_cast<unsigned long long>(R.Tag),
+               static_cast<unsigned long long>(C.S));
+      // The runtime never sees this call, but it must still learn the seq
+      // is settled — successors gate on their predecessors in call order.
+      if (CallCancelHook)
+        CallCancelHook(R.Tag, C.S);
+      completeCall(R, C.S, /*NoReply=*/false, C.FlushReply,
+                   ReplyStatus::Unavailable, 0, {},
+                   core::reasons::Cancelled);
+      continue;
+    }
     Counters.CallsDelivered->inc();
     IncomingCall IC;
     IC.StreamTag = R.Tag;
@@ -984,6 +1213,7 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
     IC.Group = R.Group;
     IC.Port = C.Port;
     IC.NoReply = C.NoReply;
+    IC.DeadlineNs = C.DeadlineNs;
     IC.Args = std::move(C.Args);
     uint64_t Tag = R.Tag;
     Seq S = C.S;
@@ -997,10 +1227,50 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
       auto It = ReceiversByTag.find(Tag);
       if (It == ReceiversByTag.end())
         return; // Superseded incarnation.
+      if (It->second->Cancelled.count(S))
+        return; // Already completed as cancelled; the call process was
+                // killed but unwound late (critical section).
       completeCall(*It->second, S, NoReply, FlushReply, St, ExTag,
                    std::move(Payload), std::move(Reason));
     };
     CallSink(std::move(IC));
+  }
+}
+
+void StreamTransport::handleCancel(const net::Address &From,
+                                   const CancelMsg &M) {
+  auto It = Receivers.find(ReceiverKey{From, M.Agent, M.Group});
+  if (It == Receivers.end())
+    return;
+  ReceiverStream &R = *It->second;
+  if (R.Broken || R.Inc != M.Inc)
+    return;
+  for (Seq S : M.Seqs) {
+    if (S >= R.NextExpected) {
+      // Not yet delivered (possibly not yet received): cancel at delivery
+      // time, preserving call order.
+      R.Cancelled.insert(S);
+      continue;
+    }
+    if (S <= R.CompletedThrough || R.DoneAhead.count(S) ||
+        R.Cancelled.count(S))
+      continue; // Already completed (or already cancelled): too late.
+    // Delivered and executing (or gated): destroy the call process like an
+    // orphan, then complete on its behalf. The completion must precede the
+    // Cancelled insert — it is a real completion, not a late duplicate.
+    Counters.CallsCancelled->inc();
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::CallCancelled, Node,
+                R.Tag, S, 0, {}});
+    if (traceEnabled())
+      tracef("cancel tag=%llu seq=%llu (executing)",
+             static_cast<unsigned long long>(R.Tag),
+             static_cast<unsigned long long>(S));
+    if (CallCancelHook)
+      CallCancelHook(R.Tag, S);
+    completeCall(R, S, /*NoReply=*/false, /*FlushReply=*/true,
+                 ReplyStatus::Unavailable, 0, {}, core::reasons::Cancelled);
+    R.Cancelled.insert(S);
   }
 }
 
@@ -1175,6 +1445,8 @@ void StreamTransport::onDatagram(net::Datagram D) {
     return; // Malformed datagrams are dropped silently.
   if (const auto *CB = std::get_if<CallBatchMsg>(&*M))
     handleCallBatch(D.From, *CB);
+  else if (const auto *RB = std::get_if<ReplyBatchMsg>(&*M))
+    handleReplyBatch(D.From, *RB);
   else
-    handleReplyBatch(D.From, std::get<ReplyBatchMsg>(*M));
+    handleCancel(D.From, std::get<CancelMsg>(*M));
 }

@@ -82,6 +82,18 @@ const char *promises::eventKindName(EventKind K) {
     return "sender_blocked";
   case EventKind::SenderUnblocked:
     return "sender_unblocked";
+  case EventKind::DeadlineExpired:
+    return "deadline_expired";
+  case EventKind::CallCancelled:
+    return "call_cancelled";
+  case EventKind::CallRetry:
+    return "call_retry";
+  case EventKind::CallShed:
+    return "call_shed";
+  case EventKind::BreakerOpen:
+    return "breaker_open";
+  case EventKind::BreakerClose:
+    return "breaker_close";
   case EventKind::Custom:
     break;
   }

@@ -100,6 +100,53 @@ TEST(ChaosRunTest, ReplayIsByteIdentical) {
   EXPECT_EQ(A.StaleEpochDrops, B.StaleEpochDrops);
 }
 
+TEST(ChaosRunTest, DeadlinesWorkloadSatisfiesInvariants) {
+  // The resilience mix layers deadlines, mid-flight cancels, retry
+  // policies, circuit breaking, and admission control on top of the fault
+  // plan; the extra invariants (client-observed resilience outcomes
+  // bounded by server-side counters, at-most-once for non-idempotent ops)
+  // must hold on every seed.
+  uint64_t Cancels = 0, Retries = 0;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    ChaosOptions O = smallRun(Seed, ChaosProfile::mixed());
+    O.Deadlines = true;
+    ChaosReport R = runChaos(O);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.summary()
+                        << (R.Violations.empty() ? ""
+                                                 : "\n  " + R.Violations[0])
+                        << "\n  replay: " << replayCommand(O);
+    EXPECT_EQ(R.Normal + R.Unavailable + R.Failed + R.ExceptionReplies,
+              R.OpsIssued - R.Sends);
+    EXPECT_LE(R.Cancelled, R.ServerCancelled);
+    EXPECT_LE(R.ServerCancelled, R.CancelsSent);
+    EXPECT_LE(R.Expired, R.ServerExpired);
+    EXPECT_LE(R.Shed, R.ServerShed);
+    Cancels += R.CancelsSent;
+    Retries += R.Retries;
+  }
+  // The workload actually drives the new machinery.
+  EXPECT_GT(Cancels, 0u);
+  EXPECT_GT(Retries, 0u);
+}
+
+TEST(ChaosRunTest, DeadlinesReplayIsByteIdentical) {
+  ChaosOptions O = smallRun(11, ChaosProfile::mixed());
+  O.Deadlines = true;
+  ChaosReport A = runChaos(O);
+  ChaosReport B = runChaos(O);
+  ASSERT_TRUE(A.ok()) << A.summary();
+  EXPECT_EQ(A.TraceHash, B.TraceHash);
+  EXPECT_EQ(A.TraceEvents, B.TraceEvents);
+  EXPECT_EQ(A.VirtualEnd, B.VirtualEnd);
+  EXPECT_EQ(A.Retries, B.Retries);
+  EXPECT_EQ(A.CancelsSent, B.CancelsSent);
+  EXPECT_EQ(A.Expired, B.Expired);
+  EXPECT_EQ(A.Shed, B.Shed);
+  EXPECT_EQ(A.FastFails, B.FastFails);
+  // The replay command round-trips the resilience flag.
+  EXPECT_NE(replayCommand(O).find("--deadlines"), std::string::npos);
+}
+
 TEST(ChaosRunTest, CrashProfileExercisesRecoveryMachinery) {
   // One known-good seed that drives the paths this PR hardens: node
   // crashes with port-reusing restarts (stale-epoch drops) and breaks.

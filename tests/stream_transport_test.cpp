@@ -92,8 +92,8 @@ TEST_F(StreamFixture, MessageCodecRoundTrips) {
   CB.Inc = 3;
   CB.AckReplyThrough = 11;
   CB.FlushReplies = true;
-  CB.Calls.push_back(CallReq{1, EchoPort, false, true, bytesOf(9)});
-  CB.Calls.push_back(CallReq{2, ThrowPort, true, false, {}});
+  CB.Calls.push_back(CallReq{1, EchoPort, false, true, 0, bytesOf(9)});
+  CB.Calls.push_back(CallReq{2, ThrowPort, true, false, sim::msec(7), {}});
   auto B1 = encodeMessage(Message(CB));
   auto M1 = decodeMessage(B1);
   ASSERT_TRUE(M1.has_value());

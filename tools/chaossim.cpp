@@ -33,6 +33,7 @@ struct Options {
   size_t Clients = 2;
   size_t Servers = 2;
   uint64_t HorizonMs = 300;
+  bool Deadlines = false;
   bool PrintPlan = false;
   bool ReplayCheck = true; ///< Run each seed twice, compare traces.
   bool Quiet = false;
@@ -52,6 +53,8 @@ void usage(const char *Argv0) {
       "  --clients N     client nodes (default 2)\n"
       "  --servers N     server nodes (default 2)\n"
       "  --horizon-ms T  fault-injection window (default 300)\n"
+      "  --deadlines     resilience workload: deadlines, cancels, retries,\n"
+      "                  breakers, admission control (see docs/FAULTS.md)\n"
       "  --plan          print the fault plan before each run\n"
       "  --no-replay     skip the determinism double-run\n"
       "  --quiet         print failures and the final line only\n",
@@ -97,6 +100,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!(V = Need(A)))
         return false;
       O.HorizonMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(A, "--deadlines")) {
+      O.Deadlines = true;
     } else if (!std::strcmp(A, "--plan")) {
       O.PrintPlan = true;
     } else if (!std::strcmp(A, "--no-replay")) {
@@ -104,7 +109,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (!std::strcmp(A, "--quiet")) {
       O.Quiet = true;
     } else {
-      std::fprintf(stderr, "error: unknown flag %s\n", A);
+      std::fprintf(stderr,
+                   "error: unknown flag %s (valid: --seed --seeds --profile "
+                   "--ops --clients --servers --horizon-ms --deadlines "
+                   "--plan --no-replay --quiet)\n",
+                   A);
       return false;
     }
   }
@@ -125,7 +134,11 @@ int main(int Argc, char **Argv) {
   }
   const ChaosProfile *P = ChaosProfile::byName(O.Profile);
   if (!P) {
-    std::fprintf(stderr, "error: unknown profile %s\n", O.Profile.c_str());
+    std::string Profiles;
+    for (const std::string &N : ChaosProfile::names())
+      Profiles += (Profiles.empty() ? "" : ", ") + N;
+    std::fprintf(stderr, "error: unknown profile %s (valid: %s)\n",
+                 O.Profile.c_str(), Profiles.c_str());
     usage(Argv[0]);
     return 2;
   }
@@ -139,6 +152,7 @@ int main(int Argc, char **Argv) {
     CO.Clients = O.Clients;
     CO.Servers = O.Servers;
     CO.Horizon = sim::msec(O.HorizonMs);
+    CO.Deadlines = O.Deadlines;
 
     if (O.PrintPlan) {
       ChaosPlan Plan = ChaosPlan::generate(CO);

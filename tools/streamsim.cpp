@@ -44,7 +44,17 @@ struct Options {
   double Backoff = 2.0;    ///< Retransmit backoff multiplier.
   uint64_t RtoMaxUs = 0;   ///< Backoff cap; 0 = keep the default.
   uint64_t CrashAtMs = 0;  ///< 0 = never.
+  uint64_t DeadlineUs = 0; ///< Per-call deadline; 0 = none.
+  int Retries = 1;         ///< Max attempts per call (idempotent echo).
+  size_t BreakerThreshold = 0;      ///< Breaks before fast-fail; 0 = off.
+  uint64_t BreakerCooldownUs = 50000; ///< Open-state dwell before a probe.
+  size_t MaxPending = 0;   ///< Server admission limit; 0 = unbounded.
   bool Metrics = false;   ///< Print the registry summary at exit.
+
+  bool resilienceOn() const {
+    return DeadlineUs != 0 || Retries > 1 || BreakerThreshold != 0 ||
+           MaxPending != 0;
+  }
   std::string MetricsOut; ///< JSON Lines snapshot path ("" = none).
   std::string TraceOut;   ///< chrome://tracing path ("" = none).
 
@@ -72,6 +82,14 @@ void usage(const char *Argv0) {
       "  --rto-max-us T    retransmit backoff cap (default 160000)\n"
       "  --crash-at-ms T   crash the server at virtual time T (default "
       "never)\n"
+      "  --deadline-us T   per-call deadline; expired calls are dropped\n"
+      "  --retries N       max attempts per call (idempotent; default 1)\n"
+      "  --breaker-threshold N  timeout breaks before failing fast; 0 = "
+      "off\n"
+      "  --breaker-cooldown-us T  open-breaker dwell before a probe "
+      "(default 50000)\n"
+      "  --max-pending N   server sheds calls beyond N pending; 0 = "
+      "unbounded\n"
       "  --metrics         print the metrics-registry summary at exit\n"
       "  --metrics-out F   write a JSON Lines metrics snapshot to F\n"
       "  --trace-out F     write a chrome://tracing event file to F\n"
@@ -118,6 +136,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.RtoMaxUs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--crash-at-ms") && (V = Need(A)))
       O.CrashAtMs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--deadline-us") && (V = Need(A)))
+      O.DeadlineUs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--retries") && (V = Need(A)))
+      O.Retries = std::atoi(V);
+    else if (!std::strcmp(A, "--breaker-threshold") && (V = Need(A)))
+      O.BreakerThreshold = static_cast<size_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--breaker-cooldown-us") && (V = Need(A)))
+      O.BreakerCooldownUs = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--max-pending") && (V = Need(A)))
+      O.MaxPending = static_cast<size_t>(std::atoll(V));
     else if (!std::strcmp(A, "--metrics")) {
       O.Metrics = true;
       continue;
@@ -137,7 +165,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       return false;
   }
   if (O.Mode != "stream" && O.Mode != "rpc" && O.Mode != "send") {
-    std::fprintf(stderr, "error: bad --mode '%s'\n", O.Mode.c_str());
+    std::fprintf(stderr, "error: bad --mode '%s' (valid: stream, rpc, send)\n",
+                 O.Mode.c_str());
     return false;
   }
   return true;
@@ -169,8 +198,12 @@ int main(int Argc, char **Argv) {
   if (O.RtoMaxUs != 0)
     GC.Stream.RetransmitTimeoutMax = sim::usec(O.RtoMaxUs);
   GC.Stream.RetransSeed = O.Seed;
+  GuardianConfig ServerGC = GC;
+  ServerGC.MaxPendingCalls = O.MaxPending;
+  GC.Stream.BreakerThreshold = O.BreakerThreshold;
+  GC.Stream.BreakerCooldown = sim::usec(O.BreakerCooldownUs);
   net::NodeId SN = Net.addNode("server");
-  Guardian Server(Net, SN, "server", GC);
+  Guardian Server(Net, SN, "server", ServerGC);
   Guardian Client(Net, Net.addNode("client"), "client", GC);
   apps::KvStoreConfig KC;
   KC.ServiceTime = sim::usec(O.ServiceUs);
@@ -182,6 +215,13 @@ int main(int Argc, char **Argv) {
   int Normal = 0, Unavail = 0, Failed = 0;
   Client.spawnProcess("driver", [&] {
     auto H = bindHandler(Client, Client.newAgent(), Kv.Echo);
+    if (O.DeadlineUs != 0)
+      H.withDeadline(sim::usec(O.DeadlineUs));
+    if (O.Retries > 1) {
+      RetryPolicy RP;
+      RP.MaxAttempts = O.Retries;
+      H.withRetryPolicy(RP).declareIdempotent();
+    }
     std::string Payload(O.PayloadBytes, 'x');
     if (O.Mode == "rpc") {
       for (int I = 0; I < O.Calls; ++I) {
@@ -244,6 +284,15 @@ int main(int Argc, char **Argv) {
               "retransmitted\n",
               static_cast<unsigned long long>(TC.CallsBlocked),
               static_cast<unsigned long long>(TC.RetransmittedBytes));
+  if (O.resilienceOn())
+    std::printf("  resilience       %llu retries, %llu expired, %llu shed, "
+                "%llu fast-fails (%llu breaker opens, %llu probes)\n",
+                static_cast<unsigned long long>(Client.retriesIssued()),
+                static_cast<unsigned long long>(Server.deadlinesExpired()),
+                static_cast<unsigned long long>(Server.callsShed()),
+                static_cast<unsigned long long>(TC.BreakerFastFails),
+                static_cast<unsigned long long>(TC.BreakerOpens),
+                static_cast<unsigned long long>(TC.BreakerProbes));
   if (O.Metrics) {
     std::printf("metrics registry:\n");
     std::fflush(stdout);
