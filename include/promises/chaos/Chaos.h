@@ -81,6 +81,16 @@ struct ChaosOptions {
   /// ops ride a retry policy, clients run a circuit breaker, and servers
   /// shed under admission control. Extra invariants apply (see FAULTS.md).
   bool Deadlines = false;
+  /// Byte-level damage (the wire-integrity workload, see FAULTS.md):
+  /// Corrupt flips bits in delivered datagrams (ambient rate plus planned
+  /// corruption bursts) — every damaged frame must be caught by the
+  /// checksum and recovered by retransmission; Dup raises datagram
+  /// duplication well above the ambient profile rate; Reorder gives each
+  /// copy an independent chance of a bounded extra delay so later sends
+  /// overtake it. All three leave every quiescence invariant intact.
+  bool Corrupt = false;
+  bool Dup = false;
+  bool Reorder = false;
 };
 
 /// One planned injection (or its paired recovery).
@@ -94,6 +104,8 @@ struct ChaosAction {
     HealLink,
     LossBurstStart,    ///< Raise loss on the link to Rate.
     LossBurstEnd,      ///< Restore the profile's ambient loss.
+    CorruptBurstStart, ///< Raise the network-wide bit-flip rate to Rate.
+    CorruptBurstEnd,   ///< Restore the ambient corruption rate.
   };
   sim::Time At = 0;
   Kind K = Kind::CrashNode;
@@ -122,7 +134,15 @@ struct ChaosReport {
   // Faults actually applied (plan actions can be no-ops, e.g. a crash of
   // an already-down node).
   uint64_t Crashes = 0, Restarts = 0, Shutdowns = 0, Reincarnations = 0;
-  uint64_t Partitions = 0, LossBursts = 0;
+  uint64_t Partitions = 0, LossBursts = 0, CorruptBursts = 0;
+
+  // Wire integrity (all zero unless ChaosOptions::Corrupt). Every
+  // corrupt-frame drop must trace back to an injected corruption, and a
+  // "malformed message" drop (frame intact, message undecodable — a local
+  // encode bug) is always a violation.
+  uint64_t DatagramsCorrupted = 0;   ///< Copies the network bit-flipped.
+  uint64_t FramesCorruptDropped = 0; ///< Frames the transports rejected.
+  uint64_t MalformedDropped = 0;     ///< Frame-valid but undecodable.
 
   // Workload tallies. Claimed outcomes must satisfy
   // Normal + Unavailable + Failed + ExceptionReplies == OpsIssued - Sends.

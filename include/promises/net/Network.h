@@ -82,6 +82,10 @@ struct NetConfig {
   double LossRate = 0.0;
   double DupRate = 0.0;
   sim::Time JitterMax = 0; ///< Uniform extra delay; >0 permits reordering.
+  double CorruptRate = 0.0;   ///< Per-copy probability of in-flight bit flips.
+  uint32_t CorruptMaxBits = 8; ///< Bits flipped per corruption: 1..this.
+  double ReorderRate = 0.0;   ///< Per-copy probability of bounded extra delay.
+  sim::Time ReorderMax = 0;   ///< Extra delay drawn uniformly from [0, this].
   uint64_t Seed = 1;
 };
 
@@ -94,6 +98,7 @@ struct NetCounters {
   uint64_t DatagramsDelivered = 0;
   uint64_t DatagramsDropped = 0;    ///< Loss, partition, crash, or no bind.
   uint64_t DatagramsDuplicated = 0; ///< Extra in-flight copies from DupRate.
+  uint64_t DatagramsCorrupted = 0;  ///< Copies damaged in flight (bit flips).
   uint64_t BytesSent = 0;           ///< Includes per-datagram header bytes.
 };
 
@@ -152,6 +157,22 @@ public:
   /// Registers a callback to run (in scheduler context) when \p N crashes.
   void onCrash(NodeId N, std::function<void()> Cb);
 
+  /// Adjusts the byte-damage rate at runtime (chaos bursts). A corrupted
+  /// copy has 1..CorruptMaxBits of its payload bits flipped in flight; it
+  /// still *arrives* (and counts as delivered) — detection is the
+  /// transport's job via frame checksums (wire/Frame.h).
+  void setCorruptRate(double Rate) { Cfg.CorruptRate = Rate; }
+
+  /// Adjusts the duplication rate at runtime.
+  void setDupRate(double Rate) { Cfg.DupRate = Rate; }
+
+  /// Adjusts reordering: each copy independently suffers an extra delay in
+  /// [0, Max] with probability \p Rate, letting later sends overtake it.
+  void setReorder(double Rate, sim::Time Max) {
+    Cfg.ReorderRate = Rate;
+    Cfg.ReorderMax = Max;
+  }
+
   /// --- Introspection ---
 
   /// Network-wide and per-node counter snapshots (thin views of the
@@ -175,10 +196,11 @@ private:
     Counter *Delivered = nullptr;
     Counter *Dropped = nullptr;
     Counter *Duplicated = nullptr;
+    Counter *Corrupted = nullptr;
     Counter *Bytes = nullptr;
     NetCounters view() const {
-      return {Sent->value(), Delivered->value(), Dropped->value(),
-              Duplicated->value(), Bytes->value()};
+      return {Sent->value(),       Delivered->value(), Dropped->value(),
+              Duplicated->value(), Corrupted->value(), Bytes->value()};
     }
   };
 

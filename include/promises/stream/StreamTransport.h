@@ -105,6 +105,14 @@ struct StreamConfig {
   /// Delay between a breaker opening (or a fail-fast finding it open) and
   /// the next half-open probe.
   sim::Time BreakerCooldown = sim::msec(50);
+  /// Wire integrity: seal every outgoing datagram in a checksummed frame
+  /// and verify arriving frames before decode (wire/Frame.h). Both sides
+  /// follow *their own* config — the flag is deliberately not carried on
+  /// the wire, so corruption cannot forge a "skip verification" bit. Off
+  /// is an ablation knob for measuring checksum cost (BM_ChecksumOverhead);
+  /// frames are still sealed, with a zero CRC field that the receiver
+  /// ignores.
+  bool FrameChecksums = true;
 };
 
 /// The sender-visible outcome of one stream call.
@@ -195,6 +203,11 @@ struct StreamCounters {
   uint64_t BreakerOpens = 0;
   uint64_t BreakerCloses = 0;
   uint64_t BreakerProbes = 0;      ///< Half-open probes sent.
+  uint64_t FramesCorruptDropped = 0; ///< Arriving frames rejected before
+                                     ///< decode (checksum/header damage).
+  uint64_t MalformedDropped = 0;     ///< Frame-valid datagrams whose message
+                                     ///< failed to decode (local encode bug;
+                                     ///< chaos treats any as a violation).
 };
 
 /// One entity's endpoint of the call-stream layer: the sending side of all
@@ -425,6 +438,10 @@ private:
 
   void onDatagram(net::Datagram D);
 
+  /// Seals \p M in a checksummed frame (per Cfg.FrameChecksums) and sends
+  /// it to \p To. Every datagram the transport emits goes through here.
+  void sendMessage(const net::Address &To, const Message &M);
+
   /// Registry-backed cells behind the StreamCounters view, plus the
   /// transport's histograms (gated on the registry's enabled flag).
   struct Cells {
@@ -433,7 +450,8 @@ private:
         *Retransmissions, *Probes, *SenderBreaks, *ReceiverBreaks, *Restarts,
         *CallsFulfilled, *CallsBroken, *CallsBlocked, *RetransmittedBytes,
         *CancelsSent, *CallsCancelled, *BreakerFastFails, *BreakerOpens,
-        *BreakerCloses, *BreakerProbes;
+        *BreakerCloses, *BreakerProbes, *FramesCorruptDropped,
+        *MalformedDropped;
     Histogram *CallLatencyUs;      ///< issue -> outcome, microseconds.
     Histogram *BatchOccupancy;     ///< Calls per fresh call batch.
     Histogram *ReplyOccupancy;     ///< Replies per reply batch.

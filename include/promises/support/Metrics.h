@@ -154,6 +154,10 @@ enum class EventKind : uint8_t {
   BreakerOpen,      ///< Endpoint circuit breaker tripped open (Id=agent,
                     ///< Seq=consecutive timeout breaks).
   BreakerClose,     ///< Breaker closed: a reply proved reachability.
+  DatagramCorrupted,  ///< Network flipped bits in a datagram in flight
+                      ///< (Seq=bits flipped).
+  FrameCorruptDropped, ///< Transport rejected an arriving frame before
+                       ///< decode (Detail=cause, Seq=frame bytes).
   Custom,           ///< Anything else; see Detail.
 };
 

@@ -104,6 +104,11 @@ template <> struct Codec<Unit> {
 
 // --- Composite codecs ----------------------------------------------------
 
+/// Hard cap on the element count of any length-prefixed sequence. Even a
+/// sequence of empty elements (zero encoded bytes each) cannot make the
+/// decoder loop or allocate more than this many times on a hostile length.
+inline constexpr uint32_t MaxSequenceElems = 1u << 20;
+
 template <typename T> struct Codec<std::vector<T>> {
   static void encode(Encoder &E, const std::vector<T> &V) {
     E.writeU32(static_cast<uint32_t>(V.size()));
@@ -113,8 +118,10 @@ template <typename T> struct Codec<std::vector<T>> {
   static std::vector<T> decode(Decoder &D) {
     uint32_t N = D.readU32();
     std::vector<T> Out;
-    // A hostile/corrupt length must not trigger a huge allocation; rely on
-    // the sticky failure to stop early instead.
+    if (N > MaxSequenceElems) {
+      D.fail("oversized sequence length");
+      return Out;
+    }
     for (uint32_t I = 0; I != N && !D.failed(); ++I)
       Out.push_back(Codec<T>::decode(D));
     return Out;

@@ -29,6 +29,11 @@ namespace promises::wire {
 /// Raw encoded bytes.
 using Bytes = std::vector<uint8_t>;
 
+/// Hard cap on any single length-prefixed byte sequence or string. A
+/// corrupt or hostile length above this is rejected before allocation,
+/// independent of how many bytes the buffer actually holds.
+inline constexpr uint32_t MaxStringBytes = 1u << 20;
+
 /// Serializes values into the external representation (little-endian,
 /// fixed-width scalars, length-prefixed sequences).
 class Encoder {
@@ -128,6 +133,10 @@ public:
   /// Reads a length-prefixed byte sequence.
   Bytes readBytes() {
     uint32_t N = readU32();
+    if (N > MaxStringBytes) {
+      fail("oversized byte sequence");
+      return {};
+    }
     if (N > remaining()) {
       fail("truncated byte sequence");
       return {};
@@ -140,6 +149,10 @@ public:
   /// Reads a length-prefixed string.
   std::string readString() {
     uint32_t N = readU32();
+    if (N > MaxStringBytes) {
+      fail("oversized string");
+      return {};
+    }
     if (N > remaining()) {
       fail("truncated string");
       return {};

@@ -113,6 +113,10 @@ std::string chaos::formatAction(const ChaosAction &A) {
   case ChaosAction::Kind::LossBurstEnd:
     return strprintf("%8.2fms loss burst end cli%u <-> srv%u", Ms, A.Client,
                      A.Server);
+  case ChaosAction::Kind::CorruptBurstStart:
+    return strprintf("%8.2fms corrupt burst rate %.2f", Ms, A.Rate);
+  case ChaosAction::Kind::CorruptBurstEnd:
+    return strprintf("%8.2fms corrupt burst end", Ms);
   }
   return "?";
 }
@@ -126,6 +130,16 @@ uint64_t mixSeed(uint64_t Seed, uint64_t Salt) {
   return X ^ (X >> 31);
 }
 
+// Wire-integrity workload rates (ChaosOptions::Corrupt/Dup/Reorder). The
+// ambient corruption rate runs for the whole injection window; planned
+// corruption bursts spike it network-wide for one outage.
+constexpr double ChaosAmbientCorrupt = 0.01;
+constexpr double ChaosBurstCorrupt = 0.08;
+constexpr double ChaosCorruptWeight = 0.3;
+constexpr double ChaosDupRate = 0.08;
+constexpr double ChaosReorderRate = 0.25;
+constexpr sim::Time ChaosReorderMax = sim::msec(2);
+
 } // namespace
 
 ChaosPlan ChaosPlan::generate(const ChaosOptions &O) {
@@ -136,8 +150,11 @@ ChaosPlan ChaosPlan::generate(const ChaosOptions &O) {
   Rng R(mixSeed(O.Seed, std::hash<std::string>{}(P.Name)));
 
   using K = ChaosAction::Kind;
+  // Corruption bursts join the mix only for the wire-integrity workload,
+  // so plans for runs without --corrupt are unchanged.
+  double CorruptWeight = O.Corrupt ? ChaosCorruptWeight : 0;
   double Total = P.CrashWeight + P.PartitionWeight + P.LossBurstWeight +
-                 P.ShutdownWeight;
+                 P.ShutdownWeight + CorruptWeight;
   Time T = static_cast<Time>(R.between(P.MinGap, P.MaxGap));
   while (Total > 0 && T < O.Horizon) {
     Time Outage = static_cast<Time>(R.between(P.MinOutage, P.MaxOutage));
@@ -154,6 +171,11 @@ ChaosPlan ChaosPlan::generate(const ChaosOptions &O) {
       Plan.Actions.push_back({T, K::LossBurstStart, Srv, Cli, P.BurstLoss});
       Plan.Actions.push_back({T + Outage, K::LossBurstEnd, Srv, Cli,
                               P.BaseLoss});
+    } else if (CorruptWeight > 0 && (Pick -= P.ShutdownWeight) >= 0) {
+      Plan.Actions.push_back({T, K::CorruptBurstStart, 0, 0,
+                              ChaosBurstCorrupt});
+      Plan.Actions.push_back({T + Outage, K::CorruptBurstEnd, 0, 0,
+                              ChaosAmbientCorrupt});
     } else {
       Plan.Actions.push_back({T, K::TransportShutdown, Srv, 0, 0});
       Plan.Actions.push_back({T + Outage, K::ServerReincarnate, Srv, 0, 0});
@@ -173,6 +195,9 @@ ChaosPlan ChaosPlan::generate(const ChaosOptions &O) {
       Plan.Actions.push_back({End, K::HealLink, S, C, 0});
       Plan.Actions.push_back({End, K::LossBurstEnd, S, C, P.BaseLoss});
     }
+  if (O.Corrupt)
+    Plan.Actions.push_back({End, K::CorruptBurstEnd, 0, 0,
+                            ChaosAmbientCorrupt});
 
   std::stable_sort(Plan.Actions.begin(), Plan.Actions.end(),
                    [](const ChaosAction &A, const ChaosAction &B) {
@@ -292,6 +317,15 @@ World::World(const ChaosOptions &Opt) : O(Opt), Plan(ChaosPlan::generate(Opt)) {
   NC.JitterMax = O.Profile.BaseJitter;
   NC.Propagation = sim::msec(1);
   NC.Seed = mixSeed(O.Seed, 0);
+  // Byte-level damage knobs (the wire-integrity workload).
+  if (O.Corrupt)
+    NC.CorruptRate = ChaosAmbientCorrupt;
+  if (O.Dup)
+    NC.DupRate = std::max(NC.DupRate, ChaosDupRate);
+  if (O.Reorder) {
+    NC.ReorderRate = ChaosReorderRate;
+    NC.ReorderMax = ChaosReorderMax;
+  }
   Net = std::make_unique<net::Network>(S, NC);
 
   Slots.resize(O.Servers);
@@ -396,6 +430,13 @@ void World::applyAction(const ChaosAction &A) {
     break;
   case K::LossBurstEnd:
     Net->setLinkLoss(ClientNodes[A.Client], SS.Node, A.Rate);
+    break;
+  case K::CorruptBurstStart:
+    Net->setCorruptRate(A.Rate);
+    ++Report.CorruptBursts;
+    break;
+  case K::CorruptBurstEnd:
+    Net->setCorruptRate(A.Rate);
     break;
   }
 }
@@ -579,10 +620,18 @@ ChaosReport World::finish() {
   // after a node crash, so a reincarnated transport can share its
   // predecessor's counters — summing them per guardian would double
   // count. The trace-event stream has exactly one CallCancelled per
-  // server-side cancellation, so count those instead.
-  for (const TraceEvent &E : S.metrics().events())
+  // server-side cancellation (and one FrameCorruptDropped per rejected
+  // frame), so count those instead.
+  for (const TraceEvent &E : S.metrics().events()) {
     if (E.Kind == EventKind::CallCancelled)
       ++Rep.ServerCancelled;
+    else if (E.Kind == EventKind::FrameCorruptDropped) {
+      if (E.Detail == "malformed message")
+        ++Rep.MalformedDropped;
+      else
+        ++Rep.FramesCorruptDropped;
+    }
+  }
   auto boundedBy = [&](const char *What, uint64_t Observed,
                        uint64_t Bound) {
     if (Observed > Bound)
@@ -610,6 +659,25 @@ ChaosReport World::finish() {
       (Rep.Retries | Rep.CancelsSent | Rep.ServerExpired | Rep.ServerShed |
        Rep.ServerCancelled))
     violate("resilience machinery fired without --deadlines");
+
+  // 3c. Wire integrity. Under byte-level damage the checksum layer must
+  // reject every damaged frame before decode: a "malformed message" drop
+  // means a frame-valid datagram failed to decode — a local encode bug,
+  // never line noise — and is always a violation. Each rejected frame
+  // traces back to a distinct corrupted copy, and without --corrupt no
+  // corruption machinery may fire at all.
+  Rep.DatagramsCorrupted = NC.DatagramsCorrupted;
+  if (Rep.MalformedDropped)
+    violate(strprintf("%llu frame-valid datagrams failed to decode "
+                      "(local encode bug)",
+                      (unsigned long long)Rep.MalformedDropped));
+  if (Rep.FramesCorruptDropped > Rep.DatagramsCorrupted)
+    violate(strprintf("%llu corrupt-frame drops > %llu corrupted datagrams",
+                      (unsigned long long)Rep.FramesCorruptDropped,
+                      (unsigned long long)Rep.DatagramsCorrupted));
+  if (!O.Corrupt &&
+      (Rep.DatagramsCorrupted | Rep.FramesCorruptDropped | Rep.CorruptBursts))
+    violate("corruption machinery fired without --corrupt");
 
   // 4. Client accounting: every claimed op has exactly one outcome.
   if (Rep.Normal + Rep.Unavailable + Rep.Failed + Rep.ExceptionReplies !=
@@ -694,12 +762,14 @@ ChaosReport chaos::runChaos(const ChaosOptions &O) {
 
 std::string chaos::replayCommand(const ChaosOptions &O) {
   return strprintf("chaossim --seed %llu --profile %s --ops %zu --clients "
-                   "%zu --servers %zu --horizon-ms %llu%s",
+                   "%zu --servers %zu --horizon-ms %llu%s%s%s%s",
                    static_cast<unsigned long long>(O.Seed),
                    O.Profile.Name.c_str(), O.OpsPerClient, O.Clients,
                    O.Servers,
                    static_cast<unsigned long long>(O.Horizon / 1000000),
-                   O.Deadlines ? " --deadlines" : "");
+                   O.Deadlines ? " --deadlines" : "",
+                   O.Corrupt ? " --corrupt" : "", O.Dup ? " --dup" : "",
+                   O.Reorder ? " --reorder" : "");
 }
 
 std::string ChaosReport::summary() const {
@@ -731,5 +801,14 @@ std::string ChaosReport::summary() const {
                           (unsigned long long)FastFails,
                           (unsigned long long)Retries,
                           (unsigned long long)CancelsSent)
+              : std::string()) +
+         (DatagramsCorrupted | FramesCorruptDropped | MalformedDropped |
+                  CorruptBursts
+              ? strprintf(" corrupted=%llu cdropped=%llu malformed=%llu "
+                          "cbursts=%llu",
+                          (unsigned long long)DatagramsCorrupted,
+                          (unsigned long long)FramesCorruptDropped,
+                          (unsigned long long)MalformedDropped,
+                          (unsigned long long)CorruptBursts)
               : std::string());
 }

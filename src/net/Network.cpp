@@ -20,6 +20,7 @@ void Network::registerCells(CounterCells &C, MetricLabels Labels) {
   C.Delivered = &Reg.counter("net.datagrams_delivered", Labels);
   C.Dropped = &Reg.counter("net.datagrams_dropped", Labels);
   C.Duplicated = &Reg.counter("net.datagrams_duplicated", Labels);
+  C.Corrupted = &Reg.counter("net.datagrams_corrupted", Labels);
   C.Bytes = &Reg.counter("net.bytes_sent", std::move(Labels));
 }
 
@@ -190,7 +191,29 @@ void Network::send(Address From, Address To, wire::Bytes Payload) {
   Time SentAt = Sim.now();
   for (int I = 0; I != Copies; ++I) {
     Datagram D{From, To, Payload};
-    Sim.schedule(ArriveAt - Sim.now(), [this, D = std::move(D), SentAt]() mutable {
+    // Bounded reordering: an unlucky copy dawdles, letting later sends (or
+    // its own twin) overtake it. Bit flips damage the copy in flight; it
+    // still arrives and counts as delivered — detecting the damage is the
+    // transport's job (wire/Frame.h checksums). Both draws are gated on
+    // their rates, so runs with the knobs off consume no RNG state.
+    Time Extra = 0;
+    if (Rand.chance(Cfg.ReorderRate) && Cfg.ReorderMax != 0)
+      Extra = Rand.below(Cfg.ReorderMax + 1);
+    if (Rand.chance(Cfg.CorruptRate) && !D.Payload.empty()) {
+      uint32_t MaxBits = std::max(1u, Cfg.CorruptMaxBits);
+      uint32_t Bits = 1 + static_cast<uint32_t>(Rand.below(MaxBits));
+      for (uint32_t B = 0; B != Bits; ++B) {
+        uint64_t Pos = Rand.below(D.Payload.size() * 8);
+        D.Payload[Pos / 8] ^= static_cast<uint8_t>(1u << (Pos % 8));
+      }
+      Totals.Corrupted->inc();
+      Sender.Counters.Corrupted->inc();
+      if (Reg.enabled())
+        Reg.emit({Sim.now(), EventKind::DatagramCorrupted, From.Node, From.Port,
+                  Bits, 0, ""});
+    }
+    Sim.schedule(ArriveAt + Extra - Sim.now(),
+                 [this, D = std::move(D), SentAt]() mutable {
       arrive(std::move(D), SentAt);
     });
   }

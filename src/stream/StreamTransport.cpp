@@ -10,6 +10,7 @@
 #include "promises/sim/Sync.h"
 #include "promises/support/StrUtil.h"
 #include "promises/support/Trace.h"
+#include "promises/wire/Frame.h"
 
 #include <algorithm>
 #include <cassert>
@@ -217,6 +218,9 @@ StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
   Counters.BreakerOpens = &Reg.counter("breaker.opened", L);
   Counters.BreakerCloses = &Reg.counter("breaker.closed", L);
   Counters.BreakerProbes = &Reg.counter("breaker.probes", L);
+  Counters.FramesCorruptDropped =
+      &Reg.counter("net.frames_corrupt_dropped", L);
+  Counters.MalformedDropped = &Reg.counter("stream.malformed_dropped", L);
   Reg.gaugeProbe("breaker.state", [this] {
     return static_cast<double>(openBreakerCount());
   }, L);
@@ -253,7 +257,9 @@ StreamCounters StreamTransport::counters() const {
           Counters.BreakerFastFails->value(),
           Counters.BreakerOpens->value(),
           Counters.BreakerCloses->value(),
-          Counters.BreakerProbes->value()};
+          Counters.BreakerProbes->value(),
+          Counters.FramesCorruptDropped->value(),
+          Counters.MalformedDropped->value()};
 }
 
 StreamTransport::~StreamTransport() {
@@ -503,7 +509,7 @@ bool StreamTransport::cancelCall(AgentId Agent, net::Address Remote,
     tracef("tx cancel agent=%llu inc=%u seq=%llu",
            static_cast<unsigned long long>(Agent), S->Inc,
            static_cast<unsigned long long>(Sq));
-  Net.send(Addr, Remote, encodeMessage(Message(std::move(M))));
+  sendMessage(Remote, Message(std::move(M)));
   return true;
 }
 
@@ -563,7 +569,7 @@ void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
            static_cast<unsigned long long>(S.Agent), S.Inc, M.Calls.size(),
            static_cast<unsigned long long>(M.AckReplyThrough),
            M.FlushReplies ? " flush" : "", IsRetransmit ? " retrans" : "");
-  Net.send(Addr, S.Remote, encodeMessage(Message(std::move(M))));
+  sendMessage(S.Remote, Message(std::move(M)));
 }
 
 void StreamTransport::armSenderFlushTimer(SenderStream &S) {
@@ -1074,7 +1080,7 @@ void StreamTransport::sendBreakerProbe(const SenderKey &K, Breaker &B) {
   if (traceEnabled())
     tracef("breaker probe agent=%llu group=%u inc=%u",
            static_cast<unsigned long long>(M.Agent), M.Group, Inc);
-  Net.send(Addr, std::get<1>(K), encodeMessage(Message(std::move(M))));
+  sendMessage(std::get<1>(K), Message(std::move(M)));
 }
 
 int StreamTransport::breakerState(AgentId Agent, net::Address Remote,
@@ -1370,7 +1376,7 @@ void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
            static_cast<unsigned long long>(M.AckCallThrough),
            static_cast<unsigned long long>(M.CompletedThrough),
            M.Broken ? " BROKEN" : "");
-  Net.send(Addr, R.SenderAddr, encodeMessage(Message(std::move(M))));
+  sendMessage(R.SenderAddr, Message(std::move(M)));
 }
 
 void StreamTransport::armReplyFlushTimer(ReceiverStream &R) {
@@ -1437,12 +1443,44 @@ void StreamTransport::breakReceiverStream(uint64_t StreamTag,
 // Datagram dispatch
 //===----------------------------------------------------------------------===//
 
+void StreamTransport::sendMessage(const net::Address &To, const Message &M) {
+  Net.send(Addr, To, wire::sealFrame(encodeMessage(M), Cfg.FrameChecksums));
+}
+
 void StreamTransport::onDatagram(net::Datagram D) {
   if (Dead)
     return;
-  std::optional<Message> M = decodeMessage(D.Payload);
-  if (!M)
-    return; // Malformed datagrams are dropped silently.
+  // Integrity first: no byte of the payload is decoded until the frame
+  // header checks out and (unless the ablation knob disabled it) the
+  // checksum matches. A rejected frame is indistinguishable from a lost
+  // datagram — the retransmit path recovers it.
+  wire::FrameError FE = wire::FrameError::None;
+  std::optional<wire::Bytes> Payload =
+      wire::openFrame(D.Payload, Cfg.FrameChecksums, &FE);
+  if (!Payload) {
+    Counters.FramesCorruptDropped->inc();
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::FrameCorruptDropped, Node,
+                Addr.Port, D.Payload.size(), 0, wire::frameErrorName(FE)});
+    if (traceEnabled())
+      tracef("rx frame dropped (%s) bytes=%zu", wire::frameErrorName(FE),
+             D.Payload.size());
+    return;
+  }
+  std::optional<Message> M = decodeMessage(*Payload);
+  if (!M) {
+    // The frame was intact, so the bytes are what the sender produced —
+    // an undecodable message here is a local encode bug, not line noise.
+    // Count and trace it distinctly; the chaos invariants treat any
+    // occurrence as a violation.
+    Counters.MalformedDropped->inc();
+    if (Reg.enabled())
+      Reg.emit({Net.simulation().now(), EventKind::FrameCorruptDropped, Node,
+                Addr.Port, Payload->size(), 0, "malformed message"});
+    if (traceEnabled())
+      tracef("rx malformed message bytes=%zu", Payload->size());
+    return;
+  }
   if (const auto *CB = std::get_if<CallBatchMsg>(&*M))
     handleCallBatch(D.From, *CB);
   else if (const auto *RB = std::get_if<ReplyBatchMsg>(&*M))

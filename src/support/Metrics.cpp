@@ -94,6 +94,10 @@ const char *promises::eventKindName(EventKind K) {
     return "breaker_open";
   case EventKind::BreakerClose:
     return "breaker_close";
+  case EventKind::DatagramCorrupted:
+    return "datagram_corrupted";
+  case EventKind::FrameCorruptDropped:
+    return "frame_corrupt_dropped";
   case EventKind::Custom:
     break;
   }

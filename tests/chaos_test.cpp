@@ -147,6 +147,66 @@ TEST(ChaosRunTest, DeadlinesReplayIsByteIdentical) {
   EXPECT_NE(replayCommand(O).find("--deadlines"), std::string::npos);
 }
 
+TEST(ChaosRunTest, WireIntegrityWorkloadSatisfiesInvariants) {
+  // Byte-level damage on top of the fault plan: bit-flip corruption
+  // (ambient + bursts), heavy duplication, and bounded reordering all at
+  // once. The checksums must catch every damaged frame, dedup must keep
+  // execution exactly-once, and the whole invariant battery must hold.
+  uint64_t Corrupted = 0, Dropped = 0;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    ChaosOptions O = smallRun(Seed, ChaosProfile::mixed());
+    O.Corrupt = O.Dup = O.Reorder = true;
+    ChaosReport R = runChaos(O);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.summary()
+                        << (R.Violations.empty() ? ""
+                                                 : "\n  " + R.Violations[0])
+                        << "\n  replay: " << replayCommand(O);
+    // Damage is detected at most once per damaged copy, and nothing ever
+    // reaches the message decoder (that would be a local encode bug).
+    EXPECT_LE(R.FramesCorruptDropped, R.DatagramsCorrupted);
+    EXPECT_EQ(R.MalformedDropped, 0u);
+    Corrupted += R.DatagramsCorrupted;
+    Dropped += R.FramesCorruptDropped;
+  }
+  // The workload actually damages frames, and the checksums actually
+  // reject them.
+  EXPECT_GT(Corrupted, 0u);
+  EXPECT_GT(Dropped, 0u);
+}
+
+TEST(ChaosRunTest, WireIntegrityReplayIsByteIdentical) {
+  ChaosOptions O = smallRun(11, ChaosProfile::mixed());
+  O.Corrupt = O.Dup = O.Reorder = true;
+  ChaosReport A = runChaos(O);
+  ChaosReport B = runChaos(O);
+  ASSERT_TRUE(A.ok()) << A.summary() << "\n  replay: " << replayCommand(O);
+  EXPECT_EQ(A.TraceHash, B.TraceHash);
+  EXPECT_EQ(A.TraceEvents, B.TraceEvents);
+  EXPECT_EQ(A.VirtualEnd, B.VirtualEnd);
+  EXPECT_EQ(A.DatagramsCorrupted, B.DatagramsCorrupted);
+  EXPECT_EQ(A.FramesCorruptDropped, B.FramesCorruptDropped);
+  EXPECT_EQ(A.CorruptBursts, B.CorruptBursts);
+  // The replay command round-trips every wire-integrity flag.
+  std::string Cmd = replayCommand(O);
+  EXPECT_NE(Cmd.find("--corrupt"), std::string::npos);
+  EXPECT_NE(Cmd.find("--dup"), std::string::npos);
+  EXPECT_NE(Cmd.find("--reorder"), std::string::npos);
+}
+
+TEST(ChaosRunTest, CorruptionMachineryStaysColdWithoutTheFlag) {
+  // Adding the wire-integrity knobs must not perturb existing runs: a
+  // plain run reports zero corruption activity (the invariant battery
+  // enforces this too, but pin it explicitly).
+  ChaosOptions O = smallRun(11, ChaosProfile::mixed());
+  ChaosReport R = runChaos(O);
+  ASSERT_TRUE(R.ok()) << R.summary();
+  EXPECT_EQ(R.DatagramsCorrupted, 0u);
+  EXPECT_EQ(R.FramesCorruptDropped, 0u);
+  EXPECT_EQ(R.MalformedDropped, 0u);
+  EXPECT_EQ(R.CorruptBursts, 0u);
+  EXPECT_EQ(replayCommand(O).find("--corrupt"), std::string::npos);
+}
+
 TEST(ChaosRunTest, CrashProfileExercisesRecoveryMachinery) {
   // One known-good seed that drives the paths this PR hardens: node
   // crashes with port-reusing restarts (stale-epoch drops) and breaks.

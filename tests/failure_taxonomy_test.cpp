@@ -1,0 +1,147 @@
+//===- failure_taxonomy_test.cpp - failure vs unavailable ------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's exception taxonomy (Section 3): codec trouble is *permanent*
+// — a call whose arguments or results cannot be encoded or decoded claims
+// as `failure`, never `unavailable` — while transport trouble (crash,
+// partition) is *temporary* and claims as `unavailable`. Claiming the same
+// promise again re-raises the same exception.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Exceptions.h"
+#include "promises/runtime/RemoteHandler.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::runtime;
+using namespace promises::sim;
+
+namespace {
+
+struct TaxonomyFixture : ::testing::Test {
+  Simulation S;
+  net::NetConfig NC;
+  GuardianConfig GC;
+
+  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<Guardian> Server, Client;
+  net::NodeId SN = 0, CN = 0;
+
+  HandlerRef<wire::Fragile(wire::Fragile)> Echo;
+  HandlerRef<wire::Fragile(int32_t)> Brittle;
+
+  void build() {
+    Net = std::make_unique<net::Network>(S, NC);
+    SN = Net->addNode("server");
+    CN = Net->addNode("client");
+    Server = std::make_unique<Guardian>(*Net, SN, "server", GC);
+    Client = std::make_unique<Guardian>(*Net, CN, "client", GC);
+    Echo = Server->addHandler<wire::Fragile(wire::Fragile)>(
+        "echo", [](wire::Fragile F) -> Outcome<wire::Fragile> { return F; });
+    // The server-side encode bug: the handler runs fine but its *result*
+    // refuses to encode.
+    Brittle = Server->addHandler<wire::Fragile(int32_t)>(
+        "brittle", [](int32_t V) -> Outcome<wire::Fragile> {
+          wire::Fragile F;
+          F.Value = V;
+          F.FailEncode = true;
+          return F;
+        });
+  }
+};
+
+TEST_F(TaxonomyFixture, ReplyEncodeFailureClaimsAsFailure) {
+  build();
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Brittle);
+    auto P = H.streamCall(int32_t(5));
+    H.flush();
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Failure>())
+        << "a reply that cannot be encoded is permanent, not retryable";
+    EXPECT_FALSE(O.is<Unavailable>());
+    EXPECT_NE(O.get<Failure>().Reason.find("encode"), std::string::npos);
+  });
+  S.run();
+}
+
+TEST_F(TaxonomyFixture, ArgumentDecodeFailureClaimsAsFailure) {
+  build();
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Echo);
+    wire::Fragile Bad;
+    Bad.FailDecode = true; // Encodes fine; the *server* cannot decode it.
+    auto P = H.streamCall(Bad);
+    H.flush();
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Failure>());
+    EXPECT_NE(O.get<Failure>().Reason.find("decode"), std::string::npos);
+  });
+  S.run();
+}
+
+TEST_F(TaxonomyFixture, ArgumentEncodeFailureFailsWithoutCalling) {
+  build();
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Echo);
+    uint64_t SentBefore = Net->counters().DatagramsSent;
+    wire::Fragile Bad;
+    Bad.FailEncode = true;
+    auto P = H.streamCall(Bad);
+    // Step 1 of the paper's call sequence fails locally: the promise is
+    // born ready and nothing went on the wire.
+    ASSERT_TRUE(P.ready());
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Failure>());
+    EXPECT_NE(O.get<Failure>().Reason.find("encode"), std::string::npos);
+    EXPECT_EQ(Net->counters().DatagramsSent, SentBefore);
+  });
+  S.run();
+}
+
+TEST_F(TaxonomyFixture, RepeatedClaimReRaisesTheSameException) {
+  build();
+  Client->spawnProcess("main", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Brittle);
+    auto P = H.streamCall(int32_t(9));
+    H.flush();
+    const auto &First = P.claim();
+    ASSERT_TRUE(First.is<Failure>());
+    std::string Reason = First.get<Failure>().Reason;
+    // Paper, Section 3: "the claim can be repeated; each repetition
+    // returns the same result or signals the same exception."
+    for (int I = 0; I != 3; ++I) {
+      const auto &Again = P.claim();
+      ASSERT_TRUE(Again.is<Failure>());
+      EXPECT_EQ(Again.get<Failure>().Reason, Reason);
+    }
+  });
+  S.run();
+}
+
+TEST_F(TaxonomyFixture, CrashIsUnavailableNotFailure) {
+  // The contrast case that pins the taxonomy: the same call shape against
+  // a crashed node is *temporary* trouble.
+  build();
+  S.schedule(usec(1), [&] { Net->crash(SN); });
+  Client->spawnProcess("main", [&] {
+    S.sleep(msec(1));
+    auto H = bindHandler(*Client, Client->newAgent(), Echo);
+    auto P = H.streamCall(wire::Fragile{});
+    H.flush();
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Unavailable>());
+    EXPECT_FALSE(O.is<Failure>());
+    // And it re-raises identically too.
+    EXPECT_TRUE(P.claim().is<Unavailable>());
+  });
+  S.run();
+}
+
+} // namespace

@@ -87,7 +87,8 @@ TEST(Capstone, FullSystemSurvivesCrashAndFinishes) {
               .arm("display",
                    [&]() -> ArmResult {
                      for (int I = 0; I < N; ++I) {
-                       const auto &O = Q.deq().claim();
+                       auto P = Q.deq(); // Keep alive past claim().
+                       const auto &O = P.claim();
                        if (!O.isNormal())
                          return O.toExn();
                        Puts.streamCall(strprintf("%.0f ", O.value()));

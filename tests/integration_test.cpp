@@ -274,7 +274,8 @@ TEST(Integration, AtomicGradesCompositionAbortsOnPrinterFailure) {
                    auto A = Client.newAgent();
                    auto Print = bindHandler(Client, A, Pr.Print);
                    for (int I = 0; I < N; ++I) {
-                     const auto &O = Q.deq().claim();
+                     auto P = Q.deq(); // Keep the promise alive past claim().
+                     const auto &O = P.claim();
                      if (!O.isNormal())
                        return O.toExn();
                      Print.streamCall(strprintf("line %.1f", O.value()));

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -328,7 +329,7 @@ TEST_F(RuntimeFixture, HandlerRefsTravelAsValues) {
   // The window-system pattern: a handler that returns another port.
   build();
   auto MakeCounter = [this] {
-    auto *Count = new int32_t(0); // Lives for the test duration.
+    auto Count = std::make_shared<int32_t>(0); // Owned by the handler.
     return Server->addHandler<int32_t(int32_t)>(
         "bump", [Count](int32_t By) -> Outcome<int32_t> {
           *Count += By;

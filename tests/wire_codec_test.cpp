@@ -113,6 +113,58 @@ TEST(WireCodec, DecodeFailsOnCorruptVectorLength) {
   EXPECT_FALSE(Out.has_value());
 }
 
+TEST(WireCodec, HostileLengthsAreRejectedBeforeAllocation) {
+  // The explicit bounds (MaxStringBytes, MaxSequenceElems) reject hostile
+  // length prefixes up front with a specific reason — the decoder never
+  // sizes a buffer from an unvalidated length, even when the declared
+  // length exceeds the bytes actually present.
+  {
+    Encoder E;
+    E.writeU32(MaxStringBytes + 1);
+    Decoder D(E.bytes());
+    (void)D.readString();
+    ASSERT_TRUE(D.failed());
+    EXPECT_EQ(D.failReason(), "oversized string");
+  }
+  {
+    Encoder E;
+    E.writeU32(MaxStringBytes + 1);
+    Decoder D(E.bytes());
+    (void)D.readBytes();
+    ASSERT_TRUE(D.failed());
+    EXPECT_EQ(D.failReason(), "oversized byte sequence");
+  }
+  {
+    // A sequence of zero-byte elements: the truncation check cannot catch
+    // this one (every element needs 0 bytes), only the element-count cap
+    // can stop the decode loop.
+    Encoder E;
+    E.writeU32(MaxSequenceElems + 1);
+    Decoder D(E.bytes());
+    (void)Codec<std::vector<Unit>>::decode(D);
+    ASSERT_TRUE(D.failed());
+    EXPECT_EQ(D.failReason(), "oversized sequence length");
+  }
+  {
+    // At the boundary the caps do not fire; shortage of bytes is then
+    // reported as ordinary truncation.
+    Encoder E;
+    E.writeU32(MaxStringBytes);
+    Decoder D(E.bytes());
+    (void)D.readString();
+    ASSERT_TRUE(D.failed());
+    EXPECT_NE(D.failReason(), "oversized string");
+  }
+}
+
+TEST(WireCodec, MaxBoundsRoundTripAtModestSizes) {
+  // Values comfortably under the caps flow unchanged.
+  std::string S(1024, 'x');
+  EXPECT_EQ(roundTrip(S), S);
+  std::vector<uint8_t> V(2048, 0x5A);
+  EXPECT_EQ(roundTrip(V), V);
+}
+
 TEST(WireCodec, StickyDecoderFailure) {
   Bytes Empty;
   Decoder D(Empty);

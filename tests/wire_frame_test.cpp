@@ -1,0 +1,176 @@
+//===- wire_frame_test.cpp - Frame header + checksum tests ----------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The datagram frame layer (docs/PROTOCOL.md): CRC32C, the versioned
+// header, and openFrame's rejection taxonomy. Every corruption class maps
+// to a distinct FrameError so dropped frames are diagnosable from counters
+// and trace events alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/wire/Frame.h"
+
+#include <gtest/gtest.h>
+
+using namespace promises;
+using namespace promises::wire;
+
+namespace {
+
+Bytes bytes(std::initializer_list<uint8_t> L) { return Bytes(L); }
+
+TEST(Crc32c, KnownAnswers) {
+  // The canonical CRC-32C check value (RFC 3720 appendix, and every other
+  // Castagnoli implementation): crc32c("123456789") == 0xE3069283.
+  const char *Digits = "123456789";
+  EXPECT_EQ(crc32c(reinterpret_cast<const uint8_t *>(Digits), 9), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+  // 32 zero bytes (another published vector): 0x8A9136AA.
+  Bytes Zeros(32, 0);
+  EXPECT_EQ(crc32c(Zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChains) {
+  // Checksumming in two chunks with chaining equals one pass.
+  Bytes B = bytes({1, 2, 3, 4, 5, 6, 7, 8});
+  uint32_t Whole = crc32c(B);
+  uint32_t Half = crc32c(B.data(), 4);
+  EXPECT_EQ(crc32c(B.data() + 4, 4, Half), Whole);
+}
+
+TEST(Frame, SealOpenRoundTrips) {
+  for (size_t N : {size_t(0), size_t(1), size_t(17), size_t(4096)}) {
+    Bytes Payload(N);
+    for (size_t I = 0; I != N; ++I)
+      Payload[I] = static_cast<uint8_t>(I * 37 + 11);
+    Bytes Frame = sealFrame(Payload);
+    EXPECT_EQ(Frame.size(), FrameHeaderBytes + N);
+    FrameError Err = FrameError::BadMagic; // Must be reset to None.
+    auto Opened = openFrame(Frame, true, &Err);
+    ASSERT_TRUE(Opened.has_value()) << "payload size " << N;
+    EXPECT_EQ(*Opened, Payload);
+    EXPECT_EQ(Err, FrameError::None);
+  }
+}
+
+TEST(Frame, EveryHeaderByteIsChecked) {
+  Bytes Frame = sealFrame(bytes({0xAA, 0xBB, 0xCC}));
+
+  // Truncated: shorter than the header.
+  for (size_t N = 0; N != FrameHeaderBytes; ++N) {
+    Bytes Short(Frame.begin(), Frame.begin() + N);
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(Short, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::Truncated);
+  }
+
+  // Bad magic.
+  {
+    Bytes F = Frame;
+    F[0] ^= 0xFF;
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadMagic);
+  }
+
+  // Bad version.
+  {
+    Bytes F = Frame;
+    F[1] = FrameVersion + 1;
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadVersion);
+  }
+
+  // Length disagrees with the actual byte count (both directions).
+  {
+    Bytes F = Frame;
+    F.pop_back();
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadLength);
+  }
+  {
+    Bytes F = Frame;
+    F.push_back(0);
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadLength);
+  }
+
+  // Oversized: a hostile length field is rejected before any comparison
+  // against the real size could allocate or wrap.
+  {
+    Bytes F = Frame;
+    uint32_t Huge = MaxFramePayloadBytes + 1;
+    for (size_t I = 0; I != 4; ++I)
+      F[2 + I] = static_cast<uint8_t>(Huge >> (8 * I));
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::Oversized);
+  }
+
+  // Payload damage: only the checksum can catch it.
+  {
+    Bytes F = Frame;
+    F.back() ^= 0x01;
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadChecksum);
+  }
+
+  // Checksum field damage.
+  {
+    Bytes F = Frame;
+    F[6] ^= 0x01;
+    FrameError Err = FrameError::None;
+    EXPECT_FALSE(openFrame(F, true, &Err).has_value());
+    EXPECT_EQ(Err, FrameError::BadChecksum);
+  }
+}
+
+TEST(Frame, ChecksumAblation) {
+  // FrameChecksums=false seals with a zero CRC and skips verification;
+  // the structural header checks still apply. This is the benchmark
+  // ablation knob, not a wire option (see StreamConfig::FrameChecksums).
+  Bytes Payload = bytes({1, 2, 3});
+  Bytes Unsummed = sealFrame(Payload, /*Checksum=*/false);
+  EXPECT_FALSE(openFrame(Unsummed, /*VerifyChecksum=*/true).has_value());
+  auto Opened = openFrame(Unsummed, /*VerifyChecksum=*/false);
+  ASSERT_TRUE(Opened.has_value());
+  EXPECT_EQ(*Opened, Payload);
+
+  // A verifying receiver still accepts checksummed frames, and a
+  // non-verifying receiver accepts them too (the CRC is simply ignored).
+  Bytes Summed = sealFrame(Payload, /*Checksum=*/true);
+  EXPECT_TRUE(openFrame(Summed, /*VerifyChecksum=*/false).has_value());
+
+  // Structural damage is caught even with verification off.
+  Bytes F = Unsummed;
+  F[0] ^= 0xFF;
+  FrameError Err = FrameError::None;
+  EXPECT_FALSE(openFrame(F, /*VerifyChecksum=*/false, &Err).has_value());
+  EXPECT_EQ(Err, FrameError::BadMagic);
+}
+
+TEST(Frame, ErrorNamesAreDistinct) {
+  EXPECT_STREQ(frameErrorName(FrameError::None), "none");
+  EXPECT_STREQ(frameErrorName(FrameError::Truncated), "truncated");
+  EXPECT_STREQ(frameErrorName(FrameError::BadMagic), "bad magic");
+  EXPECT_STREQ(frameErrorName(FrameError::BadVersion), "bad version");
+  EXPECT_STREQ(frameErrorName(FrameError::BadLength), "bad length");
+  EXPECT_STREQ(frameErrorName(FrameError::Oversized), "oversized");
+  EXPECT_STREQ(frameErrorName(FrameError::BadChecksum), "bad checksum");
+}
+
+TEST(Frame, ErrPointerIsOptional) {
+  Bytes F = sealFrame(bytes({9}));
+  F[0] = 0;
+  EXPECT_FALSE(openFrame(F).has_value()); // Must not dereference null.
+}
+
+} // namespace

@@ -34,6 +34,9 @@ struct Options {
   size_t Servers = 2;
   uint64_t HorizonMs = 300;
   bool Deadlines = false;
+  bool Corrupt = false;
+  bool Dup = false;
+  bool Reorder = false;
   bool PrintPlan = false;
   bool ReplayCheck = true; ///< Run each seed twice, compare traces.
   bool Quiet = false;
@@ -55,6 +58,10 @@ void usage(const char *Argv0) {
       "  --horizon-ms T  fault-injection window (default 300)\n"
       "  --deadlines     resilience workload: deadlines, cancels, retries,\n"
       "                  breakers, admission control (see docs/FAULTS.md)\n"
+      "  --corrupt       flip bits in delivered datagrams (ambient rate +\n"
+      "                  planned corruption bursts; see docs/FAULTS.md)\n"
+      "  --dup           raise datagram duplication above the profile rate\n"
+      "  --reorder       give each copy a chance of bounded extra delay\n"
       "  --plan          print the fault plan before each run\n"
       "  --no-replay     skip the determinism double-run\n"
       "  --quiet         print failures and the final line only\n",
@@ -102,6 +109,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.HorizonMs = std::strtoull(V, nullptr, 10);
     } else if (!std::strcmp(A, "--deadlines")) {
       O.Deadlines = true;
+    } else if (!std::strcmp(A, "--corrupt")) {
+      O.Corrupt = true;
+    } else if (!std::strcmp(A, "--dup")) {
+      O.Dup = true;
+    } else if (!std::strcmp(A, "--reorder")) {
+      O.Reorder = true;
     } else if (!std::strcmp(A, "--plan")) {
       O.PrintPlan = true;
     } else if (!std::strcmp(A, "--no-replay")) {
@@ -112,7 +125,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::fprintf(stderr,
                    "error: unknown flag %s (valid: --seed --seeds --profile "
                    "--ops --clients --servers --horizon-ms --deadlines "
-                   "--plan --no-replay --quiet)\n",
+                   "--corrupt --dup --reorder --plan --no-replay --quiet)\n",
                    A);
       return false;
     }
@@ -153,6 +166,9 @@ int main(int Argc, char **Argv) {
     CO.Servers = O.Servers;
     CO.Horizon = sim::msec(O.HorizonMs);
     CO.Deadlines = O.Deadlines;
+    CO.Corrupt = O.Corrupt;
+    CO.Dup = O.Dup;
+    CO.Reorder = O.Reorder;
 
     if (O.PrintPlan) {
       ChaosPlan Plan = ChaosPlan::generate(CO);
