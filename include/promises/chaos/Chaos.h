@@ -91,6 +91,10 @@ struct ChaosOptions {
   bool Corrupt = false;
   bool Dup = false;
   bool Reorder = false;
+  /// Execution backend for the run's Simulation. Scheduling is
+  /// backend-independent, so the same seed must produce the same trace
+  /// hash on either — CI diffs them (see docs/RUNTIME.md).
+  sim::BackendKind Backend = sim::SimConfig::defaultBackend();
 };
 
 /// One planned injection (or its paired recovery).

@@ -276,7 +276,15 @@ private:
   std::set<stream::GroupId> ParallelGroups;
   /// Per-remote retry token buckets (see takeRetryToken).
   std::map<net::Address, double> RetryTokens;
+  /// Registers \p P in Procs (for kill-on-crash) and amortizes the table:
+  /// once it doubles past the last sweep, finished handles are dropped so
+  /// long-lived guardians stay O(live), not O(ever spawned).
+  void trackProcess(sim::ProcessHandle P);
+  /// Every process this guardian has spawned and not yet swept; the
+  /// crash path kills them all. Finished entries are reclaimed by
+  /// trackProcess's amortized sweep.
   std::vector<sim::ProcessHandle> Procs;
+  size_t NextProcsSweep = 64;
 };
 
 } // namespace promises::runtime

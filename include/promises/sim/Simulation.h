@@ -7,12 +7,20 @@
 /// \file
 /// The discrete-event simulation kernel the whole system runs on.
 ///
-/// The kernel provides *cooperative simulated processes*: each process is
-/// backed by an OS thread, but exactly one thread (a process or the
-/// scheduler) runs at any instant, with control handed off explicitly at
-/// blocking points. This gives the ergonomics of ordinary blocking code
-/// (Argus processes block in `claim`, queue `deq`, `synch`, ...) together
-/// with fully deterministic virtual time.
+/// The kernel provides *cooperative simulated processes*: exactly one
+/// process (or the scheduler) runs at any instant, with control handed off
+/// explicitly at blocking points. This gives the ergonomics of ordinary
+/// blocking code (Argus processes block in `claim`, queue `deq`, `synch`,
+/// ...) together with fully deterministic virtual time.
+///
+/// How a process is *executed* is an implementation seam (see
+/// docs/RUNTIME.md): the default FiberBackend runs every process as a
+/// stackful fiber on the scheduler's own OS thread (a context switch is a
+/// few dozen instructions, so millions of concurrent processes are
+/// practical), while the ThreadBackend backs each process with a parked OS
+/// thread (one kernel handoff per turn; retained for sanitizer and
+/// debugging runs). Both backends drive the same event loop in the same
+/// order, so a seed produces bit-identical traces on either.
 ///
 /// The kernel also implements the termination machinery the paper's coenter
 /// needs (Section 4.2): a process can be *wounded* and then killed, but the
@@ -33,22 +41,61 @@
 #include "promises/sim/Time.h"
 #include "promises/support/Metrics.h"
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace promises::sim {
 
 class Simulation;
 class WaitQueue;
+class Process;
+
+namespace detail {
+class ExecutionBackend;
+struct BackendAccess;
+} // namespace detail
+
+/// How simulated processes are executed (docs/RUNTIME.md).
+enum class BackendKind : uint8_t {
+  Fiber,  ///< Stackful fibers on one OS thread (default; scales to 1M+).
+  Thread, ///< One parked OS thread per process (sanitizer/debug fallback).
+};
+
+/// Kernel configuration. Plain data; pass to the Simulation constructor.
+struct SimConfig {
+  /// Execution backend. Defaults to the PROMISES_BACKEND environment
+  /// variable ("fiber" or "thread"; anything else aborts), or Fiber when
+  /// unset.
+  BackendKind Backend = defaultBackend();
+
+  /// Virtual-address reservation per fiber stack (rounded up to a page).
+  /// Stacks are carved from large MAP_NORESERVE slabs and pooled, so only
+  /// pages a fiber actually touches become resident — a blocked call
+  /// process costs about one page regardless of this setting.
+  size_t FiberStackBytes = 128 * 1024;
+
+  /// When true, every fiber stack is its own mapping with an inaccessible
+  /// low guard page, so overflow faults instead of corrupting a neighbor.
+  /// Costs one mmap/mprotect pair per pooled stack (and counts against
+  /// vm.max_map_count), so it is off by default; also enabled by
+  /// PROMISES_FIBER_GUARD=1. Intended for debugging runs, not 1M-process
+  /// scale.
+  bool FiberGuardPages = defaultGuardPages();
+
+  /// PROMISES_BACKEND-resolved default (Fiber when unset).
+  static BackendKind defaultBackend();
+  /// PROMISES_FIBER_GUARD-resolved default (false when unset).
+  static bool defaultGuardPages();
+  /// Parses "fiber"/"thread" into \p Out; false on anything else.
+  static bool parseBackend(std::string_view Name, BackendKind &Out);
+  /// "fiber" or "thread".
+  static const char *backendName(BackendKind K);
+};
 
 /// Internal control-flow exception used to unwind a forcibly terminated
 /// process from its current blocking point. Never thrown through user data;
@@ -65,11 +112,61 @@ enum class ProcState : uint8_t {
   Finished, ///< Body returned or process was killed.
 };
 
+/// A FIFO queue of blocked processes; the basic blocking primitive.
+///
+/// Waiters are linked intrusively through the Process objects themselves
+/// (a process blocks in at most one queue at a time), so an idle queue is
+/// three words and enqueue/dequeue/remove are O(1) with no allocation —
+/// the per-process join and sleep queues below rely on this.
+///
+/// Only usable from inside simulated processes (wait side) and from any
+/// single-runner context (notify side).
+class WaitQueue {
+public:
+  explicit WaitQueue(Simulation &S) : Sim(S) {}
+  ~WaitQueue();
+  WaitQueue(const WaitQueue &) = delete;
+  WaitQueue &operator=(const WaitQueue &) = delete;
+
+  /// Blocks the current process until notified. Kill delivery point.
+  void wait();
+
+  /// Blocks until notified or until \p Timeout elapses. Returns true when
+  /// woken by a notify, false on timeout. Kill delivery point.
+  bool waitFor(Time Timeout);
+
+  /// Wakes the longest-waiting process, if any.
+  void notifyOne();
+
+  /// Wakes all waiting processes.
+  void notifyAll();
+
+  /// Number of processes currently blocked here.
+  size_t waiterCount() const { return Count; }
+
+  /// The simulation this queue blocks in (for deadline arithmetic in
+  /// bounded claims).
+  Simulation &simulation() const { return Sim; }
+
+private:
+  friend class Simulation;
+  friend class Process;
+
+  void removeWaiter(Process *P);
+  void enqueueCurrent(Process *P);
+
+  Simulation &Sim;
+  Process *Head = nullptr; ///< Longest waiting (next to wake).
+  Process *Tail = nullptr;
+  size_t Count = 0;
+};
+
 /// A cooperative simulated process.
 ///
 /// Created via Simulation::spawn. All members are manipulated only while
-/// the owning thread (or the scheduler) holds the single execution turn, so
-/// no locking is needed beyond the turn-handoff machinery itself.
+/// the owning execution context (or the scheduler) holds the single
+/// execution turn, so no locking is needed beyond the backend's own
+/// turn-handoff machinery.
 class Process {
 public:
   Process(const Process &) = delete;
@@ -97,13 +194,16 @@ private:
   friend class Simulation;
   friend class WaitQueue;
   friend class CriticalSection;
+  friend struct detail::BackendAccess;
 
   Process(Simulation &S, uint64_t Id, std::string Name,
           std::function<void()> Body);
 
-  /// Thread entry point; waits for the first turn, runs the body, then
-  /// hands the turn back for good.
-  void threadMain();
+  /// The shared trampoline core, run inside the process's own execution
+  /// context (fiber or thread): delivers a pre-start kill, runs the body,
+  /// absorbs ProcessKilled, marks Finished, and wakes joiners. The backend
+  /// then returns the turn to the scheduler for good.
+  void runBody();
 
   /// Gives the turn back to the scheduler and blocks until it is returned.
   /// On resume, delivers a pending kill if it is safe to do so.
@@ -117,72 +217,34 @@ private:
   const std::string Name;
   std::function<void()> Body;
 
-  // Turn-handoff machinery (the only cross-thread state).
-  std::mutex Mu;
-  std::condition_variable Cv;
-  bool TurnIsProcess = false;
-  std::thread Thread;
+  /// Backend-owned execution state (fiber stack + saved context, or the
+  /// thread + handoff pair). Null once the process has been reaped.
+  void *Exec = nullptr;
 
   // Simulation-side state; single-runner discipline, no locks needed.
   ProcState State = ProcState::Created;
+  bool NotifiedFlag = false; ///< Set when woken by notify (vs timeout).
+  bool Wounded = false;
+  bool KillPending = false;
+  bool Unwinding = false;      ///< ProcessKilled currently propagating.
+  bool HasTimeoutEvent = false;
+  int CriticalDepth = 0;
   WaitQueue *WaitingOn = nullptr;
+  Process *WaitPrev = nullptr; ///< Intrusive links within WaitingOn.
+  Process *WaitNext = nullptr;
+  Process *ReadyNext = nullptr; ///< Link in the scheduler's ready FIFO.
+  Time ReadyAt = 0;             ///< (At, Seq) dispatch key of the pending
+  uint64_t ReadySeq = 0;        ///< wake, merged against timed events.
   uint64_t WaitEpoch = 0;    ///< Incremented on every wait; guards stale
                              ///< timeout events.
   uint64_t TimeoutEvent = 0; ///< Pending waitFor timeout; cancelled on any
                              ///< wake so it cannot advance the clock.
-  bool HasTimeoutEvent = false;
-  bool NotifiedFlag = false; ///< Set when woken by notify (vs timeout).
-  bool Wounded = false;
-  bool KillPending = false;
-  bool Unwinding = false; ///< ProcessKilled currently propagating.
-  int CriticalDepth = 0;
 
-  std::unique_ptr<WaitQueue> JoinQ; ///< Waiters in Simulation::join.
-  std::unique_ptr<WaitQueue> SleepQ; ///< Private queue backing sleep().
+  WaitQueue JoinQ;  ///< Waiters in Simulation::join.
+  WaitQueue SleepQ; ///< Private queue backing sleep().
 };
 
 using ProcessHandle = std::shared_ptr<Process>;
-
-/// A FIFO queue of blocked processes; the basic blocking primitive.
-///
-/// Only usable from inside simulated processes (wait side) and from any
-/// single-runner context (notify side).
-class WaitQueue {
-public:
-  explicit WaitQueue(Simulation &S) : Sim(S) {}
-  ~WaitQueue();
-  WaitQueue(const WaitQueue &) = delete;
-  WaitQueue &operator=(const WaitQueue &) = delete;
-
-  /// Blocks the current process until notified. Kill delivery point.
-  void wait();
-
-  /// Blocks until notified or until \p Timeout elapses. Returns true when
-  /// woken by a notify, false on timeout. Kill delivery point.
-  bool waitFor(Time Timeout);
-
-  /// Wakes the longest-waiting process, if any.
-  void notifyOne();
-
-  /// Wakes all waiting processes.
-  void notifyAll();
-
-  /// Number of processes currently blocked here.
-  size_t waiterCount() const { return Waiters.size(); }
-
-  /// The simulation this queue blocks in (for deadline arithmetic in
-  /// bounded claims).
-  Simulation &simulation() const { return Sim; }
-
-private:
-  friend class Simulation;
-
-  void removeWaiter(Process *P);
-  void enqueueCurrent(Process *P);
-
-  Simulation &Sim;
-  std::deque<Process *> Waiters;
-};
 
 /// RAII critical-section marker (the Argus built-in critical section).
 ///
@@ -203,16 +265,25 @@ private:
 
 /// The discrete-event simulator: virtual clock, event queue, and process
 /// scheduler. One Simulation per test/benchmark/example; not thread-safe
-/// across Simulations sharing threads (each owns its process threads).
+/// across Simulations sharing threads (each owns its execution backend).
 class Simulation {
 public:
   Simulation();
+  explicit Simulation(SimConfig Cfg);
   ~Simulation();
   Simulation(const Simulation &) = delete;
   Simulation &operator=(const Simulation &) = delete;
 
   /// Current virtual time.
   Time now() const { return NowNs; }
+
+  /// The execution backend this world runs on.
+  BackendKind backend() const { return Cfg.Backend; }
+
+  /// "fiber" or "thread".
+  const char *backendName() const {
+    return SimConfig::backendName(Cfg.Backend);
+  }
 
   /// The observability registry shared by every layer of this world (see
   /// docs/OBSERVABILITY.md). The kernel registers sim.context_switches,
@@ -246,6 +317,7 @@ public:
   void yieldNow();
 
   /// Blocks the calling process until \p P finishes. Kill delivery point.
+  /// Fine to call on an already-reaped process; returns immediately.
   void join(const ProcessHandle &P);
 
   /// The process currently holding the turn, or nullptr in scheduler
@@ -264,7 +336,8 @@ public:
   /// Wounds \p P and forces termination at the next safe point: a blocking
   /// point (or critical-section exit) with critical depth zero. If \p P is
   /// currently blocked outside any critical section it is woken
-  /// immediately to unwind.
+  /// immediately to unwind. No-op on finished (including reaped)
+  /// processes.
   void kill(const ProcessHandle &P) { killImpl(P.get()); }
 
   /// --- Events ---
@@ -287,17 +360,15 @@ public:
   /// Number of processes spawned so far.
   uint64_t processesSpawned() const { return NextProcId; }
 
-  /// Number of spawned processes that have not finished.
-  size_t liveProcessCount() const;
+  /// Number of spawned processes that have not finished. A maintained
+  /// counter, not a scan: O(1) at any scale.
+  size_t liveProcessCount() const { return LiveProcs; }
 
 private:
   friend class Process;
   friend class WaitQueue;
+  friend struct detail::BackendAccess;
 
-  struct EventPayload {
-    Process *Wake = nullptr;
-    std::function<void()> Fn;
-  };
   struct QueueKey {
     Time At;
     uint64_t Seq;
@@ -305,12 +376,22 @@ private:
       return At != O.At ? At < O.At : Seq < O.Seq;
     }
   };
+  using EventQueue = std::map<QueueKey, std::function<void()>>;
 
-  /// Hands the turn to \p P and waits until it yields back.
+  /// Hands the turn to \p P and waits until it yields back; reaps it if it
+  /// finished during the turn.
   void switchTo(Process *P);
 
   /// Schedules a wake event for a Blocked/Created process at now().
   void makeReady(Process *P);
+
+  /// Appends \p P to the ready FIFO with a fresh (now, seq) dispatch key.
+  void pushReady(Process *P);
+
+  /// Releases a finished process's execution resources and drops the
+  /// kernel's handle (joiners were already woken; external handles keep
+  /// the object alive). Scheduler context only.
+  void reap(Process *P);
 
   void woundImpl(Process *P);
   void killImpl(Process *P);
@@ -327,15 +408,37 @@ private:
   MetricsRegistry Metrics;
   Counter *CtxSwitches = nullptr; ///< sim.context_switches.
 
+  SimConfig Cfg;
+  /// Declared before the process table so the ~Process fail-safe (which
+  /// runs while AllProcs clears) can still reach it.
+  std::unique_ptr<detail::ExecutionBackend> Backend;
+
   Time NowNs = 0;
   bool StopRequested = false;
   bool ShuttingDown = false;
   uint64_t NextProcId = 0;
   uint64_t NextEventSeq = 0;
+  size_t LiveProcs = 0;
 
-  std::map<QueueKey, uint64_t> Queue; ///< (time, seq) -> event id.
-  std::unordered_map<uint64_t, EventPayload> Events;
-  std::vector<ProcessHandle> AllProcs;
+  /// The two pending-work structures, merged by (time, seq) in step() so
+  /// dispatch order is exactly the single-queue order:
+  ///
+  ///  * Ready FIFO — process wakes, linked intrusively through the
+  ///    Process objects (each has at most one pending wake). Appends carry
+  ///    the current time and a fresh seq, so the list is (At, Seq)-sorted
+  ///    by construction and the wake-heavy hot path — a context switch —
+  ///    allocates nothing.
+  ///  * Timed queue — schedule() callbacks (timeouts, network delivery),
+  ///    each with a Cancellable index entry for O(1) cancel().
+  Process *ReadyHead = nullptr;
+  Process *ReadyTail = nullptr;
+  size_t ReadyCount = 0; ///< FIFO length (for the queue-depth gauge).
+  EventQueue Queue;
+  std::unordered_map<uint64_t, EventQueue::iterator> Cancellable;
+
+  /// Unfinished processes by id (finished ones are reaped eagerly, so at
+  /// quiescence this is empty even after millions of spawns).
+  std::map<uint64_t, ProcessHandle> AllProcs;
 };
 
 } // namespace promises::sim

@@ -307,7 +307,9 @@ stream::StreamConfig chaosStreamConfig(uint64_t Seed, uint64_t Salt) {
   return C;
 }
 
-World::World(const ChaosOptions &Opt) : O(Opt), Plan(ChaosPlan::generate(Opt)) {
+World::World(const ChaosOptions &Opt)
+    : O(Opt), Plan(ChaosPlan::generate(Opt)),
+      S(sim::SimConfig{.Backend = Opt.Backend}) {
   // The trace-event stream is the determinism oracle; always record it.
   S.metrics().setEnabled(true);
 
@@ -762,11 +764,12 @@ ChaosReport chaos::runChaos(const ChaosOptions &O) {
 
 std::string chaos::replayCommand(const ChaosOptions &O) {
   return strprintf("chaossim --seed %llu --profile %s --ops %zu --clients "
-                   "%zu --servers %zu --horizon-ms %llu%s%s%s%s",
+                   "%zu --servers %zu --horizon-ms %llu --backend %s%s%s%s%s",
                    static_cast<unsigned long long>(O.Seed),
                    O.Profile.Name.c_str(), O.OpsPerClient, O.Clients,
                    O.Servers,
                    static_cast<unsigned long long>(O.Horizon / 1000000),
+                   sim::SimConfig::backendName(O.Backend),
                    O.Deadlines ? " --deadlines" : "",
                    O.Corrupt ? " --corrupt" : "", O.Dup ? " --dup" : "",
                    O.Reorder ? " --reorder" : "");

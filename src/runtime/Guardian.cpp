@@ -75,8 +75,17 @@ sim::ProcessHandle Guardian::spawnProcess(std::string ProcName,
   assert(!Crashed && "spawnProcess on a crashed guardian");
   sim::ProcessHandle P =
       Net.simulation().spawn(Name + "/" + ProcName, std::move(Body));
-  Procs.push_back(P);
+  trackProcess(P);
   return P;
+}
+
+void Guardian::trackProcess(sim::ProcessHandle P) {
+  Procs.push_back(std::move(P));
+  if (Procs.size() < NextProcsSweep)
+    return;
+  std::erase_if(Procs,
+                [](const sim::ProcessHandle &H) { return H->finished(); });
+  NextProcsSweep = std::max<size_t>(64, Procs.size() * 2);
 }
 
 Guardian::ExecDomain &Guardian::domain(uint64_t Tag) { return Domains[Tag]; }
@@ -149,7 +158,7 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
     });
   }
   D.Running.emplace(Call->CallSeq, P);
-  Procs.push_back(std::move(P));
+  trackProcess(std::move(P));
 }
 
 void Guardian::advanceDomain(ExecDomain &D) {

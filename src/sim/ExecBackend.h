@@ -1,0 +1,94 @@
+//===- ExecBackend.h - Process execution backend seam ----------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The internal seam between the deterministic scheduler and the machinery
+/// that actually runs process bodies (docs/RUNTIME.md). The scheduler only
+/// ever performs four operations on a process's execution context: create
+/// it, transfer the turn in, take the turn back, and release it. Two
+/// implementations exist:
+///
+///  * FiberBackend  - stackful fibers, everything on one OS thread.
+///  * ThreadBackend - one parked OS thread per process, mutex/condvar
+///                    turn handoff (the pre-fiber design, kept for
+///                    sanitizer and debugging runs).
+///
+/// Both are driven identically by Simulation::switchTo /
+/// Process::yieldToScheduler, so scheduling order — and therefore every
+/// trace hash — is backend-independent by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SIM_EXECBACKEND_H
+#define PROMISES_SIM_EXECBACKEND_H
+
+#include "promises/sim/Simulation.h"
+
+#include <memory>
+
+namespace promises::sim::detail {
+
+/// Executes process bodies on behalf of one Simulation. All methods are
+/// called under the single-runner discipline: resume/start/reclaim from
+/// scheduler context, suspend from inside the process being suspended.
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Allocates execution state for a freshly spawned process and stores it
+  /// in the process (BackendAccess::exec). The body must not run yet; the
+  /// first resume() enters the trampoline, which calls Process::runBody.
+  virtual void start(Process &P) = 0;
+
+  /// Scheduler side: hands the turn to \p P and returns once \p P has
+  /// yielded it back (or finished).
+  virtual void resume(Process &P) = 0;
+
+  /// Process side: gives the turn back to the scheduler; returns when the
+  /// scheduler resumes this process again.
+  virtual void suspend(Process &P) = 0;
+
+  /// Scheduler side, after \p P finished: releases its execution state
+  /// (joins the thread / recycles the stack) and nulls the exec pointer.
+  virtual void reclaim(Process &P) = 0;
+
+  /// Fail-safe for destroying a process that never finished (shutdown
+  /// fixpoint exhausted): forces one final turn with a kill pending so the
+  /// context unwinds and exits. Must leave \p P finished.
+  virtual void forceUnwind(Process &P) = 0;
+
+  /// "fiber" or "thread".
+  virtual const char *name() const = 0;
+};
+
+std::unique_ptr<ExecutionBackend> makeFiberBackend(const SimConfig &Cfg);
+std::unique_ptr<ExecutionBackend> makeThreadBackend();
+
+/// The process currently holding the execution turn on this thread
+/// (nullptr in scheduler context). Exposed here — not only behind
+/// BackendAccess::setCurrent — so the fiber backend's switch hot path can
+/// flip it with one initial-exec TLS store instead of a cross-TU call per
+/// hop. Defined in Simulation.cpp.
+extern thread_local Process *CurrentProcTL;
+
+/// The kernel's private door for backends (kept to one friend declaration
+/// in the public header).
+struct BackendAccess {
+  static void *&exec(Process &P) { return P.Exec; }
+  static void runBody(Process &P) { P.runBody(); }
+  static bool finished(const Process &P) { return P.finished(); }
+  static void armKill(Process &P) {
+    P.KillPending = true;
+    P.CriticalDepth = 0; // Destruction overrides critical sections.
+  }
+  /// The thread_local "process holding the turn" slot; backends set it
+  /// around body execution (fibers: on the scheduler thread itself).
+  static void setCurrent(Process *P) { CurrentProcTL = P; }
+};
+
+} // namespace promises::sim::detail
+
+#endif // PROMISES_SIM_EXECBACKEND_H

@@ -6,15 +6,70 @@
 
 #include "promises/sim/Simulation.h"
 
-#include <algorithm>
+#include "ExecBackend.h"
+
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 
 using namespace promises::sim;
 
+namespace promises::sim::detail {
 /// The process currently holding the execution turn on this thread.
-/// nullptr on the scheduler thread.
-static thread_local Process *CurrentProc = nullptr;
+/// nullptr in scheduler context. With the fiber backend everything runs on
+/// one OS thread and the backend flips this around each switch (writing
+/// the slot directly — see ExecBackend.h); with the thread backend each
+/// process thread sets its own copy via BackendAccess::setCurrent.
+thread_local Process *CurrentProcTL = nullptr;
+} // namespace promises::sim::detail
+
+//===----------------------------------------------------------------------===//
+// SimConfig
+//===----------------------------------------------------------------------===//
+
+bool SimConfig::parseBackend(std::string_view Name, BackendKind &Out) {
+  if (Name == "fiber") {
+    Out = BackendKind::Fiber;
+    return true;
+  }
+  if (Name == "thread") {
+    Out = BackendKind::Thread;
+    return true;
+  }
+  return false;
+}
+
+const char *SimConfig::backendName(BackendKind K) {
+  return K == BackendKind::Fiber ? "fiber" : "thread";
+}
+
+BackendKind SimConfig::defaultBackend() {
+  static BackendKind K = [] {
+    const char *E = std::getenv("PROMISES_BACKEND");
+    if (!E || !*E)
+      return BackendKind::Fiber;
+    BackendKind Out;
+    if (!parseBackend(E, Out)) {
+      std::fprintf(stderr,
+                   "promises: bad PROMISES_BACKEND '%s' (valid: fiber, "
+                   "thread)\n",
+                   E);
+      std::abort();
+    }
+    return Out;
+  }();
+  return K;
+}
+
+bool SimConfig::defaultGuardPages() {
+  static bool G = [] {
+    const char *E = std::getenv("PROMISES_FIBER_GUARD");
+    return E && *E && std::strcmp(E, "0") != 0;
+  }();
+  return G;
+}
 
 //===----------------------------------------------------------------------===//
 // Process
@@ -22,68 +77,46 @@ static thread_local Process *CurrentProc = nullptr;
 
 Process::Process(Simulation &S, uint64_t Id, std::string Name,
                  std::function<void()> Body)
-    : Sim(S), Id(Id), Name(std::move(Name)), Body(std::move(Body)),
-      JoinQ(std::make_unique<WaitQueue>(S)),
-      SleepQ(std::make_unique<WaitQueue>(S)) {
-  Thread = std::thread([this] { threadMain(); });
-}
+    : Sim(S), Id(Id), Name(std::move(Name)), Body(std::move(Body)), JoinQ(S),
+      SleepQ(S) {}
 
 Process::~Process() {
-  if (!Thread.joinable())
+  if (!Exec)
     return;
+  // Fail-safe for destruction without a clean reap (shutdown's fixpoint
+  // exhausted, or a Simulation torn down mid-run): grant the context one
+  // final turn with a kill pending so it unwinds and exits, then release
+  // its resources. The Simulation is necessarily still alive here — reaped
+  // processes have Exec == nullptr, and shutdown() reaps everything it
+  // finishes before ~Simulation returns.
   if (!finished()) {
-    // Fail-safe for destruction without a clean shutdown: grant the thread
-    // one final turn with a kill pending so it unwinds and exits.
-    KillPending = true;
-    CriticalDepth = 0;
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      TurnIsProcess = true;
+    if (WaitingOn) {
+      WaitingOn->removeWaiter(this);
+      WaitingOn = nullptr;
     }
-    Cv.notify_all();
-    {
-      std::unique_lock<std::mutex> L(Mu);
-      Cv.wait(L, [&] { return !TurnIsProcess; });
-    }
+    Sim.Backend->forceUnwind(*this);
   }
-  Thread.join();
+  Sim.Backend->reclaim(*this);
 }
 
-void Process::threadMain() {
-  // Park until the scheduler grants the first turn.
-  {
-    std::unique_lock<std::mutex> L(Mu);
-    Cv.wait(L, [&] { return TurnIsProcess; });
-  }
-  CurrentProc = this;
+void Process::runBody() {
   try {
-    deliverKill();
+    deliverKill(); // A kill can land before the first turn.
     Body();
   } catch (ProcessKilled &) {
     // Forced termination unwound the body; nothing else to do.
   }
   Body = nullptr; // Release captured state deterministically.
   State = ProcState::Finished;
-  JoinQ->notifyAll();
-  CurrentProc = nullptr;
-  {
-    std::lock_guard<std::mutex> L(Mu);
-    TurnIsProcess = false;
-  }
-  Cv.notify_all();
+  assert(Sim.LiveProcs > 0 && "live-process counter underflow");
+  --Sim.LiveProcs;
+  JoinQ.notifyAll();
 }
 
 void Process::yieldToScheduler() {
-  assert(CurrentProc == this && "yield from a thread that lacks the turn");
-  {
-    std::lock_guard<std::mutex> L(Mu);
-    TurnIsProcess = false;
-  }
-  Cv.notify_all();
-  {
-    std::unique_lock<std::mutex> L(Mu);
-    Cv.wait(L, [&] { return TurnIsProcess; });
-  }
+  assert(detail::CurrentProcTL == this &&
+         "yield from a context that lacks the turn");
+  Sim.Backend->suspend(*this);
   deliverKill();
 }
 
@@ -102,9 +135,13 @@ void Process::deliverKill() {
 
 void WaitQueue::enqueueCurrent(Process *P) {
   assert(P->WaitingOn == nullptr && "process already waiting");
-  Waiters.push_back(P);
   P->WaitingOn = this;
   P->State = ProcState::Blocked;
+  P->WaitPrev = Tail;
+  P->WaitNext = nullptr;
+  (Tail ? Tail->WaitNext : Head) = P;
+  Tail = P;
+  ++Count;
 }
 
 WaitQueue::~WaitQueue() {
@@ -112,14 +149,20 @@ WaitQueue::~WaitQueue() {
   // failed run (e.g. a violation left processes blocked at quiescence)
   // owners can be destroyed first. Detach the waiters so a later kill
   // does not dereference a dangling WaitingOn.
-  for (Process *P : Waiters)
+  for (Process *P = Head; P;) {
+    Process *Next = P->WaitNext;
     P->WaitingOn = nullptr;
+    P->WaitPrev = P->WaitNext = nullptr;
+    P = Next;
+  }
 }
 
 void WaitQueue::removeWaiter(Process *P) {
-  auto It = std::find(Waiters.begin(), Waiters.end(), P);
-  assert(It != Waiters.end() && "process not waiting here");
-  Waiters.erase(It);
+  assert(P->WaitingOn == this && "process not waiting here");
+  (P->WaitPrev ? P->WaitPrev->WaitNext : Head) = P->WaitNext;
+  (P->WaitNext ? P->WaitNext->WaitPrev : Tail) = P->WaitPrev;
+  P->WaitPrev = P->WaitNext = nullptr;
+  --Count;
 }
 
 void WaitQueue::wait() {
@@ -155,17 +198,17 @@ bool WaitQueue::waitFor(Time Timeout) {
 }
 
 void WaitQueue::notifyOne() {
-  if (Waiters.empty())
+  if (!Head)
     return;
-  Process *P = Waiters.front();
-  Waiters.pop_front();
+  Process *P = Head;
+  removeWaiter(P);
   P->WaitingOn = nullptr;
   P->NotifiedFlag = true;
   Sim.makeReady(P);
 }
 
 void WaitQueue::notifyAll() {
-  while (!Waiters.empty())
+  while (Head)
     notifyOne();
 }
 
@@ -194,10 +237,16 @@ CriticalSection::~CriticalSection() noexcept(false) {
 // Simulation
 //===----------------------------------------------------------------------===//
 
-Simulation::Simulation() {
+Simulation::Simulation() : Simulation(SimConfig()) {}
+
+Simulation::Simulation(SimConfig C) : Cfg(C) {
+  Backend = Cfg.Backend == BackendKind::Thread
+                ? detail::makeThreadBackend()
+                : detail::makeFiberBackend(Cfg);
   CtxSwitches = &Metrics.counter("sim.context_switches");
-  Metrics.gaugeProbe("sim.event_queue_depth",
-                     [this] { return static_cast<double>(Queue.size()); });
+  Metrics.gaugeProbe("sim.event_queue_depth", [this] {
+    return static_cast<double>(Queue.size() + ReadyCount);
+  });
   Metrics.gaugeProbe("sim.live_processes", [this] {
     return static_cast<double>(liveProcessCount());
   });
@@ -208,28 +257,46 @@ Simulation::Simulation() {
 
 Simulation::~Simulation() { shutdown(); }
 
-Process *Simulation::current() { return CurrentProc; }
+Process *Simulation::current() { return detail::CurrentProcTL; }
 
 ProcessHandle Simulation::spawn(std::string Name,
                                 std::function<void()> Body) {
   auto P = std::shared_ptr<Process>(
       new Process(*this, NextProcId++, std::move(Name), std::move(Body)));
-  AllProcs.push_back(P);
-  // The start event: the process first runs when the loop reaches it.
-  uint64_t Id = ++NextEventSeq;
-  Queue.emplace(QueueKey{NowNs, Id}, Id);
-  Events[Id] = EventPayload{P.get(), nullptr};
+  Backend->start(*P);
+  ++LiveProcs;
+  AllProcs.emplace(P->id(), P);
+  // The start wake: the process first runs when the loop reaches it.
+  pushReady(P.get());
   return P;
+}
+
+void Simulation::pushReady(Process *P) {
+  assert(P->ReadyNext == nullptr && P != ReadyTail &&
+         "process already has a pending wake");
+  P->ReadyAt = NowNs;
+  P->ReadySeq = ++NextEventSeq;
+  (ReadyTail ? ReadyTail->ReadyNext : ReadyHead) = P;
+  ReadyTail = P;
+  ++ReadyCount;
 }
 
 uint64_t Simulation::schedule(Time Delay, std::function<void()> Fn) {
   uint64_t Id = ++NextEventSeq;
-  Queue.emplace(QueueKey{NowNs + Delay, Id}, Id);
-  Events[Id] = EventPayload{nullptr, std::move(Fn)};
+  auto [It, Inserted] =
+      Queue.emplace(QueueKey{NowNs + Delay, Id}, std::move(Fn));
+  assert(Inserted);
+  Cancellable.emplace(Id, It);
   return Id;
 }
 
-void Simulation::cancel(uint64_t EventId) { Events.erase(EventId); }
+void Simulation::cancel(uint64_t EventId) {
+  auto It = Cancellable.find(EventId);
+  if (It == Cancellable.end())
+    return; // Already ran or already cancelled.
+  Queue.erase(It->second);
+  Cancellable.erase(It);
+}
 
 void Simulation::makeReady(Process *P) {
   assert((P->State == ProcState::Blocked || P->State == ProcState::Created) &&
@@ -242,53 +309,69 @@ void Simulation::makeReady(Process *P) {
     cancel(P->TimeoutEvent);
     P->HasTimeoutEvent = false;
   }
-  uint64_t Id = ++NextEventSeq;
-  Queue.emplace(QueueKey{NowNs, Id}, Id);
-  Events[Id] = EventPayload{P, nullptr};
+  pushReady(P);
 }
 
 void Simulation::switchTo(Process *P) {
-  assert(CurrentProc == nullptr && "nested switchTo");
+  assert(detail::CurrentProcTL == nullptr && "nested switchTo");
   CtxSwitches->inc();
   P->State = ProcState::Running;
-  {
-    std::lock_guard<std::mutex> L(P->Mu);
-    P->TurnIsProcess = true;
-  }
-  P->Cv.notify_all();
-  {
-    std::unique_lock<std::mutex> L(P->Mu);
-    P->Cv.wait(L, [&] { return !P->TurnIsProcess; });
-  }
+  Backend->resume(*P);
+  // A process finishes inside its own context, then yields the turn one
+  // last time; reclaim its resources as soon as the scheduler sees that.
+  if (P->State == ProcState::Finished && P->Exec)
+    reap(P);
+}
+
+void Simulation::reap(Process *P) {
+  Backend->reclaim(*P);
+  assert(P->Exec == nullptr && "backend left exec state behind");
+  // Joiners were woken by runBody (their wake events hold raw Process*
+  // but any external joiner reached via Simulation::join holds the
+  // shared_ptr); dropping the kernel handle frees the Process once the
+  // last external handle goes away.
+  AllProcs.erase(P->id());
 }
 
 bool Simulation::step(Time Horizon) {
-  while (!Queue.empty()) {
-    auto It = Queue.begin();
-    if (It->first.At > Horizon)
+  // Merge the ready FIFO and the timed queue by (At, Seq): dispatch order
+  // is exactly what a single queue would produce, but the wake path (the
+  // context-switch hot path) never touches the allocating tree. The FIFO
+  // front is its minimum by construction — appends carry the current time
+  // and a fresh seq, both non-decreasing.
+  Process *RP = ReadyHead;
+  bool HaveEv = !Queue.empty();
+  bool TakeReady =
+      RP && (!HaveEv ||
+             QueueKey{RP->ReadyAt, RP->ReadySeq} < Queue.begin()->first);
+  if (TakeReady) {
+    if (RP->ReadyAt > Horizon)
       return false;
-    uint64_t Id = It->second;
-    auto PIt = Events.find(Id);
-    if (PIt == Events.end()) {
-      Queue.erase(It); // Cancelled.
-      continue;
-    }
-    assert(It->first.At >= NowNs && "event queue went backwards");
-    NowNs = It->first.At;
-    EventPayload Payload = std::move(PIt->second);
-    Events.erase(PIt);
-    Queue.erase(It);
-    if (Payload.Wake) {
-      Process *P = Payload.Wake;
-      // A wake can race with kill-driven wakes; only run if still due.
-      if (P->State == ProcState::Ready || P->State == ProcState::Created)
-        switchTo(P);
-    } else {
-      Payload.Fn();
-    }
+    assert(RP->ReadyAt >= NowNs && "ready FIFO went backwards");
+    NowNs = RP->ReadyAt;
+    ReadyHead = RP->ReadyNext;
+    if (!ReadyHead)
+      ReadyTail = nullptr;
+    RP->ReadyNext = nullptr;
+    --ReadyCount;
+    // The wake fires only if the process is still due to run (it may have
+    // finished meanwhile via a shutdown-path kill).
+    if (RP->State == ProcState::Ready || RP->State == ProcState::Created)
+      switchTo(RP);
     return true;
   }
-  return false;
+  if (!HaveEv)
+    return false;
+  auto It = Queue.begin();
+  if (It->first.At > Horizon)
+    return false;
+  assert(It->first.At >= NowNs && "event queue went backwards");
+  NowNs = It->first.At;
+  std::function<void()> Fn = std::move(It->second);
+  Cancellable.erase(It->first.Seq);
+  Queue.erase(It);
+  Fn();
+  return true;
 }
 
 void Simulation::run() {
@@ -312,7 +395,7 @@ bool Simulation::runFor(Time Duration) {
 void Simulation::sleep(Time Duration) {
   Process *P = current();
   assert(P && "sleep() outside a simulated process");
-  P->SleepQ->waitFor(Duration);
+  P->SleepQ.waitFor(Duration);
 }
 
 void Simulation::yieldNow() {
@@ -330,7 +413,7 @@ void Simulation::join(const ProcessHandle &P) {
   assert(P.get() != Cur && "a process cannot join itself");
   (void)Cur;
   while (!P->finished())
-    P->JoinQ->wait();
+    P->JoinQ.wait();
 }
 
 void Simulation::woundImpl(Process *P) {
@@ -356,31 +439,22 @@ void Simulation::killImpl(Process *P) {
   // Ready/Running: delivered at the next resume or blocking point.
 }
 
-size_t Simulation::liveProcessCount() const {
-  size_t N = 0;
-  for (const auto &P : AllProcs)
-    if (!P->finished())
-      ++N;
-  return N;
-}
-
 void Simulation::shutdown() {
   ShuttingDown = true;
   // Killing one process can unblock others that then block elsewhere, so
-  // iterate to a fixpoint (bounded for safety).
-  for (int Round = 0; Round < 64; ++Round) {
-    bool AnyLive = false;
-    for (auto &P : AllProcs) {
-      if (!P->finished()) {
-        AnyLive = true;
-        killImpl(P.get());
-      }
-    }
-    if (!AnyLive)
-      break;
+  // iterate to a fixpoint (bounded for safety). Finished processes are
+  // reaped (and erased from AllProcs) inside step(), so each round only
+  // sees the still-unfinished ones.
+  for (int Round = 0; Round < 64 && !AllProcs.empty(); ++Round) {
+    for (auto &[Id, P] : AllProcs)
+      killImpl(P.get());
     StopRequested = false;
     while (step(UINT64_MAX)) {
     }
   }
-  AllProcs.clear(); // Joins all threads (see ~Process fail-safe).
+  // If the fixpoint bound was exhausted, drop any pending wakes before the
+  // fail-safe destructor path frees the processes they point at.
+  ReadyHead = ReadyTail = nullptr;
+  ReadyCount = 0;
+  AllProcs.clear(); // Anything left goes through the ~Process fail-safe.
 }

@@ -1,0 +1,109 @@
+//===- ThreadBackend.cpp - One parked OS thread per process ---------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// The pre-fiber execution backend, retained for sanitizer and debugging
+// runs (docs/RUNTIME.md): each process body runs on its own OS thread, and
+// the single execution turn is handed back and forth through a per-process
+// mutex/condvar pair. Only one thread is ever runnable, so the scheduling
+// semantics are identical to the fiber backend — just ~100-1000x slower per
+// switch (two kernel context switches each) and bounded by thread limits in
+// the low hundreds of thousands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExecBackend.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace promises::sim::detail {
+namespace {
+
+/// Per-process execution state: the thread plus the turn-handoff pair.
+struct ThreadExec {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  /// Whose turn it is. Guarded by Mu; flipped exactly once per handoff.
+  bool TurnIsProcess = false;
+  std::thread Thr;
+};
+
+class ThreadBackend final : public ExecutionBackend {
+public:
+  void start(Process &P) override {
+    auto *E = new ThreadExec();
+    BackendAccess::exec(P) = E;
+    E->Thr = std::thread([&P, E] {
+      // Park until the scheduler grants the first turn.
+      {
+        std::unique_lock<std::mutex> L(E->Mu);
+        E->Cv.wait(L, [E] { return E->TurnIsProcess; });
+      }
+      BackendAccess::setCurrent(&P);
+      BackendAccess::runBody(P);
+      BackendAccess::setCurrent(nullptr);
+      // Final turn release; the scheduler's resume() returns and reaps us.
+      {
+        std::lock_guard<std::mutex> L(E->Mu);
+        E->TurnIsProcess = false;
+      }
+      E->Cv.notify_one();
+    });
+  }
+
+  void resume(Process &P) override {
+    auto *E = static_cast<ThreadExec *>(BackendAccess::exec(P));
+    assert(E && "resume on a reaped process");
+    {
+      std::lock_guard<std::mutex> L(E->Mu);
+      E->TurnIsProcess = true;
+    }
+    E->Cv.notify_one();
+    std::unique_lock<std::mutex> L(E->Mu);
+    E->Cv.wait(L, [E] { return !E->TurnIsProcess; });
+  }
+
+  void suspend(Process &P) override {
+    auto *E = static_cast<ThreadExec *>(BackendAccess::exec(P));
+    BackendAccess::setCurrent(nullptr);
+    {
+      std::lock_guard<std::mutex> L(E->Mu);
+      E->TurnIsProcess = false;
+    }
+    E->Cv.notify_one();
+    std::unique_lock<std::mutex> L(E->Mu);
+    E->Cv.wait(L, [E] { return E->TurnIsProcess; });
+    BackendAccess::setCurrent(&P);
+  }
+
+  void reclaim(Process &P) override {
+    auto *E = static_cast<ThreadExec *>(BackendAccess::exec(P));
+    if (!E)
+      return;
+    assert(BackendAccess::finished(P) && "reclaiming an unfinished process");
+    E->Thr.join();
+    delete E;
+    BackendAccess::exec(P) = nullptr;
+  }
+
+  void forceUnwind(Process &P) override {
+    // Grant one final turn with an unconditional kill armed; the
+    // trampoline's deliverKill / the next blocking point unwinds the body.
+    BackendAccess::armKill(P);
+    resume(P);
+    assert(BackendAccess::finished(P) && "forced unwind did not finish");
+  }
+
+  const char *name() const override { return "thread"; }
+};
+
+} // namespace
+
+std::unique_ptr<ExecutionBackend> makeThreadBackend() {
+  return std::make_unique<ThreadBackend>();
+}
+
+} // namespace promises::sim::detail

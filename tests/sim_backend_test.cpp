@@ -1,0 +1,229 @@
+//===- sim_backend_test.cpp - Execution-backend parity tests --------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+// The kill/wound/critical-section machinery (paper Section 4.2) must
+// behave identically on both execution backends (docs/RUNTIME.md): the
+// fiber backend unwinds ProcessKilled through a userspace stack switch,
+// the thread backend through a parked OS thread — user code must not be
+// able to tell the difference. Every test here runs under both, plus
+// reaping semantics (a finished process releases its execution resources
+// immediately, so join/kill on a reaped process must stay safe) and a
+// 100k-process spawn/claim stress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/core/Promise.h"
+#include "promises/sim/Simulation.h"
+#include "promises/sim/Sync.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace promises;
+using namespace promises::core;
+using namespace promises::sim;
+
+namespace {
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {
+protected:
+  SimConfig config() const {
+    SimConfig C;
+    C.Backend = GetParam();
+    return C;
+  }
+};
+
+TEST_P(BackendTest, ReportsItsKind) {
+  Simulation S(config());
+  EXPECT_EQ(S.backend(), GetParam());
+  EXPECT_STREQ(S.backendName(),
+               GetParam() == BackendKind::Fiber ? "fiber" : "thread");
+}
+
+TEST_P(BackendTest, KillUnwindsABlockedProcessThroughTheSwitch) {
+  // The victim suspends mid-body (a context switch with live stack frames,
+  // including an RAII guard); the kill must resume it, throw ProcessKilled
+  // from the blocking point, and run the destructors on the way out.
+  Simulation S(config());
+  WaitQueue Q(S);
+  bool CleanupRan = false, ReachedEnd = false;
+  struct Guard {
+    bool &Flag;
+    ~Guard() { Flag = true; }
+  };
+  ProcessHandle Victim = S.spawn("victim", [&] {
+    Guard G{CleanupRan};
+    Q.wait(); // Suspends; the kill unwinds from here.
+    ReachedEnd = true;
+  });
+  S.spawn("killer", [&] { S.kill(Victim); });
+  S.run();
+  EXPECT_TRUE(Victim->finished());
+  EXPECT_TRUE(CleanupRan);
+  EXPECT_FALSE(ReachedEnd);
+  EXPECT_EQ(Q.waiterCount(), 0u);
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+}
+
+TEST_P(BackendTest, KillIsDeferredInsideACriticalSection) {
+  Simulation S(config());
+  bool SectionCompleted = false, AfterSection = false;
+  ProcessHandle Victim = S.spawn("victim", [&] {
+    CriticalSection CS;
+    S.sleep(usec(100)); // Blocking point inside the section: kill defers.
+    SectionCompleted = true;
+    // Leaving the outermost section delivers the deferred kill, so the
+    // line after the section must never run.
+  });
+  S.spawn("killer", [&] {
+    S.sleep(usec(10));
+    S.kill(Victim);
+    EXPECT_TRUE(Victim->wounded());
+    S.join(Victim);
+    AfterSection = Victim->finished();
+  });
+  S.run();
+  EXPECT_TRUE(SectionCompleted);
+  EXPECT_TRUE(AfterSection);
+}
+
+TEST_P(BackendTest, KillUnwindsThroughANestedMutexWait) {
+  // SimCondVar::wait catches ProcessKilled, reacquires the mutex (another
+  // suspension point — mid-unwind state must survive the switch), and
+  // rethrows. This is the pattern that forces per-fiber exception-state
+  // isolation.
+  Simulation S(config());
+  SimMutex M(S);
+  SimCondVar Cv(S);
+  bool LockReleased = false;
+  ProcessHandle Victim = S.spawn("victim", [&] {
+    SimMutex::Guard G(M);
+    Cv.wait(M);
+  });
+  S.spawn("killer", [&] {
+    S.sleep(usec(10));
+    S.kill(Victim);
+    S.join(Victim);
+    // The unwind must have released the mutex on its way out.
+    SimMutex::Guard G(M);
+    LockReleased = true;
+  });
+  S.run();
+  EXPECT_TRUE(Victim->finished());
+  EXPECT_TRUE(LockReleased);
+}
+
+TEST_P(BackendTest, FinishedProcessesAreReapedEagerly) {
+  Simulation S(config());
+  std::vector<ProcessHandle> Hs;
+  for (int I = 0; I < 64; ++I)
+    Hs.push_back(S.spawn("p" + std::to_string(I), [&] { S.sleep(usec(5)); }));
+  EXPECT_EQ(S.liveProcessCount(), 64u);
+  S.run();
+  // All finished: the kernel dropped its handles, ours are the last.
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+  for (const ProcessHandle &H : Hs) {
+    EXPECT_TRUE(H->finished());
+    EXPECT_TRUE(H.use_count() == 1) << "kernel still holds a reaped process";
+  }
+}
+
+TEST_P(BackendTest, JoinAndKillOnReapedProcessesAreSafe) {
+  Simulation S(config());
+  ProcessHandle Early = S.spawn("early", [] {});
+  S.run(); // Early finishes and is reaped.
+  ASSERT_TRUE(Early->finished());
+  bool Joined = false;
+  S.spawn("late", [&] {
+    S.join(Early); // Must return immediately.
+    Joined = true;
+  });
+  S.kill(Early);  // No-op on a finished (reaped) process.
+  S.wound(Early); // Likewise.
+  S.run();
+  EXPECT_TRUE(Joined);
+  EXPECT_FALSE(Early->wounded());
+}
+
+TEST_P(BackendTest, SpawnClaimStress) {
+  // The scale satellite: many call processes blocked in claim() at once.
+  // The fiber backend holds all 100k concurrently (at ~1 touched stack
+  // page each); the thread backend — bounded by OS thread cost — runs the
+  // same total spawn count in bounded concurrent waves.
+  const bool IsFiber = GetParam() == BackendKind::Fiber;
+  const size_t Total = IsFiber ? 100'000 : 20'000;
+  const size_t Wave = IsFiber ? Total : 1'000;
+  Simulation S(config());
+  size_t Claimed = 0;
+  S.spawn("driver", [&] {
+    for (size_t Done = 0; Done != Total;) {
+      size_t N = std::min(Wave, Total - Done);
+      auto [P, R] = makePromise<int>(S);
+      std::vector<ProcessHandle> Batch;
+      Batch.reserve(N);
+      for (size_t I = 0; I != N; ++I)
+        Batch.push_back(S.spawn("claimer", [&, P] {
+          if (P.claim().isNormal())
+            ++Claimed;
+        }));
+      S.sleep(usec(1)); // Let every claimer block on the promise.
+      R.fulfill(Outcome<int>(7));
+      for (const ProcessHandle &H : Batch)
+        S.join(H);
+      Done += N;
+    }
+  });
+  S.run();
+  EXPECT_EQ(Claimed, Total);
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+  EXPECT_EQ(S.processesSpawned(), Total + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(BackendKind::Fiber,
+                                           BackendKind::Thread),
+                         [](const auto &Info) {
+                           return std::string(
+                               SimConfig::backendName(Info.param));
+                         });
+
+TEST(FiberGuardPages, SmokeUnderGuardMode) {
+  // Guard-page mode gives every stack its own mapping with a PROT_NONE
+  // low page; functionally identical, just different allocation. Small N:
+  // each pooled stack costs a map entry.
+  SimConfig C;
+  C.Backend = BackendKind::Fiber;
+  C.FiberGuardPages = true;
+  Simulation S(C);
+  WaitQueue Q(S);
+  int Ran = 0;
+  for (int I = 0; I < 32; ++I)
+    S.spawn("g" + std::to_string(I), [&] {
+      Q.wait();
+      ++Ran;
+    });
+  S.spawn("waker", [&] {
+    S.sleep(usec(10));
+    Q.notifyAll();
+  });
+  S.run();
+  EXPECT_EQ(Ran, 32);
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+}
+
+TEST(FiberConfig, ParseBackendRejectsUnknownNames) {
+  BackendKind K;
+  EXPECT_TRUE(SimConfig::parseBackend("fiber", K));
+  EXPECT_EQ(K, BackendKind::Fiber);
+  EXPECT_TRUE(SimConfig::parseBackend("thread", K));
+  EXPECT_EQ(K, BackendKind::Thread);
+  EXPECT_FALSE(SimConfig::parseBackend("", K));
+  EXPECT_FALSE(SimConfig::parseBackend("fibers", K));
+  EXPECT_FALSE(SimConfig::parseBackend("Thread", K));
+}
+
+} // namespace

@@ -33,6 +33,7 @@ struct Options {
   size_t Clients = 2;
   size_t Servers = 2;
   uint64_t HorizonMs = 300;
+  sim::BackendKind Backend = sim::SimConfig::defaultBackend();
   bool Deadlines = false;
   bool Corrupt = false;
   bool Dup = false;
@@ -56,6 +57,9 @@ void usage(const char *Argv0) {
       "  --clients N     client nodes (default 2)\n"
       "  --servers N     server nodes (default 2)\n"
       "  --horizon-ms T  fault-injection window (default 300)\n"
+      "  --backend B     fiber|thread execution backend (default: \n"
+      "                  $PROMISES_BACKEND, else fiber); trace hashes are\n"
+      "                  backend-independent\n"
       "  --deadlines     resilience workload: deadlines, cancels, retries,\n"
       "                  breakers, admission control (see docs/FAULTS.md)\n"
       "  --corrupt       flip bits in delivered datagrams (ambient rate +\n"
@@ -107,6 +111,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!(V = Need(A)))
         return false;
       O.HorizonMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(A, "--backend")) {
+      if (!(V = Need(A)))
+        return false;
+      if (!sim::SimConfig::parseBackend(V, O.Backend)) {
+        std::fprintf(stderr,
+                     "error: unknown backend %s (valid: fiber, thread)\n", V);
+        return false;
+      }
     } else if (!std::strcmp(A, "--deadlines")) {
       O.Deadlines = true;
     } else if (!std::strcmp(A, "--corrupt")) {
@@ -124,8 +136,9 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else {
       std::fprintf(stderr,
                    "error: unknown flag %s (valid: --seed --seeds --profile "
-                   "--ops --clients --servers --horizon-ms --deadlines "
-                   "--corrupt --dup --reorder --plan --no-replay --quiet)\n",
+                   "--ops --clients --servers --horizon-ms --backend "
+                   "--deadlines --corrupt --dup --reorder --plan --no-replay "
+                   "--quiet)\n",
                    A);
       return false;
     }
@@ -165,6 +178,7 @@ int main(int Argc, char **Argv) {
     CO.Clients = O.Clients;
     CO.Servers = O.Servers;
     CO.Horizon = sim::msec(O.HorizonMs);
+    CO.Backend = O.Backend;
     CO.Deadlines = O.Deadlines;
     CO.Corrupt = O.Corrupt;
     CO.Dup = O.Dup;

@@ -39,6 +39,7 @@ struct Options {
   double Dup = 0.0;
   uint64_t JitterUs = 0;
   uint64_t Seed = 1;
+  sim::BackendKind Backend = sim::SimConfig::defaultBackend();
   size_t Window = 0;       ///< MaxInFlightCalls; 0 = unbounded.
   size_t WindowBytes = 0;  ///< MaxInFlightBytes; 0 = unbounded.
   double Backoff = 2.0;    ///< Retransmit backoff multiplier.
@@ -76,6 +77,8 @@ void usage(const char *Argv0) {
       "  --dup P           datagram duplication probability (default 0)\n"
       "  --jitter-us T     max extra delivery delay (default 0)\n"
       "  --seed S          fault RNG seed (default 1)\n"
+      "  --backend B       fiber|thread execution backend (default:\n"
+      "                    $PROMISES_BACKEND, else fiber)\n"
       "  --window N        max in-flight (unacked) calls; 0 = unbounded\n"
       "  --window-bytes B  max in-flight argument bytes; 0 = unbounded\n"
       "  --backoff F       retransmit backoff multiplier (default 2)\n"
@@ -126,6 +129,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.JitterUs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--seed") && (V = Need(A)))
       O.Seed = static_cast<uint64_t>(std::atoll(V));
+    else if (!std::strcmp(A, "--backend") && (V = Need(A))) {
+      if (!sim::SimConfig::parseBackend(V, O.Backend)) {
+        std::fprintf(stderr,
+                     "error: unknown backend %s (valid: fiber, thread)\n", V);
+        return false;
+      }
+    }
     else if (!std::strcmp(A, "--window") && (V = Need(A)))
       O.Window = static_cast<size_t>(std::atoll(V));
     else if (!std::strcmp(A, "--window-bytes") && (V = Need(A)))
@@ -179,7 +189,7 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, O))
     return 2;
 
-  sim::Simulation S;
+  sim::Simulation S(sim::SimConfig{.Backend = O.Backend});
   if (O.observabilityOn())
     S.metrics().setEnabled(true);
   net::NetConfig NC;
@@ -256,11 +266,11 @@ int main(int Argc, char **Argv) {
   const auto &TC = Client.transport().counters();
   double Secs = static_cast<double>(S.now()) / 1e9;
   std::printf("mode=%s calls=%d batch=%zu payload=%zuB service=%lluus "
-              "loss=%.2f dup=%.2f jitter=%lluus seed=%llu\n",
+              "loss=%.2f dup=%.2f jitter=%lluus seed=%llu backend=%s\n",
               O.Mode.c_str(), O.Calls, O.Batch, O.PayloadBytes,
               static_cast<unsigned long long>(O.ServiceUs), O.Loss, O.Dup,
               static_cast<unsigned long long>(O.JitterUs),
-              static_cast<unsigned long long>(O.Seed));
+              static_cast<unsigned long long>(O.Seed), S.backendName());
   std::printf("  virtual time     %s\n", formatDuration(S.now()).c_str());
   if (Secs > 0)
     std::printf("  throughput       %.0f calls/s\n",
