@@ -54,6 +54,32 @@ public:
   /// An invalid promise (no state); valid() is false. Assigned over in
   /// container use.
   Promise() = default;
+  Promise(const Promise &O) : St(O.St) {
+    if (St)
+      St->retain();
+  }
+  Promise(Promise &&O) noexcept : St(O.St) { O.St = nullptr; }
+  Promise &operator=(const Promise &O) {
+    if (O.St)
+      O.St->retain();
+    if (St)
+      St->release();
+    St = O.St;
+    return *this;
+  }
+  Promise &operator=(Promise &&O) noexcept {
+    if (this != &O) {
+      if (St)
+        St->release();
+      St = O.St;
+      O.St = nullptr;
+    }
+    return *this;
+  }
+  ~Promise() {
+    if (St)
+      St->release();
+  }
 
   /// True if this promise refers to a call at all.
   bool valid() const { return St != nullptr; }
@@ -122,7 +148,7 @@ public:
   /// the same exception in the same place).
   static Promise makeReady(OutcomeType O) {
     Promise P;
-    P.St = std::make_shared<State>();
+    P.St = State::acquire();
     P.St->Value.emplace(std::move(O));
     return P;
   }
@@ -133,12 +159,61 @@ private:
   friend std::pair<Promise<R, Es...>, Resolver<R, Es...>>
   makePromise(sim::Simulation &S);
 
+  /// Promise state lives in per-type slabs threaded through a freelist:
+  /// every call allocates one of these, so the general-purpose heap is the
+  /// wrong tool (a malloc plus — before this — a second malloc for the
+  /// wait queue, per promise). acquire()/release() recycle states for the
+  /// process lifetime; one slab allocation amortizes over SlabStates
+  /// promises. The refcount is deliberately non-atomic: the simulation
+  /// runs at most one simulated process at a time (single-runner
+  /// discipline — the thread backend serializes through mutex handoffs
+  /// that establish happens-before), so contended increments cannot occur.
   struct State {
     std::optional<OutcomeType> Value;
-    std::unique_ptr<sim::WaitQueue> Waiters; ///< Null for born-ready.
+    std::optional<sim::WaitQueue> Waiters; ///< Engaged unless born-ready.
+    uint32_t Refs = 1;
+
+    static constexpr size_t SlabStates = 64;
+
+    void retain() { ++Refs; }
+    void release() {
+      if (--Refs != 0)
+        return;
+      this->~State();
+      void *&Head = freeHead();
+      *reinterpret_cast<void **>(this) = Head;
+      Head = this;
+    }
+
+    static State *acquire() {
+      void *&Head = freeHead();
+      if (!Head) {
+        static_assert(sizeof(State) >= sizeof(void *) &&
+                      alignof(State) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+        char *Slab =
+            static_cast<char *>(::operator new(SlabStates * sizeof(State)));
+        for (size_t I = 0; I != SlabStates; ++I) {
+          void *P = Slab + I * sizeof(State);
+          *static_cast<void **>(P) = Head;
+          Head = P;
+        }
+      }
+      void *P = Head;
+      Head = *static_cast<void **>(P);
+      return ::new (P) State();
+    }
+
+  private:
+    /// thread_local so the thread execution backend needs no locking; a
+    /// state released on a different thread than it was acquired on simply
+    /// migrates freelists. Slabs are never returned to the heap.
+    static void *&freeHead() {
+      thread_local void *Head = nullptr;
+      return Head;
+    }
   };
 
-  std::shared_ptr<State> St;
+  State *St = nullptr;
 };
 
 /// The producing end of a promise; fulfilled exactly once by the system
@@ -149,6 +224,32 @@ public:
   using OutcomeType = Outcome<Ret, Exs...>;
 
   Resolver() = default;
+  Resolver(const Resolver &O) : St(O.St) {
+    if (St)
+      St->retain();
+  }
+  Resolver(Resolver &&O) noexcept : St(O.St) { O.St = nullptr; }
+  Resolver &operator=(const Resolver &O) {
+    if (O.St)
+      O.St->retain();
+    if (St)
+      St->release();
+    St = O.St;
+    return *this;
+  }
+  Resolver &operator=(Resolver &&O) noexcept {
+    if (this != &O) {
+      if (St)
+        St->release();
+      St = O.St;
+      O.St = nullptr;
+    }
+    return *this;
+  }
+  ~Resolver() {
+    if (St)
+      St->release();
+  }
 
   /// True if fulfill() may still be called.
   bool valid() const { return St != nullptr; }
@@ -173,20 +274,21 @@ private:
   friend std::pair<Promise<R, Es...>, Resolver<R, Es...>>
   makePromise(sim::Simulation &S);
 
-  std::shared_ptr<typename PromiseType::State> St;
+  typename PromiseType::State *St = nullptr;
 };
 
 /// Creates a blocked promise and its resolver.
 template <typename Ret, ExceptionType... Exs>
 std::pair<Promise<Ret, Exs...>, Resolver<Ret, Exs...>>
 makePromise(sim::Simulation &S) {
-  Promise<Ret, Exs...> P;
   using State = typename Promise<Ret, Exs...>::State;
-  auto St = std::make_shared<State>();
-  St->Waiters = std::make_unique<sim::WaitQueue>(S);
+  State *St = State::acquire();
+  St->Waiters.emplace(S);
+  Promise<Ret, Exs...> P;
   P.St = St;
   Resolver<Ret, Exs...> R;
-  R.St = std::move(St);
+  St->retain();
+  R.St = St;
   return {std::move(P), std::move(R)};
 }
 

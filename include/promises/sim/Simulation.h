@@ -369,14 +369,43 @@ private:
   friend class WaitQueue;
   friend struct detail::BackendAccess;
 
-  struct QueueKey {
+  /// One armed schedule() callback in the timed heap. Entries are small
+  /// PODs ordered by (At, Seq) — the exact dispatch order the former
+  /// std::map<QueueKey, function> gave — while the closure lives in a
+  /// pooled EventRecord slot, so arming a timer costs no node allocations
+  /// (the old representation paid a tree node plus a hash-map node per
+  /// event, on a path the transport hits several times per call).
+  struct TimedEvent {
     Time At;
-    uint64_t Seq;
-    bool operator<(const QueueKey &O) const {
-      return At != O.At ? At < O.At : Seq < O.Seq;
-    }
+    uint64_t Seq;  ///< Global dispatch tiebreak (NextEventSeq).
+    uint32_t Slot; ///< Index into EventPool.
+    uint32_t Gen;  ///< EventPool[Slot].Gen at arm time.
   };
-  using EventQueue = std::map<QueueKey, std::function<void()>>;
+  /// Pooled per-event state, recycled through an intrusive freelist.
+  /// Cancellation is lazy: cancel() flags the record (destroying the
+  /// closure eagerly, as the map erase used to) and the tombstoned heap
+  /// entry is dropped unexecuted — without advancing the clock — when it
+  /// surfaces. The generation makes stale ids (event already ran, slot
+  /// reused) miss, which is what the old hash-map lookup provided.
+  struct EventRecord {
+    std::function<void()> Fn;
+    uint32_t Gen = 0;      ///< Bumped on slot release; validates ids.
+    uint32_t NextFree = 0; ///< Freelist link while free.
+    bool Armed = false;
+    bool Cancelled = false;
+  };
+
+  static bool timedAfter(const TimedEvent &A, const TimedEvent &B) {
+    return A.At != B.At ? A.At > B.At : A.Seq > B.Seq;
+  }
+
+  /// Drops tombstoned (cancelled) entries off the top of the heap, then
+  /// returns the next live timed event, or nullptr when none remain.
+  TimedEvent *peekTimed();
+
+  /// Returns \p Slot to the freelist, destroying its closure and bumping
+  /// its generation so outstanding ids for it go stale.
+  void releaseEventSlot(uint32_t Slot);
 
   /// Hands the turn to \p P and waits until it yields back; reaps it if it
   /// finished during the turn.
@@ -428,13 +457,15 @@ private:
   ///    the current time and a fresh seq, so the list is (At, Seq)-sorted
   ///    by construction and the wake-heavy hot path — a context switch —
   ///    allocates nothing.
-  ///  * Timed queue — schedule() callbacks (timeouts, network delivery),
-  ///    each with a Cancellable index entry for O(1) cancel().
+  ///  * Timed heap — schedule() callbacks (timeouts, network delivery),
+  ///    cancelled in O(1) by flagging the pooled record.
   Process *ReadyHead = nullptr;
   Process *ReadyTail = nullptr;
   size_t ReadyCount = 0; ///< FIFO length (for the queue-depth gauge).
-  EventQueue Queue;
-  std::unordered_map<uint64_t, EventQueue::iterator> Cancellable;
+  std::vector<TimedEvent> TimedHeap; ///< Min-heap via timedAfter.
+  std::vector<EventRecord> EventPool;
+  uint32_t FreeEventHead = UINT32_MAX; ///< Head of the free-slot list.
+  size_t LiveTimed = 0; ///< Armed, not-cancelled events in TimedHeap.
 
   /// Unfinished processes by id (finished ones are reaped eagerly, so at
   /// quiescence this is empty even after millions of spawns).

@@ -141,6 +141,15 @@ using Message = std::variant<CallBatchMsg, ReplyBatchMsg, CancelMsg>;
 /// Encodes \p M with a leading kind byte.
 wire::Bytes encodeMessage(const Message &M);
 
+/// Encodes \p M directly into a sealed frame (wire/Frame.h): the encoder
+/// reserves the frame header up front, presized from the exact encoded
+/// size, then the length and CRC32C are patched in place — one buffer
+/// allocation and zero payload copies per message, byte-identical to
+/// `sealFrame(encodeMessage(M), Checksum)`. Aborts (in every build mode)
+/// if the message fails to encode or exceeds the frame payload limit;
+/// garbage is never transmitted.
+wire::Bytes encodeFramedMessage(const Message &M, bool Checksum);
+
 /// Decodes a stream message; std::nullopt on malformed input.
 std::optional<Message> decodeMessage(const wire::Bytes &B);
 

@@ -336,8 +336,8 @@ public:
   StreamCounters counters() const;
 
   /// --- Test introspection ---
-  size_t senderStreamCount() const { return Senders.size(); }
-  size_t receiverStreamCount() const { return Receivers.size(); }
+  size_t senderStreamCount() const;
+  size_t receiverStreamCount() const;
   /// Fully-broken sender streams reduced to tombstones (incarnation +
   /// break outcome only); a later call on the same key resurrects them.
   size_t retiredStreamCount() const { return Retired.size(); }
@@ -379,13 +379,37 @@ private:
   // Keys carry the full epoch-qualified address: streams to different
   // incarnations of a remote node never share state, so a post-restart
   // binding that reuses a port number cannot inherit (or corrupt) the
-  // sequencing of a stream to the pre-crash incarnation.
+  // sequencing of a stream to the pre-crash incarnation. SenderKey is
+  // retained for the cold-path maps (tombstones, breakers); the live
+  // stream state itself is sharded per remote endpoint below.
   using SenderKey = std::tuple<AgentId, net::Address, GroupId>;
   using ReceiverKey = std::tuple<net::Address, AgentId, GroupId>;
+  /// Within one endpoint shard, a stream is named by (agent, group).
+  using StreamKey = std::pair<AgentId, GroupId>;
 
   static SenderKey senderKey(AgentId A, net::Address R, GroupId G) {
     return {A, R, G};
   }
+
+  /// All sender-side streams to one remote endpoint (epoch-qualified
+  /// address). Sharding replaces the node-global (agent, address, group)
+  /// map: hot-path lookups touch only the state of the endpoint being
+  /// talked to, and a one-entry cache makes the common talk-to-the-same-
+  /// endpoint-repeatedly case a single compare. Shards are never erased
+  /// while the transport lives — emptied shards keep their warm map
+  /// nodes (and cached pointers stay valid), recycled when the endpoint
+  /// is talked to again.
+  struct SenderShard {
+    std::map<StreamKey, std::unique_ptr<SenderStream>> Streams;
+  };
+  /// Receiver-side analogue, keyed by the sending transport's address.
+  struct ReceiverShard {
+    std::map<StreamKey, std::unique_ptr<ReceiverStream>> Streams;
+  };
+
+  SenderShard &senderShard(const net::Address &R);
+  SenderShard *findSenderShard(const net::Address &R) const;
+  ReceiverShard *findReceiverShard(const net::Address &From) const;
 
   SenderStream *findSender(AgentId A, net::Address R, GroupId G) const;
   SenderStream &getSender(AgentId A, net::Address R, GroupId G);
@@ -415,7 +439,7 @@ private:
   void armSenderRetransTimer(SenderStream &S);
   void armSenderAckTimer(SenderStream &S);
   void onSenderRetransTimer(SenderStream &S);
-  void handleReplyBatch(const net::Address &From, const ReplyBatchMsg &M);
+  void handleReplyBatch(const net::Address &From, ReplyBatchMsg &M);
   void fulfillInOrder(SenderStream &S);
   void breakSender(SenderStream &S, bool IsFailure, std::string Reason);
   void reincarnate(SenderStream &S);
@@ -426,7 +450,7 @@ private:
   // Receiver-side machinery.
   ReceiverStream &getReceiver(const net::Address &From,
                               const CallBatchMsg &M);
-  void handleCallBatch(const net::Address &From, const CallBatchMsg &M);
+  void handleCallBatch(const net::Address &From, CallBatchMsg &M);
   void handleCancel(const net::Address &From, const CancelMsg &M);
   void deliverReadyCalls(ReceiverStream &R);
   void completeCall(ReceiverStream &R, Seq S, bool NoReply, bool FlushReply,
@@ -474,10 +498,15 @@ private:
   Cells Counters;
   Rng RetransRng; ///< Deterministic retransmit jitter (see StreamConfig).
 
-  std::map<SenderKey, std::unique_ptr<SenderStream>> Senders;
+  std::map<net::Address, SenderShard> SenderShards;
+  std::map<net::Address, ReceiverShard> ReceiverShards;
+  /// One-entry shard caches for the hot path: almost every operation in a
+  /// tight call loop targets the endpoint targeted last time. Shards are
+  /// never erased (see SenderShard), so the pointers cannot dangle.
+  mutable net::Address LastSenderAddr{};
+  mutable SenderShard *LastSenderShard = nullptr;
   std::map<SenderKey, RetiredSender> Retired;
   std::map<SenderKey, Breaker> Breakers;
-  std::map<ReceiverKey, std::unique_ptr<ReceiverStream>> Receivers;
   std::map<uint64_t, ReceiverStream *> ReceiversByTag;
 };
 

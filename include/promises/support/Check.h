@@ -1,0 +1,59 @@
+//===- promises/support/Check.h - Always-on invariant checks ---*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PROMISES_CHECK: an assert that survives NDEBUG.
+///
+/// Bare `assert` is for debugging aids — redundant restatements of local
+/// logic whose failure would be caught (noisily) a few lines later anyway.
+/// Invariants that *guard wire correctness* are different: if one fails in
+/// a release build with asserts stripped, the transport silently seals and
+/// sends a garbage frame, or walks a window map with a dangling iterator —
+/// corruption, not a crash. Those sites use PROMISES_CHECK, which aborts
+/// with a message in every build mode (see DESIGN.md, "Check policy").
+///
+/// The policy, in short:
+///
+///  * PROMISES_CHECK — the condition being false means the process must
+///    not be allowed to take another step (it would emit damage onto the
+///    wire or corrupt protocol state). Always compiled in; the cost is a
+///    predictable branch on paths that already do map lookups and I/O.
+///  * assert — everything else: cheap sanity restatements, preconditions
+///    of private helpers, shape checks in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SUPPORT_CHECK_H
+#define PROMISES_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace promises {
+
+/// Failure path of PROMISES_CHECK; out-of-line-ish (never inlined into the
+/// hot path's happy branch) and noreturn so the compiler treats the check
+/// as a single predictable branch.
+[[noreturn]] inline void checkFailed(const char *Cond, const char *Msg,
+                                     const char *File, int Line) {
+  std::fprintf(stderr, "PROMISES_CHECK failed: %s (%s) at %s:%d\n", Msg,
+               Cond, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace promises
+
+/// Aborts with \p Msg when \p Cond is false, in every build mode (NDEBUG
+/// does not strip it). Use for invariants whose violation would corrupt
+/// wire or protocol state; use plain assert for debugging aids.
+#define PROMISES_CHECK(Cond, Msg)                                             \
+  do {                                                                        \
+    if (!(Cond)) [[unlikely]]                                                 \
+      ::promises::checkFailed(#Cond, (Msg), __FILE__, __LINE__);              \
+  } while (false)
+
+#endif // PROMISES_SUPPORT_CHECK_H

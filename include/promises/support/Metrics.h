@@ -100,8 +100,11 @@ public:
   double min() const { return Count ? Min : 0; }
   double max() const { return Count ? Max : 0; }
 
-  /// Approximate percentile by nearest rank over the buckets; \p P in
-  /// [0, 100]. 0 when empty.
+  /// Approximate percentile by nearest rank over the buckets. \p P is
+  /// clamped to [0, 100]; NaN is treated as 0 (the minimum). Returns 0.0
+  /// when the histogram is empty. Total, not sanity-checked: callers often
+  /// feed config- or flag-derived P straight in, and a bad value must not
+  /// index buckets out of range in a build with asserts stripped.
   double percentile(double P) const;
 
 private:

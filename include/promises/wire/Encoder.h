@@ -40,6 +40,12 @@ class Encoder {
 public:
   Encoder() = default;
 
+  /// Presizes the buffer for \p Hint total bytes (including anything
+  /// already written). A correct hint makes the whole encode a single
+  /// allocation; an undersized hint only costs reallocation, never
+  /// correctness.
+  void reserve(size_t Hint) { Buf.reserve(Hint); }
+
   void writeU8(uint8_t V) {
     if (!Failed)
       Buf.push_back(V);
@@ -57,10 +63,18 @@ public:
     writeU64(Raw);
   }
 
-  /// Writes a length-prefixed byte sequence.
+  /// Writes a length-prefixed byte sequence. Lengths above MaxStringBytes
+  /// fail the encoder (mirror of the decode-side bound): a sequence the
+  /// receiver is guaranteed to reject must never be encoded, and a length
+  /// that would not survive the u32 prefix must never be truncated into
+  /// one that seems to.
   void writeBytes(const uint8_t *Data, size_t Len) {
     if (Failed)
       return;
+    if (Len > MaxStringBytes) {
+      fail("oversized byte sequence");
+      return;
+    }
     writeU32(static_cast<uint32_t>(Len));
     Buf.insert(Buf.end(), Data, Data + Len);
   }
@@ -68,6 +82,21 @@ public:
   /// Writes a length-prefixed string.
   void writeString(const std::string &S) {
     writeBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+  }
+
+  /// Overwrites four previously written bytes at offset \p Off with \p V
+  /// (little-endian). Used by the framing layer to patch a reserved
+  /// header in place once the payload length and checksum are known; the
+  /// range [Off, Off+4) must already have been written.
+  void patchU32(size_t Off, uint32_t V) {
+    if (Failed)
+      return;
+    if (Off + 4 > Buf.size()) {
+      fail("patch outside encoded bytes");
+      return;
+    }
+    for (size_t I = 0; I != 4; ++I)
+      Buf[Off + I] = static_cast<uint8_t>(V >> (8 * I));
   }
 
   /// Marks the encoding failed (used by fallible user codecs for abstract

@@ -61,6 +61,24 @@ inline uint32_t crc32c(const Bytes &B, uint32_t Seed = 0) {
   return crc32c(B.data(), B.size(), Seed);
 }
 
+/// Buffer-traffic tallies for the seal path (docs/OBSERVABILITY.md).
+/// Single-runner discipline (at most one simulated process runs at a
+/// time), so plain counters suffice. PayloadBytesCopied counts payload
+/// bytes memcpy'd into a second buffer while sealing: the legacy
+/// encode-then-copy sealFrame() pays Payload.size() per frame, the
+/// in-place finishFrame() path pays zero. Tests and bench_hotpath read
+/// and reset these to prove the zero-copy property holds.
+struct FrameStats {
+  uint64_t FramesSealed = 0;        ///< sealFrame() calls (copying path).
+  uint64_t FramesSealedInPlace = 0; ///< finishFrame() calls (zero-copy).
+  uint64_t PayloadBytesCopied = 0;  ///< Payload bytes copied while sealing.
+};
+
+inline FrameStats &frameStats() {
+  static FrameStats S;
+  return S;
+}
+
 /// First byte of every frame.
 inline constexpr uint8_t FrameMagic = 0xD5;
 
@@ -110,6 +128,8 @@ inline const char *frameErrorName(FrameError E) {
 /// field is written as zero (the ablation knob for measuring checksum
 /// cost); the receiver must then also skip verification.
 inline Bytes sealFrame(const Bytes &Payload, bool Checksum = true) {
+  frameStats().FramesSealed++;
+  frameStats().PayloadBytesCopied += Payload.size();
   Bytes Out;
   Out.reserve(FrameHeaderBytes + Payload.size());
   Out.push_back(FrameMagic);
@@ -122,6 +142,42 @@ inline Bytes sealFrame(const Bytes &Payload, bool Checksum = true) {
     Out.push_back(static_cast<uint8_t>(Crc >> (8 * I)));
   Out.insert(Out.end(), Payload.begin(), Payload.end());
   return Out;
+}
+
+/// Begins a zero-copy framed encode: writes a placeholder frame header
+/// into the (must-be-empty) encoder, presized for \p PayloadSizeHint
+/// payload bytes so that a correct hint makes the entire seal a single
+/// allocation. The caller encodes the payload directly after the header
+/// and then calls finishFrame() — no intermediate payload buffer ever
+/// exists. See docs/PROTOCOL.md, "Buffer ownership and the zero-copy
+/// send path".
+inline void beginFrame(Encoder &E, size_t PayloadSizeHint = 0) {
+  E.reserve(FrameHeaderBytes + PayloadSizeHint);
+  E.writeU8(FrameMagic);
+  E.writeU8(FrameVersion);
+  E.writeU32(0); // Payload length, patched by finishFrame().
+  E.writeU32(0); // Payload CRC32C, patched by finishFrame().
+}
+
+/// Seals a frame begun with beginFrame() in place: patches the real
+/// payload length and CRC32C into the reserved header and moves the
+/// buffer out. Fails the encoder (and returns empty) on an oversized
+/// payload or a prior encode failure — callers must check E.failed()
+/// before transmitting. With \p Checksum false the CRC field stays zero
+/// (same ablation knob as sealFrame).
+inline Bytes finishFrame(Encoder &E, bool Checksum = true) {
+  if (E.failed())
+    return {};
+  size_t PayloadLen = E.size() - FrameHeaderBytes;
+  if (PayloadLen > MaxFramePayloadBytes) {
+    E.fail("frame payload too large");
+    return {};
+  }
+  E.patchU32(2, static_cast<uint32_t>(PayloadLen));
+  if (Checksum)
+    E.patchU32(6, crc32c(E.bytes().data() + FrameHeaderBytes, PayloadLen));
+  frameStats().FramesSealedInPlace++;
+  return E.take();
 }
 
 /// Validates \p Frame and returns its payload, or std::nullopt with \p Err

@@ -190,7 +190,11 @@ void Network::send(Address From, Address To, wire::Bytes Payload) {
   }
   Time SentAt = Sim.now();
   for (int I = 0; I != Copies; ++I) {
-    Datagram D{From, To, Payload};
+    // The last copy adopts the payload instead of copying it: in the
+    // common (no-dup) case the sealed buffer travels from the sender's
+    // Encoder to the receiver's decoder with zero payload copies.
+    Datagram D{From, To,
+               I + 1 == Copies ? std::move(Payload) : wire::Bytes(Payload)};
     // Bounded reordering: an unlucky copy dawdles, letting later sends (or
     // its own twin) overtake it. Bit flips damage the copy in flight; it
     // still arrives and counts as delivered — detecting the damage is the

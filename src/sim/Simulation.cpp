@@ -8,6 +8,7 @@
 
 #include "ExecBackend.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -245,7 +246,7 @@ Simulation::Simulation(SimConfig C) : Cfg(C) {
                 : detail::makeFiberBackend(Cfg);
   CtxSwitches = &Metrics.counter("sim.context_switches");
   Metrics.gaugeProbe("sim.event_queue_depth", [this] {
-    return static_cast<double>(Queue.size() + ReadyCount);
+    return static_cast<double>(LiveTimed + ReadyCount);
   });
   Metrics.gaugeProbe("sim.live_processes", [this] {
     return static_cast<double>(liveProcessCount());
@@ -282,20 +283,60 @@ void Simulation::pushReady(Process *P) {
 }
 
 uint64_t Simulation::schedule(Time Delay, std::function<void()> Fn) {
-  uint64_t Id = ++NextEventSeq;
-  auto [It, Inserted] =
-      Queue.emplace(QueueKey{NowNs + Delay, Id}, std::move(Fn));
-  assert(Inserted);
-  Cancellable.emplace(Id, It);
-  return Id;
+  uint32_t Slot;
+  if (FreeEventHead != UINT32_MAX) {
+    Slot = FreeEventHead;
+    FreeEventHead = EventPool[Slot].NextFree;
+  } else {
+    Slot = static_cast<uint32_t>(EventPool.size());
+    EventPool.emplace_back();
+  }
+  EventRecord &R = EventPool[Slot];
+  R.Fn = std::move(Fn);
+  R.Armed = true;
+  R.Cancelled = false;
+  TimedHeap.push_back({NowNs + Delay, ++NextEventSeq, Slot, R.Gen});
+  std::push_heap(TimedHeap.begin(), TimedHeap.end(), timedAfter);
+  ++LiveTimed;
+  return (static_cast<uint64_t>(R.Gen) << 32) | Slot;
 }
 
 void Simulation::cancel(uint64_t EventId) {
-  auto It = Cancellable.find(EventId);
-  if (It == Cancellable.end())
+  uint32_t Slot = static_cast<uint32_t>(EventId);
+  uint32_t Gen = static_cast<uint32_t>(EventId >> 32);
+  if (Slot >= EventPool.size())
+    return;
+  EventRecord &R = EventPool[Slot];
+  if (!R.Armed || R.Gen != Gen || R.Cancelled)
     return; // Already ran or already cancelled.
-  Queue.erase(It->second);
-  Cancellable.erase(It);
+  R.Cancelled = true;
+  R.Fn = nullptr; // Eager destruction, as the old map erase provided.
+  --LiveTimed;
+}
+
+Simulation::TimedEvent *Simulation::peekTimed() {
+  while (!TimedHeap.empty()) {
+    TimedEvent &Top = TimedHeap.front();
+    // A slot stays owned by its heap entry until that entry surfaces, so
+    // the cancelled flag alone identifies tombstones.
+    if (!EventPool[Top.Slot].Cancelled)
+      return &Top;
+    uint32_t Slot = Top.Slot;
+    std::pop_heap(TimedHeap.begin(), TimedHeap.end(), timedAfter);
+    TimedHeap.pop_back();
+    releaseEventSlot(Slot);
+  }
+  return nullptr;
+}
+
+void Simulation::releaseEventSlot(uint32_t Slot) {
+  EventRecord &R = EventPool[Slot];
+  R.Fn = nullptr;
+  R.Armed = false;
+  R.Cancelled = false;
+  ++R.Gen;
+  R.NextFree = FreeEventHead;
+  FreeEventHead = Slot;
 }
 
 void Simulation::makeReady(Process *P) {
@@ -340,10 +381,10 @@ bool Simulation::step(Time Horizon) {
   // front is its minimum by construction — appends carry the current time
   // and a fresh seq, both non-decreasing.
   Process *RP = ReadyHead;
-  bool HaveEv = !Queue.empty();
+  TimedEvent *Ev = peekTimed();
   bool TakeReady =
-      RP && (!HaveEv ||
-             QueueKey{RP->ReadyAt, RP->ReadySeq} < Queue.begin()->first);
+      RP && (!Ev || RP->ReadyAt < Ev->At ||
+             (RP->ReadyAt == Ev->At && RP->ReadySeq < Ev->Seq));
   if (TakeReady) {
     if (RP->ReadyAt > Horizon)
       return false;
@@ -360,16 +401,18 @@ bool Simulation::step(Time Horizon) {
       switchTo(RP);
     return true;
   }
-  if (!HaveEv)
+  if (!Ev)
     return false;
-  auto It = Queue.begin();
-  if (It->first.At > Horizon)
+  if (Ev->At > Horizon)
     return false;
-  assert(It->first.At >= NowNs && "event queue went backwards");
-  NowNs = It->first.At;
-  std::function<void()> Fn = std::move(It->second);
-  Cancellable.erase(It->first.Seq);
-  Queue.erase(It);
+  assert(Ev->At >= NowNs && "event queue went backwards");
+  NowNs = Ev->At;
+  uint32_t Slot = Ev->Slot;
+  std::pop_heap(TimedHeap.begin(), TimedHeap.end(), timedAfter);
+  TimedHeap.pop_back();
+  std::function<void()> Fn = std::move(EventPool[Slot].Fn);
+  releaseEventSlot(Slot);
+  --LiveTimed;
   Fn();
   return true;
 }
@@ -389,7 +432,7 @@ bool Simulation::runFor(Time Duration) {
   }
   if (!StopRequested && NowNs < Horizon)
     NowNs = Horizon;
-  return !Queue.empty();
+  return LiveTimed != 0;
 }
 
 void Simulation::sleep(Time Duration) {

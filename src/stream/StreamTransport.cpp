@@ -6,8 +6,11 @@
 
 #include "promises/stream/StreamTransport.h"
 
+#include "promises/stream/SeqRing.h"
+
 #include "promises/core/Exceptions.h"
 #include "promises/sim/Sync.h"
+#include "promises/support/Check.h"
 #include "promises/support/StrUtil.h"
 #include "promises/support/Trace.h"
 #include "promises/wire/Frame.h"
@@ -28,10 +31,37 @@ namespace {
 constexpr uint8_t KindCallBatch = 1;
 constexpr uint8_t KindReplyBatch = 2;
 constexpr uint8_t KindCancel = 3;
-} // namespace
 
-wire::Bytes promises::stream::encodeMessage(const Message &M) {
-  wire::Encoder E;
+// Exact encoded sizes, kept in lock-step with the Codec<> definitions in
+// Messages.h (fixed-width scalars + u32 length prefixes). The size feeds
+// the encoder's reserve() so a framed encode is exactly one allocation —
+// the one-alloc regression test in hotpath_test.cpp enforces that these
+// never drift from the codecs.
+size_t encodedSizeOf(const CallReq &C) {
+  return 8 + 4 + 1 + 1 + 8 + (4 + C.Args.size());
+}
+size_t encodedSizeOf(const WireReply &R) {
+  return 8 + 1 + 4 + (4 + R.Payload.size()) + (4 + R.Reason.size());
+}
+
+size_t messageSizeOf(const Message &M) {
+  if (const auto *CB = std::get_if<CallBatchMsg>(&M)) {
+    size_t N = 1 + 8 + 4 + 4 + 8 + 1 + 4;
+    for (const CallReq &C : CB->Calls)
+      N += encodedSizeOf(C);
+    return N;
+  }
+  if (const auto *RB = std::get_if<ReplyBatchMsg>(&M)) {
+    size_t N =
+        1 + 8 + 4 + 4 + 8 + 8 + 1 + 1 + (4 + RB->BreakReason.size()) + 4;
+    for (const WireReply &R : RB->Replies)
+      N += encodedSizeOf(R);
+    return N;
+  }
+  return 1 + 8 + 4 + 4 + 4 + 8 * std::get<CancelMsg>(M).Seqs.size();
+}
+
+void writeMessage(wire::Encoder &E, const Message &M) {
   if (const auto *CB = std::get_if<CallBatchMsg>(&M)) {
     E.writeU8(KindCallBatch);
     wire::Codec<CallBatchMsg>::encode(E, *CB);
@@ -42,8 +72,26 @@ wire::Bytes promises::stream::encodeMessage(const Message &M) {
     E.writeU8(KindCancel);
     wire::Codec<CancelMsg>::encode(E, std::get<CancelMsg>(M));
   }
-  assert(!E.failed() && "stream messages must always encode");
+}
+} // namespace
+
+wire::Bytes promises::stream::encodeMessage(const Message &M) {
+  wire::Encoder E;
+  E.reserve(messageSizeOf(M));
+  writeMessage(E, M);
+  PROMISES_CHECK(!E.failed(), "stream messages must always encode");
   return E.take();
+}
+
+wire::Bytes promises::stream::encodeFramedMessage(const Message &M,
+                                                  bool Checksum) {
+  wire::Encoder E;
+  wire::beginFrame(E, messageSizeOf(M));
+  writeMessage(E, M);
+  PROMISES_CHECK(!E.failed(), "stream messages must always encode");
+  wire::Bytes Frame = wire::finishFrame(E, Checksum);
+  PROMISES_CHECK(!E.failed(), "stream message exceeds the frame limit");
+  return Frame;
 }
 
 std::optional<Message>
@@ -94,11 +142,11 @@ struct StreamTransport::SenderStream {
     ReplyCallback Cb;
   };
   /// Calls kept for retransmission: (AckedCallThrough, NextSeq).
-  std::map<Seq, CallReq> Window;
+  SeqRing<CallReq> Window;
   /// Callbacks awaiting outcomes: (FulfilledThrough, NextSeq).
-  std::map<Seq, Slot> Slots;
+  SeqRing<Slot> Slots;
   /// Explicit replies received but not yet consumable in order.
-  std::map<Seq, WireReply> PendingReplies;
+  SeqRing<WireReply> PendingReplies;
   size_t BufferedBytes = 0; ///< Untransmitted argument bytes.
   size_t WindowBytes = 0;   ///< Argument bytes retained in Window.
 
@@ -150,13 +198,13 @@ struct StreamTransport::ReceiverStream {
   Incarnation Inc = 1;
 
   Seq NextExpected = 1; ///< Next call seq to deliver to user code.
-  std::map<Seq, CallReq> Future; ///< Received ahead of order.
+  SeqRing<CallReq> Future; ///< Received ahead of order.
   Seq CompletedThrough = 0;
   /// Calls executed beyond the contiguous prefix (only possible when the
   /// runtime opts a group into parallel execution); nullopt entries are
   /// normally-terminated sends with no explicit reply.
-  std::map<Seq, std::optional<WireReply>> DoneAhead;
-  std::map<Seq, WireReply> UnackedReplies;
+  SeqRing<std::optional<WireReply>> DoneAhead;
+  SeqRing<WireReply> UnackedReplies;
   Seq FlushThrough = 0;     ///< Completions <= this flush immediately.
   Seq FlushWhenCompleted = 0; ///< RPC replies wanted as soon as the
                               ///< prefix reaches this seq.
@@ -279,7 +327,28 @@ void StreamTransport::shutdown() {
   if (Net.isUp(Node))
     Net.unbind(Addr);
   sim::Simulation &Sim = Net.simulation();
-  for (auto &[K, S] : Senders) {
+  // Wake order is scheduling-visible: blocked processes resume in notify
+  // order. The pre-sharding node-global map iterated senders in
+  // (agent, address, group) key order, so reproduce exactly that order
+  // here — sharding is a representation change and must not perturb
+  // schedules (the chaos trace-hash oracle holds us to it).
+  std::vector<std::tuple<AgentId, net::Address, GroupId, SenderStream *>>
+      Ordered;
+  for (auto &[RemoteAddr, Shard] : SenderShards)
+    for (auto &[SK, S] : Shard.Streams)
+      Ordered.emplace_back(SK.first, RemoteAddr, SK.second, S.get());
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) {
+              if (std::get<0>(A) != std::get<0>(B))
+                return std::get<0>(A) < std::get<0>(B);
+              if (!(std::get<1>(A) == std::get<1>(B)))
+                return std::get<1>(A) < std::get<1>(B);
+              return std::get<2>(A) < std::get<2>(B);
+            });
+  for (auto &[A, RemoteAddr, G, S] : Ordered) {
+    (void)A;
+    (void)RemoteAddr;
+    (void)G;
     if (S->FlushTimerArmed)
       Sim.cancel(S->FlushTimer);
     if (S->RetransTimerArmed)
@@ -292,12 +361,14 @@ void StreamTransport::shutdown() {
     S->FulfillQ->notifyAll();
     S->WindowCv.notifyAll();
   }
-  for (auto &[K, R] : Receivers) {
-    if (R->ReplyFlushTimerArmed)
-      Sim.cancel(R->ReplyFlushTimer);
-    if (R->AckTimerArmed)
-      Sim.cancel(R->AckTimer);
-    R->ReplyFlushTimerArmed = R->AckTimerArmed = false;
+  for (auto &[FromAddr, Shard] : ReceiverShards) {
+    for (auto &[SK, R] : Shard.Streams) {
+      if (R->ReplyFlushTimerArmed)
+        Sim.cancel(R->ReplyFlushTimer);
+      if (R->AckTimerArmed)
+        Sim.cancel(R->AckTimer);
+      R->ReplyFlushTimerArmed = R->AckTimerArmed = false;
+    }
   }
   for (auto &[K, B] : Breakers) {
     if (B.ProbeTimerArmed)
@@ -310,16 +381,66 @@ void StreamTransport::shutdown() {
 // Sender side
 //===----------------------------------------------------------------------===//
 
+StreamTransport::SenderShard &
+StreamTransport::senderShard(const net::Address &R) {
+  // One-entry cache: the hot paths (issue, reply handling) hammer a single
+  // endpoint at a time, and shards are never erased, so the pointer is
+  // stable for the transport's lifetime.
+  if (LastSenderShard && LastSenderAddr == R)
+    return *LastSenderShard;
+  SenderShard &Sh = SenderShards[R];
+  LastSenderAddr = R;
+  LastSenderShard = &Sh;
+  return Sh;
+}
+
+StreamTransport::SenderShard *
+StreamTransport::findSenderShard(const net::Address &R) const {
+  if (LastSenderShard && LastSenderAddr == R)
+    return LastSenderShard;
+  auto It = SenderShards.find(R);
+  if (It == SenderShards.end())
+    return nullptr;
+  LastSenderAddr = R;
+  LastSenderShard = const_cast<SenderShard *>(&It->second);
+  return LastSenderShard;
+}
+
+StreamTransport::ReceiverShard *
+StreamTransport::findReceiverShard(const net::Address &From) const {
+  auto It = ReceiverShards.find(From);
+  return It != ReceiverShards.end()
+             ? const_cast<ReceiverShard *>(&It->second)
+             : nullptr;
+}
+
+size_t StreamTransport::senderStreamCount() const {
+  size_t N = 0;
+  for (const auto &[Addr2, Sh] : SenderShards)
+    N += Sh.Streams.size();
+  return N;
+}
+
+size_t StreamTransport::receiverStreamCount() const {
+  size_t N = 0;
+  for (const auto &[Addr2, Sh] : ReceiverShards)
+    N += Sh.Streams.size();
+  return N;
+}
+
 StreamTransport::SenderStream *
 StreamTransport::findSender(AgentId A, net::Address R, GroupId G) const {
-  auto It = Senders.find(senderKey(A, R, G));
-  return It != Senders.end() ? It->second.get() : nullptr;
+  SenderShard *Sh = findSenderShard(R);
+  if (!Sh)
+    return nullptr;
+  auto It = Sh->Streams.find(StreamKey{A, G});
+  return It != Sh->Streams.end() ? It->second.get() : nullptr;
 }
 
 StreamTransport::SenderStream &
 StreamTransport::getSender(AgentId A, net::Address R, GroupId G) {
   SenderKey Key = senderKey(A, R, G);
-  auto &Slot = Senders[Key];
+  auto &Slot = senderShard(R).Streams[StreamKey{A, G}];
   if (!Slot) {
     Slot = std::make_unique<SenderStream>(Net.simulation(), A, R, G);
     auto It = Retired.find(Key);
@@ -380,8 +501,11 @@ void StreamTransport::blockForWindow(SenderStream &S) {
 void StreamTransport::maybeRetireSender(const SenderKey &K) {
   if (Dead)
     return;
-  auto It = Senders.find(K);
-  if (It == Senders.end())
+  SenderShard *Sh = findSenderShard(std::get<1>(K));
+  if (!Sh)
+    return;
+  auto It = Sh->Streams.find(StreamKey{std::get<0>(K), std::get<2>(K)});
+  if (It == Sh->Streams.end())
     return;
   SenderStream &S = *It->second;
   if (!S.Broken || S.PinCount > 0)
@@ -399,7 +523,9 @@ void StreamTransport::maybeRetireSender(const SenderKey &K) {
   T.BreakSinceMarkIsFailure = S.BreakSinceMarkIsFailure;
   T.BreakSinceMarkReason = S.BreakSinceMarkReason;
   Retired[K] = std::move(T);
-  Senders.erase(It);
+  // The stream goes; its (empty) shard stays warm for the next stream to
+  // this endpoint.
+  Sh->Streams.erase(It);
 }
 
 StreamTransport::IssueResult
@@ -453,14 +579,14 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   S.BufferedBytes += Args.size();
   S.WindowBytes += Args.size();
   Req.Args = std::move(Args);
-  S.Window.emplace(Sq, std::move(Req));
+  S.Window.insert(Sq, std::move(Req));
   Counters.WindowOccupancy->observe(static_cast<double>(S.Window.size()));
   SenderStream::Slot Slot;
   Slot.NoReply = NoReply;
   Slot.IsRpc = IsRpc;
   Slot.IssuedAt = Net.simulation().now();
   Slot.Cb = std::move(OnReply);
-  S.Slots.emplace(Sq, std::move(Slot));
+  S.Slots.insert(Sq, std::move(Slot));
   Counters.CallsIssued->inc();
   if (Reg.enabled())
     Reg.emit({Net.simulation().now(), EventKind::CallIssued, Node, Agent, Sq,
@@ -541,9 +667,9 @@ void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
   M.AckReplyThrough = S.FulfilledThrough;
   M.FlushReplies = FlushReplies;
   for (Seq Q = FromSeq; Q <= ThroughSeq; ++Q) {
-    auto It = S.Window.find(Q);
-    assert(It != S.Window.end() && "call missing from window");
-    M.Calls.push_back(It->second);
+    const CallReq *C = S.Window.find(Q);
+    PROMISES_CHECK(C != nullptr, "call missing from window");
+    M.Calls.push_back(*C);
   }
   if (IsRetransmit) {
     Counters.Retransmissions->inc(M.Calls.size());
@@ -695,7 +821,7 @@ void StreamTransport::armSenderAckTimer(SenderStream &S) {
 }
 
 void StreamTransport::handleReplyBatch(const net::Address &From,
-                                       const ReplyBatchMsg &M) {
+                                       ReplyBatchMsg &M) {
   // Any reply batch proves the endpoint is reachable, so it closes an
   // open/half-open breaker — before the liveness checks below, because the
   // probed stream is typically broken or already retired to a tombstone.
@@ -709,19 +835,21 @@ void StreamTransport::handleReplyBatch(const net::Address &From,
   // window space frees the oldest blocked issuer first (FIFO wakeup).
   if (M.AckCallThrough > S->AckedCallThrough) {
     S->AckedCallThrough = M.AckCallThrough;
-    auto End = S->Window.upper_bound(S->AckedCallThrough);
-    for (auto It = S->Window.begin(); It != End; ++It)
-      S->WindowBytes -= It->second.Args.size();
-    S->Window.erase(S->Window.begin(), End);
+    while (!S->Window.empty() &&
+           S->Window.firstSeq() <= S->AckedCallThrough) {
+      Seq Q = S->Window.firstSeq();
+      S->WindowBytes -= S->Window.at(Q).Args.size();
+      S->Window.erase(Q);
+    }
     S->WindowCv.notifyAll();
   }
 
   // Merge explicit replies; detect a batch that carries nothing new
   // (the receiver missed our ack — re-ack immediately).
   bool AnyNew = false;
-  for (const WireReply &R : M.Replies) {
-    if (R.S > S->FulfilledThrough && !S->PendingReplies.count(R.S)) {
-      S->PendingReplies.emplace(R.S, R);
+  for (WireReply &R : M.Replies) {
+    if (R.S > S->FulfilledThrough && !S->PendingReplies.contains(R.S)) {
+      S->PendingReplies.insert(R.S, std::move(R));
       AnyNew = true;
     }
   }
@@ -755,35 +883,37 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
   bool Progress = false;
   while (S.FulfilledThrough < S.CompletedThroughMax) {
     Seq Next = S.FulfilledThrough + 1;
-    auto SlotIt = S.Slots.find(Next);
-    assert(SlotIt != S.Slots.end() && "missing reply slot");
+    SenderStream::Slot *Slot = S.Slots.find(Next);
+    PROMISES_CHECK(Slot != nullptr, "missing reply slot");
     ReplyOutcome O;
-    auto RIt = S.PendingReplies.find(Next);
-    if (RIt != S.PendingReplies.end()) {
-      const WireReply &W = RIt->second;
+    WireReply *PR = S.PendingReplies.find(Next);
+    if (PR) {
+      // The entry is consumed exactly once (erased below): move the
+      // payload out rather than copying it.
+      WireReply &W = *PR;
       switch (W.Status) {
       case ReplyStatus::Normal:
         O.K = ReplyOutcome::Kind::Normal;
-        O.Payload = W.Payload;
+        O.Payload = std::move(W.Payload);
         break;
       case ReplyStatus::Exception:
         O.K = ReplyOutcome::Kind::Exception;
         O.ExTag = W.ExTag;
-        O.Payload = W.Payload;
+        O.Payload = std::move(W.Payload);
         break;
       case ReplyStatus::Failure:
         O.K = ReplyOutcome::Kind::Failure;
-        O.Reason = W.Reason;
+        O.Reason = std::move(W.Reason);
         break;
       case ReplyStatus::Unavailable:
         // Per-call unavailability (deadline expired, cancelled, shed):
         // the stream itself stays healthy.
         O.K = ReplyOutcome::Kind::Unavailable;
-        O.Reason = W.Reason;
+        O.Reason = std::move(W.Reason);
         break;
       }
-      S.PendingReplies.erase(RIt);
-    } else if (SlotIt->second.NoReply) {
+      S.PendingReplies.erase(Next);
+    } else if (Slot->NoReply) {
       O.K = ReplyOutcome::Kind::Normal; // A send that completed normally.
     } else {
       break; // The explicit reply is still in flight; probes recover it.
@@ -793,14 +923,14 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
     Counters.CallsFulfilled->inc();
     if (Reg.enabled()) {
       sim::Time Now = Net.simulation().now();
-      sim::Time Lat = Now - SlotIt->second.IssuedAt;
+      sim::Time Lat = Now - Slot->IssuedAt;
       Counters.CallLatencyUs->observe(static_cast<double>(Lat) / 1e3);
-      Reg.emit({SlotIt->second.IssuedAt, EventKind::CallSpan, Node, S.Agent,
+      Reg.emit({Slot->IssuedAt, EventKind::CallSpan, Node, S.Agent,
                 Next, Lat, {}});
     }
-    bool WasRpc = SlotIt->second.IsRpc;
-    ReplyCallback Cb = std::move(SlotIt->second.Cb);
-    S.Slots.erase(SlotIt);
+    bool WasRpc = Slot->IsRpc;
+    ReplyCallback Cb = std::move(Slot->Cb);
+    S.Slots.erase(Next);
     if (WasRpc) {
       // "since the last synch or regular RPC on the stream": an RPC's own
       // completion starts a fresh synch window.
@@ -839,12 +969,12 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
   // Every call without an outcome terminates with the break outcome, still
   // in call order.
   while (!S.Slots.empty()) {
-    auto It = S.Slots.begin();
-    assert(It->first == S.FulfilledThrough + 1 && "slot gap at break");
-    S.FulfilledThrough = It->first;
+    Seq First = S.Slots.firstSeq();
+    PROMISES_CHECK(First == S.FulfilledThrough + 1, "slot gap at break");
+    S.FulfilledThrough = First;
     Counters.CallsBroken->inc();
-    ReplyCallback Cb = std::move(It->second.Cb);
-    S.Slots.erase(It);
+    ReplyCallback Cb = std::move(S.Slots.at(First).Cb);
+    S.Slots.erase(First);
     if (Cb)
       Cb(O);
   }
@@ -872,7 +1002,7 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
 }
 
 void StreamTransport::reincarnate(SenderStream &S) {
-  assert(S.Broken && "reincarnate of a live stream");
+  PROMISES_CHECK(S.Broken, "reincarnate of a live stream");
   Counters.Restarts->inc();
   if (Reg.enabled())
     Reg.emit({Net.simulation().now(), EventKind::StreamRestart, Node, S.Agent,
@@ -969,13 +1099,15 @@ bool StreamTransport::isBroken(AgentId Agent, net::Address Remote,
 
 size_t StreamTransport::armedTimerCount() const {
   size_t N = 0;
-  for (const auto &[K, S] : Senders)
-    N += static_cast<size_t>(S->FlushTimerArmed) +
-         static_cast<size_t>(S->RetransTimerArmed) +
-         static_cast<size_t>(S->AckTimerArmed);
-  for (const auto &[K, R] : Receivers)
-    N += static_cast<size_t>(R->ReplyFlushTimerArmed) +
-         static_cast<size_t>(R->AckTimerArmed);
+  for (const auto &[Addr2, Sh] : SenderShards)
+    for (const auto &[SK, S] : Sh.Streams)
+      N += static_cast<size_t>(S->FlushTimerArmed) +
+           static_cast<size_t>(S->RetransTimerArmed) +
+           static_cast<size_t>(S->AckTimerArmed);
+  for (const auto &[Addr2, Sh] : ReceiverShards)
+    for (const auto &[SK, R] : Sh.Streams)
+      N += static_cast<size_t>(R->ReplyFlushTimerArmed) +
+           static_cast<size_t>(R->AckTimerArmed);
   for (const auto &[K, B] : Breakers)
     N += static_cast<size_t>(B.ProbeTimerArmed);
   return N;
@@ -983,8 +1115,9 @@ size_t StreamTransport::armedTimerCount() const {
 
 size_t StreamTransport::brokenSenderStreamCount() const {
   size_t N = 0;
-  for (const auto &[K, S] : Senders)
-    N += static_cast<size_t>(S->Broken);
+  for (const auto &[Addr2, Sh] : SenderShards)
+    for (const auto &[SK, S] : Sh.Streams)
+      N += static_cast<size_t>(S->Broken);
   return N;
 }
 
@@ -1065,8 +1198,9 @@ void StreamTransport::sendBreakerProbe(const SenderKey &K, Breaker &B) {
   // Probe at the newest incarnation this endpoint knows about so the
   // receiver's stale-incarnation filter lets it through.
   Incarnation Inc = B.ProbeInc;
-  if (auto It = Senders.find(K); It != Senders.end())
-    Inc = It->second->Inc;
+  if (SenderStream *S =
+          findSender(std::get<0>(K), std::get<1>(K), std::get<2>(K)))
+    Inc = S->Inc;
   else if (auto RIt = Retired.find(K); RIt != Retired.end())
     Inc = RIt->second.Inc;
   B.State = 2; // Half-open: one probe in flight, any reply closes.
@@ -1108,15 +1242,14 @@ Seq StreamTransport::outstandingCalls(AgentId Agent, net::Address Remote,
 
 StreamTransport::ReceiverStream &
 StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
-  ReceiverKey Key{From, M.Agent, M.Group};
-  auto &Slot = Receivers[Key];
+  auto &Slot = ReceiverShards[From].Streams[StreamKey{M.Agent, M.Group}];
   if (Slot && Slot->Inc == M.Inc)
     return *Slot;
   if (Slot) {
     // A newer incarnation replaces the old one; the old stream is dead
     // (its completions will be dropped). Its timers capture the old
     // object, so cancel them before destroying it.
-    assert(M.Inc > Slot->Inc && "caller filters stale incarnations");
+    PROMISES_CHECK(M.Inc > Slot->Inc, "caller filters stale incarnations");
     sim::Simulation &Sim = Net.simulation();
     if (Slot->ReplyFlushTimerArmed)
       Sim.cancel(Slot->ReplyFlushTimer);
@@ -1141,12 +1274,13 @@ StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
 }
 
 void StreamTransport::handleCallBatch(const net::Address &From,
-                                      const CallBatchMsg &M) {
+                                      CallBatchMsg &M) {
   // Filter stale incarnations before touching state.
-  ReceiverKey Key{From, M.Agent, M.Group};
-  auto Existing = Receivers.find(Key);
-  if (Existing != Receivers.end() && M.Inc < Existing->second->Inc)
-    return;
+  if (ReceiverShard *Sh = findReceiverShard(From)) {
+    auto Existing = Sh->Streams.find(StreamKey{M.Agent, M.Group});
+    if (Existing != Sh->Streams.end() && M.Inc < Existing->second->Inc)
+      return;
+  }
   ReceiverStream &R = getReceiver(From, M);
 
   if (R.Broken) {
@@ -1157,17 +1291,18 @@ void StreamTransport::handleCallBatch(const net::Address &From,
   }
 
   // The sender has consumed replies through AckReplyThrough.
-  R.UnackedReplies.erase(R.UnackedReplies.begin(),
-                         R.UnackedReplies.upper_bound(M.AckReplyThrough));
+  while (!R.UnackedReplies.empty() &&
+         R.UnackedReplies.firstSeq() <= M.AckReplyThrough)
+    R.UnackedReplies.erase(R.UnackedReplies.firstSeq());
 
   bool SawDuplicate = false;
-  for (const CallReq &C : M.Calls) {
-    if (C.S < R.NextExpected || R.Future.count(C.S)) {
+  for (CallReq &C : M.Calls) {
+    if (C.S < R.NextExpected || R.Future.contains(C.S)) {
       Counters.DuplicateCallsDropped->inc();
       SawDuplicate = true;
       continue;
     }
-    R.Future.emplace(C.S, C);
+    R.Future.insert(C.S, std::move(C));
   }
   deliverReadyCalls(R);
 
@@ -1187,9 +1322,9 @@ void StreamTransport::handleCallBatch(const net::Address &From,
 void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
   if (!CallSink)
     return;
-  while (!R.Future.empty() && R.Future.begin()->first == R.NextExpected) {
-    CallReq C = std::move(R.Future.begin()->second);
-    R.Future.erase(R.Future.begin());
+  while (!R.Future.empty() && R.Future.firstSeq() == R.NextExpected) {
+    CallReq C = std::move(R.Future.at(R.NextExpected));
+    R.Future.erase(R.NextExpected);
     ++R.NextExpected;
     if (R.Cancelled.count(C.S)) {
       // Cancelled before delivery: never reaches user code, but still
@@ -1245,8 +1380,11 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
 
 void StreamTransport::handleCancel(const net::Address &From,
                                    const CancelMsg &M) {
-  auto It = Receivers.find(ReceiverKey{From, M.Agent, M.Group});
-  if (It == Receivers.end())
+  ReceiverShard *Sh = findReceiverShard(From);
+  if (!Sh)
+    return;
+  auto It = Sh->Streams.find(StreamKey{M.Agent, M.Group});
+  if (It == Sh->Streams.end())
     return;
   ReceiverStream &R = *It->second;
   if (R.Broken || R.Inc != M.Inc)
@@ -1258,7 +1396,7 @@ void StreamTransport::handleCancel(const net::Address &From,
       R.Cancelled.insert(S);
       continue;
     }
-    if (S <= R.CompletedThrough || R.DoneAhead.count(S) ||
+    if (S <= R.CompletedThrough || R.DoneAhead.contains(S) ||
         R.Cancelled.count(S))
       continue; // Already completed (or already cancelled): too late.
     // Delivered and executing (or gated): destroy the call process like an
@@ -1286,7 +1424,7 @@ void StreamTransport::completeCall(ReceiverStream &R, Seq S, bool NoReply,
                                    std::string Reason) {
   if (R.Broken)
     return; // The break already told the sender everything it will learn.
-  assert(S > R.CompletedThrough && !R.DoneAhead.count(S) &&
+  assert(S > R.CompletedThrough && !R.DoneAhead.contains(S) &&
          "call completed twice");
   // Sends omit normal replies (paper, Section 2); everything else — and
   // exceptional sends — produce an explicit reply.
@@ -1299,18 +1437,19 @@ void StreamTransport::completeCall(ReceiverStream &R, Seq S, bool NoReply,
     W->Payload = std::move(Payload);
     W->Reason = std::move(Reason);
   }
-  R.DoneAhead.emplace(S, std::move(W));
+  R.DoneAhead.insert(S, std::move(W));
   if (FlushReply)
     R.FlushWhenCompleted = std::max(R.FlushWhenCompleted, S);
   // CompletedThrough is the *contiguous* executed prefix; with in-order
   // execution (the default) the map holds exactly one entry here.
   while (!R.DoneAhead.empty() &&
-         R.DoneAhead.begin()->first == R.CompletedThrough + 1) {
-    auto Entry = std::move(R.DoneAhead.begin()->second);
-    R.CompletedThrough = R.DoneAhead.begin()->first;
-    R.DoneAhead.erase(R.DoneAhead.begin());
+         R.DoneAhead.firstSeq() == R.CompletedThrough + 1) {
+    Seq Next = R.DoneAhead.firstSeq();
+    auto Entry = std::move(R.DoneAhead.at(Next));
+    R.DoneAhead.erase(Next);
+    R.CompletedThrough = Next;
     if (Entry)
-      R.UnackedReplies.emplace(R.CompletedThrough, std::move(*Entry));
+      R.UnackedReplies.insert(R.CompletedThrough, std::move(*Entry));
   }
   bool WantFlush = (R.FlushWhenCompleted != 0 &&
                     R.CompletedThrough >= R.FlushWhenCompleted) ||
@@ -1345,13 +1484,13 @@ void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
   // batches — responses to a flush/probe, and break notices — carry the
   // full unacknowledged state so a stalled sender always catches up.
   bool All = ResendAll || Cfg.StateShapedReplies;
-  for (const auto &[S, W] : R.UnackedReplies) {
+  R.UnackedReplies.forEach([&](Seq S, const WireReply &W) {
     if (All || S > R.LastBatchedReply)
       M.Replies.push_back(W);
-  }
+  });
   if (!R.UnackedReplies.empty())
     R.LastBatchedReply = std::max(R.LastBatchedReply,
-                                  R.UnackedReplies.rbegin()->first);
+                                  R.UnackedReplies.lastSeq());
   R.LastSentCompleted = R.CompletedThrough;
   R.LastSentAck = R.NextExpected - 1;
   R.NeedAck = false;
@@ -1444,7 +1583,7 @@ void StreamTransport::breakReceiverStream(uint64_t StreamTag,
 //===----------------------------------------------------------------------===//
 
 void StreamTransport::sendMessage(const net::Address &To, const Message &M) {
-  Net.send(Addr, To, wire::sealFrame(encodeMessage(M), Cfg.FrameChecksums));
+  Net.send(Addr, To, encodeFramedMessage(M, Cfg.FrameChecksums));
 }
 
 void StreamTransport::onDatagram(net::Datagram D) {
@@ -1481,9 +1620,9 @@ void StreamTransport::onDatagram(net::Datagram D) {
       tracef("rx malformed message bytes=%zu", Payload->size());
     return;
   }
-  if (const auto *CB = std::get_if<CallBatchMsg>(&*M))
+  if (auto *CB = std::get_if<CallBatchMsg>(&*M))
     handleCallBatch(D.From, *CB);
-  else if (const auto *RB = std::get_if<ReplyBatchMsg>(&*M))
+  else if (auto *RB = std::get_if<ReplyBatchMsg>(&*M))
     handleReplyBatch(D.From, *RB);
   else
     handleCancel(D.From, std::get<CancelMsg>(*M));

@@ -36,7 +36,13 @@ double Histogram::representative(size_t B) const {
 }
 
 double Histogram::percentile(double P) const {
-  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  // Total function: out-of-range P clamps, NaN maps to the minimum, and
+  // empty histograms return 0.0 — never index buckets from garbage (a
+  // release build with asserts stripped must not walk out of range).
+  if (!(P > 0.0))
+    P = 0.0; // Negative or NaN.
+  else if (P > 100.0)
+    P = 100.0;
   if (Count == 0)
     return 0.0;
   uint64_t Rank = static_cast<uint64_t>((P / 100.0) *

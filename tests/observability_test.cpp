@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 using namespace promises;
@@ -102,6 +103,32 @@ TEST(MetricsRegistry, HistogramPercentilesAreOrderedAndBounded) {
   // Power-of-two buckets: the approximation is within one bucket (2x).
   EXPECT_GE(P50, 250.0);
   EXPECT_LE(P50, 1000.0);
+}
+
+TEST(MetricsRegistry, PercentileIsTotalOnGarbageInput) {
+  // percentile() is fed config- and flag-derived values directly, so it
+  // must be a total function: out-of-range P clamps, NaN maps to the
+  // minimum, and none of them may index buckets out of range in a build
+  // with asserts stripped.
+  MetricsRegistry R;
+  R.setEnabled(true);
+  Histogram &H = R.histogram("test.h");
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  // Empty histogram: every garbage P still returns 0, never a crash.
+  EXPECT_EQ(H.percentile(NaN), 0.0);
+  EXPECT_EQ(H.percentile(-5.0), 0.0);
+  EXPECT_EQ(H.percentile(250.0), 0.0);
+  for (int I = 1; I <= 100; ++I)
+    H.observe(static_cast<double>(I));
+  // Negative and NaN clamp to p0; above-100 clamps to p100.
+  EXPECT_EQ(H.percentile(-5.0), H.percentile(0.0));
+  EXPECT_EQ(H.percentile(NaN), H.percentile(0.0));
+  EXPECT_EQ(H.percentile(250.0), H.percentile(100.0));
+  EXPECT_EQ(H.percentile(std::numeric_limits<double>::infinity()),
+            H.percentile(100.0));
+  // And the clamped extremes stay inside the observed range.
+  EXPECT_GE(H.percentile(0.0), H.min());
+  EXPECT_LE(H.percentile(100.0), H.max());
 }
 
 TEST(MetricsRegistry, EventsGatedAndRecorded) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_hotpath run against the committed baseline.
+
+Usage: check_bench.py <fresh.json> <committed-baseline.json>
+
+Wall-clock ns/call is machine-dependent, so it only fails on a large
+(>25%) regression against the committed number. Allocations per call and
+sealed-payload bytes copied per call are deterministic counts, so they
+must not exceed the committed baseline at all: an extra allocation on
+the hot path is a real change, not noise.
+"""
+import json
+import sys
+
+NS_REGRESSION_LIMIT = 1.25
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <fresh.json> <committed-baseline.json>")
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+    for path in ("rpc", "stream"):
+        f_row, b_row = fresh[path], base[path]
+        ns_f, ns_b = f_row["ns_per_call"], b_row["ns_per_call"]
+        if ns_f > ns_b * NS_REGRESSION_LIMIT:
+            fail(f"{path} ns/call {ns_f:.1f} exceeds baseline "
+                 f"{ns_b:.1f} by more than {NS_REGRESSION_LIMIT:.2f}x")
+        allocs_f = f_row["allocs_per_call"]
+        allocs_b = b_row["allocs_per_call"]
+        if allocs_f > allocs_b:
+            fail(f"{path} allocs/call {allocs_f} exceeds baseline {allocs_b}")
+        copied = f_row["seal_copied_bytes_per_call"]
+        if copied > b_row["seal_copied_bytes_per_call"]:
+            fail(f"{path} seal-copied bytes/call {copied} exceeds baseline")
+        print(f"check_bench: {path}: ns/call {ns_f:.1f} (baseline {ns_b:.1f}), "
+              f"allocs/call {allocs_f} (baseline {allocs_b}), "
+              f"seal-copied {copied}")
+    print("check_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
