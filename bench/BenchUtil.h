@@ -34,14 +34,14 @@ namespace promises::benchutil {
 /// A client and a key-value server on a two-node network.
 struct KvWorld {
   sim::Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<runtime::Guardian> Server, Client;
   apps::KvStore Kv;
 
   explicit KvWorld(net::NetConfig NC = net::NetConfig(),
                    runtime::GuardianConfig GC = runtime::GuardianConfig(),
                    apps::KvStoreConfig KC = apps::KvStoreConfig()) {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     net::NodeId SN = Net->addNode("server");
     net::NodeId CN = Net->addNode("client");
     Server = std::make_unique<runtime::Guardian>(*Net, SN, "server", GC);

@@ -122,7 +122,7 @@ void BM_TwoPhaseParticipants(benchmark::State &State) {
   const int N = static_cast<int>(State.range(0));
   for (auto _ : State) {
     sim::Simulation S;
-    net::Network Net(S, net::NetConfig{});
+    net::SimNetwork Net(S, net::NetConfig{});
     runtime::Guardian Client(Net, Net.addNode("cl"), "cl");
     std::vector<std::unique_ptr<runtime::Guardian>> Gs;
     std::vector<apps::TxnKv> Kvs;

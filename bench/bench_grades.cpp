@@ -33,13 +33,13 @@ constexpr sim::Time ProduceCost = sim::usec(150);
 
 struct GradesWorld {
   sim::Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> DbG, PrG, Client;
   apps::GradesDb Db;
   apps::Printer Pr;
 
   GradesWorld() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     DbG = std::make_unique<Guardian>(*Net, Net->addNode("db"), "db");
     PrG = std::make_unique<Guardian>(*Net, Net->addNode("pr"), "pr");
     Client = std::make_unique<Guardian>(*Net, Net->addNode("cl"), "cl");

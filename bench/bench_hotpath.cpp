@@ -83,7 +83,7 @@ struct Options {
 /// call and the reply direction.
 struct World {
   sim::Simulation Sim;
-  net::Network Net;
+  net::SimNetwork Net;
   std::unique_ptr<stream::StreamTransport> Client;
   std::unique_ptr<stream::StreamTransport> Server;
   stream::AgentId Agent = 0;

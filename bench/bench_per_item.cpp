@@ -32,13 +32,13 @@ namespace {
 
 struct TwoStageWorld {
   sim::Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> AG, BG, Client;
   HandlerRef<int32_t(int32_t)> StageA;
   HandlerRef<wire::Unit(int32_t)> StageB;
 
   TwoStageWorld() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     AG = std::make_unique<Guardian>(*Net, Net->addNode("a"), "a");
     BG = std::make_unique<Guardian>(*Net, Net->addNode("b"), "b");
     Client = std::make_unique<Guardian>(*Net, Net->addNode("cl"), "cl");

@@ -33,13 +33,13 @@ constexpr sim::Time Service = sim::usec(200);
 
 struct CascadeWorld {
   sim::Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Client;
   std::vector<std::unique_ptr<Guardian>> StageG;
   std::vector<HandlerRef<int32_t(int32_t)>> Stage;
 
   explicit CascadeWorld(int Levels, GuardianConfig GC = GuardianConfig()) {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     Client = std::make_unique<Guardian>(*Net, Net->addNode("client"),
                                         "client", GC);
     for (int L = 0; L < Levels; ++L) {

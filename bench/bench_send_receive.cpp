@@ -32,7 +32,7 @@ void BM_SendReceive(benchmark::State &State) {
   const int N = static_cast<int>(State.range(0));
   for (auto _ : State) {
     sim::Simulation S;
-    net::Network Net(S, net::NetConfig{});
+    net::SimNetwork Net(S, net::NetConfig{});
     Mailbox ServerBox(Net, Net.addNode("server"));
     Mailbox ClientBox(Net, Net.addNode("client"));
 

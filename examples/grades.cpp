@@ -44,7 +44,7 @@ struct StudentInfo {
 /// One self-contained world per run so virtual timings are comparable.
 struct World {
   sim::Simulation S;
-  net::Network Net;
+  net::SimNetwork Net;
   net::NodeId DbNode, PrNode, ClNode;
   Guardian DbG, PrG, Client;
   apps::GradesDb Db;

@@ -20,7 +20,7 @@ using namespace promises::runtime;
 
 int main() {
   sim::Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian MailerG(Net, Net.addNode("mailer"), "mailer");
   Guardian C1(Net, Net.addNode("c1"), "c1");
   Guardian C2(Net, Net.addNode("c2"), "c2");

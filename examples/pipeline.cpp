@@ -39,7 +39,7 @@ struct Stages {
 
 struct World {
   sim::Simulation S;
-  net::Network Net;
+  net::SimNetwork Net;
   Guardian Reader, Computer, Writer, Client;
   Stages St;
   std::vector<int32_t> Written;

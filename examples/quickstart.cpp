@@ -23,7 +23,7 @@ int main() {
   // A simulated network with two nodes: the whole system runs in virtual
   // time, deterministically.
   sim::Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   net::NodeId ServerNode = Net.addNode("server");
   net::NodeId ClientNode = Net.addNode("client");
 

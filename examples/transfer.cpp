@@ -45,7 +45,7 @@ template <> struct Codec<InsufficientFunds> {
 
 int main() {
   sim::Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian Bank(Net, Net.addNode("bank"), "bank");
   Guardian ClientG(Net, Net.addNode("client"), "client");
 

@@ -21,7 +21,7 @@ using namespace promises::runtime;
 
 int main() {
   sim::Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian ServerG(Net, Net.addNode("window-server"), "window-server");
   Guardian ClientG(Net, Net.addNode("client"), "client");
 

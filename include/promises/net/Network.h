@@ -1,23 +1,38 @@
-//===- promises/net/Network.h - Simulated datagram network -----*- C++ -*-===//
+//===- promises/net/Network.h - Datagram network backends ------*- C++ -*-===//
 //
 // Part of the promises project (PLDI 1988 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An unreliable datagram network between simulated nodes, with the cost
-/// model that drives the paper's performance claims:
+/// The datagram network seam (docs/NETWORK.md). `Network` is the abstract
+/// unreliable-datagram service every layer above (StreamTransport,
+/// Guardian, the send/receive baseline) is written against; two backends
+/// implement it:
 ///
-///  * every datagram costs a fixed *kernel-call overhead* plus a per-byte
-///    serialization cost at each side (paper, Section 2: "Buffering allows
-///    us to amortize the overhead of kernel calls and the transmission
-///    delays for messages over several calls"),
-///  * each node's transmit and receive paths are serial resources, so
-///    per-message overheads bound throughput,
-///  * one-way propagation delay bounds RPC latency.
+///  * `SimNetwork` (this file) — the deterministic in-process simulator
+///    with the cost model that drives the paper's performance claims:
 ///
-/// Faults: message loss, duplication, reordering jitter, link partitions,
-/// and node crashes — the raw material for broken streams (Section 2).
+///     - every datagram costs a fixed *kernel-call overhead* plus a
+///       per-byte serialization cost at each side (paper, Section 2:
+///       "Buffering allows us to amortize the overhead of kernel calls and
+///       the transmission delays for messages over several calls"),
+///     - each node's transmit and receive paths are serial resources, so
+///       per-message overheads bound throughput,
+///     - one-way propagation delay bounds RPC latency,
+///
+///    plus seeded fault injection: message loss, duplication, reordering
+///    jitter, bit-flip corruption, link partitions, and node crashes — the
+///    raw material for broken streams (Section 2). The simulator is the
+///    determinism/chaos oracle.
+///
+///  * `UdpNetwork` (net/UdpNetwork.h) — the same service over real
+///    nonblocking UDP sockets and a real-time clock driver; the
+///    measurement plane. Same frames, same transport, real kernel.
+///
+/// The stream transport carries its own integrity (CRC32C frames) and
+/// recovery (retransmission) machinery, so both backends may drop,
+/// duplicate, and reorder freely.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,8 +86,8 @@ struct Datagram {
   wire::Bytes Payload;
 };
 
-/// Cost model and fault parameters. Defaults approximate a late-1980s LAN
-/// RPC system; see DESIGN.md Section 5.
+/// Cost model and fault parameters for the simulated backend. Defaults
+/// approximate a late-1980s LAN RPC system; see DESIGN.md Section 5.
 struct NetConfig {
   sim::Time SendKernelOverhead = sim::usec(50);
   sim::Time RecvKernelOverhead = sim::usec(20);
@@ -102,49 +117,110 @@ struct NetCounters {
   uint64_t BytesSent = 0;           ///< Includes per-datagram header bytes.
 };
 
-/// The simulated network. Owns node state; endpoints are bound to
-/// callbacks that run in scheduler context (they must not block — hand off
-/// to processes via wait queues instead).
+/// The abstract unreliable-datagram backend (docs/NETWORK.md). Owns node
+/// state; endpoints are bound to callbacks that run in scheduler context
+/// (they must not block — hand off to processes via wait queues instead).
+///
+/// The contract every backend provides: datagrams are delivered at most
+/// once per in-flight copy, whole or not at all, to the exact bound
+/// address they were sent to, with the sender's bound address attached —
+/// and may otherwise be lost, duplicated, or reordered arbitrarily.
 class Network {
 public:
-  Network(sim::Simulation &S, NetConfig C = NetConfig());
+  virtual ~Network();
+  Network() = default;
+  Network(const Network &) = delete;
+  Network &operator=(const Network &) = delete;
 
-  sim::Simulation &simulation() { return Sim; }
-  const NetConfig &config() const { return Cfg; }
+  /// The simulation this network delivers into (also its timer source).
+  virtual sim::Simulation &simulation() = 0;
 
-  /// Creates a new node, initially up.
-  NodeId addNode(std::string Name);
+  /// Creates a new node, initially up. Backends may restrict which nodes
+  /// are local (bindable) — see UdpNetwork.
+  virtual NodeId addNode(std::string Name) = 0;
 
   /// Name given to addNode.
-  const std::string &nodeName(NodeId N) const;
+  virtual const std::string &nodeName(NodeId N) const = 0;
 
   /// Binds a fresh port on \p N to \p Handler and returns its address.
-  Address bind(NodeId N, std::function<void(Datagram)> Handler);
+  virtual Address bind(NodeId N, std::function<void(Datagram)> Handler) = 0;
 
   /// Removes a binding; datagrams to it are counted as dropped.
-  void unbind(Address A);
+  virtual void unbind(Address A) = 0;
 
-  /// Sends \p Payload from \p From to \p To, applying the cost model and
-  /// fault processes. Callable from process or scheduler context; never
-  /// blocks (costs are modeled as resource occupancy, not caller delay).
-  void send(Address From, Address To, wire::Bytes Payload);
-
-  /// --- Faults ---
+  /// Sends \p Payload from \p From to \p To. Callable from process or
+  /// scheduler context; never blocks (costs are modeled as resource
+  /// occupancy or absorbed by per-peer send queues, not caller delay).
+  virtual void send(Address From, Address To, wire::Bytes Payload) = 0;
 
   /// Takes a node down: all its bindings are removed, in-flight traffic to
   /// and from it is dropped, and crash observers fire.
-  void crash(NodeId N);
+  virtual void crash(NodeId N) = 0;
 
   /// Brings a crashed node back up (with no bindings). The node enters a
   /// new epoch and port numbering restarts from 1, so addresses bound
   /// before the crash are permanently dead even if their port numbers are
   /// reused by the new incarnation.
-  void restart(NodeId N);
+  virtual void restart(NodeId N) = 0;
 
-  bool isUp(NodeId N) const;
+  virtual bool isUp(NodeId N) const = 0;
 
   /// Current incarnation of \p N (0 until the first restart).
-  uint32_t nodeEpoch(NodeId N) const;
+  virtual uint32_t nodeEpoch(NodeId N) const = 0;
+
+  /// Registers a callback to run (in scheduler context) when \p N crashes.
+  virtual void onCrash(NodeId N, std::function<void()> Cb) = 0;
+
+  /// Network-wide and per-node counter snapshots (thin views of the
+  /// registry cells; see simulation().metrics() for the registry itself).
+  virtual NetCounters counters() const = 0;
+  virtual NetCounters counters(NodeId N) const = 0;
+
+protected:
+  /// Registry-backed counter cells behind one NetCounters view; shared by
+  /// the backends so both report under the same metric names.
+  struct CounterCells {
+    Counter *Sent = nullptr;
+    Counter *Delivered = nullptr;
+    Counter *Dropped = nullptr;
+    Counter *Duplicated = nullptr;
+    Counter *Corrupted = nullptr;
+    Counter *Bytes = nullptr;
+    NetCounters view() const {
+      return {Sent->value(),       Delivered->value(), Dropped->value(),
+              Duplicated->value(), Corrupted->value(), Bytes->value()};
+    }
+  };
+
+  /// Binds the six cells against \p Reg under the standard net.* names.
+  static void registerCells(MetricsRegistry &Reg, CounterCells &C,
+                            MetricLabels Labels);
+};
+
+/// The simulated backend: deterministic virtual-time delivery with the
+/// paper's cost model and seeded fault injection.
+class SimNetwork final : public Network {
+public:
+  SimNetwork(sim::Simulation &S, NetConfig C = NetConfig());
+
+  sim::Simulation &simulation() override { return Sim; }
+  const NetConfig &config() const { return Cfg; }
+
+  NodeId addNode(std::string Name) override;
+  const std::string &nodeName(NodeId N) const override;
+  Address bind(NodeId N, std::function<void(Datagram)> Handler) override;
+  void unbind(Address A) override;
+
+  /// Sends \p Payload from \p From to \p To, applying the cost model and
+  /// fault processes.
+  void send(Address From, Address To, wire::Bytes Payload) override;
+
+  /// --- Faults ---
+
+  void crash(NodeId N) override;
+  void restart(NodeId N) override;
+  bool isUp(NodeId N) const override;
+  uint32_t nodeEpoch(NodeId N) const override;
 
   /// Cuts or heals the (symmetric) link between two nodes.
   void setPartitioned(NodeId A, NodeId B, bool Cut);
@@ -154,8 +230,7 @@ public:
   /// Overrides the global loss rate on the (symmetric) link A<->B.
   void setLinkLoss(NodeId A, NodeId B, double Rate);
 
-  /// Registers a callback to run (in scheduler context) when \p N crashes.
-  void onCrash(NodeId N, std::function<void()> Cb);
+  void onCrash(NodeId N, std::function<void()> Cb) override;
 
   /// Adjusts the byte-damage rate at runtime (chaos bursts). A corrupted
   /// copy has 1..CorruptMaxBits of its payload bits flipped in flight; it
@@ -175,10 +250,8 @@ public:
 
   /// --- Introspection ---
 
-  /// Network-wide and per-node counter snapshots (thin views of the
-  /// registry cells; see simulation().metrics() for the registry itself).
-  NetCounters counters() const;
-  NetCounters counters(NodeId N) const;
+  NetCounters counters() const override;
+  NetCounters counters(NodeId N) const override;
 
   /// Virtual time at which a node's transmit path becomes free; the
   /// transmit backlog is max(0, txFreeAt - now).
@@ -190,20 +263,6 @@ public:
   uint64_t staleEpochDrops() const;
 
 private:
-  /// Registry-backed counter cells behind one NetCounters view.
-  struct CounterCells {
-    Counter *Sent = nullptr;
-    Counter *Delivered = nullptr;
-    Counter *Dropped = nullptr;
-    Counter *Duplicated = nullptr;
-    Counter *Corrupted = nullptr;
-    Counter *Bytes = nullptr;
-    NetCounters view() const {
-      return {Sent->value(),       Delivered->value(), Dropped->value(),
-              Duplicated->value(), Corrupted->value(), Bytes->value()};
-    }
-  };
-
   struct Node {
     std::string Name;
     bool Up = true;
@@ -223,7 +282,6 @@ private:
 
   Node &node(NodeId N);
   const Node &node(NodeId N) const;
-  void registerCells(CounterCells &C, MetricLabels Labels);
   double lossBetween(NodeId A, NodeId B) const;
   LinkStats &linkStats(NodeId From, NodeId To);
   void countDrop(NodeId From, NodeId To);

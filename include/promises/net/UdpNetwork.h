@@ -1,0 +1,176 @@
+//===- promises/net/UdpNetwork.h - Real UDP socket backend -----*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-socket implementation of the `net::Network` seam
+/// (docs/NETWORK.md): every bound endpoint is a nonblocking UDP socket,
+/// delivery is whatever the kernel's network stack does, and time is wall
+/// time — UdpNetwork doubles as the Simulation's ClockDriver, so the
+/// event loop sleeps in ppoll(2) over the open sockets and transport
+/// timers fire at real nanosecond deadlines.
+///
+/// The byte stream is unchanged: the same 10-byte CRC32C frames the
+/// simulator carries (wire/Frame.h) travel one-per-datagram, so an
+/// unchanged StreamTransport provides sequencing, retransmission, and
+/// integrity on top. The simulator stays the determinism/chaos oracle;
+/// this backend is the measurement plane.
+///
+/// Addressing. A promises `Address` is (node, port, epoch); UDP gives us
+/// (ip, udp-port). The mapping:
+///
+///  * A *local* node's promises port P is a socket bound to udp port
+///    `BasePort + P` (or a kernel-assigned ephemeral port when the node
+///    was added without a base — fine within one process, where the
+///    reverse map is exact).
+///  * A *remote* node (addRemoteNode) is (ip, base): sends to its
+///    promises port P go to udp `base + P`, and datagrams arriving from
+///    (ip, base+P) are attributed to From = {node, P, 0}.
+///
+/// No extra bytes travel on the wire for addressing — the udp source
+/// address carries it. Epochs are meaningful only for nodes local to this
+/// process (crash/restart of a remote process is a real crash; stale
+/// traffic to a reused port is then filtered by the remote side's own
+/// epoch check at bind-lookup time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_NET_UDPNETWORK_H
+#define PROMISES_NET_UDPNETWORK_H
+
+#include "promises/net/Network.h"
+#include "promises/sim/Clock.h"
+
+#include <deque>
+#include <memory>
+#include <poll.h>
+#include <unordered_map>
+
+namespace promises::net {
+
+/// Socket-level configuration for the UDP backend.
+struct UdpConfig {
+  /// Local address every socket binds to. Loopback by default: the smoke
+  /// and bench setups are single-machine; point it at a real interface
+  /// for cross-host runs.
+  std::string BindIp = "127.0.0.1";
+
+  /// Promises ports a node may occupy: node base + PortSpan bounds the
+  /// udp range attributed to it when reverse-mapping datagram sources.
+  uint16_t PortSpan = 256;
+
+  /// Receive buffer size — also the largest datagram accepted. Frames
+  /// are far smaller (MaxBatchBytes), so 64 KiB is generous.
+  size_t MaxDatagramBytes = 64 * 1024;
+
+  /// Per-socket cap on datagrams parked after EAGAIN/ENOBUFS; overflow
+  /// is dropped (and counted) like any other loss.
+  size_t MaxSendQueue = 4096;
+
+  /// SO_SNDBUF/SO_RCVBUF request per socket (0 = kernel default).
+  int SocketBufferBytes = 1 << 20;
+};
+
+/// The measurement-plane backend: real UDP sockets, real time.
+///
+/// Construction installs the instance as the Simulation's clock driver
+/// (destruction removes it), flipping run()/runFor() into real-time mode
+/// — see sim/Clock.h for the loop contract. Bound handlers are dispatched
+/// from inside waitFor(), i.e. in scheduler context, exactly like the
+/// simulated backend's delivery events.
+class UdpNetwork final : public Network, public sim::ClockDriver {
+public:
+  UdpNetwork(sim::Simulation &S, UdpConfig C = UdpConfig());
+  ~UdpNetwork() override;
+
+  sim::Simulation &simulation() override { return Sim; }
+  const UdpConfig &config() const { return Cfg; }
+
+  /// Creates a local node whose sockets bind kernel-assigned ephemeral
+  /// ports. Only addressable from within this process (the reverse map is
+  /// this instance's socket table), which is all single-process loopback
+  /// runs — parity tests, bench_netpath — need.
+  NodeId addNode(std::string Name) override;
+
+  /// Creates a local node with a deterministic udp port block: promises
+  /// port P binds udp `Base + P`. Required for cross-process runs, where
+  /// the peer must be able to name this node's ports without asking.
+  NodeId addNode(std::string Name, uint16_t Base);
+
+  /// Registers a node that lives in another process at (\p Ip, \p Base).
+  /// It cannot be bound here; it is a send target and a recognized
+  /// datagram source.
+  NodeId addRemoteNode(std::string Name, std::string Ip, uint16_t Base);
+
+  const std::string &nodeName(NodeId N) const override;
+  Address bind(NodeId N, std::function<void(Datagram)> Handler) override;
+  void unbind(Address A) override;
+  void send(Address From, Address To, wire::Bytes Payload) override;
+
+  /// Closes every socket of a local node and fires crash observers. For a
+  /// remote node it only marks the node down locally (sends drop); the
+  /// remote process's actual life is its own.
+  void crash(NodeId N) override;
+  void restart(NodeId N) override;
+  bool isUp(NodeId N) const override;
+  uint32_t nodeEpoch(NodeId N) const override;
+  void onCrash(NodeId N, std::function<void()> Cb) override;
+
+  NetCounters counters() const override;
+  NetCounters counters(NodeId N) const override;
+
+  /// Datagrams from udp sources no local or remote node accounts for.
+  uint64_t unknownSourceDrops() const;
+
+  /// Datagrams dropped because a socket's send queue overflowed.
+  uint64_t sendQueueDrops() const;
+
+  /// --- ClockDriver ---
+
+  sim::Time now() override { return Wall.now(); }
+
+  /// Sleeps in ppoll over all open sockets for at most \p Timeout,
+  /// dispatching arriving datagrams and draining parked sends first.
+  void waitFor(sim::Time Timeout) override;
+
+private:
+  struct Endpoint; // One bound promises port = one socket.
+  struct NodeRec;
+
+  NodeRec &node(NodeId N);
+  const NodeRec &node(NodeId N) const;
+  NodeId addNodeRec(std::string Name, bool Local, uint16_t Base,
+                    uint32_t RemoteIp);
+  /// Resolves a datagram source (ip, udp port) to a promises address;
+  /// false when no node accounts for it.
+  bool mapSource(uint32_t Ip, uint16_t Port, Address &Out) const;
+  void closeEndpoint(Endpoint &E);
+  /// Receives everything pending on the socket, dispatching handlers. By
+  /// fd so a handler that unbinds endpoints mid-dispatch can't dangle us.
+  void drainRecv(int Fd);
+  void drainSendQueue(Endpoint &E);
+  void rebuildPollSet();
+
+  sim::Simulation &Sim;
+  MetricsRegistry &Reg;
+  UdpConfig Cfg;
+  sim::MonotonicClock Wall;
+  std::vector<NodeRec> Nodes;
+  /// Owning endpoint table by promises address. unique_ptr: endpoints are
+  /// pointed into by the udp reverse map and the poll set.
+  std::map<Address, std::unique_ptr<Endpoint>> Binds;
+  /// Local reverse map: (ip << 16 | udp port) -> endpoint.
+  std::unordered_map<uint64_t, Endpoint *> ByUdp;
+  std::unordered_map<int, Endpoint *> ByFd; ///< Socket fd -> endpoint.
+  std::vector<pollfd> Pfds; ///< Rebuilt from Binds each waitFor.
+  std::vector<uint8_t> RecvBuf;
+  CounterCells Totals;
+  Counter *UnknownSource = nullptr; ///< net.udp_unknown_source_dropped.
+  Counter *QueueDrops = nullptr;    ///< net.udp_send_queue_drops.
+};
+
+} // namespace promises::net
+
+#endif // PROMISES_NET_UDPNETWORK_H

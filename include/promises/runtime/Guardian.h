@@ -66,8 +66,9 @@ public:
   Guardian &operator=(const Guardian &) = delete;
 
   net::Network &network() { return Net; }
+
   const GuardianConfig &config() const { return Cfg; }
-  sim::Simulation &simulation() { return Net.simulation(); }
+  sim::Simulation &simulation() { return Sim; }
   stream::StreamTransport &transport() { return *Transport; }
   net::Address address() const { return Transport->address(); }
   net::NodeId nodeId() const { return Node; }
@@ -256,6 +257,8 @@ private:
   void onNodeCrash();
 
   net::Network &Net;
+  /// Cached from Net at construction (Network::simulation() is virtual).
+  sim::Simulation &Sim;
   net::NodeId Node;
   std::string Name;
   GuardianConfig Cfg;

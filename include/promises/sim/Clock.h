@@ -1,0 +1,71 @@
+//===- promises/sim/Clock.h - Real-time clock driver seam ------*- C++ -*-===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock driver seam that lets the discrete-event kernel run against
+/// wall-clock time (docs/NETWORK.md).
+///
+/// Without a driver installed, the kernel is a pure discrete-event
+/// simulator: run() pops the next event and jumps the virtual clock
+/// straight to it. With a driver installed (Simulation::setClockDriver),
+/// run()/runFor() switch to a *real-time* loop: they drain every event due
+/// at or before the driver's current wall reading, advance the virtual
+/// clock to match, and then sleep in the driver — which is where a real
+/// backend (net::UdpNetwork) polls its sockets and dispatches arriving
+/// datagrams — until the next timer is due or IO wakes it early.
+///
+/// The virtual clock thus tracks wall time but never runs ahead of a
+/// pending event: timers still fire at the exact virtual instant they were
+/// armed for, so transport code (retransmit timers, breakers, deadlines)
+/// is oblivious to which mode it runs in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROMISES_SIM_CLOCK_H
+#define PROMISES_SIM_CLOCK_H
+
+#include "promises/sim/Time.h"
+
+namespace promises::sim {
+
+/// Supplies wall time and bounded blocking to the kernel's real-time run
+/// loop. Implemented by real backends (net::UdpNetwork); the simulated
+/// backend needs none (virtual time is free).
+class ClockDriver {
+public:
+  virtual ~ClockDriver();
+
+  /// Monotonic nanoseconds since the driver's epoch (its construction).
+  /// Must never decrease.
+  virtual Time now() = 0;
+
+  /// Blocks for at most \p Timeout nanoseconds, returning early when
+  /// external work arrives. Runs in scheduler context: the driver may
+  /// dispatch IO directly (deliver datagrams to bound handlers, arm
+  /// timers via Simulation::schedule) before returning. Implementations
+  /// should call Simulation::advanceClockToWall before dispatching so
+  /// handlers observe a fresh now().
+  virtual void waitFor(Time Timeout) = 0;
+};
+
+/// CLOCK_MONOTONIC nanoseconds relative to construction; the standard
+/// epoch source for ClockDriver implementations (a fresh Simulation starts
+/// at virtual time 0, so the driver's epoch must be "now" at setup).
+class MonotonicClock {
+public:
+  MonotonicClock() : Epoch(read()) {}
+
+  /// Nanoseconds since construction.
+  Time now() const { return read() - Epoch; }
+
+private:
+  static Time read();
+  Time Epoch;
+};
+
+} // namespace promises::sim
+
+#endif // PROMISES_SIM_CLOCK_H

@@ -54,6 +54,7 @@ namespace promises::sim {
 class Simulation;
 class WaitQueue;
 class Process;
+class ClockDriver;
 
 namespace detail {
 class ExecutionBackend;
@@ -297,15 +298,38 @@ public:
 
   /// Runs the event loop until no events remain or stop() is called.
   /// Must be called from outside any simulated process.
+  ///
+  /// With a clock driver installed this becomes the real-time loop (see
+  /// sim/Clock.h): it returns at quiescence — no live processes, no armed
+  /// timers, nothing ready — or on stop(). A server that should stay
+  /// alive for unsolicited IO must keep a (blocked) process around.
   void run();
 
   /// Runs until virtual time reaches now()+Duration (or the queue drains,
   /// or stop()). Returns true if events remain. Advances the clock to the
   /// requested horizon even if the queue drains earlier.
+  ///
+  /// With a clock driver installed the horizon is a wall-clock deadline:
+  /// the loop keeps polling the driver for IO until wall time reaches it
+  /// (it does not return early at quiescence — new work can arrive from
+  /// outside).
   bool runFor(Time Duration);
 
   /// Requests that run()/runFor() return after the current event.
   void stop() { StopRequested = true; }
+
+  /// --- Real-time mode (sim/Clock.h; used by net::UdpNetwork) ---
+
+  /// Installs (or, with nullptr, removes) the wall-clock driver. The
+  /// driver must outlive every subsequent run()/runFor() call.
+  void setClockDriver(ClockDriver *D) { Clock = D; }
+  ClockDriver *clockDriver() const { return Clock; }
+
+  /// Advances the virtual clock toward \p Wall, clamped to the earliest
+  /// pending event so dispatch never observes time running backwards.
+  /// Called by clock drivers before dispatching IO mid-wait, and by the
+  /// real-time loop after each drain. No-op when \p Wall is in the past.
+  void advanceClockToWall(Time Wall);
 
   /// --- Callable from inside a simulated process ---
 
@@ -429,6 +453,12 @@ private:
   /// event lies beyond \p Horizon.
   bool step(Time Horizon);
 
+  /// The run()/runFor() body when a clock driver is installed: drain due
+  /// events, advance to wall, sleep in the driver until the next timer.
+  /// Returns when wall time reaches \p Horizon, on stop(), or — only with
+  /// an unbounded horizon — at quiescence.
+  void runRealTime(Time Horizon);
+
   /// Kills all unfinished processes (ignoring critical sections) and
   /// drains; used by the destructor.
   void shutdown();
@@ -443,6 +473,7 @@ private:
   std::unique_ptr<detail::ExecutionBackend> Backend;
 
   Time NowNs = 0;
+  ClockDriver *Clock = nullptr; ///< Non-null => real-time mode.
   bool StopRequested = false;
   bool ShuttingDown = false;
   uint64_t NextProcId = 0;

@@ -42,6 +42,7 @@
 #include "promises/support/Metrics.h"
 #include "promises/support/Rng.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -114,6 +115,20 @@ struct StreamConfig {
   /// ignores.
   bool FrameChecksums = true;
 };
+
+/// Next retransmission timeout after an unproductive round: Cur * Factor,
+/// saturated at Cap (and never below Cur). The product is compared against
+/// the cap while still a double: after ~40 doublings of a 20ms base it
+/// exceeds what uint64_t nanoseconds can hold, and casting such a value is
+/// undefined behavior — in practice it wrapped to a tiny RTO, turning a
+/// long-partitioned endpoint into a retransmit storm. Factors below 1 (and
+/// NaN) are treated as 1.
+inline sim::Time backoffRto(sim::Time Cur, double Factor, sim::Time Cap) {
+  double Next = static_cast<double>(Cur) * std::max(1.0, Factor);
+  if (!(Next < static_cast<double>(Cap)))
+    return Cap;
+  return static_cast<sim::Time>(Next);
+}
 
 /// The sender-visible outcome of one stream call.
 struct ReplyOutcome {
@@ -208,6 +223,9 @@ struct StreamCounters {
   uint64_t MalformedDropped = 0;     ///< Frame-valid datagrams whose message
                                      ///< failed to decode (local encode bug;
                                      ///< chaos treats any as a violation).
+  uint64_t FramesTrailingBytes = 0;  ///< Bytes beyond a frame's declared
+                                     ///< length (datagram padding), dropped
+                                     ///< before decode.
 };
 
 /// One entity's endpoint of the call-stream layer: the sending side of all
@@ -223,7 +241,7 @@ public:
   StreamTransport &operator=(const StreamTransport &) = delete;
 
   net::Network &network() { return Net; }
-  sim::Simulation &simulation() { return Net.simulation(); }
+  sim::Simulation &simulation() { return Sim; }
   net::Address address() const { return Addr; }
   net::NodeId nodeId() const { return Node; }
   const StreamConfig &config() const { return Cfg; }
@@ -475,7 +493,7 @@ private:
         *CallsFulfilled, *CallsBroken, *CallsBlocked, *RetransmittedBytes,
         *CancelsSent, *CallsCancelled, *BreakerFastFails, *BreakerOpens,
         *BreakerCloses, *BreakerProbes, *FramesCorruptDropped,
-        *MalformedDropped;
+        *MalformedDropped, *FramesTrailingBytes;
     Histogram *CallLatencyUs;      ///< issue -> outcome, microseconds.
     Histogram *BatchOccupancy;     ///< Calls per fresh call batch.
     Histogram *ReplyOccupancy;     ///< Replies per reply batch.
@@ -485,6 +503,9 @@ private:
   };
 
   net::Network &Net;
+  /// Cached from Net at construction: simulation() is on the hot path of
+  /// every timer and timestamp, and Network::simulation() is virtual.
+  sim::Simulation &Sim;
   net::NodeId Node;
   MetricsRegistry &Reg;
   StreamConfig Cfg;

@@ -184,9 +184,20 @@ inline Bytes finishFrame(Encoder &E, bool Checksum = true) {
 /// (if non-null) set to the rejection cause. Never reads past the buffer
 /// and never allocates before the length has been validated against both
 /// the actual frame size and MaxFramePayloadBytes.
+///
+/// By default the buffer must be exactly one frame — any size mismatch is
+/// BadLength. Passing \p TrailingBytes switches to the tolerant mode real
+/// datagram transports need: some stacks pad a datagram past the sender's
+/// length (and a buggy peer could append garbage), so a buffer *longer*
+/// than the declared frame is accepted, the excess bytes are dropped
+/// (never handed to the decoder, never checksummed), and their count is
+/// reported through the out-param for the caller to account (the
+/// net.frames_trailing_bytes counter). A buffer shorter than declared is
+/// still BadLength in both modes.
 inline std::optional<Bytes> openFrame(const Bytes &Frame,
                                       bool VerifyChecksum = true,
-                                      FrameError *Err = nullptr) {
+                                      FrameError *Err = nullptr,
+                                      size_t *TrailingBytes = nullptr) {
   auto Reject = [&](FrameError E) -> std::optional<Bytes> {
     if (Err)
       *Err = E;
@@ -194,6 +205,8 @@ inline std::optional<Bytes> openFrame(const Bytes &Frame,
   };
   if (Err)
     *Err = FrameError::None;
+  if (TrailingBytes)
+    *TrailingBytes = 0;
   if (Frame.size() < FrameHeaderBytes)
     return Reject(FrameError::Truncated);
   if (Frame[0] != FrameMagic)
@@ -207,12 +220,18 @@ inline std::optional<Bytes> openFrame(const Bytes &Frame,
   }
   if (Len > MaxFramePayloadBytes)
     return Reject(FrameError::Oversized);
-  if (Frame.size() != FrameHeaderBytes + Len)
+  if (TrailingBytes) {
+    if (Frame.size() < FrameHeaderBytes + Len)
+      return Reject(FrameError::BadLength);
+    *TrailingBytes = Frame.size() - (FrameHeaderBytes + Len);
+  } else if (Frame.size() != FrameHeaderBytes + Len) {
     return Reject(FrameError::BadLength);
+  }
   if (VerifyChecksum &&
       crc32c(Frame.data() + FrameHeaderBytes, Len) != Crc)
     return Reject(FrameError::BadChecksum);
-  return Bytes(Frame.begin() + FrameHeaderBytes, Frame.end());
+  return Bytes(Frame.begin() + FrameHeaderBytes,
+               Frame.begin() + FrameHeaderBytes + Len);
 }
 
 } // namespace promises::wire

@@ -283,7 +283,7 @@ struct World {
   ChaosOptions O;
   ChaosPlan Plan;
   sim::Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::vector<ServerSlot> Slots;
   std::vector<net::NodeId> ClientNodes;
   std::vector<std::unique_ptr<runtime::Guardian>> ServerGuardians;
@@ -328,7 +328,7 @@ World::World(const ChaosOptions &Opt)
     NC.ReorderRate = ChaosReorderRate;
     NC.ReorderMax = ChaosReorderMax;
   }
-  Net = std::make_unique<net::Network>(S, NC);
+  Net = std::make_unique<net::SimNetwork>(S, NC);
 
   Slots.resize(O.Servers);
   for (size_t I = 0; I != O.Servers; ++I)

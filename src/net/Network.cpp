@@ -1,4 +1,4 @@
-//===- Network.cpp - Simulated datagram network ---------------------------===//
+//===- Network.cpp - Simulated datagram network backend -------------------===//
 //
 // Part of the promises project (PLDI 1988 reproduction).
 //
@@ -15,7 +15,10 @@ using namespace promises;
 using namespace promises::net;
 using sim::Time;
 
-void Network::registerCells(CounterCells &C, MetricLabels Labels) {
+Network::~Network() = default;
+
+void Network::registerCells(MetricsRegistry &Reg, CounterCells &C,
+                            MetricLabels Labels) {
   C.Sent = &Reg.counter("net.datagrams_sent", Labels);
   C.Delivered = &Reg.counter("net.datagrams_delivered", Labels);
   C.Dropped = &Reg.counter("net.datagrams_dropped", Labels);
@@ -24,34 +27,36 @@ void Network::registerCells(CounterCells &C, MetricLabels Labels) {
   C.Bytes = &Reg.counter("net.bytes_sent", std::move(Labels));
 }
 
-Network::Network(sim::Simulation &S, NetConfig C)
+SimNetwork::SimNetwork(sim::Simulation &S, NetConfig C)
     : Sim(S), Reg(S.metrics()), Cfg(C), Rand(C.Seed) {
-  registerCells(Totals, {});
+  registerCells(Reg, Totals, {});
   StaleDrops = &Reg.counter("net.datagrams_stale_dropped", {});
 }
 
-NodeId Network::addNode(std::string Name) {
+NodeId SimNetwork::addNode(std::string Name) {
   NodeId N = static_cast<NodeId>(Nodes.size());
   Nodes.push_back(Node{});
   Nodes.back().Name = std::move(Name);
-  registerCells(Nodes.back().Counters,
+  registerCells(Reg, Nodes.back().Counters,
                 {{"node", Nodes.back().Name}, {"id", strprintf("%u", N)}});
   return N;
 }
 
-Network::Node &Network::node(NodeId N) {
+SimNetwork::Node &SimNetwork::node(NodeId N) {
   assert(N < Nodes.size() && "unknown node");
   return Nodes[N];
 }
 
-const Network::Node &Network::node(NodeId N) const {
+const SimNetwork::Node &SimNetwork::node(NodeId N) const {
   assert(N < Nodes.size() && "unknown node");
   return Nodes[N];
 }
 
-const std::string &Network::nodeName(NodeId N) const { return node(N).Name; }
+const std::string &SimNetwork::nodeName(NodeId N) const {
+  return node(N).Name;
+}
 
-Address Network::bind(NodeId N, std::function<void(Datagram)> Handler) {
+Address SimNetwork::bind(NodeId N, std::function<void(Datagram)> Handler) {
   Node &Nd = node(N);
   assert(Nd.Up && "bind on a crashed node");
   Address A{N, Nd.NextPort++, Nd.Epoch};
@@ -59,11 +64,11 @@ Address Network::bind(NodeId N, std::function<void(Datagram)> Handler) {
   return A;
 }
 
-void Network::unbind(Address A) { Binds.erase(A); }
+void SimNetwork::unbind(Address A) { Binds.erase(A); }
 
-bool Network::isUp(NodeId N) const { return node(N).Up; }
+bool SimNetwork::isUp(NodeId N) const { return node(N).Up; }
 
-void Network::setPartitioned(NodeId A, NodeId B, bool Cut) {
+void SimNetwork::setPartitioned(NodeId A, NodeId B, bool Cut) {
   auto Key = std::minmax(A, B);
   if (Cut)
     Partitions.insert({Key.first, Key.second});
@@ -71,27 +76,27 @@ void Network::setPartitioned(NodeId A, NodeId B, bool Cut) {
     Partitions.erase({Key.first, Key.second});
 }
 
-bool Network::isPartitioned(NodeId A, NodeId B) const {
+bool SimNetwork::isPartitioned(NodeId A, NodeId B) const {
   auto Key = std::minmax(A, B);
   return Partitions.count({Key.first, Key.second}) != 0;
 }
 
-void Network::setLinkLoss(NodeId A, NodeId B, double Rate) {
+void SimNetwork::setLinkLoss(NodeId A, NodeId B, double Rate) {
   auto Key = std::minmax(A, B);
   LinkLoss[{Key.first, Key.second}] = Rate;
 }
 
-double Network::lossBetween(NodeId A, NodeId B) const {
+double SimNetwork::lossBetween(NodeId A, NodeId B) const {
   auto Key = std::minmax(A, B);
   auto It = LinkLoss.find({Key.first, Key.second});
   return It != LinkLoss.end() ? It->second : Cfg.LossRate;
 }
 
-void Network::onCrash(NodeId N, std::function<void()> Cb) {
+void SimNetwork::onCrash(NodeId N, std::function<void()> Cb) {
   node(N).CrashObservers.push_back(std::move(Cb));
 }
 
-void Network::crash(NodeId N) {
+void SimNetwork::crash(NodeId N) {
   Node &Nd = node(N);
   if (!Nd.Up)
     return;
@@ -112,7 +117,7 @@ void Network::crash(NodeId N) {
     Cb();
 }
 
-void Network::restart(NodeId N) {
+void SimNetwork::restart(NodeId N) {
   Node &Nd = node(N);
   assert(!Nd.Up && "restart of a node that is up");
   Nd.Up = true;
@@ -127,13 +132,13 @@ void Network::restart(NodeId N) {
     Reg.emit({Sim.now(), EventKind::NodeRestart, N, 0, 0, 0, Nd.Name});
 }
 
-NetCounters Network::counters() const { return Totals.view(); }
+NetCounters SimNetwork::counters() const { return Totals.view(); }
 
-NetCounters Network::counters(NodeId N) const {
+NetCounters SimNetwork::counters(NodeId N) const {
   return node(N).Counters.view();
 }
 
-Network::LinkStats &Network::linkStats(NodeId From, NodeId To) {
+SimNetwork::LinkStats &SimNetwork::linkStats(NodeId From, NodeId To) {
   auto [It, Inserted] = Links.try_emplace({From, To});
   if (Inserted) {
     MetricLabels L{{"link", node(From).Name + "->" + node(To).Name}};
@@ -143,19 +148,19 @@ Network::LinkStats &Network::linkStats(NodeId From, NodeId To) {
   return It->second;
 }
 
-void Network::countDrop(NodeId From, NodeId To) {
+void SimNetwork::countDrop(NodeId From, NodeId To) {
   Totals.Dropped->inc();
   if (Reg.enabled())
     linkStats(From, To).Drops->inc();
 }
 
-uint32_t Network::nodeEpoch(NodeId N) const { return node(N).Epoch; }
+uint32_t SimNetwork::nodeEpoch(NodeId N) const { return node(N).Epoch; }
 
-uint64_t Network::staleEpochDrops() const { return StaleDrops->value(); }
+uint64_t SimNetwork::staleEpochDrops() const { return StaleDrops->value(); }
 
-sim::Time Network::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
+sim::Time SimNetwork::txFreeAt(NodeId N) const { return node(N).TxFreeAt; }
 
-void Network::send(Address From, Address To, wire::Bytes Payload) {
+void SimNetwork::send(Address From, Address To, wire::Bytes Payload) {
   Node &Sender = node(From.Node);
   uint64_t WireBytes = Payload.size() + Cfg.HeaderBytes;
   Totals.Sent->inc();
@@ -223,7 +228,7 @@ void Network::send(Address From, Address To, wire::Bytes Payload) {
   }
 }
 
-void Network::arrive(Datagram D, Time SentAt) {
+void SimNetwork::arrive(Datagram D, Time SentAt) {
   // Conditions are re-checked at arrival so that partitions and crashes
   // that happen while a datagram is in flight still drop it (the source of
   // the paper's *asynchronous* breaks).

@@ -1,0 +1,429 @@
+//===- UdpNetwork.cpp - Real UDP socket backend ---------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/net/UdpNetwork.h"
+
+#include "promises/support/StrUtil.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <ctime>
+#include <unistd.h>
+
+using namespace promises;
+using namespace promises::net;
+
+namespace {
+
+/// IPv4 + UDP header bytes, counted into BytesSent like the simulated
+/// backend's NetConfig::HeaderBytes.
+constexpr uint64_t UdpWireOverhead = 28;
+
+[[noreturn]] void fatal(const char *What) {
+  std::fprintf(stderr, "promises: udp backend: %s: %s\n", What,
+               std::strerror(errno));
+  std::abort();
+}
+
+in_addr parseIp(const std::string &Ip) {
+  in_addr A{};
+  if (::inet_pton(AF_INET, Ip.c_str(), &A) != 1) {
+    std::fprintf(stderr, "promises: udp backend: bad IPv4 address '%s'\n",
+                 Ip.c_str());
+    std::abort();
+  }
+  return A;
+}
+
+uint64_t udpKey(uint32_t Ip, uint16_t Port) {
+  return (static_cast<uint64_t>(Ip) << 16) | Port;
+}
+
+bool sendWouldBlock(int Err) {
+  // ENOBUFS/ENOMEM are transient queue pressure on loopback; parking the
+  // datagram and retrying on POLLOUT beats dropping it.
+  return Err == EAGAIN || Err == EWOULDBLOCK || Err == ENOBUFS ||
+         Err == ENOMEM;
+}
+
+} // namespace
+
+/// One bound promises port: one nonblocking UDP socket plus the datagrams
+/// parked when the kernel's send buffer pushed back.
+struct UdpNetwork::Endpoint {
+  int Fd = -1;
+  Address Addr;
+  uint32_t Ip = 0;      ///< Bound address, network byte order.
+  uint16_t UdpPort = 0; ///< Bound udp port, host byte order.
+  std::function<void(Datagram)> Handler;
+  std::deque<std::pair<sockaddr_in, wire::Bytes>> SendQ;
+};
+
+struct UdpNetwork::NodeRec {
+  std::string Name;
+  bool Up = true;
+  bool Local = true;
+  uint32_t Epoch = 0;
+  uint32_t NextPort = 1;
+  uint16_t Base = 0;     ///< udp base port; 0 = kernel-assigned (local only).
+  uint32_t RemoteIp = 0; ///< Network byte order; remote nodes only.
+  CounterCells Counters;
+  std::vector<std::function<void()>> CrashObservers;
+};
+
+UdpNetwork::UdpNetwork(sim::Simulation &S, UdpConfig C)
+    : Sim(S), Reg(S.metrics()), Cfg(std::move(C)) {
+  registerCells(Reg, Totals, {});
+  UnknownSource = &Reg.counter("net.udp_unknown_source_dropped", {});
+  QueueDrops = &Reg.counter("net.udp_send_queue_drops", {});
+  RecvBuf.resize(Cfg.MaxDatagramBytes);
+  assert(Sim.clockDriver() == nullptr &&
+         "simulation already has a clock driver");
+  Sim.setClockDriver(this);
+}
+
+UdpNetwork::~UdpNetwork() {
+  for (auto &[A, E] : Binds)
+    if (E->Fd >= 0)
+      ::close(E->Fd);
+  if (Sim.clockDriver() == this)
+    Sim.setClockDriver(nullptr);
+}
+
+UdpNetwork::NodeRec &UdpNetwork::node(NodeId N) {
+  assert(N < Nodes.size() && "unknown node");
+  return Nodes[N];
+}
+
+const UdpNetwork::NodeRec &UdpNetwork::node(NodeId N) const {
+  assert(N < Nodes.size() && "unknown node");
+  return Nodes[N];
+}
+
+NodeId UdpNetwork::addNodeRec(std::string Name, bool Local, uint16_t Base,
+                              uint32_t RemoteIp) {
+  NodeId N = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back(NodeRec{});
+  NodeRec &Nd = Nodes.back();
+  Nd.Name = std::move(Name);
+  Nd.Local = Local;
+  Nd.Base = Base;
+  Nd.RemoteIp = RemoteIp;
+  registerCells(Reg, Nd.Counters,
+                {{"node", Nd.Name}, {"id", strprintf("%u", N)}});
+  return N;
+}
+
+NodeId UdpNetwork::addNode(std::string Name) {
+  return addNodeRec(std::move(Name), true, 0, 0);
+}
+
+NodeId UdpNetwork::addNode(std::string Name, uint16_t Base) {
+  assert(Base != 0 && "explicit base port must be nonzero");
+  return addNodeRec(std::move(Name), true, Base, 0);
+}
+
+NodeId UdpNetwork::addRemoteNode(std::string Name, std::string Ip,
+                                 uint16_t Base) {
+  assert(Base != 0 && "remote nodes need a known base port");
+  return addNodeRec(std::move(Name), false, Base, parseIp(Ip).s_addr);
+}
+
+const std::string &UdpNetwork::nodeName(NodeId N) const {
+  return node(N).Name;
+}
+
+Address UdpNetwork::bind(NodeId N, std::function<void(Datagram)> Handler) {
+  NodeRec &Nd = node(N);
+  assert(Nd.Local && "bind on a remote node");
+  assert(Nd.Up && "bind on a crashed node");
+  Address A{N, Nd.NextPort++, Nd.Epoch};
+  if (Nd.Base != 0 && A.Port >= Cfg.PortSpan) {
+    std::fprintf(stderr, "promises: udp backend: node '%s' exhausted its "
+                 "port block (PortSpan=%u)\n",
+                 Nd.Name.c_str(), unsigned(Cfg.PortSpan));
+    std::abort();
+  }
+
+  int Fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    fatal("socket");
+  if (Cfg.SocketBufferBytes > 0) {
+    // Best effort: the kernel clamps to net.core.{r,w}mem_max.
+    (void)::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Cfg.SocketBufferBytes,
+                       sizeof Cfg.SocketBufferBytes);
+    (void)::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Cfg.SocketBufferBytes,
+                       sizeof Cfg.SocketBufferBytes);
+  }
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_addr = parseIp(Cfg.BindIp);
+  Sa.sin_port = htons(Nd.Base != 0
+                          ? static_cast<uint16_t>(Nd.Base + A.Port)
+                          : 0);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof Sa) < 0)
+    fatal("bind");
+  socklen_t SaLen = sizeof Sa;
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sa), &SaLen) < 0)
+    fatal("getsockname");
+
+  auto E = std::make_unique<Endpoint>();
+  E->Fd = Fd;
+  E->Addr = A;
+  E->Ip = Sa.sin_addr.s_addr;
+  E->UdpPort = ntohs(Sa.sin_port);
+  E->Handler = std::move(Handler);
+  ByUdp[udpKey(E->Ip, E->UdpPort)] = E.get();
+  ByFd[Fd] = E.get();
+  Binds[A] = std::move(E);
+  return A;
+}
+
+void UdpNetwork::closeEndpoint(Endpoint &E) {
+  ByUdp.erase(udpKey(E.Ip, E.UdpPort));
+  ByFd.erase(E.Fd);
+  ::close(E.Fd);
+  E.Fd = -1;
+}
+
+void UdpNetwork::unbind(Address A) {
+  auto It = Binds.find(A);
+  if (It == Binds.end())
+    return;
+  closeEndpoint(*It->second);
+  Binds.erase(It);
+}
+
+bool UdpNetwork::isUp(NodeId N) const { return node(N).Up; }
+
+uint32_t UdpNetwork::nodeEpoch(NodeId N) const { return node(N).Epoch; }
+
+void UdpNetwork::onCrash(NodeId N, std::function<void()> Cb) {
+  node(N).CrashObservers.push_back(std::move(Cb));
+}
+
+void UdpNetwork::crash(NodeId N) {
+  NodeRec &Nd = node(N);
+  if (!Nd.Up)
+    return;
+  Nd.Up = false;
+  if (Reg.enabled())
+    Reg.emit({Sim.now(), EventKind::NodeCrash, N, 0, 0, 0, Nd.Name});
+  for (auto It = Binds.begin(); It != Binds.end();) {
+    if (It->first.Node == N) {
+      closeEndpoint(*It->second);
+      It = Binds.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  std::vector<std::function<void()>> Observers;
+  Observers.swap(Nd.CrashObservers);
+  for (auto &Cb : Observers)
+    Cb();
+}
+
+void UdpNetwork::restart(NodeId N) {
+  NodeRec &Nd = node(N);
+  assert(!Nd.Up && "restart of a node that is up");
+  Nd.Up = true;
+  ++Nd.Epoch;
+  Nd.NextPort = 1;
+  if (Reg.enabled())
+    Reg.emit({Sim.now(), EventKind::NodeRestart, N, 0, 0, 0, Nd.Name});
+}
+
+NetCounters UdpNetwork::counters() const { return Totals.view(); }
+
+NetCounters UdpNetwork::counters(NodeId N) const {
+  return node(N).Counters.view();
+}
+
+uint64_t UdpNetwork::unknownSourceDrops() const {
+  return UnknownSource->value();
+}
+
+uint64_t UdpNetwork::sendQueueDrops() const { return QueueDrops->value(); }
+
+void UdpNetwork::send(Address From, Address To, wire::Bytes Payload) {
+  NodeRec &Sender = node(From.Node);
+  uint64_t WireBytes = Payload.size() + UdpWireOverhead;
+  Totals.Sent->inc();
+  Totals.Bytes->inc(WireBytes);
+  Sender.Counters.Sent->inc();
+  Sender.Counters.Bytes->inc(WireBytes);
+
+  if (!Sender.Up) {
+    Totals.Dropped->inc();
+    return;
+  }
+  auto SrcIt = Binds.find(From);
+  if (SrcIt == Binds.end()) {
+    Totals.Dropped->inc();
+    return;
+  }
+
+  sockaddr_in Dst{};
+  Dst.sin_family = AF_INET;
+  NodeRec &Rcv = node(To.Node);
+  if (!Rcv.Up) {
+    // Local knowledge only: a remote peer we *believe* down. An actually
+    // dead remote just never answers — which is also fine.
+    Totals.Dropped->inc();
+    return;
+  }
+  if (Rcv.Local) {
+    // Exact-address lookup: a stale epoch or an unbound port has no
+    // socket, so the datagram is unroutable — the same silent drop the
+    // simulator models. Still a real loopback send would be nicer for
+    // fidelity, but there is no socket to address it to.
+    auto DstIt = Binds.find(To);
+    if (DstIt == Binds.end()) {
+      Totals.Dropped->inc();
+      return;
+    }
+    Dst.sin_addr.s_addr = DstIt->second->Ip;
+    Dst.sin_port = htons(DstIt->second->UdpPort);
+  } else {
+    if (To.Port == 0 || To.Port >= Cfg.PortSpan) {
+      Totals.Dropped->inc();
+      return;
+    }
+    Dst.sin_addr.s_addr = Rcv.RemoteIp;
+    Dst.sin_port = htons(static_cast<uint16_t>(Rcv.Base + To.Port));
+  }
+
+  Endpoint &E = *SrcIt->second;
+  // Anything already parked must go first to preserve per-socket order.
+  if (!E.SendQ.empty()) {
+    if (E.SendQ.size() >= Cfg.MaxSendQueue) {
+      QueueDrops->inc();
+      Totals.Dropped->inc();
+      return;
+    }
+    E.SendQ.emplace_back(Dst, std::move(Payload));
+    return;
+  }
+  ssize_t R = ::sendto(E.Fd, Payload.data(), Payload.size(), 0,
+                       reinterpret_cast<sockaddr *>(&Dst), sizeof Dst);
+  if (R >= 0)
+    return;
+  if (sendWouldBlock(errno)) {
+    E.SendQ.emplace_back(Dst, std::move(Payload));
+    return;
+  }
+  // Hard send error (unreachable, etc.) — a lost datagram; the transport's
+  // retransmission recovers or breaks the stream, as with any loss.
+  Totals.Dropped->inc();
+}
+
+bool UdpNetwork::mapSource(uint32_t Ip, uint16_t Port, Address &Out) const {
+  auto It = ByUdp.find(udpKey(Ip, Port));
+  if (It != ByUdp.end()) {
+    Out = It->second->Addr;
+    return true;
+  }
+  for (NodeId N = 0; N != Nodes.size(); ++N) {
+    const NodeRec &Nd = Nodes[N];
+    if (Nd.Local || Nd.RemoteIp != Ip)
+      continue;
+    if (Port > Nd.Base && Port < Nd.Base + Cfg.PortSpan) {
+      Out = Address{N, static_cast<uint32_t>(Port - Nd.Base), 0};
+      return true;
+    }
+  }
+  return false;
+}
+
+void UdpNetwork::drainRecv(int Fd) {
+  // Bounded per poll round so one busy socket cannot starve the others;
+  // whatever remains re-signals POLLIN on the next round. The endpoint is
+  // re-looked-up per datagram because a handler may unbind sockets.
+  for (int I = 0; I != 64; ++I) {
+    auto FdIt = ByFd.find(Fd);
+    if (FdIt == ByFd.end())
+      return;
+    Endpoint &E = *FdIt->second;
+    sockaddr_in Src{};
+    socklen_t SrcLen = sizeof Src;
+    ssize_t R = ::recvfrom(Fd, RecvBuf.data(), RecvBuf.size(), 0,
+                           reinterpret_cast<sockaddr *>(&Src), &SrcLen);
+    if (R < 0)
+      return; // EAGAIN (or a transient error): nothing more now.
+    Address From;
+    if (!mapSource(Src.sin_addr.s_addr, ntohs(Src.sin_port), From)) {
+      UnknownSource->inc();
+      Totals.Dropped->inc();
+      continue;
+    }
+    Totals.Delivered->inc();
+    node(E.Addr.Node).Counters.Delivered->inc();
+    Datagram D{From, E.Addr,
+               wire::Bytes(RecvBuf.data(), RecvBuf.data() + R)};
+    E.Handler(std::move(D));
+  }
+}
+
+void UdpNetwork::drainSendQueue(Endpoint &E) {
+  while (!E.SendQ.empty()) {
+    auto &[Dst, Bytes] = E.SendQ.front();
+    ssize_t R = ::sendto(E.Fd, Bytes.data(), Bytes.size(), 0,
+                         reinterpret_cast<sockaddr *>(&Dst), sizeof Dst);
+    if (R < 0) {
+      if (sendWouldBlock(errno))
+        return; // Still pushed back; POLLOUT will retry.
+      Totals.Dropped->inc(); // Hard error: drop this one, keep going.
+    }
+    E.SendQ.pop_front();
+  }
+}
+
+void UdpNetwork::rebuildPollSet() {
+  Pfds.clear();
+  for (auto &[A, E] : Binds) {
+    short Ev = POLLIN;
+    if (!E->SendQ.empty())
+      Ev |= POLLOUT;
+    Pfds.push_back(pollfd{E->Fd, Ev, 0});
+  }
+}
+
+void UdpNetwork::waitFor(sim::Time Timeout) {
+  // Bound any one sleep so a pathological timeout can't wedge the loop.
+  Timeout = std::min<sim::Time>(Timeout, sim::sec(1));
+  timespec Ts;
+  Ts.tv_sec = static_cast<time_t>(Timeout / 1000000000ull);
+  Ts.tv_nsec = static_cast<long>(Timeout % 1000000000ull);
+  rebuildPollSet();
+  if (Pfds.empty()) {
+    ::nanosleep(&Ts, nullptr);
+    return;
+  }
+  int N = ::ppoll(Pfds.data(), Pfds.size(), &Ts, nullptr);
+  if (N <= 0)
+    return; // Timeout (or EINTR): the run loop re-derives its deadline.
+  // Handlers scheduled work must see a fresh clock — the virtual now()
+  // went stale while we slept.
+  Sim.advanceClockToWall(Wall.now());
+  for (const pollfd &P : Pfds) {
+    if (P.revents == 0)
+      continue;
+    if (P.revents & POLLOUT) {
+      auto It = ByFd.find(P.fd);
+      if (It != ByFd.end())
+        drainSendQueue(*It->second);
+    }
+    if (P.revents & (POLLIN | POLLERR))
+      drainRecv(P.fd);
+  }
+}

@@ -17,8 +17,8 @@ using namespace promises::runtime;
 
 Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
                    GuardianConfig Cfg)
-    : Net(Net), Node(Node), Name(std::move(Name)), Cfg(Cfg),
-      Reg(Net.simulation().metrics()) {
+    : Net(Net), Sim(Net.simulation()), Node(Node), Name(std::move(Name)),
+      Cfg(Cfg), Reg(Sim.metrics()) {
   MetricLabels L{{"guardian", this->Name},
                  {"node", strprintf("%u", Node)}};
   CallsExec = &Reg.counter("runtime.calls_executed", L);
@@ -65,7 +65,6 @@ void Guardian::onNodeCrash() {
   Crashed = true;
   // The transport registered its crash observer first and has already shut
   // down; all that remains is to kill the guardian's processes.
-  sim::Simulation &Sim = Net.simulation();
   for (const sim::ProcessHandle &P : Procs)
     Sim.kill(P);
 }
@@ -74,7 +73,7 @@ sim::ProcessHandle Guardian::spawnProcess(std::string ProcName,
                                           std::function<void()> Body) {
   assert(!Crashed && "spawnProcess on a crashed guardian");
   sim::ProcessHandle P =
-      Net.simulation().spawn(Name + "/" + ProcName, std::move(Body));
+      Sim.spawn(Name + "/" + ProcName, std::move(Body));
   trackProcess(P);
   return P;
 }
@@ -107,7 +106,7 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
       advanceDomain(SD);
     }
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::CallShed, Node,
+      Reg.emit({Sim.now(), EventKind::CallShed, Node,
                 IC.StreamTag, IC.CallSeq, 0, {}});
     IC.Complete(stream::ReplyStatus::Unavailable, 0, {},
                 core::reasons::Overloaded);
@@ -136,18 +135,18 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
   if (isParallelGroup(Call->Group)) {
     // Explicit override: no gating; the transport reorders completions
     // back into call order for the sender.
-    P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
+    P = Sim.spawn(Name + "/" + PN, [this, Call, &D] {
       Cleanup C{D, Call->CallSeq};
       runCall(*Call);
     });
   } else {
-    P = Net.simulation().spawn(Name + "/" + PN, [this, Call, &D] {
+    P = Sim.spawn(Name + "/" + PN, [this, Call, &D] {
       stream::Seq Mine = Call->CallSeq;
       Cleanup C{D, Mine};
       if (D.DoneThrough + 1 != Mine) {
         auto &Q = D.Waiting[Mine];
         if (!Q)
-          Q = std::make_unique<sim::WaitQueue>(Net.simulation());
+          Q = std::make_unique<sim::WaitQueue>(Sim);
         while (D.DoneThrough + 1 != Mine)
           Q->wait();
         D.Waiting.erase(Mine);
@@ -183,7 +182,7 @@ void Guardian::cancelCall(uint64_t Tag, stream::Seq Sq) {
     // destruction. Erase the Running entry here, not just in the
     // process's cleanup guard: a process killed before its first turn
     // never runs its body, so the guard never fires.
-    Net.simulation().kill(RIt->second);
+    Sim.kill(RIt->second);
     D.Running.erase(RIt);
   }
   if (Sq > D.DoneThrough) {
@@ -213,7 +212,7 @@ void Guardian::creditRetryToken(const net::Address &Remote, double Budget,
 void Guardian::noteRetry(stream::AgentId Agent, int Attempt) {
   Retries->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::CallRetry, Node, Agent,
+    Reg.emit({Sim.now(), EventKind::CallRetry, Node, Agent,
               static_cast<uint64_t>(Attempt), 0, {}});
 }
 
@@ -226,7 +225,6 @@ void Guardian::onStreamDead(uint64_t Tag) {
   if (It == Domains.end())
     return;
   sim::Process *Self = sim::Simulation::current();
-  sim::Simulation &Sim = Net.simulation();
   for (auto &[Seq, PH] : It->second.Running) {
     if (PH.get() == Self)
       continue;
@@ -246,10 +244,10 @@ void Guardian::runCall(stream::IncomingCall &IC) {
   // Deadline check happens at execution start, after any stream-order
   // gating: a call that spent its whole deadline queued behind earlier
   // calls is dropped without running the handler.
-  if (IC.DeadlineNs != 0 && Net.simulation().now() >= IC.DeadlineNs) {
+  if (IC.DeadlineNs != 0 && Sim.now() >= IC.DeadlineNs) {
     DeadlinesExpired->inc();
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::DeadlineExpired, Node,
+      Reg.emit({Sim.now(), EventKind::DeadlineExpired, Node,
                 IC.StreamTag, IC.CallSeq, 0, {}});
     IC.Complete(stream::ReplyStatus::Unavailable, 0, {},
                 core::reasons::DeadlineExpired);

@@ -6,6 +6,8 @@
 
 #include "promises/sim/Simulation.h"
 
+#include "promises/sim/Clock.h"
+
 #include "ExecBackend.h"
 
 #include <algorithm>
@@ -13,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <exception>
 
 using namespace promises::sim;
@@ -70,6 +73,19 @@ bool SimConfig::defaultGuardPages() {
     return E && *E && std::strcmp(E, "0") != 0;
   }();
   return G;
+}
+
+//===----------------------------------------------------------------------===//
+// ClockDriver / MonotonicClock
+//===----------------------------------------------------------------------===//
+
+ClockDriver::~ClockDriver() = default;
+
+Time MonotonicClock::read() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<Time>(Ts.tv_sec) * 1000000000ull +
+         static_cast<Time>(Ts.tv_nsec);
 }
 
 //===----------------------------------------------------------------------===//
@@ -419,6 +435,10 @@ bool Simulation::step(Time Horizon) {
 
 void Simulation::run() {
   assert(!inProcess() && "run() must be called from scheduler context");
+  if (Clock) {
+    runRealTime(UINT64_MAX);
+    return;
+  }
   StopRequested = false;
   while (!StopRequested && step(UINT64_MAX)) {
   }
@@ -426,13 +446,65 @@ void Simulation::run() {
 
 bool Simulation::runFor(Time Duration) {
   assert(!inProcess() && "runFor() must be called from scheduler context");
-  Time Horizon = NowNs + Duration;
+  Time Horizon = Duration < UINT64_MAX - NowNs ? NowNs + Duration : UINT64_MAX;
+  if (Clock) {
+    runRealTime(Horizon);
+    if (!StopRequested && NowNs < Horizon && Horizon != UINT64_MAX)
+      NowNs = Horizon;
+    return LiveTimed != 0;
+  }
   StopRequested = false;
   while (!StopRequested && step(Horizon)) {
   }
   if (!StopRequested && NowNs < Horizon)
     NowNs = Horizon;
   return LiveTimed != 0;
+}
+
+void Simulation::advanceClockToWall(Time Wall) {
+  // Never jump past pending work: an event armed for an earlier instant
+  // must still dispatch at its own time (step() asserts monotonicity).
+  Time Target = Wall;
+  if (TimedEvent *Ev = peekTimed())
+    Target = std::min(Target, Ev->At);
+  if (ReadyHead)
+    Target = std::min(Target, ReadyHead->ReadyAt);
+  if (Target > NowNs)
+    NowNs = Target;
+}
+
+void Simulation::runRealTime(Time Horizon) {
+  StopRequested = false;
+  // An idle tick still polls at this period, bounding how stale the
+  // virtual clock can get while nothing is armed.
+  constexpr Time MaxPoll = msec(100);
+  while (!StopRequested) {
+    Time Wall = std::min(Clock->now(), Horizon);
+    // Dispatch everything due at or before the wall reading, in virtual
+    // order — exactly the simulated loop, just bounded by real time.
+    while (!StopRequested && step(Wall)) {
+    }
+    if (StopRequested)
+      break;
+    advanceClockToWall(Wall);
+    if (Wall >= Horizon)
+      break;
+    // Quiescence exit only for an unbounded run: nothing live means no
+    // local work can ever arise again (unsolicited IO into bound handlers
+    // alone doesn't count — a live server keeps a blocked process). A
+    // bounded run is a serve-this-long request and keeps polling.
+    if (Horizon == UINT64_MAX && !ReadyHead && LiveTimed == 0 &&
+        LiveProcs == 0)
+      break;
+    Time SleepNs = MaxPoll;
+    if (TimedEvent *Ev = peekTimed())
+      SleepNs = Ev->At > Wall ? Ev->At - Wall : 0;
+    if (Horizon != UINT64_MAX)
+      SleepNs = std::min(SleepNs, Horizon - Wall);
+    // The driver polls IO while sleeping and may dispatch datagrams and
+    // arm timers before returning.
+    Clock->waitFor(SleepNs);
+  }
 }
 
 void Simulation::sleep(Time Duration) {

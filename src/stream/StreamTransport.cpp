@@ -237,7 +237,8 @@ struct StreamTransport::ReceiverStream {
 
 StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
                                  StreamConfig Cfg)
-    : Net(Net), Node(Node), Reg(Net.simulation().metrics()), Cfg(Cfg) {
+    : Net(Net), Sim(Net.simulation()), Node(Node),
+      Reg(Sim.metrics()), Cfg(Cfg) {
   Addr = Net.bind(Node, [this](net::Datagram D) { onDatagram(std::move(D)); });
   Net.onCrash(Node, [this] { shutdown(); });
   // (node, port) identifies this transport even with several per node.
@@ -269,6 +270,8 @@ StreamTransport::StreamTransport(net::Network &Net, net::NodeId Node,
   Counters.FramesCorruptDropped =
       &Reg.counter("net.frames_corrupt_dropped", L);
   Counters.MalformedDropped = &Reg.counter("stream.malformed_dropped", L);
+  Counters.FramesTrailingBytes =
+      &Reg.counter("net.frames_trailing_bytes", L);
   Reg.gaugeProbe("breaker.state", [this] {
     return static_cast<double>(openBreakerCount());
   }, L);
@@ -307,7 +310,8 @@ StreamCounters StreamTransport::counters() const {
           Counters.BreakerCloses->value(),
           Counters.BreakerProbes->value(),
           Counters.FramesCorruptDropped->value(),
-          Counters.MalformedDropped->value()};
+          Counters.MalformedDropped->value(),
+          Counters.FramesTrailingBytes->value()};
 }
 
 StreamTransport::~StreamTransport() {
@@ -326,7 +330,6 @@ void StreamTransport::shutdown() {
   Dead = true;
   if (Net.isUp(Node))
     Net.unbind(Addr);
-  sim::Simulation &Sim = Net.simulation();
   // Wake order is scheduling-visible: blocked processes resume in notify
   // order. The pre-sharding node-global map iterated senders in
   // (agent, address, group) key order, so reproduce exactly that order
@@ -442,7 +445,7 @@ StreamTransport::getSender(AgentId A, net::Address R, GroupId G) {
   SenderKey Key = senderKey(A, R, G);
   auto &Slot = senderShard(R).Streams[StreamKey{A, G}];
   if (!Slot) {
-    Slot = std::make_unique<SenderStream>(Net.simulation(), A, R, G);
+    Slot = std::make_unique<SenderStream>(Sim, A, R, G);
     auto It = Retired.find(Key);
     if (It != Retired.end()) {
       // Resurrect the retired stream as the broken stream it was: the
@@ -470,7 +473,7 @@ bool StreamTransport::windowFull(const SenderStream &S) const {
 }
 
 void StreamTransport::blockForWindow(SenderStream &S) {
-  sim::Time T0 = Net.simulation().now();
+  sim::Time T0 = Sim.now();
   Counters.CallsBlocked->inc();
   if (Reg.enabled())
     Reg.emit({T0, EventKind::SenderBlocked, Node, S.Agent, S.Window.size(),
@@ -491,10 +494,10 @@ void StreamTransport::blockForWindow(SenderStream &S) {
     while (!Dead && !S.Broken && windowFull(S))
       S.WindowCv.wait(S.WindowMx);
   }
-  sim::Time Blocked = Net.simulation().now() - T0;
+  sim::Time Blocked = Sim.now() - T0;
   Counters.BlockTimeUs->observe(static_cast<double>(Blocked) / 1e3);
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::SenderUnblocked, Node,
+    Reg.emit({Sim.now(), EventKind::SenderUnblocked, Node,
               S.Agent, S.Window.size(), Blocked, {}});
 }
 
@@ -584,12 +587,12 @@ StreamTransport::issueCall(AgentId Agent, net::Address Remote, GroupId Group,
   SenderStream::Slot Slot;
   Slot.NoReply = NoReply;
   Slot.IsRpc = IsRpc;
-  Slot.IssuedAt = Net.simulation().now();
+  Slot.IssuedAt = Sim.now();
   Slot.Cb = std::move(OnReply);
   S.Slots.insert(Sq, std::move(Slot));
   Counters.CallsIssued->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::CallIssued, Node, Agent, Sq,
+    Reg.emit({Sim.now(), EventKind::CallIssued, Node, Agent, Sq,
               0, {}});
   if (traceEnabled())
     tracef("issue agent=%llu group=%u port=%u seq=%llu%s%s",
@@ -651,7 +654,7 @@ void StreamTransport::transmitNewCalls(SenderStream &S, bool FlushReplies) {
   S.TransmittedThrough = Through;
   S.BufferedBytes = 0;
   if (S.FlushTimerArmed) {
-    Net.simulation().cancel(S.FlushTimer);
+    Sim.cancel(S.FlushTimer);
     S.FlushTimerArmed = false;
   }
   armSenderRetransTimer(S);
@@ -688,7 +691,7 @@ void StreamTransport::sendCallBatch(SenderStream &S, Seq FromSeq,
       Counters.BatchOccupancy->observe(static_cast<double>(M.Calls.size()));
   }
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::CallBatchTx, Node, S.Agent,
+    Reg.emit({Sim.now(), EventKind::CallBatchTx, Node, S.Agent,
               M.Calls.size(), 0, {}});
   if (traceEnabled())
     tracef("tx call-batch agent=%llu inc=%u calls=%zu ack=%llu%s%s",
@@ -702,7 +705,7 @@ void StreamTransport::armSenderFlushTimer(SenderStream &S) {
   if (S.FlushTimerArmed || S.Broken)
     return;
   S.FlushTimerArmed = true;
-  S.FlushTimer = Net.simulation().schedule(Cfg.FlushInterval, [this, &S] {
+  S.FlushTimer = Sim.schedule(Cfg.FlushInterval, [this, &S] {
     S.FlushTimerArmed = false;
     if (Dead || S.Broken)
       return;
@@ -748,7 +751,7 @@ void StreamTransport::armSenderRetransTimer(SenderStream &S) {
     if (Span > 0)
       Delay += static_cast<sim::Time>(RetransRng.below(Span + 1));
   }
-  S.RetransTimer = Net.simulation().schedule(Delay, [this, &S] {
+  S.RetransTimer = Sim.schedule(Delay, [this, &S] {
     S.RetransTimerArmed = false;
     if (Dead || S.Broken)
       return;
@@ -801,9 +804,7 @@ void StreamTransport::onSenderRetransTimer(SenderStream &S) {
   // An unproductive round: back off before the next firing, up to the cap.
   sim::Time Cap = std::max(Cfg.RetransmitTimeoutMax, Cfg.RetransmitTimeout);
   sim::Time Cur = S.CurrentRto ? S.CurrentRto : Cfg.RetransmitTimeout;
-  double Factor = std::max(1.0, Cfg.RetransBackoff);
-  S.CurrentRto = std::min(
-      Cap, static_cast<sim::Time>(static_cast<double>(Cur) * Factor));
+  S.CurrentRto = backoffRto(Cur, Cfg.RetransBackoff, Cap);
   armSenderRetransTimer(S);
 }
 
@@ -811,7 +812,7 @@ void StreamTransport::armSenderAckTimer(SenderStream &S) {
   if (S.AckTimerArmed || S.Broken || Dead)
     return;
   S.AckTimerArmed = true;
-  S.AckTimer = Net.simulation().schedule(Cfg.AckDelay, [this, &S] {
+  S.AckTimer = Sim.schedule(Cfg.AckDelay, [this, &S] {
     S.AckTimerArmed = false;
     if (Dead || S.Broken)
       return;
@@ -922,7 +923,7 @@ void StreamTransport::fulfillInOrder(SenderStream &S) {
     Progress = true;
     Counters.CallsFulfilled->inc();
     if (Reg.enabled()) {
-      sim::Time Now = Net.simulation().now();
+      sim::Time Now = Sim.now();
       sim::Time Lat = Now - Slot->IssuedAt;
       Counters.CallLatencyUs->observe(static_cast<double>(Lat) / 1e3);
       Reg.emit({Slot->IssuedAt, EventKind::CallSpan, Node, S.Agent,
@@ -951,7 +952,7 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
     return;
   Counters.SenderBreaks->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::SenderBreak, Node, S.Agent,
+    Reg.emit({Sim.now(), EventKind::SenderBreak, Node, S.Agent,
               S.Inc, 0, Reason});
   if (traceEnabled())
     tracef("break sender agent=%llu inc=%u %s: %s",
@@ -982,7 +983,6 @@ void StreamTransport::breakSender(SenderStream &S, bool IsFailure,
   S.PendingReplies.clear();
   S.BufferedBytes = 0;
   S.WindowBytes = 0;
-  sim::Simulation &Sim = Net.simulation();
   if (S.FlushTimerArmed) {
     Sim.cancel(S.FlushTimer);
     S.FlushTimerArmed = false;
@@ -1005,7 +1005,7 @@ void StreamTransport::reincarnate(SenderStream &S) {
   PROMISES_CHECK(S.Broken, "reincarnate of a live stream");
   Counters.Restarts->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::StreamRestart, Node, S.Agent,
+    Reg.emit({Sim.now(), EventKind::StreamRestart, Node, S.Agent,
               static_cast<uint64_t>(S.Inc) + 1, 0, {}});
   if (traceEnabled())
     tracef("restart agent=%llu inc=%u->%u",
@@ -1142,7 +1142,7 @@ void StreamTransport::breakerOnTimeoutBreak(const SenderKey &K,
   B.State = 1;
   Counters.BreakerOpens->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::BreakerOpen, Node,
+    Reg.emit({Sim.now(), EventKind::BreakerOpen, Node,
               std::get<0>(K), static_cast<uint64_t>(B.Consecutive), 0, {}});
   if (traceEnabled())
     tracef("breaker open agent=%llu group=%u after %d breaks",
@@ -1163,12 +1163,12 @@ void StreamTransport::breakerOnReply(const SenderKey &K) {
     return;
   B.State = 0;
   if (B.ProbeTimerArmed) {
-    Net.simulation().cancel(B.ProbeTimer);
+    Sim.cancel(B.ProbeTimer);
     B.ProbeTimerArmed = false;
   }
   Counters.BreakerCloses->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::BreakerClose, Node,
+    Reg.emit({Sim.now(), EventKind::BreakerClose, Node,
               std::get<0>(K), 0, 0, {}});
   if (traceEnabled())
     tracef("breaker close agent=%llu group=%u",
@@ -1183,7 +1183,7 @@ void StreamTransport::armBreakerProbe(const SenderKey &K) {
   // The timer fires exactly once (rearmed only by the next fail-fast), so
   // an unreachable endpoint cannot keep the event queue alive forever.
   It->second.ProbeTimer =
-      Net.simulation().schedule(Cfg.BreakerCooldown, [this, K] {
+      Sim.schedule(Cfg.BreakerCooldown, [this, K] {
         auto BIt = Breakers.find(K);
         if (BIt == Breakers.end())
           return;
@@ -1250,14 +1250,13 @@ StreamTransport::getReceiver(const net::Address &From, const CallBatchMsg &M) {
     // (its completions will be dropped). Its timers capture the old
     // object, so cancel them before destroying it.
     PROMISES_CHECK(M.Inc > Slot->Inc, "caller filters stale incarnations");
-    sim::Simulation &Sim = Net.simulation();
     if (Slot->ReplyFlushTimerArmed)
       Sim.cancel(Slot->ReplyFlushTimer);
     if (Slot->AckTimerArmed)
       Sim.cancel(Slot->AckTimer);
     ReceiversByTag.erase(Slot->Tag);
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::StreamSuperseded, Node,
+      Reg.emit({Sim.now(), EventKind::StreamSuperseded, Node,
                 Slot->Tag, M.Inc, 0, {}});
     if (StreamDeadHook)
       StreamDeadHook(Slot->Tag); // Orphaned executions get destroyed.
@@ -1332,7 +1331,7 @@ void StreamTransport::deliverReadyCalls(ReceiverStream &R) {
       // accounting is conserved.
       Counters.CallsCancelled->inc();
       if (Reg.enabled())
-        Reg.emit({Net.simulation().now(), EventKind::CallCancelled, Node,
+        Reg.emit({Sim.now(), EventKind::CallCancelled, Node,
                   R.Tag, C.S, 0, {}});
       if (traceEnabled())
         tracef("cancel tag=%llu seq=%llu (at delivery)",
@@ -1404,7 +1403,7 @@ void StreamTransport::handleCancel(const net::Address &From,
     // Cancelled insert — it is a real completion, not a late duplicate.
     Counters.CallsCancelled->inc();
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::CallCancelled, Node,
+      Reg.emit({Sim.now(), EventKind::CallCancelled, Node,
                 R.Tag, S, 0, {}});
     if (traceEnabled())
       tracef("cancel tag=%llu seq=%llu (executing)",
@@ -1494,7 +1493,6 @@ void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
   R.LastSentCompleted = R.CompletedThrough;
   R.LastSentAck = R.NextExpected - 1;
   R.NeedAck = false;
-  sim::Simulation &Sim = Net.simulation();
   if (R.ReplyFlushTimerArmed) {
     Sim.cancel(R.ReplyFlushTimer);
     R.ReplyFlushTimerArmed = false;
@@ -1506,7 +1504,7 @@ void StreamTransport::sendReplyBatch(ReceiverStream &R, bool ResendAll) {
   Counters.ReplyBatchesSent->inc();
   Counters.ReplyOccupancy->observe(static_cast<double>(M.Replies.size()));
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::ReplyBatchTx, Node, R.Tag,
+    Reg.emit({Sim.now(), EventKind::ReplyBatchTx, Node, R.Tag,
               M.Replies.size(), 0, {}});
   if (traceEnabled())
     tracef("tx reply-batch agent=%llu inc=%u replies=%zu ack=%llu ct=%llu%s",
@@ -1523,7 +1521,7 @@ void StreamTransport::armReplyFlushTimer(ReceiverStream &R) {
     return;
   R.ReplyFlushTimerArmed = true;
   R.ReplyFlushTimer =
-      Net.simulation().schedule(Cfg.ReplyFlushInterval, [this, &R] {
+      Sim.schedule(Cfg.ReplyFlushInterval, [this, &R] {
         R.ReplyFlushTimerArmed = false;
         if (Dead)
           return;
@@ -1537,7 +1535,7 @@ void StreamTransport::armReceiverAckTimer(ReceiverStream &R) {
   if (R.AckTimerArmed || R.ReplyFlushTimerArmed || Dead)
     return;
   R.AckTimerArmed = true;
-  R.AckTimer = Net.simulation().schedule(Cfg.AckDelay, [this, &R] {
+  R.AckTimer = Sim.schedule(Cfg.AckDelay, [this, &R] {
     R.AckTimerArmed = false;
     if (Dead)
       return;
@@ -1564,7 +1562,7 @@ void StreamTransport::breakReceiverStream(uint64_t StreamTag,
     return;
   Counters.ReceiverBreaks->inc();
   if (Reg.enabled())
-    Reg.emit({Net.simulation().now(), EventKind::ReceiverBreak, Node,
+    Reg.emit({Sim.now(), EventKind::ReceiverBreak, Node,
               StreamTag, 0, 0, Reason});
   if (traceEnabled())
     tracef("break receiver tag=%llu: %s",
@@ -1593,13 +1591,19 @@ void StreamTransport::onDatagram(net::Datagram D) {
   // header checks out and (unless the ablation knob disabled it) the
   // checksum matches. A rejected frame is indistinguishable from a lost
   // datagram — the retransmit path recovers it.
+  // Tolerant of trailing bytes: real datagram stacks can pad past the
+  // sender's length, so excess beyond the declared frame is dropped and
+  // counted rather than rejecting the (intact) frame in front of it.
   wire::FrameError FE = wire::FrameError::None;
+  size_t Trailing = 0;
   std::optional<wire::Bytes> Payload =
-      wire::openFrame(D.Payload, Cfg.FrameChecksums, &FE);
+      wire::openFrame(D.Payload, Cfg.FrameChecksums, &FE, &Trailing);
+  if (Trailing != 0)
+    Counters.FramesTrailingBytes->inc(Trailing);
   if (!Payload) {
     Counters.FramesCorruptDropped->inc();
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::FrameCorruptDropped, Node,
+      Reg.emit({Sim.now(), EventKind::FrameCorruptDropped, Node,
                 Addr.Port, D.Payload.size(), 0, wire::frameErrorName(FE)});
     if (traceEnabled())
       tracef("rx frame dropped (%s) bytes=%zu", wire::frameErrorName(FE),
@@ -1614,7 +1618,7 @@ void StreamTransport::onDatagram(net::Datagram D) {
     // occurrence as a violation.
     Counters.MalformedDropped->inc();
     if (Reg.enabled())
-      Reg.emit({Net.simulation().now(), EventKind::FrameCorruptDropped, Node,
+      Reg.emit({Sim.now(), EventKind::FrameCorruptDropped, Node,
                 Addr.Port, Payload->size(), 0, "malformed message"});
     if (traceEnabled())
       tracef("rx malformed message bytes=%zu", Payload->size());

@@ -7,6 +7,7 @@
 #include "promises/support/Metrics.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
@@ -242,6 +243,13 @@ void writeLabelsJson(std::ostream &OS, const MetricLabels &Labels) {
   OS << "}";
 }
 
+/// JSON has no spelling for nan/inf: the default operator<< would emit
+/// them as bare tokens and make the whole line unparseable to a strict
+/// reader (Python json, jq). A histogram fed a NaN sample, or a gauge
+/// probe dividing by zero, poisons every downstream aggregate — render
+/// any non-finite value as 0 so one bad sample cannot corrupt an export.
+double finiteOrZero(double V) { return std::isfinite(V) ? V : 0.0; }
+
 std::string labelsText(const MetricLabels &Labels) {
   if (Labels.empty())
     return "";
@@ -265,16 +273,19 @@ void MetricsRegistry::writeSummary(std::ostream &OS) const {
       OS << I.C->value();
       break;
     case Type::Gauge:
-      OS << I.G->value();
+      OS << finiteOrZero(I.G->value());
       break;
     case Type::Histogram:
       if (I.H->count() == 0) {
         OS << "(no samples)";
       } else {
-        OS << "count " << I.H->count() << ", mean " << I.H->mean()
-           << ", min " << I.H->min() << ", p50 " << I.H->percentile(50)
-           << ", p90 " << I.H->percentile(90) << ", p99 "
-           << I.H->percentile(99) << ", max " << I.H->max();
+        OS << "count " << I.H->count() << ", mean "
+           << finiteOrZero(I.H->mean()) << ", min "
+           << finiteOrZero(I.H->min()) << ", p50 "
+           << finiteOrZero(I.H->percentile(50)) << ", p90 "
+           << finiteOrZero(I.H->percentile(90)) << ", p99 "
+           << finiteOrZero(I.H->percentile(99)) << ", max "
+           << finiteOrZero(I.H->max());
       }
       break;
     }
@@ -308,14 +319,17 @@ void MetricsRegistry::writeJsonLines(std::ostream &OS) const {
       OS << ",\"value\":" << I.C->value();
       break;
     case Type::Gauge:
-      OS << ",\"value\":" << I.G->value();
+      OS << ",\"value\":" << finiteOrZero(I.G->value());
       break;
     case Type::Histogram:
-      OS << ",\"count\":" << I.H->count() << ",\"sum\":" << I.H->sum()
-         << ",\"min\":" << I.H->min() << ",\"max\":" << I.H->max()
-         << ",\"mean\":" << I.H->mean() << ",\"p50\":" << I.H->percentile(50)
-         << ",\"p90\":" << I.H->percentile(90)
-         << ",\"p99\":" << I.H->percentile(99);
+      OS << ",\"count\":" << I.H->count()
+         << ",\"sum\":" << finiteOrZero(I.H->sum())
+         << ",\"min\":" << finiteOrZero(I.H->min())
+         << ",\"max\":" << finiteOrZero(I.H->max())
+         << ",\"mean\":" << finiteOrZero(I.H->mean())
+         << ",\"p50\":" << finiteOrZero(I.H->percentile(50))
+         << ",\"p90\":" << finiteOrZero(I.H->percentile(90))
+         << ",\"p99\":" << finiteOrZero(I.H->percentile(99));
       break;
     }
     OS << "}\n";

@@ -23,11 +23,11 @@ namespace {
 struct AppsFixture : ::testing::Test {
   Simulation S;
   net::NetConfig NC;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     Server = std::make_unique<Guardian>(*Net, Net->addNode("server"),
                                         "server");
     Client = std::make_unique<Guardian>(*Net, Net->addNode("client"),

@@ -18,13 +18,13 @@ namespace {
 
 struct TwoPhaseFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> GA, GB, Client;
   net::NodeId NA = 0, NB = 0;
   TxnKv KvA, KvB;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     GuardianConfig GC;
     GC.Stream.RetransmitTimeout = msec(10);
     GC.Stream.MaxRetries = 2;

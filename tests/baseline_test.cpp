@@ -113,11 +113,11 @@ struct MailboxFixture : ::testing::Test {
   Simulation S;
   net::NetConfig NC;
   stream::StreamConfig SC;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Mailbox> A, B;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     net::NodeId NA = Net->addNode("a");
     net::NodeId NB = Net->addNode("b");
     A = std::make_unique<Mailbox>(*Net, NA, SC);

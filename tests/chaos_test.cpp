@@ -247,7 +247,7 @@ TEST(ChaosDirected, RetransmitsDoNotExecuteOnNewIncarnation) {
   // incarnation executed the call while the client also saw a break.
   Simulation S;
   net::NetConfig NC; // Default 2ms propagation keeps the batch in flight.
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   net::NodeId SN = Net.addNode("server");
   net::NodeId CN = Net.addNode("client");
 

@@ -29,7 +29,7 @@ struct TaxonomyFixture : ::testing::Test {
   net::NetConfig NC;
   GuardianConfig GC;
 
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   net::NodeId SN = 0, CN = 0;
 
@@ -37,7 +37,7 @@ struct TaxonomyFixture : ::testing::Test {
   HandlerRef<wire::Fragile(int32_t)> Brittle;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     SN = Net->addNode("server");
     CN = Net->addNode("client");
     Server = std::make_unique<Guardian>(*Net, SN, "server", GC);

@@ -377,7 +377,7 @@ namespace {
 
 struct EchoWorld {
   sim::Simulation Sim;
-  net::Network Net;
+  net::SimNetwork Net;
   std::unique_ptr<stream::StreamTransport> Client;
   std::unique_ptr<stream::StreamTransport> Server;
   stream::AgentId Agent = 0;

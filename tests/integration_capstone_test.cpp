@@ -33,7 +33,7 @@ TEST(Capstone, FullSystemSurvivesCrashAndFinishes) {
   net::NetConfig NC;
   NC.LossRate = 0.05;
   NC.Seed = 2026;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   GuardianConfig GC;
   GC.Stream.RetransmitTimeout = msec(10);
   GC.Stream.MaxRetries = 3;

@@ -31,7 +31,7 @@ TEST(Integration, GradesPipelineUnderLossPrintsExactly) {
   NC.LossRate = 0.25;
   NC.JitterMax = msec(3);
   NC.Seed = 77;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   Guardian DbG(Net, Net.addNode("db"), "db");
   Guardian PrG(Net, Net.addNode("pr"), "pr");
   Guardian Client(Net, Net.addNode("cl"), "cl");
@@ -79,7 +79,7 @@ TEST(Integration, ServerRestartCompletesWorkload) {
   // after a node restart with a fresh guardian incarnation, the client
   // retries the failed items and completes.
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   net::NodeId SN = Net.addNode("server");
   Guardian Client(Net, Net.addNode("client"), "client");
   GuardianConfig GC;
@@ -126,7 +126,7 @@ TEST(Integration, ServerRestartCompletesWorkload) {
 
 TEST(Integration, ManyWindowsManyClients) {
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian ServerG(Net, Net.addNode("ws"), "ws");
   apps::WindowSystemConfig WC;
   WC.ServiceTime = usec(20);
@@ -167,7 +167,7 @@ TEST(Integration, MixedRpcStreamSendOnOneStream) {
   // All three call forms interleaved on a single stream keep the global
   // call order at the server.
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian Server(Net, Net.addNode("s"), "s");
   Guardian Client(Net, Net.addNode("c"), "c");
   std::vector<int32_t> ServerOrder;
@@ -191,7 +191,7 @@ TEST(Integration, MixedRpcStreamSendOnOneStream) {
 
 TEST(Integration, MailerManyClientsConsistency) {
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian MailerG(Net, Net.addNode("mailer"), "mailer");
   apps::MailerConfig MC;
   MC.ServiceTime = usec(100);
@@ -241,7 +241,7 @@ TEST(Integration, AtomicGradesCompositionAbortsOnPrinterFailure) {
   // aborts the batch — no grades are recorded ("if it is not possible to
   // record all grades, none will be recorded").
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian DbG(Net, Net.addNode("db"), "db");
   Guardian PrG(Net, Net.addNode("pr"), "pr");
   Guardian Client(Net, Net.addNode("cl"), "cl");
@@ -308,7 +308,7 @@ TEST(Integration, OneReplyForManySendsPattern) {
   // of one reply for many calls; we can accomplish this with sends."
   // N sends accumulate server-side; a single RPC fetches the aggregate.
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian Server(Net, Net.addNode("s"), "s");
   Guardian Client(Net, Net.addNode("c"), "c");
   int64_t Acc = 0;
@@ -342,7 +342,7 @@ TEST(Integration, ForkAndStreamComposition) {
   // Forked local workers feed a remote stream; the paper's uniform
   // treatment of local and remote promises.
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   Guardian Server(Net, Net.addNode("s"), "s");
   Guardian Client(Net, Net.addNode("c"), "c");
   apps::KvStore Kv = apps::installKvStore(Server);

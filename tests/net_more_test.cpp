@@ -21,7 +21,7 @@ TEST(NetMore, TxFreeAtExposesBacklog) {
   NetConfig C;
   C.SendKernelOverhead = usec(100);
   C.PerByte = 0;
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   Address Dst = Net.bind(B, [](Datagram) {});
@@ -36,7 +36,7 @@ TEST(NetMore, TxFreeAtExposesBacklog) {
 
 TEST(NetMore, CrashedSenderCannotTransmit) {
   Simulation S;
-  Network Net(S, NetConfig{});
+  SimNetwork Net(S, NetConfig{});
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   int Got = 0;
@@ -51,7 +51,7 @@ TEST(NetMore, CrashedSenderCannotTransmit) {
 
 TEST(NetMore, CrashObserverRegisteredPerIncarnation) {
   Simulation S;
-  Network Net(S, NetConfig{});
+  SimNetwork Net(S, NetConfig{});
   NodeId A = Net.addNode("a");
   int FirstLife = 0, SecondLife = 0;
   Net.onCrash(A, [&] { ++FirstLife; });
@@ -66,7 +66,7 @@ TEST(NetMore, CrashObserverRegisteredPerIncarnation) {
 
 TEST(NetMore, NodeNamesAreKept) {
   Simulation S;
-  Network Net(S, NetConfig{});
+  SimNetwork Net(S, NetConfig{});
   NodeId A = Net.addNode("alpha");
   NodeId B = Net.addNode("beta");
   EXPECT_EQ(Net.nodeName(A), "alpha");
@@ -77,7 +77,7 @@ TEST(NetMore, SelfSendWorks) {
   // Two guardians on one node talk through the loopback-ish path: same
   // cost model applies.
   Simulation S;
-  Network Net(S, NetConfig{});
+  SimNetwork Net(S, NetConfig{});
   NodeId A = Net.addNode("a");
   int Got = 0;
   Address P1 = Net.bind(A, [&](Datagram) { ++Got; });
@@ -91,7 +91,7 @@ TEST(NetMore, HeaderBytesChargedPerDatagram) {
   Simulation S;
   NetConfig C;
   C.HeaderBytes = 32;
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   Address Dst = Net.bind(B, [](Datagram) {});
@@ -110,7 +110,7 @@ TEST(NetMore, ReceiverRxPathSerializes) {
   C.RecvKernelOverhead = usec(100);
   C.PerByte = 0;
   C.Propagation = 0;
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   NodeId R = Net.addNode("r");
@@ -131,7 +131,7 @@ TEST(NetMore, LossAppliesPerCopyOfDuplicates) {
   Simulation S;
   NetConfig C;
   C.DupRate = 1.0;
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   int Got = 0;
@@ -149,7 +149,7 @@ TEST(NetMore, LossAppliesPerCopyOfDuplicates) {
 TEST(NetMore, RestartBumpsEpochAndReusesPorts) {
   Simulation S;
   NetConfig C;
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   Address First = Net.bind(A, [](Datagram) {});
   EXPECT_EQ(Net.nodeEpoch(A), 0u);
@@ -172,7 +172,7 @@ TEST(NetMore, StaleDatagramCannotLandInNewIncarnation) {
   // after a crash/restart. It must be dropped (and counted) instead.
   Simulation S;
   NetConfig C; // Default 2ms propagation keeps it in flight past 1ms.
-  Network Net(S, C);
+  SimNetwork Net(S, C);
   NodeId A = Net.addNode("a");
   NodeId B = Net.addNode("b");
   int OldGot = 0, NewGot = 0;

@@ -28,11 +28,11 @@ struct NetFixture : ::testing::Test {
   Simulation S;
   NetConfig Cfg;
   void buildNet() {
-    Net = std::make_unique<Network>(S, Cfg);
+    Net = std::make_unique<SimNetwork>(S, Cfg);
     A = Net->addNode("a");
     B = Net->addNode("b");
   }
-  std::unique_ptr<Network> Net;
+  std::unique_ptr<SimNetwork> Net;
   NodeId A = 0, B = 0;
 };
 
@@ -101,7 +101,7 @@ TEST_F(NetFixture, OneBigMessageIsCheaperThanManySmall) {
   Time SmallDone = LastSmall;
 
   Simulation S2;
-  Network Net2(S2, Cfg);
+  SimNetwork Net2(S2, Cfg);
   NodeId A2 = Net2.addNode("a");
   NodeId B2 = Net2.addNode("b");
   Address Dst2 = Net2.bind(B2, [&](Datagram) { LastBig = S2.now(); });
@@ -141,7 +141,7 @@ TEST_F(NetFixture, PartialLossIsDeterministicPerSeed) {
 
   // Same seed, same outcome.
   Simulation S2;
-  Network Net2(S2, Cfg);
+  SimNetwork Net2(S2, Cfg);
   NodeId A2 = Net2.addNode("a");
   NodeId B2 = Net2.addNode("b");
   int Got2 = 0;

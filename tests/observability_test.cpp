@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -185,6 +186,196 @@ TEST(MetricsRegistry, ExportersEmitAllInstrumentKinds) {
   EXPECT_NE(T.find("\"dur\":0.5"), std::string::npos);  // 500ns = 0.5us.
 }
 
+namespace strictjson {
+
+// A minimal, deliberately strict JSON value parser: exactly the RFC 8259
+// grammar, nothing more. In particular a number must match
+// -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)? — the bare `nan`, `inf`,
+// and `-nan` tokens iostreams print for non-finite doubles are syntax
+// errors here, exactly as they are to Python's json module and jq. Used
+// to prove the exporters emit machine-parseable output even when the
+// instruments were fed garbage.
+struct Parser {
+  const char *P, *End;
+  bool value() {
+    skipWs();
+    if (P == End)
+      return false;
+    switch (*P) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}')
+      return ++P, true;
+    for (;;) {
+      skipWs();
+      if (P == End || *P != '"' || !string())
+        return false;
+      skipWs();
+      if (P == End || *P++ != ':')
+        return false;
+      if (!value())
+        return false;
+      skipWs();
+      if (P == End)
+        return false;
+      if (*P == '}')
+        return ++P, true;
+      if (*P++ != ',')
+        return false;
+    }
+  }
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']')
+      return ++P, true;
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (P == End)
+        return false;
+      if (*P == ']')
+        return ++P, true;
+      if (*P++ != ',')
+        return false;
+    }
+  }
+  bool string() {
+    ++P; // '"'
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return false;
+        if (*P == 'u') {
+          for (int I = 0; I != 4; ++I)
+            if (++P == End || !std::isxdigit(static_cast<unsigned char>(*P)))
+              return false;
+        }
+      }
+      ++P;
+    }
+    if (P == End)
+      return false;
+    ++P;
+    return true;
+  }
+  bool number() {
+    if (P != End && *P == '-')
+      ++P;
+    if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+      return false;
+    if (*P == '0')
+      ++P;
+    else
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    if (P != End && *P == '.') {
+      ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return true;
+  }
+  bool literal(const char *L) {
+    for (; *L; ++L)
+      if (P == End || *P++ != *L)
+        return false;
+    return true;
+  }
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+};
+
+bool parses(const std::string &S) {
+  Parser Psr{S.data(), S.data() + S.size()};
+  if (!Psr.value())
+    return false;
+  Psr.skipWs();
+  return Psr.P == Psr.End;
+}
+
+} // namespace strictjson
+
+TEST(MetricsRegistry, JsonlStaysParseableUnderNonFiniteInputs) {
+  // Regression: a gauge probe that divides by zero or a histogram fed a
+  // NaN latency used to poison the JSONL export with bare nan/inf tokens,
+  // which strict parsers (Python json, jq, tools/check_bench.py) reject —
+  // one bad sample made the whole metrics file unreadable. Non-finite
+  // aggregates must now be emitted as 0.
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  const double Inf = std::numeric_limits<double>::infinity();
+  MetricsRegistry R;
+  R.setEnabled(true);
+  R.gauge("test.poisoned_gauge").set(NaN);
+  R.gaugeProbe("test.poisoned_probe", [Inf] { return -Inf; });
+  Histogram &H = R.histogram("test.poisoned");
+  H.observe(NaN); // Min/Max/Sum all become NaN.
+  H.observe(Inf);
+  H.observe(4.0);
+  R.histogram("test.empty"); // Registered but never observed.
+
+  std::ostringstream Jsonl;
+  R.writeJsonLines(Jsonl);
+  std::string Line;
+  size_t Lines = 0;
+  std::istringstream In(Jsonl.str());
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(strictjson::parses(Line)) << "unparseable line: " << Line;
+    EXPECT_EQ(Line.find("nan"), std::string::npos) << Line;
+    EXPECT_EQ(Line.find("inf"), std::string::npos) << Line;
+  }
+  EXPECT_EQ(Lines, 4u);
+  EXPECT_NE(Jsonl.str().find("\"name\":\"test.poisoned_gauge\",\"labels\":{},"
+                             "\"value\":0}"),
+            std::string::npos);
+
+  // The human-readable summary must not print bare non-finite tokens
+  // either (it feeds grep-based assertions in CI logs).
+  std::ostringstream Sum;
+  R.writeSummary(Sum);
+  EXPECT_EQ(Sum.str().find("nan"), std::string::npos) << Sum.str();
+  EXPECT_EQ(Sum.str().find("inf"), std::string::npos) << Sum.str();
+
+  // Sanity: the strict parser itself rejects what the old exporter wrote.
+  EXPECT_FALSE(strictjson::parses("{\"value\":nan}"));
+  EXPECT_FALSE(strictjson::parses("{\"value\":-nan}"));
+  EXPECT_FALSE(strictjson::parses("{\"value\":inf}"));
+  EXPECT_TRUE(strictjson::parses("{\"value\":-1.5e-3,\"a\":[0,true,null]}"));
+}
+
 TEST(MetricsRegistry, FileExportersWriteFiles) {
   MetricsRegistry R;
   R.counter("test.c").inc();
@@ -230,7 +421,7 @@ TEST(NetConservation, LossDupJitterQuiescence) {
   NC.DupRate = 0.25;
   NC.JitterMax = usec(500);
   NC.Seed = 7;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   net::NodeId A = Net.addNode("a"), B = Net.addNode("b");
   int Got = 0;
   net::Address Dst = Net.bind(B, [&](net::Datagram) { ++Got; });
@@ -255,13 +446,13 @@ TEST(NetConservation, LossDupJitterQuiescence) {
 
 struct WorldFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   HandlerRef<int32_t(int32_t)> Echo;
   net::NodeId SN = 0;
 
   void build(net::NetConfig NC = net::NetConfig()) {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     GuardianConfig GC;
     GC.Stream.RetransmitTimeout = msec(10);
     GC.Stream.MaxRetries = 2;
@@ -389,12 +580,12 @@ TEST_F(WorldFixture, FulfilledCallEmitsSpanWithLatency) {
 
 struct OrphanFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   HandlerRef<int32_t(int32_t)> SlowWork;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     GuardianConfig GC;
     GC.Stream.RetransmitTimeout = msec(10);
     GC.Stream.MaxRetries = 2;

@@ -69,7 +69,7 @@ FlowResult runSaturating(const FlowParams &FP) {
   NC.LossRate = FP.Loss;
   NC.JitterMax = usec(FP.JitterUs);
   NC.Seed = FP.Seed;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   net::NodeId CN = Net.addNode("client");
   net::NodeId SN = Net.addNode("server");
   StreamConfig SC;

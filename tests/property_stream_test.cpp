@@ -82,7 +82,7 @@ RunResult runWorkload(const FaultParams &FP) {
   NC.DupRate = FP.Dup;
   NC.JitterMax = usec(FP.JitterUs);
   NC.Seed = FP.Seed;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   GuardianConfig GC;
   GC.Stream.MaxBatchCalls = FP.Batch;
   GC.Stream.MaxReplyBatch = FP.Batch;

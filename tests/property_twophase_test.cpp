@@ -39,7 +39,7 @@ TEST_P(TwoPhaseFaultSweep, NeverSilentlyPartial) {
   net::NetConfig NC;
   NC.LossRate = C.Loss;
   NC.Seed = C.Seed;
-  net::Network Net(S, NC);
+  net::SimNetwork Net(S, NC);
   GuardianConfig GC;
   GC.Stream.RetransmitTimeout = msec(10);
   GC.Stream.MaxRetries = 3;

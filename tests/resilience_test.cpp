@@ -31,7 +31,7 @@ struct ResilienceFixture : ::testing::Test {
   GuardianConfig GC;     // Server side.
   GuardianConfig ClientGC; // Client side (breaker knobs live here).
 
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   net::NodeId SN = 0, CN = 0;
 
@@ -40,7 +40,7 @@ struct ResilienceFixture : ::testing::Test {
   HandlerRef<int32_t(int32_t)> Slow;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     SN = Net->addNode("server");
     CN = Net->addNode("client");
     Server = std::make_unique<Guardian>(*Net, SN, "server", GC);

@@ -23,13 +23,13 @@ namespace {
 
 struct OrphanFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   HandlerRef<int32_t(int32_t)> SlowWork;
   int Started = 0, Completed = 0;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     GuardianConfig GC;
     GC.Stream.RetransmitTimeout = msec(10);
     GC.Stream.MaxRetries = 2;

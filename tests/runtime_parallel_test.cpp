@@ -21,14 +21,14 @@ namespace {
 
 struct ParallelFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
   stream::GroupId PGroup = 0;
   HandlerRef<int32_t(int32_t)> Work;
   std::vector<std::string> Log;
 
   void build(sim::Time Service = msec(5)) {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     Server = std::make_unique<Guardian>(*Net, Net->addNode("s"), "s");
     Client = std::make_unique<Guardian>(*Net, Net->addNode("c"), "c");
     PGroup = Server->createGroup();

@@ -23,11 +23,11 @@ namespace {
 
 struct SigFixture : ::testing::Test {
   Simulation S;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<Guardian> Server, Client;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, net::NetConfig{});
+    Net = std::make_unique<net::SimNetwork>(S, net::NetConfig{});
     Server = std::make_unique<Guardian>(*Net, Net->addNode("s"), "s");
     Client = std::make_unique<Guardian>(*Net, Net->addNode("c"), "c");
   }

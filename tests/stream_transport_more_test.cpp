@@ -29,7 +29,7 @@ struct Fixture : ::testing::Test {
   Simulation S;
   net::NetConfig NC;
   StreamConfig SC;
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<StreamTransport> Client, Server;
   net::NodeId CN = 0, SN = 0;
 
@@ -37,7 +37,7 @@ struct Fixture : ::testing::Test {
   std::vector<IncomingCall> Held;
 
   void build(bool HoldCalls = false) {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     CN = Net->addNode("client");
     SN = Net->addNode("server");
     Client = std::make_unique<StreamTransport>(*Net, CN, SC);

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -39,7 +41,7 @@ struct StreamFixture : ::testing::Test {
   net::NetConfig NC;
   StreamConfig SC;
 
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<StreamTransport> Client, Server;
   net::NodeId CN = 0, SN = 0;
 
@@ -48,7 +50,7 @@ struct StreamFixture : ::testing::Test {
   std::map<std::pair<uint64_t, Seq>, int> Deliveries;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     CN = Net->addNode("client");
     SN = Net->addNode("server");
     Client = std::make_unique<StreamTransport>(*Net, CN, SC);
@@ -692,6 +694,48 @@ TEST_F(StreamFixture, ManyCallsLargeScaleStress) {
   }
   for (const auto &[Key, Count] : Deliveries)
     EXPECT_EQ(Count, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// RTO backoff arithmetic (backoffRto)
+//===----------------------------------------------------------------------===//
+
+TEST(RtoBackoff, DoublesBelowTheCap) {
+  EXPECT_EQ(backoffRto(msec(20), 2.0, msec(160)), msec(40));
+  EXPECT_EQ(backoffRto(msec(40), 2.0, msec(160)), msec(80));
+  EXPECT_EQ(backoffRto(msec(80), 2.0, msec(160)), msec(160));
+}
+
+TEST(RtoBackoff, SaturatesAtTheCap) {
+  EXPECT_EQ(backoffRto(msec(160), 2.0, msec(160)), msec(160));
+  EXPECT_EQ(backoffRto(msec(200), 2.0, msec(160)), msec(160));
+}
+
+TEST(RtoBackoff, FactorBelowOneAndNanAreClampedToOne) {
+  EXPECT_EQ(backoffRto(msec(20), 0.5, msec(160)), msec(20));
+  EXPECT_EQ(backoffRto(msec(20), 0.0, msec(160)), msec(20));
+  EXPECT_EQ(backoffRto(msec(20), std::nan(""), msec(160)), msec(20));
+}
+
+TEST(RtoBackoff, SaturatesInsteadOfWrappingAtTheOverflowBoundary) {
+  // 20ms doubled 40 times is ~2.2e16 ms = 2.2e22 ns — far past what
+  // uint64_t nanoseconds can hold. The former min(Cap, Time(double))
+  // expression cast the oversized double first, which is UB (and on
+  // x86-64 yields garbage the min then happily kept). Walk the exact
+  // trajectory a 1.6e19ns cap permits and force the product over 2^64.
+  const Time HugeCap = UINT64_MAX - 1024;
+  Time Rto = msec(20);
+  for (int I = 0; I != 64; ++I) {
+    Time Next = backoffRto(Rto, 2.0, HugeCap);
+    EXPECT_GE(Next, Rto) << "backoff went backwards after " << I
+                         << " rounds (wrapped)";
+    Rto = Next;
+  }
+  EXPECT_EQ(Rto, HugeCap);
+  // At the boundary itself: Cur just below 2^63, doubling crosses 2^64.
+  Time NearHalf = (UINT64_MAX / 2) + 1;
+  EXPECT_EQ(backoffRto(NearHalf, 2.0, HugeCap), HugeCap);
+  EXPECT_EQ(backoffRto(UINT64_MAX, 2.0, UINT64_MAX), UINT64_MAX);
 }
 
 } // namespace

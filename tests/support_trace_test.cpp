@@ -50,7 +50,7 @@ TEST(Trace, SinkReceivesFormattedLines) {
 TEST(Trace, TransportEmitsLifecycleEvents) {
   TraceCapture Cap;
   Simulation S;
-  net::Network Net(S, net::NetConfig{});
+  net::SimNetwork Net(S, net::NetConfig{});
   net::NodeId SN = Net.addNode("s");
   GuardianConfig GC;
   GC.Stream.RetransmitTimeout = msec(10);

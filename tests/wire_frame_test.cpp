@@ -157,6 +157,63 @@ TEST(Frame, ChecksumAblation) {
   EXPECT_EQ(Err, FrameError::BadMagic);
 }
 
+TEST(Frame, TrailingBytesRejectedInStrictMode) {
+  // Without the out-param, any size mismatch — including extra bytes past
+  // the declared payload — is BadLength, byte-for-byte as before.
+  Bytes Frame = sealFrame(bytes({0x10, 0x20, 0x30}));
+  Bytes Padded = Frame;
+  Padded.push_back(0xEE);
+  Padded.push_back(0xFF);
+  FrameError Err = FrameError::None;
+  EXPECT_FALSE(openFrame(Padded, true, &Err).has_value());
+  EXPECT_EQ(Err, FrameError::BadLength);
+}
+
+TEST(Frame, TrailingBytesToleratedAndCounted) {
+  Bytes Payload = bytes({0x10, 0x20, 0x30});
+  Bytes Frame = sealFrame(Payload);
+
+  // Exact-length frame: tolerant mode reports zero trailing bytes.
+  size_t Trailing = 1234;
+  FrameError Err = FrameError::BadMagic;
+  auto Opened = openFrame(Frame, true, &Err, &Trailing);
+  ASSERT_TRUE(Opened.has_value());
+  EXPECT_EQ(*Opened, Payload);
+  EXPECT_EQ(Err, FrameError::None);
+  EXPECT_EQ(Trailing, 0u);
+
+  // Junk appended past the declared length: accepted, payload sliced to
+  // the declared length (the junk never reaches the decoder), and the
+  // excess is reported for the net.frames_trailing_bytes counter.
+  Bytes Padded = Frame;
+  for (uint8_t J : {0xDE, 0xAD, 0xBE, 0xEF, 0x00})
+    Padded.push_back(J);
+  Trailing = 0;
+  Err = FrameError::BadMagic;
+  Opened = openFrame(Padded, true, &Err, &Trailing);
+  ASSERT_TRUE(Opened.has_value());
+  EXPECT_EQ(*Opened, Payload);
+  EXPECT_EQ(Err, FrameError::None);
+  EXPECT_EQ(Trailing, 5u);
+
+  // The trailing bytes are excluded from checksum verification: damaging
+  // them must not turn a valid frame into BadChecksum.
+  Bytes Damaged = Padded;
+  Damaged.back() ^= 0xFF;
+  EXPECT_TRUE(openFrame(Damaged, true, nullptr, &Trailing).has_value());
+  EXPECT_EQ(Trailing, 5u);
+
+  // A buffer shorter than declared is still BadLength in tolerant mode,
+  // and the out-param resets to zero on the reject path.
+  Bytes Short = Frame;
+  Short.pop_back();
+  Trailing = 77;
+  Err = FrameError::None;
+  EXPECT_FALSE(openFrame(Short, true, &Err, &Trailing).has_value());
+  EXPECT_EQ(Err, FrameError::BadLength);
+  EXPECT_EQ(Trailing, 0u);
+}
+
 TEST(Frame, ErrorNamesAreDistinct) {
   EXPECT_STREQ(frameErrorName(FrameError::None), "none");
   EXPECT_STREQ(frameErrorName(FrameError::Truncated), "truncated");

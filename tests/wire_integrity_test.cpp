@@ -45,7 +45,7 @@ struct IntegrityFixture : ::testing::Test {
   net::NetConfig NC;
   StreamConfig SC;
 
-  std::unique_ptr<net::Network> Net;
+  std::unique_ptr<net::SimNetwork> Net;
   std::unique_ptr<StreamTransport> Client, Server;
   net::NodeId CN = 0, SN = 0;
 
@@ -53,7 +53,7 @@ struct IntegrityFixture : ::testing::Test {
   std::map<std::pair<uint64_t, Seq>, int> Deliveries;
 
   void build() {
-    Net = std::make_unique<net::Network>(S, NC);
+    Net = std::make_unique<net::SimNetwork>(S, NC);
     CN = Net->addNode("client");
     SN = Net->addNode("server");
     Client = std::make_unique<StreamTransport>(*Net, CN, SC);

@@ -4,7 +4,7 @@
 //
 // Seed-driven mutation fuzzing of the frame layer and the stream-message
 // decoder (see docs/PROTOCOL.md). Each iteration builds a random but valid
-// stream message, seals it into a frame, and then attacks it one of three
+// stream message, seals it into a frame, and then attacks it one of four
 // ways:
 //
 //  * frame mutation  — damage the sealed frame (bit flips, truncation,
@@ -14,6 +14,10 @@
 //    checksum, modelling a buggy-but-honest sender; openFrame() must
 //    accept, and decodeMessage() must either decode or reject cleanly.
 //    Anything it decodes must survive an encode/decode round trip.
+//  * trailing append — junk bytes appended past a valid sealed frame;
+//    strict openFrame() must reject with BadLength, the tolerant mode
+//    (TrailingBytes out-param) must open to the exact original payload
+//    and report the appended byte count.
 //  * raw garbage     — random bytes of random length; must be rejected.
 //
 // Everything is a pure function of --seed, so a failing run reproduces
@@ -215,6 +219,7 @@ void mutateBytes(Rng &R, wire::Bytes &B) {
 
 struct Tally {
   uint64_t FrameMutations = 0, PayloadMutations = 0, Garbage = 0;
+  uint64_t TrailingAppends = 0;    ///< Junk appended past a valid frame.
   uint64_t Rejected[7] = {}; ///< Indexed by FrameError.
   uint64_t CollisionsSurvived = 0; ///< Damaged frame passed the checksum.
   uint64_t DecodeRejected = 0;     ///< Checksum-valid payload, clean reject.
@@ -255,7 +260,7 @@ int main(int Argc, char **Argv) {
       continue;
     }
 
-    switch (R.below(3)) {
+    switch (R.below(4)) {
     case 0: { // Damage the sealed frame.
       ++T.FrameMutations;
       mutateBytes(R, Frame);
@@ -301,6 +306,33 @@ int main(int Argc, char **Argv) {
         violation(T, I, "decoded message failed canonical round trip");
       break;
     }
+    case 2: { // Append junk past a valid frame (datagram padding model).
+      ++T.TrailingAppends;
+      size_t Extra = 1 + R.below(32);
+      wire::Bytes Padded = Frame;
+      for (size_t J = 0; J != Extra; ++J)
+        Padded.push_back(static_cast<uint8_t>(R.next()));
+      // Strict mode: any size mismatch is BadLength, exactly as before.
+      FE = wire::FrameError::None;
+      if (wire::openFrame(Padded, true, &FE).has_value())
+        violation(T, I, "strict openFrame accepted trailing bytes");
+      else if (FE != wire::FrameError::BadLength)
+        violation(T, I, "trailing bytes rejected with the wrong cause");
+      else
+        ++T.Rejected[static_cast<size_t>(FE)];
+      // Tolerant mode (what a real datagram transport uses): the frame
+      // opens to the exact original payload, the junk is dropped and
+      // counted, and the checksum never covers the appended bytes.
+      size_t Trailing = 0;
+      FE = wire::FrameError::None;
+      std::optional<wire::Bytes> P =
+          wire::openFrame(Padded, true, &FE, &Trailing);
+      if (!P || *P != Payload)
+        violation(T, I, "tolerant openFrame failed on trailing bytes");
+      else if (Trailing != Extra)
+        violation(T, I, "trailing byte count misreported");
+      break;
+    }
     default: { // Raw garbage.
       ++T.Garbage;
       wire::Bytes Junk = randomBytes(R, 64);
@@ -326,6 +358,7 @@ int main(int Argc, char **Argv) {
     std::printf("mutated payloads: %" PRIu64 " (decoded %" PRIu64
                 ", rejected %" PRIu64 ")\n",
                 T.PayloadMutations, T.Decoded, T.DecodeRejected);
+    std::printf("trailing appends: %" PRIu64 "\n", T.TrailingAppends);
     std::printf("garbage frames:   %" PRIu64 "\n", T.Garbage);
     std::printf("rejections by cause:\n");
     for (size_t I = 1; I != 7; ++I)

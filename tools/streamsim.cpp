@@ -10,9 +10,21 @@
 //   streamsim --calls 100 --mode rpc --service-us 500
 //   PROMISES_TRACE=1 streamsim --calls 4 --mode stream
 //
+// With --net udp the same workload runs over real loopback UDP sockets
+// (docs/NETWORK.md) instead of the simulator — either both ends in this
+// process (--role both, the default) or split across two processes:
+//
+//   streamsim --net udp --role server --listen 19000 --peer 127.0.0.1:19100
+//   streamsim --net udp --role client --listen 19100 --peer 127.0.0.1:19000
+//
+// The server serves until the client's quit handshake, then drains for a
+// grace period and prints its own tallies. Fault-injection flags (--loss,
+// --dup, --jitter-us, --crash-at-ms) are simulator-only.
+//
 //===----------------------------------------------------------------------===//
 
 #include "promises/apps/KvStore.h"
+#include "promises/net/UdpNetwork.h"
 #include "promises/runtime/RemoteHandler.h"
 #include "promises/support/StrUtil.h"
 
@@ -51,6 +63,11 @@ struct Options {
   uint64_t BreakerCooldownUs = 50000; ///< Open-state dwell before a probe.
   size_t MaxPending = 0;   ///< Server admission limit; 0 = unbounded.
   bool Metrics = false;   ///< Print the registry summary at exit.
+  std::string Net = "sim";   ///< sim | udp.
+  std::string Role = "both"; ///< both | server | client (udp only).
+  uint16_t ListenBase = 0;   ///< Local udp port base (udp two-process).
+  std::string PeerIp;        ///< Remote process ip (udp two-process).
+  uint16_t PeerBase = 0;     ///< Remote process udp port base.
 
   bool resilienceOn() const {
     return DeadlineUs != 0 || Retries > 1 || BreakerThreshold != 0 ||
@@ -93,6 +110,12 @@ void usage(const char *Argv0) {
       "(default 50000)\n"
       "  --max-pending N   server sheds calls beyond N pending; 0 = "
       "unbounded\n"
+      "  --net N           sim | udp: simulated or real loopback sockets\n"
+      "                    (default sim)\n"
+      "  --role R          both | server | client: udp two-process split\n"
+      "                    (default both = single process)\n"
+      "  --listen BASE     local udp port base (udp server/client roles)\n"
+      "  --peer IP:BASE    the other process's address (udp roles)\n"
       "  --metrics         print the metrics-registry summary at exit\n"
       "  --metrics-out F   write a JSON Lines metrics snapshot to F\n"
       "  --trace-out F     write a chrome://tracing event file to F\n"
@@ -156,7 +179,21 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.BreakerCooldownUs = static_cast<uint64_t>(std::atoll(V));
     else if (!std::strcmp(A, "--max-pending") && (V = Need(A)))
       O.MaxPending = static_cast<size_t>(std::atoll(V));
-    else if (!std::strcmp(A, "--metrics")) {
+    else if (!std::strcmp(A, "--net") && (V = Need(A)))
+      O.Net = V;
+    else if (!std::strcmp(A, "--role") && (V = Need(A)))
+      O.Role = V;
+    else if (!std::strcmp(A, "--listen") && (V = Need(A)))
+      O.ListenBase = static_cast<uint16_t>(std::atoi(V));
+    else if (!std::strcmp(A, "--peer") && (V = Need(A))) {
+      const char *Colon = std::strrchr(V, ':');
+      if (!Colon) {
+        std::fprintf(stderr, "error: --peer wants IP:BASE, got '%s'\n", V);
+        return false;
+      }
+      O.PeerIp.assign(V, Colon - V);
+      O.PeerBase = static_cast<uint16_t>(std::atoi(Colon + 1));
+    } else if (!std::strcmp(A, "--metrics")) {
       O.Metrics = true;
       continue;
     } else if (!std::strcmp(A, "--metrics-out") && (V = Need(A)))
@@ -179,6 +216,35 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                  O.Mode.c_str());
     return false;
   }
+  if (O.Net != "sim" && O.Net != "udp") {
+    std::fprintf(stderr, "error: bad --net '%s' (valid: sim, udp)\n",
+                 O.Net.c_str());
+    return false;
+  }
+  if (O.Role != "both" && O.Role != "server" && O.Role != "client") {
+    std::fprintf(stderr,
+                 "error: bad --role '%s' (valid: both, server, client)\n",
+                 O.Role.c_str());
+    return false;
+  }
+  if (O.Net == "sim" && O.Role != "both") {
+    std::fprintf(stderr, "error: --role needs --net udp\n");
+    return false;
+  }
+  if (O.Net == "udp" &&
+      (O.Loss != 0 || O.Dup != 0 || O.JitterUs != 0 || O.CrashAtMs != 0)) {
+    std::fprintf(stderr, "error: --loss/--dup/--jitter-us/--crash-at-ms are "
+                         "simulator-only (the udp backend is the measurement "
+                         "plane; chaos lives in --net sim)\n");
+    return false;
+  }
+  if (O.Net == "udp" && O.Role != "both" &&
+      (O.ListenBase == 0 || O.PeerIp.empty() || O.PeerBase == 0)) {
+    std::fprintf(stderr, "error: --role %s needs --listen BASE and "
+                         "--peer IP:BASE\n",
+                 O.Role.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -192,12 +258,37 @@ int main(int Argc, char **Argv) {
   sim::Simulation S(sim::SimConfig{.Backend = O.Backend});
   if (O.observabilityOn())
     S.metrics().setEnabled(true);
-  net::NetConfig NC;
-  NC.LossRate = O.Loss;
-  NC.DupRate = O.Dup;
-  NC.JitterMax = sim::usec(O.JitterUs);
-  NC.Seed = O.Seed;
-  net::Network Net(S, NC);
+
+  // Backend selection: both implement net::Network, and everything below
+  // this block is backend-agnostic.
+  std::unique_ptr<net::SimNetwork> SimNet;
+  std::unique_ptr<net::UdpNetwork> UdpNet;
+  net::NodeId SN = 0, CN = 0;
+  if (O.Net == "sim") {
+    net::NetConfig NC;
+    NC.LossRate = O.Loss;
+    NC.DupRate = O.Dup;
+    NC.JitterMax = sim::usec(O.JitterUs);
+    NC.Seed = O.Seed;
+    SimNet = std::make_unique<net::SimNetwork>(S, NC);
+    SN = SimNet->addNode("server");
+    CN = SimNet->addNode("client");
+  } else {
+    UdpNet = std::make_unique<net::UdpNetwork>(S);
+    if (O.Role == "both") {
+      // Single process, both ends on loopback ephemeral ports.
+      SN = UdpNet->addNode("server");
+      CN = UdpNet->addNode("client");
+    } else if (O.Role == "server") {
+      SN = UdpNet->addNode("server", O.ListenBase);
+      CN = UdpNet->addRemoteNode("client", O.PeerIp, O.PeerBase);
+    } else {
+      CN = UdpNet->addNode("client", O.ListenBase);
+      SN = UdpNet->addRemoteNode("server", O.PeerIp, O.PeerBase);
+    }
+  }
+  net::Network &Net =
+      SimNet ? static_cast<net::Network &>(*SimNet) : *UdpNet;
 
   GuardianConfig GC;
   GC.Stream.MaxBatchCalls = O.Batch;
@@ -212,18 +303,88 @@ int main(int Argc, char **Argv) {
   ServerGC.MaxPendingCalls = O.MaxPending;
   GC.Stream.BreakerThreshold = O.BreakerThreshold;
   GC.Stream.BreakerCooldown = sim::usec(O.BreakerCooldownUs);
-  net::NodeId SN = Net.addNode("server");
-  Guardian Server(Net, SN, "server", ServerGC);
-  Guardian Client(Net, Net.addNode("client"), "client", GC);
   apps::KvStoreConfig KC;
   KC.ServiceTime = sim::usec(O.ServiceUs);
-  apps::KvStore Kv = apps::installKvStore(Server, KC);
+
+  // --- Two-process udp server role: serve until the quit handshake. ---
+  if (O.Role == "server") {
+    Guardian Server(Net, SN, "server", ServerGC);
+    apps::KvStore Kv = apps::installKvStore(Server, KC);
+    bool Quit = false;
+    sim::WaitQueue QuitQ(S);
+    Server.addHandler<wire::Unit()>("quit",
+                                    [&]() -> Outcome<wire::Unit> {
+                                      Quit = true;
+                                      QuitQ.notifyAll();
+                                      return wire::Unit{};
+                                    });
+    // The lifeline keeps the real-time loop alive while the server is
+    // otherwise idle between requests, then grants a drain grace so the
+    // quit reply's retransmits/acks settle before the process exits.
+    Server.spawnProcess("lifeline", [&] {
+      while (!Quit)
+        QuitQ.wait();
+      S.sleep(sim::msec(250));
+    });
+    S.run();
+    const auto &TC = Server.transport().counters();
+    const auto &NetC = Net.counters();
+    std::printf("role=server listen=%u served %llu calls\n",
+                unsigned(O.ListenBase),
+                static_cast<unsigned long long>(Kv.Store->Calls));
+    std::printf("  datagrams        %llu sent, %llu delivered\n",
+                static_cast<unsigned long long>(NetC.DatagramsSent),
+                static_cast<unsigned long long>(NetC.DatagramsDelivered));
+    std::printf("  integrity        %llu malformed dropped, %llu trailing "
+                "bytes, %llu unknown-source drops\n",
+                static_cast<unsigned long long>(TC.MalformedDropped),
+                static_cast<unsigned long long>(TC.FramesTrailingBytes),
+                static_cast<unsigned long long>(
+                    UdpNet->unknownSourceDrops()));
+    return TC.MalformedDropped == 0 ? 0 : 1;
+  }
+
+  // --- Sim, udp single-process, and udp client roles. ---
+  std::unique_ptr<Guardian> Server;
+  apps::KvStore Kv;
+  runtime::HandlerRef<wire::Unit()> QuitRef;
+  if (O.Role == "client") {
+    // The server lives in another process. Install the identical handler
+    // set on a throwaway local guardian to learn the port layout (same
+    // binary, same install order), then retarget every ref at the remote
+    // node; epoch 0 is the first incarnation.
+    net::NodeId TmpN = UdpNet->addNode("portprobe");
+    Server = std::make_unique<Guardian>(Net, TmpN, "portprobe", ServerGC);
+    Kv = apps::installKvStore(*Server, KC);
+    QuitRef = Server->addHandler<wire::Unit()>(
+        "quit", []() -> Outcome<wire::Unit> { return wire::Unit{}; });
+    net::Address ServerAddr{SN, Kv.Echo.Entity.Port, 0};
+    Kv.Put.Entity = Kv.Get.Entity = Kv.Echo.Entity = ServerAddr;
+    QuitRef.Entity = ServerAddr;
+  } else {
+    Server = std::make_unique<Guardian>(Net, SN, "server", ServerGC);
+    Kv = apps::installKvStore(*Server, KC);
+  }
+  Guardian Client(Net, CN, "client", GC);
 
   if (O.CrashAtMs != 0)
     S.schedule(sim::msec(O.CrashAtMs), [&] { Net.crash(SN); });
 
   int Normal = 0, Unavail = 0, Failed = 0;
   Client.spawnProcess("driver", [&] {
+    // Tell the remote server to shut down once the workload is done, even
+    // if this process unwinds through an early return.
+    struct QuitAtExit {
+      Options &O;
+      Guardian &Client;
+      runtime::HandlerRef<wire::Unit()> &QuitRef;
+      ~QuitAtExit() {
+        if (O.Role != "client")
+          return;
+        auto Q = bindHandler(Client, Client.newAgent(), QuitRef);
+        Q.call();
+      }
+    } QuitGuard{O, Client, QuitRef};
     auto H = bindHandler(Client, Client.newAgent(), Kv.Echo);
     if (O.DeadlineUs != 0)
       H.withDeadline(sim::usec(O.DeadlineUs));
@@ -266,12 +427,16 @@ int main(int Argc, char **Argv) {
   const auto &TC = Client.transport().counters();
   double Secs = static_cast<double>(S.now()) / 1e9;
   std::printf("mode=%s calls=%d batch=%zu payload=%zuB service=%lluus "
-              "loss=%.2f dup=%.2f jitter=%lluus seed=%llu backend=%s\n",
+              "loss=%.2f dup=%.2f jitter=%lluus seed=%llu backend=%s",
               O.Mode.c_str(), O.Calls, O.Batch, O.PayloadBytes,
               static_cast<unsigned long long>(O.ServiceUs), O.Loss, O.Dup,
               static_cast<unsigned long long>(O.JitterUs),
               static_cast<unsigned long long>(O.Seed), S.backendName());
-  std::printf("  virtual time     %s\n", formatDuration(S.now()).c_str());
+  if (O.Net == "udp")
+    std::printf(" net=udp role=%s", O.Role.c_str());
+  std::printf("\n");
+  std::printf("  %s time     %s\n", O.Net == "udp" ? "wall   " : "virtual",
+              formatDuration(S.now()).c_str());
   if (Secs > 0)
     std::printf("  throughput       %.0f calls/s\n",
                 static_cast<double>(O.Calls) / Secs);
@@ -294,12 +459,16 @@ int main(int Argc, char **Argv) {
               "retransmitted\n",
               static_cast<unsigned long long>(TC.CallsBlocked),
               static_cast<unsigned long long>(TC.RetransmittedBytes));
-  if (O.resilienceOn())
+  std::printf("  integrity        %llu malformed dropped, %llu trailing "
+              "bytes\n",
+              static_cast<unsigned long long>(TC.MalformedDropped),
+              static_cast<unsigned long long>(TC.FramesTrailingBytes));
+  if (O.resilienceOn() && O.Role != "client")
     std::printf("  resilience       %llu retries, %llu expired, %llu shed, "
                 "%llu fast-fails (%llu breaker opens, %llu probes)\n",
                 static_cast<unsigned long long>(Client.retriesIssued()),
-                static_cast<unsigned long long>(Server.deadlinesExpired()),
-                static_cast<unsigned long long>(Server.callsShed()),
+                static_cast<unsigned long long>(Server->deadlinesExpired()),
+                static_cast<unsigned long long>(Server->callsShed()),
                 static_cast<unsigned long long>(TC.BreakerFastFails),
                 static_cast<unsigned long long>(TC.BreakerOpens),
                 static_cast<unsigned long long>(TC.BreakerProbes));
