@@ -26,6 +26,7 @@
 
 #include "promises/runtime/Handler.h"
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +50,13 @@ struct GuardianConfig {
   /// bound is shed immediately with unavailable("overloaded") instead of
   /// being spawned. 0 disables shedding.
   size_t MaxPendingCalls = 0;
+  /// Per-stream admission quota: when nonzero, one stream (one agent's
+  /// calls to one port group) may hold at most this many live call
+  /// processes; further calls on that stream are shed even if the global
+  /// MaxPendingCalls bound has headroom. This is the tenant-isolation
+  /// knob: a storming client exhausts its own quota, not the guardian.
+  /// 0 disables the per-stream bound. Composes with MaxPendingCalls.
+  size_t MaxPendingPerStream = 0;
 };
 
 /// An active entity: handler table, port groups, processes, and the
@@ -95,6 +103,23 @@ public:
 
   bool isParallelGroup(stream::GroupId Group) const {
     return ParallelGroups.count(Group) != 0;
+  }
+
+  /// Priority admission: calls to an exempt port are admitted even when
+  /// MaxPendingCalls/MaxPendingPerStream are at their bound. Meant for
+  /// completion-side protocol ports (two-phase prepare/commit/abort):
+  /// shedding those strands resources the guardian already admitted work
+  /// for — staged transactions, locks — turning overload into leaks,
+  /// while the work they finish is bounded by calls that *were* admitted.
+  void setShedExempt(stream::PortId Port, bool On = true) {
+    if (On)
+      ShedExemptPorts.insert(Port);
+    else
+      ShedExemptPorts.erase(Port);
+  }
+
+  bool isShedExempt(stream::PortId Port) const {
+    return ShedExemptPorts.count(Port) != 0;
   }
 
   /// Registers a handler on \p Group. \p Impl is invoked — inside a
@@ -213,11 +238,17 @@ public:
   /// Handler-call processes currently alive (executing or gated). Must be
   /// 0 at quiescence: anything else means executor bookkeeping leaked on a
   /// kill path. Same quantity the runtime.live_call_processes gauge reads.
+  /// Maintained as a counter (not a scan): the admission-control check
+  /// reads it once per incoming call, and a per-call walk over every
+  /// stream's domain turns a storm into quadratic work.
   size_t liveCallProcessCount() const {
-    size_t N = 0;
-    for (const auto &[Tag, D] : Domains)
-      N += D.Running.size();
-    return N;
+    assert(LiveCallProcs == [this] {
+      size_t N = 0;
+      for (const auto &[Tag, D] : Domains)
+        N += D.Running.size();
+      return N;
+    }() && "live-call counter out of sync with domain tables");
+    return LiveCallProcs;
   }
 
   /// Delivered handler calls still gated behind an earlier call on their
@@ -232,6 +263,11 @@ public:
 private:
   struct ExecDomain {
     stream::Seq DoneThrough = 0;
+    /// Whether this stream's group runs calls in parallel (no execution
+    /// gate). Parallel domains never advance DoneThrough, so recording
+    /// shed/cancelled seqs in Aborted would accumulate forever — the
+    /// settle-the-seq bookkeeping is skipped for them.
+    bool Parallel = false;
     /// One wait queue per blocked call, so a completion wakes exactly its
     /// successor (not the whole herd).
     std::map<stream::Seq, std::unique_ptr<sim::WaitQueue>> Waiting;
@@ -276,7 +312,11 @@ private:
       Executors;
   std::map<stream::PortId, std::string> PortNames;
   std::map<uint64_t, ExecDomain> Domains;
+  /// Sum of Running.size() over all domains, kept in lockstep with every
+  /// insert/erase so admission control is O(1) per call.
+  size_t LiveCallProcs = 0;
   std::set<stream::GroupId> ParallelGroups;
+  std::set<stream::PortId> ShedExemptPorts;
   /// Per-remote retry token buckets (see takeRetryToken).
   std::map<net::Address, double> RetryTokens;
   /// Registers \p P in Procs (for kill-on-crash) and amortizes the table:

@@ -293,6 +293,12 @@ private:
     if (!Issue.Issued) {
       // Local refusal (shut down, circuit open, ...): final. Retrying
       // here would hammer an endpoint the breaker just isolated.
+      // A re-attempt that lands here paid a retry token for an attempt
+      // that never touched the network (the breaker opened between
+      // scheduling and firing); refund it, or sustained fast-fails drain
+      // the budget and block retries against healthy endpoints later.
+      if (C->Attempt > 1)
+        C->G->creditRetryToken(C->Ref.Entity, C->Policy.Budget, 1.0);
       if (Issue.IsFailure)
         C->R.fulfill(OutcomeT(core::Failure{Issue.Reason}));
       else

@@ -80,13 +80,25 @@ private:
   std::function<double()> Probe;
 };
 
-/// A distribution accumulator with power-of-two buckets: exact count, sum,
-/// min, max, and approximate percentiles (bucket geometric midpoint,
-/// clamped to [min, max]). observe() is gated on the registry's enabled
-/// flag: one predicted branch when observability is off.
+/// A distribution accumulator with HDR-style log-linear buckets: each
+/// power-of-two range is subdivided into 2^SubBucketBits linear
+/// sub-buckets, so a bucket's relative width — and therefore the
+/// percentile error — is at most 1/2^SubBucketBits (~3%), while memory
+/// stays a fixed flat array (O(1) per metric, independent of sample
+/// count; a million-client run costs the same 15 KiB as an idle one).
+/// Exact count, sum, min, max; approximate percentiles clamped to
+/// [min, max]. observe() is gated on the registry's enabled flag: one
+/// predicted branch when observability is off.
 class Histogram {
 public:
-  static constexpr size_t NumBuckets = 64;
+  static constexpr size_t SubBucketBits = 5;
+  static constexpr size_t SubBuckets = size_t{1} << SubBucketBits;
+  /// Bucket 0 holds "< 1"; the rest cover the full uint64 range at
+  /// SubBuckets of linear resolution per octave. The top value
+  /// (UINT64_MAX, 64 significant bits) lands at shift 58, sub-index 63,
+  /// so the flat index range is [0, 58 * SubBuckets + 64).
+  static constexpr size_t NumBuckets =
+      1 + (64 - SubBucketBits - 1) * SubBuckets + 2 * SubBuckets;
 
   void observe(double Sample) {
     if (!*Enabled)
@@ -113,13 +125,22 @@ private:
 
   void record(double Sample);
 
-  /// Bucket 0 holds samples < 1 (and non-finite ones); bucket B >= 1
-  /// holds [2^(B-1), 2^B), saturating at the last bucket.
+  /// Bucket 0 holds samples < 1 (and non-finite ones). For the rest the
+  /// sample is truncated to uint64 and binned at its top SubBucketBits+1
+  /// significant bits: Shift = bit_width(U) - (SubBucketBits + 1) (floored
+  /// at 0), index = 1 + Shift * SubBuckets + (U >> Shift). Small values
+  /// (U < 2 * SubBuckets) get exact integer buckets; larger ones keep
+  /// SubBuckets of linear resolution per power-of-two range, so adjacent
+  /// buckets are contiguous and each is at most 1/SubBuckets wide
+  /// relative to its value.
   static size_t bucketIndex(double V) {
     if (!(V >= 1.0))
       return 0;
     uint64_t U = V >= 9.2e18 ? UINT64_MAX : static_cast<uint64_t>(V);
-    return std::min<size_t>(NumBuckets - 1, std::bit_width(U));
+    int Shift = std::max(0, static_cast<int>(std::bit_width(U)) -
+                                static_cast<int>(SubBucketBits) - 1);
+    return 1 + static_cast<size_t>(Shift) * SubBuckets +
+           static_cast<size_t>(U >> Shift);
   }
 
   double representative(size_t B) const;

@@ -110,6 +110,16 @@ TxnKv apps::installTxnKv(Guardian &G, TxnKvConfig Cfg) {
         return wire::Unit{};
       });
 
+  // Completion-side ports run under priority admission: a shed prepare,
+  // commit, or abort strands locks and staged state that calls already
+  // admitted (begin/put) created — under overload the store would leak
+  // transactions instead of degrading. The work these ports finish is
+  // bounded by admitted begins, so exempting them cannot unbound the
+  // guardian's load.
+  G.setShedExempt(K.Prepare.Port);
+  G.setShedExempt(K.Commit.Port);
+  G.setShedExempt(K.Abort.Port);
+
   return K;
 }
 

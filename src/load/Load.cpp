@@ -1,0 +1,1019 @@
+//===- Load.cpp - Open-loop workload generation ----------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/load/Load.h"
+
+#include "promises/apps/KvStore.h"
+#include "promises/apps/TwoPhase.h"
+#include "promises/chaos/Chaos.h"
+#include "promises/runtime/RemoteHandler.h"
+#include "promises/support/Rng.h"
+#include "promises/support/StrUtil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+using namespace promises;
+using namespace promises::load;
+using sim::Time;
+
+//===----------------------------------------------------------------------===//
+// Scenario catalogue
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LoadScenario steadyScenario() {
+  LoadScenario Sc;
+  Sc.Name = "steady";
+  Sc.Summary = "two compliant tenants (Poisson echo + Pareto put) well "
+               "under capacity; the do-no-harm baseline with SLOs on";
+  Sc.Servers = 1;
+  Sc.Duration = sim::msec(300);
+  Sc.ServiceTime = sim::msec(2);
+  Sc.MaxPendingCalls = 16; // Capacity 8k cps; offered 3.5k.
+  Sc.GoodputFloor = 0.85;  // No storm: both halves must look alike.
+  TenantSpec Web;
+  Web.Name = "web";
+  Web.RateCps = 2000;
+  Web.Op = OpKind::Echo;
+  Web.Compliant = true;
+  Web.SloP99 = sim::msec(5);
+  TenantSpec Batch;
+  Batch.Name = "batch";
+  Batch.RateCps = 1500;
+  Batch.Arr = Arrival::Pareto;
+  Batch.Op = OpKind::KvPut;
+  Batch.Compliant = true;
+  Batch.SloP99 = sim::msec(10);
+  Sc.Tenants = {Web, Batch};
+  return Sc;
+}
+
+LoadScenario stormScenario() {
+  LoadScenario Sc;
+  Sc.Name = "storm";
+  Sc.Summary = "the headline overload test: Poisson echo near capacity, "
+               "step to 2x at half time; goodput must hold the floor";
+  Sc.Servers = 1;
+  Sc.Duration = sim::msec(400);
+  Sc.ServiceTime = sim::msec(2);
+  Sc.MaxPendingCalls = 8; // 8 parallel slots x 2ms => 4k cps capacity.
+  Sc.GoodputFloor = 0.7;
+  TenantSpec T;
+  T.Name = "web";
+  T.RateCps = 3000; // 0.75 of capacity base; 1.5x capacity in the storm.
+  T.Sh = Shape::Step;
+  T.StormFactor = 2.0;
+  T.Streams = 8;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
+LoadScenario spikeScenario() {
+  LoadScenario Sc;
+  Sc.Name = "spike";
+  Sc.Summary = "heavy-tailed Pareto arrivals with a 5x flash spike, "
+               "deadlines and budgeted retries riding along";
+  Sc.Servers = 1;
+  Sc.Duration = sim::msec(400);
+  Sc.ServiceTime = sim::msec(1);
+  Sc.MaxPendingCalls = 8; // Capacity 8k cps.
+  Sc.GoodputFloor = 0.7;
+  TenantSpec T;
+  T.Name = "flash";
+  T.RateCps = 2000;
+  T.Arr = Arrival::Pareto;
+  T.ParetoAlpha = 1.3;
+  T.Sh = Shape::Spike;
+  T.StormFactor = 5.0;
+  T.StormStartFrac = 0.6;
+  T.StormEndFrac = 0.75;
+  T.Deadline = sim::msec(8);
+  T.RetryAttempts = 3;
+  T.RetryBudget = 4.0;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
+LoadScenario diurnalScenario() {
+  LoadScenario Sc;
+  Sc.Name = "diurnal";
+  Sc.Summary = "one simulated day: a sinusoidal ramp whose peak exceeds "
+               "capacity, so the top of the day sheds and the trough drains";
+  Sc.Servers = 1;
+  Sc.Duration = sim::msec(400);
+  Sc.ServiceTime = sim::msec(2);
+  Sc.MaxPendingCalls = 8; // Capacity 4k cps; peak offered 5.4k.
+  Sc.GoodputFloor = 0;    // The halves are peak vs trough by design.
+  TenantSpec T;
+  T.Name = "day";
+  T.RateCps = 3000;
+  T.Sh = Shape::Diurnal;
+  T.DiurnalAmplitude = 0.8;
+  T.Streams = 8;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
+LoadScenario tenantsScenario() {
+  LoadScenario Sc;
+  Sc.Name = "tenants";
+  Sc.Summary = "multi-tenant isolation: a noisy tenant storms to 5x while "
+               "a compliant tenant must keep its p99 SLO behind the "
+               "per-stream quota";
+  Sc.Servers = 1;
+  Sc.Duration = sim::msec(300);
+  Sc.ServiceTime = sim::msec(2);
+  Sc.MaxPendingCalls = 24;    // Capacity 12k cps...
+  Sc.MaxPendingPerStream = 2; // ...but one stream holds at most 2 slots.
+  Sc.GoodputFloor = 0.5;
+  TenantSpec Noisy;
+  Noisy.Name = "noisy";
+  Noisy.RateCps = 1000;
+  Noisy.Arr = Arrival::Pareto;
+  Noisy.Sh = Shape::Step;
+  Noisy.StormFactor = 5.0;
+  Noisy.StormStartFrac = 0.4;
+  Noisy.Streams = 2; // Quota caps it at 4 concurrent executions.
+  TenantSpec Paying;
+  Paying.Name = "paying";
+  Paying.RateCps = 1500;
+  Paying.Streams = 8;
+  Paying.Compliant = true;
+  Paying.SloP99 = sim::msec(5);
+  Paying.SloMultiplier = 3.0;
+  Sc.Tenants = {Noisy, Paying};
+  return Sc;
+}
+
+LoadScenario neworderScenario() {
+  LoadScenario Sc;
+  Sc.Name = "neworder";
+  Sc.Summary = "TPC-C-style new-order: multi-partition two-phase "
+               "transactions under a 2.5x storm; commit-side ports ride "
+               "priority admission so overload cannot strand locks";
+  Sc.Servers = 3;
+  Sc.Duration = sim::msec(400);
+  Sc.ServiceTime = sim::usec(300);
+  Sc.MaxPendingCalls = 24; // Per partition.
+  Sc.GoodputFloor = 0.5;
+  TenantSpec T;
+  T.Name = "orders";
+  T.RateCps = 500; // Transactions (not calls) per second.
+  T.Sh = Shape::Step;
+  T.StormFactor = 2.5;
+  T.Op = OpKind::NewOrder;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
+LoadScenario chaosStormScenario() {
+  LoadScenario Sc;
+  Sc.Name = "chaos-storm";
+  Sc.Summary = "the PR 3/5 chaos battery during a storm: crashes, "
+               "partitions and loss bursts while offered load doubles, "
+               "with deadlines, retries and breakers on";
+  Sc.Servers = 2;
+  Sc.Duration = sim::msec(500);
+  Sc.ServiceTime = sim::usec(500);
+  Sc.MaxPendingCalls = 16;
+  Sc.BreakerThreshold = 2;
+  Sc.BreakerCooldown = sim::msec(8);
+  Sc.GoodputFloor = 0; // Faults dominate goodput; the battery gates.
+  Sc.Chaos = true;
+  TenantSpec T;
+  T.Name = "web";
+  T.RateCps = 4000;
+  T.Sh = Shape::Step;
+  T.StormFactor = 2.0;
+  T.Deadline = sim::msec(10);
+  T.RetryAttempts = 3;
+  T.RetryBudget = 8.0;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
+} // namespace
+
+const std::vector<LoadScenario> &LoadScenario::all() {
+  static const std::vector<LoadScenario> Sc = {
+      steadyScenario(),  stormScenario(),   spikeScenario(),
+      diurnalScenario(), tenantsScenario(), neworderScenario(),
+      chaosStormScenario()};
+  return Sc;
+}
+
+const LoadScenario *LoadScenario::byName(std::string_view Name) {
+  for (const LoadScenario &Sc : all())
+    if (Sc.Name == Name)
+      return &Sc;
+  return nullptr;
+}
+
+std::vector<std::string> LoadScenario::names() {
+  std::vector<std::string> N;
+  for (const LoadScenario &Sc : all())
+    N.push_back(Sc.Name);
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// The world
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t mixSeed(uint64_t Seed, uint64_t Salt) {
+  uint64_t X = Seed + 0x9e3779b97f4a7c15ull * (Salt + 1);
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(uint64_t H, uint64_t V) {
+  for (int I = 0; I != 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// One server identity: a node hosting a succession of guardian
+/// incarnations (chaos can crash/reincarnate them). Old incarnations are
+/// kept for the quiescence audit.
+struct ServerSlot {
+  net::NodeId Node = 0;
+  runtime::Guardian *Current = nullptr;
+  apps::KvStore Kv;
+  apps::TxnKv Txn;
+  bool TransportDead = false;
+};
+
+/// Per-tenant mutable tallies plus the registry instruments they feed
+/// (docs/OBSERVABILITY.md: the load.* family, labelled {tenant=...}).
+struct Tally {
+  TenantReport R;
+  Counter *COffered = nullptr;
+  Counter *CNormal = nullptr;
+  Counter *CShed = nullptr;
+  Counter *CFastFail = nullptr;
+  Counter *CExpired = nullptr;
+  Histogram *LatUs = nullptr;
+};
+
+struct World {
+  explicit World(const LoadOptions &Opt);
+
+  void installServer(size_t Slot);
+  void applyAction(const chaos::ChaosAction &A);
+  double shapeFactor(const TenantSpec &T, Time Now) const;
+  void runArrivals(size_t TIdx);
+  void runEcho(size_t TIdx, uint64_t Seq, size_t Lane, Time ArrivedAt);
+  void runNewOrder(size_t TIdx, uint64_t Seq, Time ArrivedAt);
+  void recordNormal(size_t TIdx, Time ArrivedAt, Time T0);
+  void recordUnavailable(size_t TIdx, const std::string &Why);
+  LoadReport finish();
+
+  Time splitAt() const {
+    return static_cast<Time>(static_cast<double>(Duration) *
+                             O.Scenario.SplitFrac);
+  }
+
+  LoadOptions O;
+  Time Duration; ///< Scenario duration after DurationScale.
+  sim::Simulation S;
+  std::unique_ptr<net::SimNetwork> Net;
+  std::vector<ServerSlot> Slots;
+  std::vector<net::NodeId> ClientNodes; ///< One per tenant.
+  std::vector<std::unique_ptr<runtime::Guardian>> ServerGuardians;
+  std::vector<std::unique_ptr<runtime::Guardian>> ClientGuardians;
+  std::vector<std::vector<stream::AgentId>> Lanes; ///< [tenant][srv*Streams+i]
+  std::vector<Tally> Tallies;
+  Histogram *GlobalLat = nullptr;
+  chaos::ChaosPlan Plan; ///< Empty unless Scenario.Chaos.
+  uint32_t NextGen = 0;
+  LoadReport Report;
+};
+
+stream::StreamConfig loadStreamConfig(const LoadScenario &Sc, uint64_t Seed,
+                                      uint64_t Salt) {
+  stream::StreamConfig C;
+  if (Sc.Chaos) {
+    // Chaos-tightened recovery, as in the chaos harness: breaks land
+    // within a fault outage instead of dominating the run.
+    C.MaxBatchCalls = 8;
+    C.RetransmitTimeout = sim::msec(6);
+    C.RetransmitTimeoutMax = sim::msec(30);
+    C.MaxRetries = 3;
+  }
+  // MaxInFlightCalls stays 0 (unbounded): the generator is open-loop, so
+  // client-side flow control would silently convert overload into sender
+  // queueing and hide the server's shedding behavior.
+  C.RetransSeed = mixSeed(Seed, Salt);
+  return C;
+}
+
+World::World(const LoadOptions &Opt)
+    : O(Opt),
+      Duration(static_cast<Time>(
+          static_cast<double>(Opt.Scenario.Duration) * Opt.DurationScale)),
+      S(sim::SimConfig{.Backend = Opt.Backend}) {
+  const LoadScenario &Sc = O.Scenario;
+  // The trace-event stream is the determinism oracle; always record it.
+  S.metrics().setEnabled(true);
+  GlobalLat = &S.metrics().histogram("load.latency_us");
+
+  net::NetConfig NC;
+  NC.Seed = mixSeed(O.Seed, 0);
+  if (Sc.Chaos) {
+    const chaos::ChaosProfile *P = chaos::ChaosProfile::byName(Sc.ChaosProfile);
+    if (!P)
+      P = &chaos::ChaosProfile::mixed();
+    NC.LossRate = P->BaseLoss;
+    NC.DupRate = P->BaseDup;
+    NC.JitterMax = P->BaseJitter;
+    NC.Propagation = sim::msec(1);
+  } else {
+    // Clean wire: losses would blur the cheap-rejection conservation
+    // checks, and the point of the non-chaos scenarios is overload alone.
+    NC.Propagation = sim::usec(200);
+  }
+  Net = std::make_unique<net::SimNetwork>(S, NC);
+
+  Slots.resize(Sc.Servers);
+  for (size_t I = 0; I != Sc.Servers; ++I)
+    Slots[I].Node = Net->addNode(strprintf("srv%zu", I));
+  for (size_t I = 0; I != Sc.Tenants.size(); ++I)
+    ClientNodes.push_back(Net->addNode(strprintf("cli%zu", I)));
+  for (size_t I = 0; I != Sc.Servers; ++I)
+    installServer(I);
+
+  if (Sc.MaxPendingCalls != 0 && Sc.ServiceTime != 0)
+    Report.CapacityCps = static_cast<double>(Sc.MaxPendingCalls) * 1e9 *
+                         static_cast<double>(Sc.Servers) /
+                         static_cast<double>(Sc.ServiceTime);
+
+  Tallies.resize(Sc.Tenants.size());
+  Lanes.resize(Sc.Tenants.size());
+  for (size_t T = 0; T != Sc.Tenants.size(); ++T) {
+    const TenantSpec &Ten = Sc.Tenants[T];
+    Tally &Ta = Tallies[T];
+    Ta.R.Name = Ten.Name;
+    MetricLabels L{{"tenant", Ten.Name}};
+    Ta.COffered = &S.metrics().counter("load.offered", L);
+    Ta.CNormal = &S.metrics().counter("load.normal", L);
+    Ta.CShed = &S.metrics().counter("load.shed", L);
+    Ta.CFastFail = &S.metrics().counter("load.fast_failed", L);
+    Ta.CExpired = &S.metrics().counter("load.expired", L);
+    Ta.LatUs = &S.metrics().histogram("load.latency_us", L);
+
+    runtime::GuardianConfig GC;
+    GC.Stream = loadStreamConfig(Sc, O.Seed, 1000 + T);
+    if (Sc.BreakerThreshold > 0) {
+      GC.Stream.BreakerThreshold = Sc.BreakerThreshold;
+      GC.Stream.BreakerCooldown = Sc.BreakerCooldown;
+    }
+    ClientGuardians.push_back(std::make_unique<runtime::Guardian>(
+        *Net, ClientNodes[T], strprintf("cli-%s", Ten.Name.c_str()), GC));
+    for (size_t Srv = 0; Srv != Sc.Servers; ++Srv)
+      for (size_t I = 0; I != std::max<size_t>(1, Ten.Streams); ++I)
+        Lanes[T].push_back(ClientGuardians[T]->newAgent());
+    ClientGuardians[T]->spawnProcess("arrivals",
+                                    [this, T] { runArrivals(T); });
+  }
+
+  if (Sc.Chaos) {
+    chaos::ChaosOptions CO;
+    CO.Seed = O.Seed;
+    const chaos::ChaosProfile *P = chaos::ChaosProfile::byName(Sc.ChaosProfile);
+    CO.Profile = P ? *P : chaos::ChaosProfile::mixed();
+    CO.Clients = Sc.Tenants.size();
+    CO.Servers = Sc.Servers;
+    // Faults stop (and the cleanup phase heals everything) well before
+    // arrivals do, so the run always drains.
+    CO.Horizon = Duration / 2;
+    Plan = chaos::ChaosPlan::generate(CO);
+    for (const chaos::ChaosAction &A : Plan.Actions)
+      S.schedule(A.At, [this, A] { applyAction(A); });
+  }
+}
+
+void World::installServer(size_t Slot) {
+  ServerSlot &SS = Slots[Slot];
+  uint32_t Gen = ++NextGen;
+  const LoadScenario &Sc = O.Scenario;
+  runtime::GuardianConfig GC;
+  GC.Stream = loadStreamConfig(Sc, O.Seed, 2000 + Gen);
+  GC.MaxPendingCalls = Sc.MaxPendingCalls;
+  GC.MaxPendingPerStream = Sc.MaxPendingPerStream;
+  auto G = std::make_unique<runtime::Guardian>(
+      *Net, SS.Node, strprintf("srv%zu#%u", Slot, Gen), GC);
+  // The service ports run in parallel (the paper's explicit override):
+  // MaxPendingCalls then bounds *concurrency*, so the guardian is an
+  // N-slot loss system with capacity MaxPendingCalls / ServiceTime.
+  G->setParallelGroup(runtime::Guardian::DefaultGroup);
+  SS.Kv = apps::installKvStore(*G, {.ServiceTime = Sc.ServiceTime});
+  SS.Txn = apps::installTxnKv(*G, {.ServiceTime = Sc.ServiceTime});
+  SS.Current = G.get();
+  SS.TransportDead = false;
+  ServerGuardians.push_back(std::move(G));
+}
+
+void World::applyAction(const chaos::ChaosAction &A) {
+  using K = chaos::ChaosAction::Kind;
+  ServerSlot &SS = Slots[A.Server];
+  switch (A.K) {
+  case K::CrashNode:
+    if (Net->isUp(SS.Node)) {
+      Net->crash(SS.Node);
+      ++Report.Crashes;
+    }
+    break;
+  case K::RestartNode:
+    if (!Net->isUp(SS.Node)) {
+      Net->restart(SS.Node);
+      installServer(A.Server);
+      ++Report.Restarts;
+    }
+    break;
+  case K::TransportShutdown:
+    if (Net->isUp(SS.Node) && !SS.TransportDead && !SS.Current->crashed()) {
+      SS.Current->transport().shutdown();
+      SS.TransportDead = true;
+      ++Report.Shutdowns;
+    }
+    break;
+  case K::ServerReincarnate:
+    if (Net->isUp(SS.Node) && SS.TransportDead) {
+      installServer(A.Server);
+      ++Report.Reincarnations;
+    }
+    break;
+  case K::PartitionLink:
+    Net->setPartitioned(ClientNodes[A.Client], SS.Node, true);
+    ++Report.Partitions;
+    break;
+  case K::HealLink:
+    Net->setPartitioned(ClientNodes[A.Client], SS.Node, false);
+    break;
+  case K::LossBurstStart:
+    Net->setLinkLoss(ClientNodes[A.Client], SS.Node, A.Rate);
+    ++Report.LossBursts;
+    break;
+  case K::LossBurstEnd:
+    Net->setLinkLoss(ClientNodes[A.Client], SS.Node, A.Rate);
+    break;
+  case K::CorruptBurstStart:
+  case K::CorruptBurstEnd:
+    Net->setCorruptRate(A.Rate); // Not planned here (Corrupt is off).
+    break;
+  }
+}
+
+double World::shapeFactor(const TenantSpec &T, Time Now) const {
+  double Frac = static_cast<double>(Now) / static_cast<double>(Duration);
+  switch (T.Sh) {
+  case Shape::Steady:
+    return 1.0;
+  case Shape::Diurnal:
+    return std::max(
+        0.0, 1.0 + T.DiurnalAmplitude * std::sin(2.0 * M_PI * Frac));
+  case Shape::Step:
+  case Shape::Spike:
+    return Frac >= T.StormStartFrac && Frac < T.StormEndFrac ? T.StormFactor
+                                                             : 1.0;
+  }
+  return 1.0;
+}
+
+void World::runArrivals(size_t TIdx) {
+  const TenantSpec &T = O.Scenario.Tenants[TIdx];
+  Tally &Ta = Tallies[TIdx];
+  Rng R(mixSeed(O.Seed, 100 + TIdx));
+  double Rate = T.RateCps * O.RateScale; // Mean arrivals/sec at factor 1.
+  double PeakFactor = 1.0;
+  switch (T.Sh) {
+  case Shape::Steady:
+    break;
+  case Shape::Diurnal:
+    PeakFactor = 1.0 + T.DiurnalAmplitude;
+    break;
+  case Shape::Step:
+  case Shape::Spike:
+    PeakFactor = std::max(1.0, T.StormFactor);
+    break;
+  }
+  double Peak = Rate * PeakFactor; // Generator rate before thinning.
+  uint64_t Seq = 0;
+
+  for (;;) {
+    // Draw the next inter-arrival gap at the peak rate...
+    double U = std::clamp(R.unit(), 1e-12, 1.0 - 1e-12);
+    double GapSec;
+    if (T.Arr == Arrival::Poisson) {
+      GapSec = -std::log(1.0 - U) / Peak;
+    } else {
+      // Bounded Pareto with mean 1/Peak: xm = (a-1)/(a*Peak), capped at
+      // 1000 mean gaps so one draw cannot swallow the whole run.
+      double Alpha = std::max(1.05, T.ParetoAlpha);
+      double Xm = (Alpha - 1.0) / (Alpha * Peak);
+      GapSec = std::min(Xm / std::pow(U, 1.0 / Alpha), 1000.0 / Peak);
+    }
+    S.sleep(std::max<Time>(1, static_cast<Time>(GapSec * 1e9)));
+    Time Now = S.now();
+    if (Now >= Duration)
+      return;
+    // ...then thin it down to the shaped rate (Lewis-Shedler): accept
+    // with probability rate(now)/Peak. The generator never looks at
+    // outcomes — that is what keeps the loop open.
+    if (R.unit() * Peak >= shapeFactor(T, Now) * Rate)
+      continue;
+
+    ++Seq;
+    ++Ta.R.Offered;
+    Ta.COffered->inc();
+    if (Now < splitAt())
+      ++Ta.R.BaseOffered;
+    else
+      ++Ta.R.OverOffered;
+
+    if (T.Op == OpKind::NewOrder) {
+      uint64_t MySeq = Seq;
+      ClientGuardians[TIdx]->spawnProcess(
+          strprintf("txn%llu", static_cast<unsigned long long>(Seq)),
+          [this, TIdx, MySeq, Now] { runNewOrder(TIdx, MySeq, Now); });
+    } else {
+      size_t Lane = R.below(Lanes[TIdx].size());
+      uint64_t MySeq = Seq;
+      ClientGuardians[TIdx]->spawnProcess(
+          strprintf("call%llu", static_cast<unsigned long long>(Seq)),
+          [this, TIdx, MySeq, Lane, Now] {
+            runEcho(TIdx, MySeq, Lane, Now);
+          });
+    }
+  }
+}
+
+void World::recordNormal(size_t TIdx, Time ArrivedAt, Time T0) {
+  Tally &Ta = Tallies[TIdx];
+  ++Ta.R.Completed;
+  ++Ta.R.Normal;
+  Ta.CNormal->inc();
+  if (ArrivedAt < splitAt())
+    ++Ta.R.BaseNormal;
+  else
+    ++Ta.R.OverNormal;
+  double Us = static_cast<double>(S.now() - T0) / 1000.0;
+  Ta.LatUs->observe(Us);
+  GlobalLat->observe(Us);
+}
+
+void World::recordUnavailable(size_t TIdx, const std::string &Why) {
+  Tally &Ta = Tallies[TIdx];
+  ++Ta.R.Completed;
+  if (Why == core::reasons::Overloaded) {
+    ++Ta.R.Shed;
+    Ta.CShed->inc();
+  } else if (Why == core::reasons::CircuitOpen) {
+    ++Ta.R.FastFails;
+    Ta.CFastFail->inc();
+  } else if (Why == core::reasons::DeadlineExpired) {
+    ++Ta.R.Expired;
+    Ta.CExpired->inc();
+  } else {
+    ++Ta.R.OtherUnavailable;
+  }
+}
+
+void World::runEcho(size_t TIdx, uint64_t Seq, size_t Lane, Time ArrivedAt) {
+  const TenantSpec &T = O.Scenario.Tenants[TIdx];
+  size_t Streams = std::max<size_t>(1, T.Streams);
+  size_t Srv = Lane / Streams;
+  ServerSlot &SS = Slots[Srv];
+  Tally &Ta = Tallies[TIdx];
+  Time T0 = S.now();
+
+  auto configure = [&](auto &H) -> auto & {
+    if (T.Deadline != 0)
+      H.withDeadline(T.Deadline);
+    if (T.RetryAttempts > 1) {
+      runtime::RetryPolicy RP;
+      RP.MaxAttempts = T.RetryAttempts;
+      RP.Backoff = T.RetryBackoff;
+      RP.BackoffMax = T.RetryBackoff * 8;
+      RP.Budget = T.RetryBudget;
+      RP.BudgetCredit = T.RetryCredit;
+      // Echo and put are idempotent by construction.
+      H.withRetryPolicy(RP).declareIdempotent();
+    }
+    return H;
+  };
+  auto tallyOutcome = [&](const auto &Out) {
+    if (Out.isNormal()) {
+      recordNormal(TIdx, ArrivedAt, T0);
+    } else if (Out.template is<core::Unavailable>()) {
+      recordUnavailable(TIdx,
+                        Out.template get<core::Unavailable>().Reason);
+    } else if (Out.template is<core::Failure>()) {
+      ++Ta.R.Completed;
+      ++Ta.R.Failed;
+    } else {
+      ++Ta.R.Completed;
+      ++Ta.R.ExceptionReplies;
+    }
+  };
+
+  if (T.Op == OpKind::KvPut) {
+    auto H = runtime::bindHandler(*ClientGuardians[TIdx],
+                                  Lanes[TIdx][Lane], SS.Kv.Put);
+    tallyOutcome(configure(H).call(
+        strprintf("k%llu", static_cast<unsigned long long>(Seq % 1024)),
+        strprintf("v%llu", static_cast<unsigned long long>(Seq))));
+  } else {
+    auto H = runtime::bindHandler(*ClientGuardians[TIdx],
+                                  Lanes[TIdx][Lane], SS.Kv.Echo);
+    tallyOutcome(configure(H).call(
+        strprintf("p%llu", static_cast<unsigned long long>(Seq))));
+  }
+}
+
+void World::runNewOrder(size_t TIdx, uint64_t Seq, Time ArrivedAt) {
+  const LoadScenario &Sc = O.Scenario;
+  Tally &Ta = Tallies[TIdx];
+  Time T0 = S.now();
+
+  // One new-order transaction: stage a handful of writes spread over
+  // every partition (item lines + the order row), then two-phase commit
+  // across all of them, the coordinator fanning out from this process.
+  apps::TwoPhaseCoordinator Txn(*ClientGuardians[TIdx]);
+  for (size_t Srv = 0; Srv != Sc.Servers; ++Srv)
+    Txn.enlist(Slots[Srv].Txn);
+  size_t Puts = std::max<size_t>(4, Sc.Servers);
+  for (size_t I = 0; I != Puts; ++I) {
+    size_t Part = (Seq + I) % Sc.Servers;
+    // A modest keyspace per partition so concurrent transactions contend
+    // for locks occasionally (aborts are part of the workload).
+    Txn.put(Part,
+            strprintf("w%llu",
+                      static_cast<unsigned long long>((Seq * 7 + I) % 997)),
+            strprintf("o%llu", static_cast<unsigned long long>(Seq)));
+    if (Txn.doomed())
+      break;
+  }
+  switch (Txn.commit()) {
+  case apps::TwoPhaseResult::Committed:
+    recordNormal(TIdx, ArrivedAt, T0);
+    break;
+  case apps::TwoPhaseResult::Aborted:
+    ++Ta.R.Completed;
+    ++Ta.R.TxnAborted;
+    break;
+  case apps::TwoPhaseResult::InDoubt:
+    ++Ta.R.Completed;
+    ++Ta.R.TxnInDoubt;
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The graceful-degradation battery
+//===----------------------------------------------------------------------===//
+
+LoadReport World::finish() {
+  const LoadScenario &Sc = O.Scenario;
+  LoadReport &Rep = Report;
+  Rep.VirtualEnd = S.now();
+
+  auto violate = [&](std::string Msg) {
+    Rep.Violations.push_back(std::move(Msg));
+  };
+
+  // 1. Quiescence: the scheduler drained, so any live process is stuck
+  // forever. This is the regression gate for the shed->DoneThrough hang
+  // class: a shed call that fails to settle its seq leaves every
+  // successor on its stream gated for good.
+  if (size_t N = S.liveProcessCount())
+    violate(strprintf("%zu processes still live at quiescence", N));
+
+  // 2. Network conservation.
+  net::NetCounters NC = Net->counters();
+  if (NC.DatagramsSent + NC.DatagramsDuplicated !=
+      NC.DatagramsDelivered + NC.DatagramsDropped)
+    violate(strprintf("net conservation: %llu sent + %llu dup != %llu "
+                      "delivered + %llu dropped",
+                      (unsigned long long)NC.DatagramsSent,
+                      (unsigned long long)NC.DatagramsDuplicated,
+                      (unsigned long long)NC.DatagramsDelivered,
+                      (unsigned long long)NC.DatagramsDropped));
+
+  // 3. Per-transport conservation and hygiene, clients and every server
+  // incarnation alike (the PR 3/5 audit, here under storm load).
+  auto audit = [&](const std::string &Who, runtime::Guardian &G) {
+    stream::StreamCounters C = G.transport().counters();
+    if (C.CallsIssued != C.CallsFulfilled + C.CallsBroken)
+      violate(strprintf("%s: %llu issued != %llu fulfilled + %llu broken",
+                        Who.c_str(), (unsigned long long)C.CallsIssued,
+                        (unsigned long long)C.CallsFulfilled,
+                        (unsigned long long)C.CallsBroken));
+    if (size_t N = G.transport().armedTimerCount())
+      violate(strprintf("%s: %zu timers still armed", Who.c_str(), N));
+    if (size_t N = G.transport().brokenSenderStreamCount())
+      violate(strprintf("%s: %zu broken sender streams not reclaimed",
+                        Who.c_str(), N));
+    if (size_t N = G.liveCallProcessCount())
+      violate(strprintf("%s: %zu call processes leaked", Who.c_str(), N));
+    if (size_t N = G.gatedCallCount())
+      violate(strprintf("%s: %zu gated calls leaked", Who.c_str(), N));
+  };
+  for (size_t T = 0; T != ClientGuardians.size(); ++T)
+    audit(strprintf("cli-%s", Sc.Tenants[T].Name.c_str()),
+          *ClientGuardians[T]);
+  for (auto &G : ServerGuardians)
+    audit(G->name(), *G);
+
+  // Server-side aggregates.
+  for (auto &G : ServerGuardians) {
+    Rep.Executions += G->callsExecuted();
+    Rep.ServerShed += G->callsShed();
+    Rep.ServerExpired += G->deadlinesExpired();
+  }
+  uint64_t ShedEvents = 0;
+  for (const TraceEvent &E : S.metrics().events())
+    if (E.Kind == EventKind::CallShed)
+      ++ShedEvents;
+
+  // 4. Per-tenant accounting, retry-budget bounds, and breaker bounds.
+  double SplitSec = static_cast<double>(splitAt()) / 1e9;
+  double OverSec = static_cast<double>(Duration) / 1e9 - SplitSec;
+  for (size_t T = 0; T != Sc.Tenants.size(); ++T) {
+    const TenantSpec &Ten = Sc.Tenants[T];
+    TenantReport &R = Tallies[T].R;
+    R.Retries = ClientGuardians[T]->retriesIssued();
+
+    // Every arrival resolves to exactly one tallied outcome.
+    if (R.Completed != R.Offered)
+      violate(strprintf("%s: %llu offered != %llu completed",
+                        Ten.Name.c_str(), (unsigned long long)R.Offered,
+                        (unsigned long long)R.Completed));
+    if (R.Normal + R.Shed + R.FastFails + R.Expired + R.OtherUnavailable +
+            R.Failed + R.ExceptionReplies + R.TxnAborted + R.TxnInDoubt !=
+        R.Completed)
+      violate(strprintf("%s: outcome split does not sum to %llu completed",
+                        Ten.Name.c_str(),
+                        (unsigned long long)R.Completed));
+
+    // Retry volume bounded by the budget: every retry takes a token;
+    // tokens come from the initial per-endpoint bucket (one per server
+    // incarnation at worst), success credits, and fast-fail refunds.
+    if (Ten.RetryAttempts > 1) {
+      double Bound =
+          static_cast<double>(ServerGuardians.size()) * Ten.RetryBudget +
+          Ten.RetryCredit * static_cast<double>(R.Normal) +
+          static_cast<double>(R.FastFails) + 1.0;
+      if (static_cast<double>(R.Retries) > Bound)
+        violate(strprintf("%s: %llu retries exceed the budget bound %.1f",
+                          Ten.Name.c_str(), (unsigned long long)R.Retries,
+                          Bound));
+    } else if (R.Retries != 0) {
+      violate(strprintf("%s: %llu retries issued with retries disabled",
+                        Ten.Name.c_str(), (unsigned long long)R.Retries));
+    }
+
+    // Breaker accounting: probes are the bounded trickle — at most one
+    // per open plus the fast-fails that kept it open; closes only follow
+    // opens; and with no breaker configured nothing may fire.
+    stream::StreamCounters C = ClientGuardians[T]->transport().counters();
+    if (C.BreakerProbes > C.BreakerOpens + C.BreakerFastFails)
+      violate(strprintf("%s: %llu probes > %llu opens + %llu fast-fails",
+                        Ten.Name.c_str(), (unsigned long long)C.BreakerProbes,
+                        (unsigned long long)C.BreakerOpens,
+                        (unsigned long long)C.BreakerFastFails));
+    if (C.BreakerCloses > C.BreakerOpens)
+      violate(strprintf("%s: %llu breaker closes > %llu opens",
+                        Ten.Name.c_str(), (unsigned long long)C.BreakerCloses,
+                        (unsigned long long)C.BreakerOpens));
+    if (Sc.BreakerThreshold == 0 &&
+        (C.BreakerOpens | C.BreakerFastFails | C.BreakerProbes))
+      violate(strprintf("%s: breaker fired with no breaker configured",
+                        Ten.Name.c_str()));
+
+    // Reduce.
+    R.GoodputCps = static_cast<double>(R.Normal) /
+                   (static_cast<double>(Duration) / 1e9);
+    R.P50Us = Tallies[T].LatUs->percentile(50);
+    R.P99Us = Tallies[T].LatUs->percentile(99);
+    R.P999Us = Tallies[T].LatUs->percentile(99.9);
+    Rep.Offered += R.Offered;
+    Rep.Completed += R.Completed;
+    Rep.Normal += R.Normal;
+    Rep.Shed += R.Shed;
+    Rep.FastFails += R.FastFails;
+    Rep.Expired += R.Expired;
+    Rep.Retries += R.Retries;
+    Rep.BaseGoodputCps += SplitSec > 0
+                              ? static_cast<double>(R.BaseNormal) / SplitSec
+                              : 0;
+    Rep.OverGoodputCps +=
+        OverSec > 0 ? static_cast<double>(R.OverNormal) / OverSec : 0;
+  }
+  Rep.GoodputRatio =
+      Rep.BaseGoodputCps > 0 ? Rep.OverGoodputCps / Rep.BaseGoodputCps : 0;
+  Rep.P50Us = GlobalLat->percentile(50);
+  Rep.P99Us = GlobalLat->percentile(99);
+  Rep.P999Us = GlobalLat->percentile(99.9);
+
+  // 5. Client-observed sheds are bounded by server sheds (a shed reply
+  // can be lost, and a retried shed tallies once client-side).
+  if (Rep.Shed > Rep.ServerShed)
+    violate(strprintf("%llu client-observed sheds > %llu server sheds",
+                      (unsigned long long)Rep.Shed,
+                      (unsigned long long)Rep.ServerShed));
+
+  if (!Sc.Chaos) {
+    // 6. Cheap rejection: on a clean wire every delivered call either
+    // executed, was shed before execution, or was dropped at its deadline
+    // — sheds never consume an execution slot, and the counter, the trace
+    // stream, and the transports all agree. With wire deadlines in play
+    // the sender also cancels delivered-but-unstarted calls, so the
+    // identity relaxes to a bound.
+    uint64_t Delivered = 0;
+    bool AnyDeadline = false;
+    for (auto &G : ServerGuardians)
+      Delivered += G->transport().counters().CallsDelivered;
+    for (const TenantSpec &Ten : Sc.Tenants)
+      AnyDeadline |= Ten.Deadline != 0;
+    uint64_t Settled = Rep.Executions + Rep.ServerShed + Rep.ServerExpired;
+    if (AnyDeadline ? Settled > Delivered : Settled != Delivered)
+      violate(strprintf("cheap rejection: %llu delivered vs %llu executed "
+                        "+ %llu shed + %llu expired",
+                        (unsigned long long)Delivered,
+                        (unsigned long long)Rep.Executions,
+                        (unsigned long long)Rep.ServerShed,
+                        (unsigned long long)Rep.ServerExpired));
+    if (ShedEvents != Rep.ServerShed)
+      violate(strprintf("%llu call.shed trace events != %llu counted sheds",
+                        (unsigned long long)ShedEvents,
+                        (unsigned long long)Rep.ServerShed));
+
+    // 7. Graceful degradation: overload-window goodput holds the floor.
+    if (Sc.GoodputFloor > 0) {
+      if (Rep.BaseGoodputCps <= 0)
+        violate("goodput floor set but base-window goodput is zero");
+      else if (Rep.GoodputRatio < Sc.GoodputFloor)
+        violate(strprintf("goodput collapse: overload/base ratio %.3f "
+                          "below floor %.3f (%.0f -> %.0f cps)",
+                          Rep.GoodputRatio, Sc.GoodputFloor,
+                          Rep.BaseGoodputCps, Rep.OverGoodputCps));
+    }
+
+    // 8. Tenant isolation: compliant tenants keep their p99 SLO and are
+    // not starved, whatever the other tenants are doing.
+    for (size_t T = 0; T != Sc.Tenants.size(); ++T) {
+      const TenantSpec &Ten = Sc.Tenants[T];
+      if (!Ten.Compliant)
+        continue;
+      TenantReport &R = Tallies[T].R;
+      R.SloChecked = true;
+      double SloUs = static_cast<double>(Ten.SloP99) / 1000.0;
+      if (R.P99Us > Ten.SloMultiplier * SloUs) {
+        R.SloOk = false;
+        violate(strprintf("%s: p99 %.0fus breaches SLO %.0fus x %.1f",
+                          Ten.Name.c_str(), R.P99Us, SloUs,
+                          Ten.SloMultiplier));
+      }
+      if (static_cast<double>(R.Normal) <
+          0.9 * static_cast<double>(R.Completed))
+        violate(strprintf("%s: compliant tenant starved: %llu/%llu normal",
+                          Ten.Name.c_str(), (unsigned long long)R.Normal,
+                          (unsigned long long)R.Completed));
+    }
+
+    // 9. Transactional hygiene: after the storm no partition may hold
+    // leftover transactions or locks (priority admission for
+    // prepare/commit/abort is what makes this hold under overload), and
+    // commit accounting is exact on a clean wire.
+    bool AnyTxn = false;
+    for (const TenantSpec &Ten : Sc.Tenants)
+      AnyTxn |= Ten.Op == OpKind::NewOrder;
+    if (AnyTxn) {
+      uint64_t Commits = 0, InDoubt = 0, Committed = 0;
+      for (size_t Srv = 0; Srv != Sc.Servers; ++Srv) {
+        const auto &St = *Slots[Srv].Txn.Store;
+        if (!St.Txns.empty())
+          violate(strprintf("srv%zu: %zu transactions stranded", Srv,
+                            St.Txns.size()));
+        if (!St.Locks.empty())
+          violate(strprintf("srv%zu: %zu locks stranded", Srv,
+                            St.Locks.size()));
+        Commits += St.Commits;
+      }
+      for (const Tally &Ta : Tallies) {
+        Committed += Ta.R.Normal;
+        InDoubt += Ta.R.TxnInDoubt;
+      }
+      if (InDoubt != 0)
+        violate(strprintf("%llu transactions in doubt on a clean wire",
+                          (unsigned long long)InDoubt));
+      if (Commits != Committed * Sc.Servers)
+        violate(strprintf("commit conservation: %llu participant commits "
+                          "!= %llu committed x %zu partitions",
+                          (unsigned long long)Commits,
+                          (unsigned long long)Committed, Sc.Servers));
+    }
+  }
+
+  // 10. Determinism oracle: digest the full trace-event stream in order.
+  const MetricsRegistry &Reg = S.metrics();
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const TraceEvent &E : Reg.events()) {
+    H = fnv1a(H, E.TsNs);
+    H = fnv1a(H, static_cast<uint64_t>(E.Kind));
+    H = fnv1a(H, E.Node);
+    H = fnv1a(H, E.Id);
+    H = fnv1a(H, E.Seq);
+    H = fnv1a(H, E.DurNs);
+    for (char C : E.Detail)
+      H = fnv1a(H, static_cast<unsigned char>(C));
+  }
+  Rep.TraceEvents = Reg.events().size() + Reg.droppedEvents();
+  Rep.TraceHash = H;
+
+  for (Tally &Ta : Tallies)
+    Rep.Tenants.push_back(Ta.R);
+  return Rep;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+LoadReport load::runLoad(const LoadOptions &O) {
+  World W(O);
+  W.S.run();
+  return W.finish();
+}
+
+std::string load::replayCommand(const LoadOptions &O) {
+  std::string Cmd = strprintf(
+      "loadsim --scenario %s --seed %llu --backend %s",
+      O.Scenario.Name.c_str(), static_cast<unsigned long long>(O.Seed),
+      sim::SimConfig::backendName(O.Backend));
+  if (O.RateScale != 1.0)
+    Cmd += strprintf(" --rate-scale %g", O.RateScale);
+  if (O.DurationScale != 1.0)
+    Cmd += strprintf(" --duration-scale %g", O.DurationScale);
+  return Cmd;
+}
+
+std::string LoadReport::summary() const {
+  return strprintf(
+      "offered=%llu normal=%llu shed=%llu/%llu fastfail=%llu expired=%llu "
+      "retries=%llu exec=%llu goodput=%.0f->%.0fcps ratio=%.2f "
+      "p50=%.0fus p99=%.0fus p999=%.0fus vms=%.3f trace=%llu@%016llx",
+      (unsigned long long)Offered, (unsigned long long)Normal,
+      (unsigned long long)Shed, (unsigned long long)ServerShed,
+      (unsigned long long)FastFails, (unsigned long long)Expired,
+      (unsigned long long)Retries, (unsigned long long)Executions,
+      BaseGoodputCps, OverGoodputCps, GoodputRatio, P50Us, P99Us, P999Us,
+      static_cast<double>(VirtualEnd) / 1e6, (unsigned long long)TraceEvents,
+      (unsigned long long)TraceHash);
+}
+
+std::string load::benchJson(const LoadOptions &O, const LoadReport &R) {
+  std::string Tenants;
+  for (const TenantReport &T : R.Tenants) {
+    if (!Tenants.empty())
+      Tenants += ", ";
+    Tenants += strprintf(
+        "{\"name\": \"%s\", \"offered\": %llu, \"normal\": %llu, "
+        "\"shed\": %llu, \"goodput_cps\": %.1f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"p999_us\": %.1f, \"slo_checked\": %s, "
+        "\"slo_ok\": %s}",
+        T.Name.c_str(), (unsigned long long)T.Offered,
+        (unsigned long long)T.Normal, (unsigned long long)T.Shed,
+        T.GoodputCps, T.P50Us, T.P99Us, T.P999Us,
+        T.SloChecked ? "true" : "false", T.SloOk ? "true" : "false");
+  }
+  return strprintf(
+      "{\"bench\": \"bench_overload\", \"scenario\": \"%s\", "
+      "\"seed\": %llu, \"backend\": \"%s\", \"capacity_cps\": %.1f, "
+      "\"base_goodput_cps\": %.1f, \"overload_goodput_cps\": %.1f, "
+      "\"goodput_ratio\": %.4f, \"goodput_floor\": %.4f, "
+      "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+      "\"offered\": %llu, \"normal\": %llu, \"shed\": %llu, "
+      "\"retries\": %llu, \"battery_violations\": %zu, \"tenants\": [%s]}",
+      O.Scenario.Name.c_str(), static_cast<unsigned long long>(O.Seed),
+      sim::SimConfig::backendName(O.Backend), R.CapacityCps,
+      R.BaseGoodputCps, R.OverGoodputCps, R.GoodputRatio,
+      O.Scenario.GoodputFloor, R.P50Us, R.P99Us, R.P999Us,
+      (unsigned long long)R.Offered, (unsigned long long)R.Normal,
+      (unsigned long long)R.Shed, (unsigned long long)R.Retries,
+      R.Violations.size(), Tenants.c_str());
+}

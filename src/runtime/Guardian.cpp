@@ -33,10 +33,7 @@ Guardian::Guardian(net::Network &Net, net::NodeId Node, std::string Name,
     return static_cast<double>(N);
   }, L);
   Reg.gaugeProbe("runtime.live_call_processes", [this] {
-    size_t N = 0;
-    for (const auto &[Tag, D] : Domains)
-      N += D.Running.size();
-    return static_cast<double>(N);
+    return static_cast<double>(LiveCallProcs);
   }, L);
   Transport = std::make_unique<stream::StreamTransport>(Net, Node, Cfg.Stream);
   Transport->setCallSink(
@@ -92,18 +89,27 @@ Guardian::ExecDomain &Guardian::domain(uint64_t Tag) { return Domains[Tag]; }
 void Guardian::onIncomingCall(stream::IncomingCall IC) {
   if (Crashed)
     return;
+  ExecDomain &D = domain(IC.StreamTag);
+  D.Parallel = isParallelGroup(IC.Group);
   // Admission control: shed the call before spawning a process for it.
   // The reply is a conserving outcome — the sender sees
-  // unavailable("overloaded") in order, like any other completion.
-  if (Cfg.MaxPendingCalls != 0 &&
-      liveCallProcessCount() >= Cfg.MaxPendingCalls) {
+  // unavailable("overloaded") in order, like any other completion. Two
+  // bounds compose: the guardian-wide MaxPendingCalls cap and the
+  // per-stream MaxPendingPerStream quota (tenant isolation — one
+  // storming stream cannot occupy every slot).
+  bool OverGlobal =
+      Cfg.MaxPendingCalls != 0 && LiveCallProcs >= Cfg.MaxPendingCalls;
+  bool OverStream = Cfg.MaxPendingPerStream != 0 &&
+                    D.Running.size() >= Cfg.MaxPendingPerStream;
+  if ((OverGlobal || OverStream) && ShedExemptPorts.count(IC.Port) == 0) {
     CallsShed->inc();
     // A shed seq never spawns a process; settle it in the domain so the
-    // calls behind it do not gate on it forever.
-    ExecDomain &SD = domain(IC.StreamTag);
-    if (IC.CallSeq > SD.DoneThrough) {
-      SD.Aborted.insert(IC.CallSeq);
-      advanceDomain(SD);
+    // calls behind it do not gate on it forever. Parallel domains have no
+    // gate (DoneThrough never advances), so recording the seq there would
+    // only accumulate.
+    if (!D.Parallel && IC.CallSeq > D.DoneThrough) {
+      D.Aborted.insert(IC.CallSeq);
+      advanceDomain(D);
     }
     if (Reg.enabled())
       Reg.emit({Sim.now(), EventKind::CallShed, Node,
@@ -118,31 +124,31 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
   auto Call = std::make_shared<stream::IncomingCall>(std::move(IC));
   std::string PN = strprintf("call#%llu",
                              static_cast<unsigned long long>(Call->CallSeq));
-  ExecDomain &D = domain(Call->StreamTag);
   sim::ProcessHandle P;
   // A handler killed mid-flight (node crash, orphan destruction) unwinds
   // out of the body without reaching trailing statements, so the executor
   // tables — which feed the probe gauges — are cleaned by a guard, not by
   // straight-line code.
   struct Cleanup {
+    Guardian &G;
     ExecDomain &D;
     stream::Seq Mine;
     ~Cleanup() {
       D.Waiting.erase(Mine);
-      D.Running.erase(Mine);
+      G.LiveCallProcs -= D.Running.erase(Mine);
     }
   };
-  if (isParallelGroup(Call->Group)) {
+  if (D.Parallel) {
     // Explicit override: no gating; the transport reorders completions
     // back into call order for the sender.
     P = Sim.spawn(Name + "/" + PN, [this, Call, &D] {
-      Cleanup C{D, Call->CallSeq};
+      Cleanup C{*this, D, Call->CallSeq};
       runCall(*Call);
     });
   } else {
     P = Sim.spawn(Name + "/" + PN, [this, Call, &D] {
       stream::Seq Mine = Call->CallSeq;
-      Cleanup C{D, Mine};
+      Cleanup C{*this, D, Mine};
       if (D.DoneThrough + 1 != Mine) {
         auto &Q = D.Waiting[Mine];
         if (!Q)
@@ -156,7 +162,7 @@ void Guardian::onIncomingCall(stream::IncomingCall IC) {
       advanceDomain(D);
     });
   }
-  D.Running.emplace(Call->CallSeq, P);
+  LiveCallProcs += D.Running.emplace(Call->CallSeq, P).second;
   trackProcess(std::move(P));
 }
 
@@ -184,8 +190,9 @@ void Guardian::cancelCall(uint64_t Tag, stream::Seq Sq) {
     // never runs its body, so the guard never fires.
     Sim.kill(RIt->second);
     D.Running.erase(RIt);
+    --LiveCallProcs;
   }
-  if (Sq > D.DoneThrough) {
+  if (!D.Parallel && Sq > D.DoneThrough) {
     D.Aborted.insert(Sq);
     advanceDomain(D);
   }
@@ -233,6 +240,10 @@ void Guardian::onStreamDead(uint64_t Tag) {
       Reg.emit({Sim.now(), EventKind::OrphanDestroyed, Node, Tag, Seq, 0, {}});
     Sim.kill(PH);
   }
+  // The clear covers every entry — including the current process's, whose
+  // cleanup guard will then erase nothing — so the live counter drops by
+  // the full map size here, exactly once.
+  LiveCallProcs -= It->second.Running.size();
   It->second.Running.clear();
 }
 

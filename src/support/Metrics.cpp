@@ -31,8 +31,17 @@ void Histogram::record(double Sample) {
 }
 
 double Histogram::representative(size_t B) const {
-  // Geometric midpoint of [2^(B-1), 2^B); bucket 0 covers "< 1".
-  double V = B == 0 ? 0.5 : std::ldexp(1.4142135623730951, static_cast<int>(B) - 1);
+  // Invert bucketIndex: bucket 0 covers "< 1"; otherwise recover the
+  // (Shift, top-bits) pair and report the linear midpoint of
+  // [Top << Shift, (Top + 1) << Shift). For raw indices below
+  // 2 * SubBuckets the shift is 0 and the bucket holds exactly one
+  // integer value.
+  if (B == 0)
+    return std::clamp(0.5, Min, Max);
+  size_t Raw = B - 1;
+  size_t Shift = Raw < 2 * SubBuckets ? 0 : Raw / SubBuckets - 1;
+  size_t Top = Raw - Shift * SubBuckets;
+  double V = std::ldexp(static_cast<double>(Top) + 0.5, static_cast<int>(Shift));
   return std::clamp(V, Min, Max);
 }
 

@@ -438,6 +438,251 @@ TEST_F(ResilienceFixture, ReceiverReportedBreaksDoNotTripBreaker) {
 }
 
 //===----------------------------------------------------------------------===//
+// Overload-path accounting
+//===----------------------------------------------------------------------===//
+//
+// The degradation battery leans on these identities: a completion that
+// reports unavailable("overloaded") increments call.shed exactly once and
+// nothing in breaker.*; unavailable("circuit open") increments
+// breaker.fast_fails exactly once and nothing in call.shed; and shed
+// completions never consume retry-budget tokens — only an actually-issued
+// retry attempt does.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ResilienceFixture, ShedCompletionCountsOnceAsShedOnly) {
+  GC.MaxPendingCalls = 1;
+  build();
+  S.metrics().setEnabled(true);
+  Client->spawnProcess("occupier", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Slow);
+    auto P = H.streamCall(int32_t(1));
+    H.flush();
+    P.claim();
+  });
+  Client->spawnProcess("caller", [&] {
+    S.sleep(msec(1)); // Arrive while the slow call holds the only slot.
+    auto H = bindHandler(*Client, Client->newAgent(), Fast);
+    auto P = H.streamCall(int32_t(2));
+    H.flush();
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Unavailable>());
+    EXPECT_EQ(O.get<Unavailable>().Reason, core::reasons::Overloaded);
+  });
+  S.run();
+  // Exactly one shed, mirrored one-to-one by the trace events, and no
+  // breaker or retry involvement anywhere.
+  EXPECT_EQ(Server->callsShed(), 1u);
+  size_t ShedEvents = 0;
+  for (const auto &E : S.metrics().events())
+    ShedEvents += E.Kind == EventKind::CallShed;
+  EXPECT_EQ(ShedEvents, 1u);
+  EXPECT_EQ(Client->transport().counters().BreakerFastFails, 0u);
+  EXPECT_EQ(Client->transport().counters().BreakerOpens, 0u);
+  EXPECT_EQ(Client->retriesIssued(), 0u);
+  // The call had no retry policy: the shed must not have touched the
+  // retry bucket for this endpoint (it should not even exist yet), so a
+  // full Budget's worth of tokens is still available.
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 2.0));
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 2.0));
+  EXPECT_FALSE(Client->takeRetryToken(Server->address(), 2.0));
+}
+
+TEST_F(ResilienceFixture, FastFailCompletionCountsOnceAsBreakerOnly) {
+  ClientGC.Stream.RetransmitTimeout = msec(2);
+  ClientGC.Stream.MaxRetries = 1;
+  ClientGC.Stream.BreakerThreshold = 1;
+  ClientGC.Stream.BreakerCooldown = sec(1); // Stay open for the test.
+  build();
+  Client->spawnProcess("main", [&] {
+    Net->setPartitioned(CN, SN, true);
+    auto H = bindHandler(*Client, Client->newAgent(), Fast);
+    auto P1 = H.streamCall(int32_t(1));
+    H.flush();
+    EXPECT_TRUE(P1.claim().is<Unavailable>()); // Timeout break trips it.
+    for (int32_t I = 2; I <= 4; ++I) {
+      auto P = H.streamCall(I);
+      ASSERT_TRUE(P.ready()); // Born-ready: never touched the network.
+      const auto &O = P.claim();
+      ASSERT_TRUE(O.is<Unavailable>());
+      EXPECT_EQ(O.get<Unavailable>().Reason, core::reasons::CircuitOpen);
+    }
+  });
+  S.run();
+  // Three fast-fails, each counted exactly once as breaker work; the
+  // shed counters on both sides never move.
+  EXPECT_EQ(Client->transport().counters().BreakerFastFails, 3u);
+  EXPECT_EQ(Client->transport().counters().BreakerOpens, 1u);
+  EXPECT_EQ(Server->callsShed(), 0u);
+  EXPECT_EQ(Client->callsShed(), 0u);
+  EXPECT_EQ(Server->callsExecuted(), 0u);
+}
+
+TEST_F(ResilienceFixture, FastFailedRetryRefundsItsBudgetToken) {
+  // Attempt 1 times out and trips the breaker; the scheduled retry then
+  // fast-fails locally without touching the network. That retry consumed
+  // a budget token for an attempt that never happened — it must be
+  // refunded, or sustained fast-fails drain the budget that healthy
+  // endpoints will need after the partition heals.
+  GC.Stream.RetransmitTimeout = msec(2);
+  GC.Stream.MaxRetries = 1;
+  ClientGC = GC;
+  ClientGC.Stream.BreakerThreshold = 1;
+  ClientGC.Stream.BreakerCooldown = sec(1);
+  build();
+  Client->spawnProcess("main", [&] {
+    Net->crash(SN);
+    auto H = bindHandler(*Client, Client->newAgent(), Fast);
+    RetryPolicy RP;
+    RP.MaxAttempts = 10;
+    RP.Backoff = msec(1);
+    RP.Budget = 2.0;
+    H.withRetryPolicy(RP).declareIdempotent();
+    auto P = H.streamCall(int32_t(1));
+    H.flush();
+    const auto &O = P.claim();
+    ASSERT_TRUE(O.is<Unavailable>());
+    EXPECT_EQ(O.get<Unavailable>().Reason, core::reasons::CircuitOpen);
+  });
+  S.run();
+  // One real retry was issued (and fast-failed); its token came back.
+  EXPECT_EQ(Client->retriesIssued(), 1u);
+  EXPECT_EQ(Client->transport().counters().BreakerFastFails, 1u);
+  // The bucket is back at the full 2.0: two takes succeed, a third fails.
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 2.0));
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 2.0));
+  EXPECT_FALSE(Client->takeRetryToken(Server->address(), 2.0));
+}
+
+TEST_F(ResilienceFixture, RetryAfterShedConsumesExactlyOneTokenPerRetry) {
+  GC.MaxPendingCalls = 1;
+  build();
+  Client->spawnProcess("occupier", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Slow);
+    auto P = H.streamCall(int32_t(1));
+    H.flush();
+    P.claim();
+  });
+  Client->spawnProcess("retrier", [&] {
+    S.sleep(msec(1));
+    auto H = bindHandler(*Client, Client->newAgent(), Fast);
+    RetryPolicy RP;
+    RP.MaxAttempts = 4;
+    RP.Backoff = msec(4);
+    RP.Budget = 3.0;
+    RP.BudgetCredit = 0.5;
+    H.withRetryPolicy(RP).declareIdempotent();
+    auto P = H.streamCall(int32_t(2));
+    H.flush();
+    EXPECT_EQ(P.claim().value(), 20);
+  });
+  S.run();
+  // One shed completion, one retry that succeeded. The shed itself cost
+  // nothing; the retry debited 1.0 and the success credited 0.5 back:
+  // 3.0 - 1.0 + 0.5 = 2.5 tokens left — two takes, not three.
+  ASSERT_EQ(Client->retriesIssued(), 1u);
+  EXPECT_EQ(Server->callsShed(), 1u);
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 3.0));
+  EXPECT_TRUE(Client->takeRetryToken(Server->address(), 3.0));
+  EXPECT_FALSE(Client->takeRetryToken(Server->address(), 3.0));
+}
+
+TEST_F(ResilienceFixture, PerStreamQuotaShedsStormWithoutStarvingOthers) {
+  // Tenant isolation at the admission layer: one stream may hold at most
+  // MaxPendingPerStream slots, so a storming agent sheds against its own
+  // quota while another agent's calls are admitted untouched.
+  GC.MaxPendingPerStream = 1;
+  build();
+  int StormNormal = 0, StormShed = 0;
+  Client->spawnProcess("main", [&] {
+    auto Stormer = bindHandler(*Client, Client->newAgent(), Slow);
+    std::vector<Promise<int32_t>> Ps;
+    for (int32_t I = 0; I < 4; ++I)
+      Ps.push_back(Stormer.streamCall(I));
+    Stormer.flush();
+    // The quiet agent's single call rides its own stream: admitted and
+    // served while the storm stream is pinned at its quota.
+    auto Quiet = bindHandler(*Client, Client->newAgent(), Fast);
+    auto PQ = Quiet.streamCall(int32_t(100));
+    Quiet.flush();
+    EXPECT_EQ(PQ.claim().value(), 1000);
+    for (auto &P : Ps) {
+      const auto &O = P.claim();
+      if (O.isNormal()) {
+        ++StormNormal;
+      } else {
+        ASSERT_TRUE(O.is<Unavailable>());
+        EXPECT_EQ(O.get<Unavailable>().Reason, core::reasons::Overloaded);
+        ++StormShed;
+      }
+    }
+  });
+  S.run();
+  // The storm batch landed together: one admitted, three shed.
+  EXPECT_EQ(StormNormal, 1);
+  EXPECT_EQ(StormShed, 3);
+  EXPECT_EQ(Server->callsShed(), 3u);
+  // Quiescence: the shed seqs settled their stream (no gate leak).
+  EXPECT_EQ(Server->liveCallProcessCount(), 0u);
+  EXPECT_EQ(Server->gatedCallCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shed → DoneThrough under sustained queue-full (the PR 4 hang class)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ResilienceFixture, ShedStormQuiescesWithOrderedSuccessorsExecuted) {
+  // 10k calls on one ordered stream against a guardian that admits two at
+  // a time: every batch sheds most of its calls, so the stream's
+  // DoneThrough gate must repeatedly advance over long runs of shed seqs
+  // or the admitted successors behind them gate forever (the PR 4 hang
+  // class — this test times out instead of failing an assertion if that
+  // regresses).
+  GC.MaxPendingCalls = 2;
+  build();
+  auto Tick = Server->addHandler<int32_t(int32_t)>(
+      "tick", [this](int32_t V) -> Outcome<int32_t> {
+        Executed.push_back(V);
+        S.sleep(usec(50));
+        return V;
+      });
+  const int32_t N = 10000;
+  int Normal = 0, Shed = 0;
+  Client->spawnProcess("storm", [&] {
+    auto H = bindHandler(*Client, Client->newAgent(), Tick);
+    std::vector<Promise<int32_t>> Ps;
+    Ps.reserve(N);
+    for (int32_t I = 1; I <= N; ++I)
+      Ps.push_back(H.streamCall(I));
+    H.flush();
+    for (auto &P : Ps) {
+      const auto &O = P.claim();
+      if (O.isNormal()) {
+        ++Normal;
+      } else {
+        ASSERT_TRUE(O.is<Unavailable>());
+        ASSERT_EQ(O.get<Unavailable>().Reason, core::reasons::Overloaded);
+        ++Shed;
+      }
+    }
+  });
+  S.run();
+  // Every call got exactly one conserving outcome.
+  EXPECT_EQ(Normal + Shed, N);
+  EXPECT_GE(Normal, 1000);
+  EXPECT_GE(Shed, 1000);
+  EXPECT_EQ(Server->callsShed(), static_cast<uint64_t>(Shed));
+  EXPECT_EQ(Server->callsExecuted(), static_cast<uint64_t>(Normal));
+  // Ordered successors executed in call order across every shed gap.
+  ASSERT_EQ(Executed.size(), static_cast<size_t>(Normal));
+  for (size_t I = 1; I < Executed.size(); ++I)
+    EXPECT_LT(Executed[I - 1], Executed[I]);
+  // Full quiescence: no leaked or still-gated call processes.
+  EXPECT_EQ(Server->liveCallProcessCount(), 0u);
+  EXPECT_EQ(Server->gatedCallCount(), 0u);
+  EXPECT_EQ(S.liveProcessCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Wire format
 //===----------------------------------------------------------------------===//
 

@@ -16,12 +16,20 @@ stack, so all numbers are noisy — latency may regress up to 2x and
 throughput may halve before CI fails (shared runners stall for whole
 scheduler quanta). The integrity count is exact: any malformed frame on
 loopback is a bug, never noise.
+
+bench_overload (BENCH_9): runs in virtual time, so the numbers are
+deterministic for a given build but legitimately shift when scheduling
+or retransmission behavior changes. The battery-violation count and the
+goodput floor are hard gates; goodput may drop at most 25% and tail
+latency grow at most 1.5x against the committed baseline.
 """
 import json
 import sys
 
 NS_REGRESSION_LIMIT = 1.25
 NET_REGRESSION_LIMIT = 2.0
+OVERLOAD_GOODPUT_LIMIT = 1.25
+OVERLOAD_TAIL_LIMIT = 1.5
 
 
 def fail(msg):
@@ -51,6 +59,34 @@ def check_netpath(fresh, base):
     print("check_bench: OK")
 
 
+def check_overload(fresh, base):
+    if fresh.get("battery_violations", 0) != 0:
+        fail(f"overload battery reported {fresh['battery_violations']} "
+             f"violations")
+    ratio, floor = fresh["goodput_ratio"], fresh["goodput_floor"]
+    if ratio < floor:
+        fail(f"overload goodput ratio {ratio:.3f} below the scenario "
+             f"floor {floor:.3f}")
+    cps_f = fresh["overload_goodput_cps"]
+    cps_b = base["overload_goodput_cps"]
+    if cps_f < cps_b / OVERLOAD_GOODPUT_LIMIT:
+        fail(f"overload goodput {cps_f:.0f} cps is below baseline "
+             f"{cps_b:.0f} by more than {OVERLOAD_GOODPUT_LIMIT:.2f}x")
+    for key in ("p99_us", "p999_us"):
+        us_f, us_b = fresh[key], base[key]
+        if us_f > us_b * OVERLOAD_TAIL_LIMIT:
+            fail(f"overload {key} {us_f:.0f}us exceeds baseline "
+                 f"{us_b:.0f}us by more than {OVERLOAD_TAIL_LIMIT:.1f}x")
+    for tenant in fresh.get("tenants", []):
+        if tenant.get("slo_checked") and not tenant.get("slo_ok"):
+            fail(f"tenant {tenant['name']} breached its p99 SLO")
+    print(f"check_bench: overload [{fresh['scenario']}] goodput "
+          f"{cps_f:.0f} cps (baseline {cps_b:.0f}), ratio {ratio:.2f} "
+          f"(floor {floor:.2f}), p99 {fresh['p99_us']:.0f}us, "
+          f"p999 {fresh['p999_us']:.0f}us, shed {fresh['shed']}")
+    print("check_bench: OK")
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <fresh.json> <committed-baseline.json>")
@@ -60,6 +96,9 @@ def main():
         base = json.load(f)
     if fresh.get("bench") == "bench_netpath":
         check_netpath(fresh, base)
+        return
+    if fresh.get("bench") == "bench_overload":
+        check_overload(fresh, base)
         return
     for path in ("rpc", "stream"):
         f_row, b_row = fresh[path], base[path]
