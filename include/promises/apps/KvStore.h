@@ -16,6 +16,7 @@
 #define PROMISES_APPS_KVSTORE_H
 
 #include "promises/runtime/RemoteHandler.h"
+#include "promises/storage/Storage.h"
 
 #include <map>
 #include <memory>
@@ -31,6 +32,13 @@ struct NotFound {
 
 struct KvStoreConfig {
   sim::Time ServiceTime = sim::usec(100);
+  /// When set, puts are redo-logged to this stable store and
+  /// acknowledged only after a force; install replays snapshot + log
+  /// before serving, and the log compacts into a snapshot every
+  /// SnapshotEvery records (docs/DURABILITY.md). Null keeps the store
+  /// fully volatile with today's exact behavior.
+  storage::StableStore *Wal = nullptr;
+  size_t SnapshotEvery = 64;
 };
 
 /// Typed ports of the store.
@@ -42,6 +50,8 @@ struct KvStore {
   struct State {
     std::map<std::string, std::string> Data;
     uint64_t Calls = 0;
+    uint64_t Replayed = 0;     ///< Redo records applied at install.
+    bool RecoveredTorn = false; ///< Install-time replay hit a torn tail.
   };
   std::shared_ptr<State> Store;
 };
@@ -49,6 +59,12 @@ struct KvStore {
 /// Installs the key-value handlers on \p G.
 KvStore installKvStore(runtime::Guardian &G,
                        KvStoreConfig Cfg = KvStoreConfig());
+
+/// The map a replay of \p R yields: snapshot first, then redo records
+/// in order. installKvStore applies exactly this; exposed so recovery
+/// audits (chaos durability invariants) can check the media offline.
+std::map<std::string, std::string>
+replayKvData(const storage::StableStore::Recovery &R);
 
 } // namespace promises::apps
 

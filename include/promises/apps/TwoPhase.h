@@ -10,12 +10,25 @@
 /// guardians can install, and a client-side two-phase-commit coordinator
 /// built entirely on the public promise/stream API.
 ///
-/// Protocol (classic presumed-abort 2PC, volatile participants):
+/// Protocol (classic presumed-abort 2PC):
 ///   begin on each participant -> stage puts -> phase 1: prepare votes ->
 ///   all yes: phase 2 commit everywhere; any no/unreachable: abort
-///   everywhere. A participant lost *after* voting yes leaves the
-///   coordinator InDoubt — the blocking window every 2PC has; tests
-///   exercise it deliberately.
+///   everywhere.
+///
+/// Two participant modes share the handlers below:
+///
+/// *Volatile* (no stable store): a participant lost after voting yes
+/// leaves the coordinator InDoubt — the blocking window every
+/// memory-only 2PC has; tests exercise it deliberately.
+///
+/// *Durable* (TxnKvConfig::Wal set): participants force-log prepared
+/// state before voting yes, the coordinator kit force-logs the commit
+/// decision before phase 2, and nothing else is ever logged (presumed
+/// abort). A prepared transaction whose decision never arrives — lost
+/// phase 2, coordinator crash, participant restart — resolves itself by
+/// querying the coordinator's status port: committed means redo,
+/// anything unknown and no longer in flight means abort. No lock
+/// outlives recovery unresolved. See docs/DURABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,9 +36,12 @@
 #define PROMISES_APPS_TWOPHASE_H
 
 #include "promises/runtime/RemoteHandler.h"
+#include "promises/storage/Storage.h"
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,6 +61,25 @@ struct TxnConflict {
 
 struct TxnKvConfig {
   sim::Time ServiceTime = sim::usec(100);
+  /// When set, the participant is durable: prepares force-log staged
+  /// state before the yes vote, commit/abort decisions are redo-logged,
+  /// and install replays the log (resurrecting in-doubt transactions
+  /// and their locks) before serving. Null keeps today's volatile
+  /// participant byte-identically.
+  storage::StableStore *Wal = nullptr;
+  /// Compact the log into a snapshot every this many records (0 = never).
+  size_t SnapshotEvery = 128;
+  /// One status probe against the coordinator owning \p Gtid. Returns
+  /// TwoPhaseCoordinatorKit::Status (0 aborted, 1 committed, 2 still in
+  /// flight) or -1 when unreachable; in-flight/unreachable answers are
+  /// retried. Unset leaves prepared transactions blocked (the classic
+  /// hole) — durable participants should always wire one.
+  std::function<int(uint64_t Gtid)> QueryStatus;
+  /// How long a prepared transaction waits for its decision before the
+  /// participant starts asking the coordinator itself.
+  sim::Time ResolveAfter = sim::msec(40);
+  /// Backoff between status probes that answered in-flight/unreachable.
+  sim::Time ResolveRetry = sim::msec(10);
 };
 
 /// The participant: a key-value store with staged, locked transactions.
@@ -59,23 +94,92 @@ struct TxnKv {
   runtime::HandlerRef<wire::Unit(uint32_t), NoSuchTxn> Commit;
   runtime::HandlerRef<wire::Unit(uint32_t), NoSuchTxn> Abort;
 
+  /// Durable-protocol ports, installed only when Config.Wal is set (so
+  /// volatile port numbering never shifts). The gtid names the
+  /// transaction globally, making commit/abort idempotent across
+  /// participant recoveries and resolver races.
+  runtime::HandlerRef<bool(uint32_t, uint64_t), NoSuchTxn> PrepareG;
+  runtime::HandlerRef<wire::Unit(uint32_t, uint64_t), NoSuchTxn> CommitG;
+  runtime::HandlerRef<wire::Unit(uint32_t, uint64_t), NoSuchTxn> AbortG;
+
   struct State {
     std::map<std::string, std::string> Data;
     struct Txn {
       std::map<std::string, std::string> Staged;
       bool Prepared = false;
+      uint64_t Gtid = 0; ///< Global id once durably prepared; else 0.
     };
     std::map<uint32_t, Txn> Txns;
     std::map<std::string, uint32_t> Locks; ///< Key -> owning txn.
     uint32_t NextTxn = 1;
     uint64_t Commits = 0;
     uint64_t Aborts = 0;
+
+    /// Durable mode only:
+    std::set<uint64_t> Applied; ///< Gtids whose commit is applied+logged.
+    uint64_t Replayed = 0;      ///< Log records applied at install.
+    bool RecoveredTorn = false; ///< Install-time replay hit a torn tail.
+    uint64_t InDoubtRecovered = 0; ///< Prepared txns revived by replay.
+    uint64_t ResolvedCommits = 0;  ///< Resolver outcomes (status said 1).
+    uint64_t ResolvedAborts = 0;   ///< Resolver outcomes (presumed abort).
   };
   std::shared_ptr<State> Store;
 };
 
 /// Installs the transactional KV handlers on \p G.
 TxnKv installTxnKv(runtime::Guardian &G, TxnKvConfig Cfg = TxnKvConfig());
+
+/// Rebuilds participant state from a recovery image: snapshot, then log
+/// records in order. Surviving prepared transactions hold their locks
+/// and are in doubt. installTxnKv applies exactly this; exposed so
+/// recovery audits (load durability battery, tests) can check the media
+/// offline.
+TxnKv::State replayTxnState(const storage::StableStore::Recovery &R);
+
+/// Durable coordinator-side 2PC state (presumed abort): force-logs only
+/// commit decisions and its own incarnation, and answers participant
+/// status probes. "Unknown and not in flight" is authoritatively
+/// aborted — that is the presumption that keeps aborts log-free.
+struct TwoPhaseCoordinatorKit {
+  enum Status : uint8_t {
+    StatusAborted = 0,   ///< Not committed, not in flight: presumed abort.
+    StatusCommitted = 1, ///< Decision durably logged.
+    StatusActive = 2,    ///< Still in flight; ask again later.
+  };
+
+  runtime::HandlerRef<uint8_t(uint64_t)> StatusPort;
+
+  struct State {
+    storage::StableStore *Wal = nullptr;
+    uint64_t CoordId = 0;     ///< Top 16 gtid bits this kit mints.
+    uint64_t Incarnation = 0; ///< Durable restart counter (gtid bits 32..47).
+    uint64_t NextSeq = 1;
+    std::set<uint64_t> Committed; ///< Durably decided commits.
+    /// Minted but undecided gtids. Deliberately volatile: a coordinator
+    /// crash empties it, which is exactly what turns an in-flight
+    /// transaction into a presumed abort.
+    std::set<uint64_t> Active;
+    uint64_t Replayed = 0;
+    bool RecoveredTorn = false;
+
+    /// Mints a gtid and marks it in flight.
+    uint64_t beginTxn();
+    /// Forces the commit decision; visible to status probes only after
+    /// the force completes (a decision a crash could still lose must
+    /// not leak to participants).
+    void logCommit(uint64_t Gtid);
+    void finishTxn(uint64_t Gtid) { Active.erase(Gtid); }
+    static uint64_t coordOf(uint64_t Gtid) { return Gtid >> 48; }
+  };
+  std::shared_ptr<State> St;
+};
+
+/// Installs a durable coordinator on \p G: replays \p Wal (prior
+/// incarnations' decisions), force-logs the new incarnation, and serves
+/// the status port.
+TwoPhaseCoordinatorKit installTwoPhaseCoordinator(runtime::Guardian &G,
+                                                  storage::StableStore &Wal,
+                                                  uint64_t CoordId = 0);
 
 /// Outcome of a coordinated commit.
 enum class TwoPhaseResult {
@@ -96,9 +200,15 @@ enum class TwoPhaseResult {
 ///   Txn.put(1, "y", "2");
 ///   TwoPhaseResult R = Txn.commit();
 /// \endcode
+/// With a kit, the coordinator runs the durable protocol: PrepareG
+/// carries the gtid, the decision is force-logged before phase 2, and
+/// aborts log nothing (presumed). Without one it is today's volatile
+/// coordinator, unchanged.
 class TwoPhaseCoordinator {
 public:
-  explicit TwoPhaseCoordinator(runtime::Guardian &Local) : Local(Local) {}
+  explicit TwoPhaseCoordinator(runtime::Guardian &Local,
+                               const TwoPhaseCoordinatorKit *Kit = nullptr);
+  ~TwoPhaseCoordinator();
 
   /// Adds a participant; returns its index. Must precede put/commit.
   size_t enlist(const TxnKv &Participant);
@@ -115,6 +225,8 @@ public:
   void abort();
 
   bool doomed() const { return Doomed; }
+  /// Global transaction id (0 when running volatile).
+  uint64_t gtid() const { return Gtid; }
 
 private:
   struct Enlisted {
@@ -127,6 +239,8 @@ private:
   bool ensureBegun(Enlisted &E);
 
   runtime::Guardian &Local;
+  std::shared_ptr<TwoPhaseCoordinatorKit::State> KitSt; ///< Null = volatile.
+  uint64_t Gtid = 0;
   std::vector<Enlisted> Participants;
   bool Doomed = false;
   bool Finished = false;

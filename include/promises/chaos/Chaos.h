@@ -91,6 +91,18 @@ struct ChaosOptions {
   bool Corrupt = false;
   bool Dup = false;
   bool Reorder = false;
+  /// Durable-storage workload (--storage-faults): every server slot gets
+  /// a WAL-backed stable store that survives crash/restart, a
+  /// deterministic subset of ops becomes client-acknowledged durable
+  /// puts, and restarted incarnations replay the log before serving.
+  /// The rates configure the media-fault model applied at each crash
+  /// (docs/DURABILITY.md): the un-synced suffix is lost with LostRate
+  /// and then torn with TornRate. Extra durability invariants apply.
+  /// Off (the default) creates no stores at all, keeping every seed's
+  /// trace hash bit-identical to previous releases.
+  bool Storage = false;
+  double TornRate = 0.3;
+  double LostRate = 0.7;
   /// Execution backend for the run's Simulation. Scheduling is
   /// backend-independent, so the same seed must produce the same trace
   /// hash on either — CI diffs them (see docs/RUNTIME.md).
@@ -155,6 +167,14 @@ struct ChaosReport {
   uint64_t Executions = 0;        ///< Handler bodies entered, all servers.
   uint64_t OrphansDestroyed = 0;  ///< Across all server incarnations.
   uint64_t StaleEpochDrops = 0;   ///< Pre-crash datagrams dropped.
+
+  // Durability tallies (all zero unless ChaosOptions::Storage). Every
+  // DurableAcked put must be present both in the final incarnation's
+  // memory and in an offline replay of the media alone.
+  uint64_t DurableAcked = 0;   ///< Client-acknowledged durable puts.
+  uint64_t StorageCrashes = 0; ///< Media crash events applied.
+  uint64_t TornTails = 0;      ///< Crashes that left a torn record.
+  uint64_t Replayed = 0;       ///< Records the final incarnations replayed.
 
   // Resilience tallies (all zero unless ChaosOptions::Deadlines).
   // Client-observed: final claimed outcomes split by unavailable reason.

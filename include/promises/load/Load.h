@@ -118,6 +118,16 @@ struct LoadScenario {
   double GoodputFloor = 0;
   bool Chaos = false; ///< Run a chaos fault plan during the storm.
   std::string ChaosProfile = "mixed";
+  /// Durable servers: every partition gets WAL-backed stable stores
+  /// (KvStore redo log + TxnKv prepared/decision log), NewOrder tenants
+  /// run the durable presumed-abort 2PC through a coordinator kit, and a
+  /// crash applies the media-fault model before recovery replays the log
+  /// (docs/DURABILITY.md). The durability battery then audits the media
+  /// offline at quiescence. Off creates no stores: trace hashes stay
+  /// bit-identical to previous releases.
+  bool Storage = false;
+  double TornRate = 0.3;
+  double LostRate = 0.7;
   std::vector<TenantSpec> Tenants;
 
   /// The built-in scenario catalogue (docs/WORKLOADS.md).
@@ -133,6 +143,11 @@ struct LoadOptions {
   double RateScale = 1.0;     ///< Scales every tenant's RateCps.
   double DurationScale = 1.0; ///< Scales the scenario Duration.
   sim::BackendKind Backend = sim::SimConfig::defaultBackend();
+  /// Force durable storage onto a scenario that does not enable it
+  /// (loadsim --storage-faults); negative rates defer to the scenario.
+  bool ForceStorage = false;
+  double TornRate = -1;
+  double LostRate = -1;
 };
 
 /// Per-tenant observations.
@@ -179,6 +194,17 @@ struct LoadReport {
   // Chaos tallies (zero unless the scenario runs a fault plan).
   uint64_t Crashes = 0, Restarts = 0, Shutdowns = 0, Reincarnations = 0;
   uint64_t Partitions = 0, LossBursts = 0;
+
+  // Durability tallies (zero unless the run is durable). The battery
+  // audits the media offline: every committed transaction applied on
+  // every partition, no prepared lock surviving recovery unresolved.
+  uint64_t StorageCrashes = 0; ///< Media crash events applied.
+  uint64_t TornTails = 0;      ///< Crashes that left a torn record.
+  uint64_t Replayed = 0;       ///< Records the final incarnations replayed.
+  uint64_t InDoubtRecovered = 0; ///< Prepared txns revived by replay.
+  uint64_t ResolvedCommits = 0;  ///< Resolver redo outcomes.
+  uint64_t ResolvedAborts = 0;   ///< Resolver presumed-abort outcomes.
+  uint64_t TxnCommitted = 0;     ///< Gtids durably decided by coordinators.
 
   // Determinism oracle: the structured trace-event stream digested in
   // order. Two runs of the same options must agree exactly.

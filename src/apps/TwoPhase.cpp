@@ -6,19 +6,179 @@
 
 #include "promises/apps/TwoPhase.h"
 
+#include "promises/support/Check.h"
+
 using namespace promises;
 using namespace promises::apps;
 using namespace promises::core;
 using namespace promises::runtime;
+
+namespace {
+
+// Participant log record kinds (docs/DURABILITY.md "TxnKv log").
+constexpr uint8_t RecPrepared = 1;
+constexpr uint8_t RecCommit = 2;
+constexpr uint8_t RecAbort = 3;
+
+// Coordinator kit record kinds.
+constexpr uint8_t RecIncarnation = 1;
+constexpr uint8_t RecDecidedCommit = 2;
+
+void releaseLocks(TxnKv::State &St, uint32_t Txn) {
+  for (auto It = St.Locks.begin(); It != St.Locks.end();) {
+    if (It->second == Txn)
+      It = St.Locks.erase(It);
+    else
+      ++It;
+  }
+}
+
+void applyCommit(TxnKv::State &St, std::map<uint32_t, TxnKv::State::Txn>::iterator TIt) {
+  for (auto &[Key, Val] : TIt->second.Staged)
+    St.Data[Key] = Val;
+  if (TIt->second.Gtid != 0)
+    St.Applied.insert(TIt->second.Gtid);
+  releaseLocks(St, TIt->first);
+  St.Txns.erase(TIt);
+  ++St.Commits;
+}
+
+void applyAbort(TxnKv::State &St, std::map<uint32_t, TxnKv::State::Txn>::iterator TIt) {
+  releaseLocks(St, TIt->first);
+  St.Txns.erase(TIt);
+  ++St.Aborts;
+}
+
+void writeStringMap(wire::Encoder &E,
+                    const std::map<std::string, std::string> &M) {
+  E.writeU32(static_cast<uint32_t>(M.size()));
+  for (const auto &[K, V] : M) {
+    E.writeString(K);
+    E.writeString(V);
+  }
+}
+
+std::map<std::string, std::string> readStringMap(wire::Decoder &D) {
+  std::map<std::string, std::string> M;
+  uint32_t N = D.readU32();
+  for (uint32_t I = 0; I < N && !D.failed(); ++I) {
+    std::string K = D.readString();
+    M[std::move(K)] = D.readString();
+  }
+  return M;
+}
+
+/// Full durable participant state; written at compaction. Memory is
+/// always ahead of the log (apply-first), so the snapshot subsumes
+/// every record it truncates.
+wire::Bytes encodeTxnSnapshot(const TxnKv::State &St) {
+  wire::Encoder E;
+  writeStringMap(E, St.Data);
+  E.writeU32(static_cast<uint32_t>(St.Applied.size()));
+  for (uint64_t G : St.Applied)
+    E.writeU64(G);
+  // Only durably prepared transactions checkpoint: everything else is
+  // volatile by the presumed-abort rule.
+  uint32_t NPrepared = 0;
+  for (const auto &[Id, T] : St.Txns)
+    if (T.Prepared && T.Gtid != 0)
+      ++NPrepared;
+  E.writeU32(NPrepared);
+  for (const auto &[Id, T] : St.Txns) {
+    if (!T.Prepared || T.Gtid == 0)
+      continue;
+    E.writeU32(Id);
+    E.writeU64(T.Gtid);
+    writeStringMap(E, T.Staged);
+  }
+  E.writeU32(St.NextTxn);
+  return E.take();
+}
+
+/// Revives a prepared transaction (from snapshot or a Prepared record).
+void reviveTxn(TxnKv::State &St, uint32_t Id, uint64_t Gtid,
+               std::map<std::string, std::string> Staged) {
+  TxnKv::State::Txn &T = St.Txns[Id];
+  T.Prepared = true;
+  T.Gtid = Gtid;
+  for (const auto &[Key, Val] : Staged)
+    St.Locks[Key] = Id;
+  T.Staged = std::move(Staged);
+  if (Id >= St.NextTxn)
+    St.NextTxn = Id + 1;
+}
+
+std::map<uint32_t, TxnKv::State::Txn>::iterator
+findByGtid(TxnKv::State &St, uint64_t Gtid) {
+  for (auto It = St.Txns.begin(); It != St.Txns.end(); ++It)
+    if (It->second.Gtid == Gtid)
+      return It;
+  return St.Txns.end();
+}
+
+} // namespace
+
+TxnKv::State apps::replayTxnState(const storage::StableStore::Recovery &R) {
+  TxnKv::State St;
+  if (!R.Snapshot.empty()) {
+    wire::Decoder D(R.Snapshot);
+    St.Data = readStringMap(D);
+    uint32_t NApplied = D.readU32();
+    for (uint32_t I = 0; I < NApplied && !D.failed(); ++I)
+      St.Applied.insert(D.readU64());
+    uint32_t NPrepared = D.readU32();
+    for (uint32_t I = 0; I < NPrepared && !D.failed(); ++I) {
+      uint32_t Id = D.readU32();
+      uint64_t Gtid = D.readU64();
+      reviveTxn(St, Id, Gtid, readStringMap(D));
+    }
+    uint32_t Next = D.readU32();
+    PROMISES_CHECK(!D.failed(), "corrupt txn snapshot");
+    if (Next > St.NextTxn)
+      St.NextTxn = Next;
+  }
+  for (const wire::Bytes &Rec : R.Records) {
+    wire::Decoder D(Rec);
+    uint8_t Kind = D.readU8();
+    switch (Kind) {
+    case RecPrepared: {
+      uint32_t Id = D.readU32();
+      uint64_t Gtid = D.readU64();
+      reviveTxn(St, Id, Gtid, readStringMap(D));
+      break;
+    }
+    case RecCommit: {
+      uint64_t Gtid = D.readU64();
+      auto TIt = findByGtid(St, Gtid);
+      PROMISES_CHECK(TIt != St.Txns.end(), "commit record without prepare");
+      applyCommit(St, TIt);
+      break;
+    }
+    case RecAbort: {
+      uint64_t Gtid = D.readU64();
+      auto TIt = findByGtid(St, Gtid);
+      PROMISES_CHECK(TIt != St.Txns.end(), "abort record without prepare");
+      applyAbort(St, TIt);
+      break;
+    }
+    default:
+      PROMISES_CHECK(false, "unknown txn log record kind");
+    }
+    PROMISES_CHECK(!D.failed(), "corrupt txn log record");
+    ++St.Replayed;
+  }
+  St.RecoveredTorn = R.TornTail;
+  return St;
+}
 
 TxnKv apps::installTxnKv(Guardian &G, TxnKvConfig Cfg) {
   TxnKv K;
   K.Store = std::make_shared<TxnKv::State>();
   auto St = K.Store;
   sim::Simulation &S = G.simulation();
-  auto Work = [St, Cfg, &S] {
-    if (Cfg.ServiceTime != 0)
-      S.sleep(Cfg.ServiceTime);
+  auto Work = [St, ServiceTime = Cfg.ServiceTime, &S] {
+    if (ServiceTime != 0)
+      S.sleep(ServiceTime);
   };
 
   K.Begin = G.addHandler<uint32_t(wire::Unit)>(
@@ -73,40 +233,25 @@ TxnKv apps::installTxnKv(Guardian &G, TxnKvConfig Cfg) {
         return true;
       });
 
-  auto Release = [St](uint32_t Txn) {
-    for (auto It = St->Locks.begin(); It != St->Locks.end();) {
-      if (It->second == Txn)
-        It = St->Locks.erase(It);
-      else
-        ++It;
-    }
-  };
-
   K.Commit = G.addHandler<wire::Unit(uint32_t), NoSuchTxn>(
       "t_commit",
-      [St, Work, Release](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
+      [St, Work](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
         Work();
         auto TIt = St->Txns.find(Txn);
         if (TIt == St->Txns.end())
           return NoSuchTxn{Txn};
-        for (auto &[Key, Val] : TIt->second.Staged)
-          St->Data[Key] = Val;
-        Release(Txn);
-        St->Txns.erase(TIt);
-        ++St->Commits;
+        applyCommit(*St, TIt);
         return wire::Unit{};
       });
 
   K.Abort = G.addHandler<wire::Unit(uint32_t), NoSuchTxn>(
       "t_abort",
-      [St, Work, Release](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
+      [St, Work](uint32_t Txn) -> Outcome<wire::Unit, NoSuchTxn> {
         Work();
         auto TIt = St->Txns.find(Txn);
         if (TIt == St->Txns.end())
           return NoSuchTxn{Txn};
-        Release(Txn);
-        St->Txns.erase(TIt);
-        ++St->Aborts;
+        applyAbort(*St, TIt);
         return wire::Unit{};
       });
 
@@ -120,15 +265,256 @@ TxnKv apps::installTxnKv(Guardian &G, TxnKvConfig Cfg) {
   G.setShedExempt(K.Commit.Port);
   G.setShedExempt(K.Abort.Port);
 
+  if (Cfg.Wal == nullptr)
+    return K;
+
+  //===--------------------------------------------------------------------===//
+  // Durable mode: replay before serving, then the gtid-keyed protocol
+  // ports. Ports install after the volatile six so volatile numbering
+  // never shifts.
+  //===--------------------------------------------------------------------===//
+
+  storage::StableStore *Wal = Cfg.Wal;
+  {
+    storage::StableStore::Recovery R = Wal->open();
+    *St = replayTxnState(R);
+  }
+
+  // One force: compact into a snapshot when the log is long enough,
+  // plain fsync otherwise.
+  auto ForceLog = [St, Wal, Every = Cfg.SnapshotEvery] {
+    if (Every != 0 && Wal->recordsInLog() >= Every)
+      Wal->saveSnapshot([St] { return encodeTxnSnapshot(*St); });
+    else
+      Wal->sync();
+  };
+
+  // Redo-log a decision: memory first, then the record, then the force.
+  auto DurableCommit = [St, Wal, ForceLog](uint32_t Txn, uint64_t Gtid) {
+    auto TIt = St->Txns.find(Txn);
+    PROMISES_CHECK(TIt != St->Txns.end(), "durable commit of unknown txn");
+    applyCommit(*St, TIt);
+    wire::Encoder E;
+    E.writeU8(RecCommit);
+    E.writeU64(Gtid);
+    Wal->append(E.take());
+    ForceLog();
+  };
+  auto DurableAbort = [St, Wal, ForceLog](uint32_t Txn, uint64_t Gtid) {
+    auto TIt = St->Txns.find(Txn);
+    PROMISES_CHECK(TIt != St->Txns.end(), "durable abort of unknown txn");
+    applyAbort(*St, TIt);
+    wire::Encoder E;
+    E.writeU8(RecAbort);
+    E.writeU64(Gtid);
+    Wal->append(E.take());
+    ForceLog();
+  };
+
+  // Non-blocking termination: a prepared transaction that waits too
+  // long asks the coordinator itself. Committed -> redo; unknown and no
+  // longer in flight -> presumed abort; in flight/unreachable -> retry.
+  // The resolver dies with the incarnation (guardian crash kills its
+  // processes), and replay re-arms it, so no prepared lock ever
+  // outlives recovery unresolved.
+  auto ArmResolver = [&G, &S, St, Query = Cfg.QueryStatus,
+                      Retry = Cfg.ResolveRetry, DurableCommit,
+                      DurableAbort](uint32_t Txn, uint64_t Gtid,
+                                    sim::Time Delay) {
+    if (!Query)
+      return; // No oracle wired: classic blocking participant.
+    G.spawnProcess("txn_resolve", [&G, &S, St, Query, Retry, DurableCommit,
+                                   DurableAbort, Txn, Gtid, Delay] {
+      S.sleep(Delay);
+      for (;;) {
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end() || TIt->second.Gtid != Gtid)
+          return; // The decision arrived while we slept.
+        if (G.transport().isShutDown())
+          return; // This incarnation is done for; its successor replays
+                  // the prepared record and re-arms its own resolver.
+        int Decision = Query(Gtid);
+        TIt = St->Txns.find(Txn); // The probe blocked; recheck.
+        if (TIt == St->Txns.end() || TIt->second.Gtid != Gtid)
+          return;
+        if (Decision == TwoPhaseCoordinatorKit::StatusCommitted) {
+          ++St->ResolvedCommits;
+          DurableCommit(Txn, Gtid);
+          return;
+        }
+        if (Decision == TwoPhaseCoordinatorKit::StatusAborted) {
+          ++St->ResolvedAborts;
+          DurableAbort(Txn, Gtid);
+          return;
+        }
+        S.sleep(Retry); // In flight or unreachable: ask again.
+      }
+    });
+  };
+
+  K.PrepareG = G.addHandler<bool(uint32_t, uint64_t), NoSuchTxn>(
+      "t_prepare_g",
+      [St, Work, Wal, ForceLog, ArmResolver, After = Cfg.ResolveAfter](
+          uint32_t Txn, uint64_t Gtid) -> Outcome<bool, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return NoSuchTxn{Txn};
+        TIt->second.Prepared = true;
+        TIt->second.Gtid = Gtid;
+        wire::Encoder E;
+        E.writeU8(RecPrepared);
+        E.writeU32(Txn);
+        E.writeU64(Gtid);
+        writeStringMap(E, TIt->second.Staged);
+        Wal->append(E.take());
+        ForceLog(); // The prepare force: crash after this replays us.
+        ArmResolver(Txn, Gtid, After);
+        return true;
+      });
+
+  K.CommitG = G.addHandler<wire::Unit(uint32_t, uint64_t), NoSuchTxn>(
+      "t_commit_g",
+      [St, Work, DurableCommit](uint32_t Txn, uint64_t Gtid)
+          -> Outcome<wire::Unit, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end() || TIt->second.Gtid != Gtid) {
+          if (St->Applied.count(Gtid))
+            return wire::Unit{}; // Resolver beat us to it: idempotent.
+          return NoSuchTxn{Txn};
+        }
+        DurableCommit(Txn, Gtid);
+        return wire::Unit{};
+      });
+
+  K.AbortG = G.addHandler<wire::Unit(uint32_t, uint64_t), NoSuchTxn>(
+      "t_abort_g",
+      [St, Work, DurableAbort](uint32_t Txn, uint64_t Gtid)
+          -> Outcome<wire::Unit, NoSuchTxn> {
+        Work();
+        auto TIt = St->Txns.find(Txn);
+        if (TIt == St->Txns.end())
+          return wire::Unit{}; // Already resolved (presumed abort): fine.
+        if (TIt->second.Prepared && TIt->second.Gtid == Gtid) {
+          DurableAbort(Txn, Gtid);
+        } else if (!TIt->second.Prepared) {
+          // Never durably prepared: nothing on disk, nothing to log.
+          applyAbort(*St, TIt);
+        } else {
+          return NoSuchTxn{Txn}; // Another incarnation's gtid.
+        }
+        return wire::Unit{};
+      });
+
+  G.setShedExempt(K.PrepareG.Port);
+  G.setShedExempt(K.CommitG.Port);
+  G.setShedExempt(K.AbortG.Port);
+
+  // Replay revived in-doubt transactions: resolve them promptly rather
+  // than after the full ResolveAfter grace (their decision is already
+  // overdue).
+  for (auto &[Id, T] : St->Txns) {
+    if (!T.Prepared || T.Gtid == 0)
+      continue;
+    ++St->InDoubtRecovered;
+    ArmResolver(Id, T.Gtid, Cfg.ResolveRetry);
+  }
+
   return K;
+}
+
+//===----------------------------------------------------------------------===//
+// TwoPhaseCoordinatorKit
+//===----------------------------------------------------------------------===//
+
+uint64_t TwoPhaseCoordinatorKit::State::beginTxn() {
+  uint64_t Gtid =
+      (CoordId << 48) | ((Incarnation & 0xFFFFull) << 32) | NextSeq++;
+  Active.insert(Gtid);
+  return Gtid;
+}
+
+void TwoPhaseCoordinatorKit::State::logCommit(uint64_t Gtid) {
+  wire::Encoder E;
+  E.writeU8(RecDecidedCommit);
+  E.writeU64(Gtid);
+  Wal->append(E.take());
+  Wal->sync(); // The decision force. Crash during it: presumed abort.
+  Committed.insert(Gtid);
+}
+
+TwoPhaseCoordinatorKit apps::installTwoPhaseCoordinator(
+    Guardian &G, storage::StableStore &Wal, uint64_t CoordId) {
+  TwoPhaseCoordinatorKit Kit;
+  Kit.St = std::make_shared<TwoPhaseCoordinatorKit::State>();
+  auto St = Kit.St;
+  St->Wal = &Wal;
+  St->CoordId = CoordId;
+
+  storage::StableStore::Recovery R = Wal.open();
+  for (const wire::Bytes &Rec : R.Records) {
+    wire::Decoder D(Rec);
+    uint8_t Kind = D.readU8();
+    uint64_t V = D.readU64();
+    PROMISES_CHECK(!D.failed(), "corrupt coordinator log record");
+    if (Kind == RecIncarnation) {
+      if (V > St->Incarnation)
+        St->Incarnation = V;
+    } else {
+      PROMISES_CHECK(Kind == RecDecidedCommit,
+                     "unknown coordinator log record kind");
+      St->Committed.insert(V);
+    }
+    ++St->Replayed;
+  }
+  St->RecoveredTorn = R.TornTail;
+
+  // Force the new incarnation before minting any gtid from it: ids must
+  // stay unique across restarts even if this incarnation crashes at
+  // once.
+  ++St->Incarnation;
+  wire::Encoder E;
+  E.writeU8(RecIncarnation);
+  E.writeU64(St->Incarnation);
+  Wal.append(E.take());
+  Wal.sync();
+
+  Kit.StatusPort = G.addHandler<uint8_t(uint64_t)>(
+      "txn_status", [St](uint64_t Gtid) -> Outcome<uint8_t> {
+        if (St->Committed.count(Gtid))
+          return uint8_t(TwoPhaseCoordinatorKit::StatusCommitted);
+        if (St->Active.count(Gtid))
+          return uint8_t(TwoPhaseCoordinatorKit::StatusActive);
+        return uint8_t(TwoPhaseCoordinatorKit::StatusAborted);
+      });
+  return Kit;
 }
 
 //===----------------------------------------------------------------------===//
 // TwoPhaseCoordinator
 //===----------------------------------------------------------------------===//
 
+TwoPhaseCoordinator::TwoPhaseCoordinator(Guardian &Local,
+                                         const TwoPhaseCoordinatorKit *Kit)
+    : Local(Local) {
+  if (Kit != nullptr && Kit->St != nullptr) {
+    KitSt = Kit->St;
+    Gtid = KitSt->beginTxn();
+  }
+}
+
+TwoPhaseCoordinator::~TwoPhaseCoordinator() {
+  // An abandoned transaction must not read as in-flight forever: drop
+  // it from the active set so status probes presume abort.
+  if (KitSt)
+    KitSt->finishTxn(Gtid);
+}
+
 size_t TwoPhaseCoordinator::enlist(const TxnKv &Participant) {
-  assert(!Finished && "coordinator already finished");
+  PROMISES_CHECK(!Finished, "coordinator already finished");
+  PROMISES_CHECK(!KitSt || Participant.PrepareG.Port != 0,
+                 "durable coordinator requires durable participants");
   Enlisted E;
   E.Kv = Participant;
   E.Agent = Local.newAgent();
@@ -152,8 +538,8 @@ bool TwoPhaseCoordinator::ensureBegun(Enlisted &E) {
 
 bool TwoPhaseCoordinator::put(size_t Idx, const std::string &Key,
                               const std::string &Val) {
-  assert(Idx < Participants.size() && "unknown participant");
-  assert(!Finished && "coordinator already finished");
+  PROMISES_CHECK(Idx < Participants.size(), "unknown participant");
+  PROMISES_CHECK(!Finished, "coordinator already finished");
   Enlisted &E = Participants[Idx];
   if (!ensureBegun(E))
     return false;
@@ -167,7 +553,7 @@ bool TwoPhaseCoordinator::put(size_t Idx, const std::string &Key,
 }
 
 TwoPhaseResult TwoPhaseCoordinator::commit() {
-  assert(!Finished && "coordinator already finished");
+  PROMISES_CHECK(!Finished, "coordinator already finished");
   if (Doomed) {
     abort();
     return TwoPhaseResult::Aborted;
@@ -176,25 +562,47 @@ TwoPhaseResult TwoPhaseCoordinator::commit() {
   for (Enlisted &E : Participants) {
     if (!E.Begun)
       continue; // Never touched: trivially prepared.
-    auto H = bindHandler(Local, E.Agent, E.Kv.Prepare);
-    auto O = H.call(E.Txn);
-    if (!O.isNormal() || !O.value()) {
+    bool Yes;
+    if (KitSt) {
+      auto H = bindHandler(Local, E.Agent, E.Kv.PrepareG);
+      auto O = H.call(E.Txn, Gtid);
+      Yes = O.isNormal() && O.value();
+    } else {
+      auto H = bindHandler(Local, E.Agent, E.Kv.Prepare);
+      auto O = H.call(E.Txn);
+      Yes = O.isNormal() && O.value();
+    }
+    if (!Yes) {
       abort();
       return TwoPhaseResult::Aborted;
     }
   }
-  // Phase 2: commit everywhere. A participant lost now is the blocking
-  // window: survivors commit, the lost one is in doubt.
+  // The decision force: after this line the transaction is committed no
+  // matter what crashes — prepared participants redo from our status.
+  if (KitSt)
+    KitSt->logCommit(Gtid);
+  // Phase 2: commit everywhere. Volatile participants lost now are the
+  // blocking window (survivors committed, the lost one in doubt);
+  // durable ones resolve themselves against the logged decision, so
+  // InDoubt only describes what *this client* observed.
   Finished = true;
   bool AnyLost = false;
   for (Enlisted &E : Participants) {
     if (!E.Begun)
       continue;
-    auto H = bindHandler(Local, E.Agent, E.Kv.Commit);
-    auto O = H.call(E.Txn);
-    if (!O.isNormal())
+    bool Ok;
+    if (KitSt) {
+      auto H = bindHandler(Local, E.Agent, E.Kv.CommitG);
+      Ok = H.call(E.Txn, Gtid).isNormal();
+    } else {
+      auto H = bindHandler(Local, E.Agent, E.Kv.Commit);
+      Ok = H.call(E.Txn).isNormal();
+    }
+    if (!Ok)
       AnyLost = true;
   }
+  if (KitSt)
+    KitSt->finishTxn(Gtid);
   return AnyLost ? TwoPhaseResult::InDoubt : TwoPhaseResult::Committed;
 }
 
@@ -203,8 +611,17 @@ void TwoPhaseCoordinator::abort() {
   for (Enlisted &E : Participants) {
     if (!E.Begun)
       continue;
-    auto H = bindHandler(Local, E.Agent, E.Kv.Abort);
-    H.call(E.Txn); // Best effort; unreachable participants time out
-                   // their locks with their own state (volatile).
+    // Best effort; a durably prepared participant we cannot reach
+    // resolves itself (presumed abort), a volatile one times out with
+    // its own state.
+    if (KitSt) {
+      auto H = bindHandler(Local, E.Agent, E.Kv.AbortG);
+      H.call(E.Txn, Gtid);
+    } else {
+      auto H = bindHandler(Local, E.Agent, E.Kv.Abort);
+      H.call(E.Txn);
+    }
   }
+  if (KitSt)
+    KitSt->finishTxn(Gtid);
 }

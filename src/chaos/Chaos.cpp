@@ -6,7 +6,9 @@
 
 #include "promises/chaos/Chaos.h"
 
+#include "promises/apps/KvStore.h"
 #include "promises/runtime/RemoteHandler.h"
+#include "promises/storage/Storage.h"
 #include "promises/support/StrUtil.h"
 
 #include <algorithm>
@@ -270,7 +272,23 @@ struct ServerSlot {
   runtime::Guardian *Current = nullptr;
   RecordRef Record;
   bool TransportDead = false; ///< Shutdown injected since last incarnation.
+  /// Durable mode only: the slot's stable store (outlives every guardian
+  /// incarnation, like a disk outlives the processes using it) and the
+  /// current incarnation's recovered kv ports.
+  std::unique_ptr<storage::StableStore> Wal;
+  apps::KvStore Kv;
 };
+
+/// A durable put the client saw acknowledged; must survive any later
+/// crash schedule.
+struct DurableAck {
+  size_t Slot = 0;
+  std::string Key, Val;
+};
+
+/// Deterministic subset of ops that run as durable puts under
+/// --storage-faults (disjoint from opIdempotent's Op%3==0).
+constexpr bool opDurablePut(uint64_t Op) { return Op % 3 == 1; }
 
 struct World {
   explicit World(const ChaosOptions &Opt);
@@ -290,6 +308,7 @@ struct World {
   std::vector<std::unique_ptr<runtime::Guardian>> ClientGuardians;
   std::vector<std::vector<stream::AgentId>> Agents; ///< [client][slot].
   std::vector<ExecEntry> Log;
+  std::vector<DurableAck> Acked;
   uint32_t NextGen = 0;
   ChaosReport Report;
 };
@@ -335,6 +354,15 @@ World::World(const ChaosOptions &Opt)
     Slots[I].Node = Net->addNode(strprintf("srv%zu", I));
   for (size_t I = 0; I != O.Clients; ++I)
     ClientNodes.push_back(Net->addNode(strprintf("cli%zu", I)));
+
+  if (O.Storage)
+    for (size_t I = 0; I != O.Servers; ++I) {
+      storage::StorageConfig SC;
+      SC.Name = strprintf("srv%zu", I);
+      SC.SyncTime = sim::usec(200);
+      SC.Faults = {O.LostRate, O.TornRate, mixSeed(O.Seed, 7000 + I)};
+      Slots[I].Wal = std::make_unique<storage::StableStore>(S, SC);
+    }
 
   for (size_t I = 0; I != O.Servers; ++I)
     installServer(I);
@@ -384,6 +412,15 @@ void World::installServer(size_t Slot) {
           return ChaosBusy{Op};
         return Op;
       });
+  if (O.Storage) {
+    // Recover before serving: the incarnation replays its slot's log
+    // (acked writes from any predecessor must reappear).
+    apps::KvStoreConfig KC;
+    KC.ServiceTime = sim::usec(100);
+    KC.Wal = SS.Wal.get();
+    KC.SnapshotEvery = 32;
+    SS.Kv = apps::installKvStore(*G, KC);
+  }
   SS.Current = G.get();
   SS.TransportDead = false;
   ServerGuardians.push_back(std::move(G));
@@ -396,6 +433,8 @@ void World::applyAction(const ChaosAction &A) {
   case K::CrashNode:
     if (Net->isUp(SS.Node)) {
       Net->crash(SS.Node);
+      if (SS.Wal)
+        SS.Wal->crash(); // Media fault model: un-synced tail at risk.
       ++Report.Crashes;
     }
     break;
@@ -489,6 +528,38 @@ void World::runDriver(uint32_t Client) {
 
   for (uint64_t Op = 1; Op <= O.OpsPerClient; ++Op) {
     size_t Slot = R.below(O.Servers);
+    if (O.Storage && opDurablePut(Op)) {
+      // Durable branch: a blocking put whose ack promises the write
+      // survives any later crash schedule. Keys are unique per
+      // (client, op) so the durability audit is exact.
+      ++Report.OpsIssued;
+      auto H = runtime::bindHandler(*ClientGuardians[Client],
+                                    Agents[Client][Slot], Slots[Slot].Kv.Put);
+      std::string Key =
+          strprintf("c%u-o%llu", Client, (unsigned long long)Op);
+      std::string Val = strprintf("v%llu", (unsigned long long)Op);
+      auto Out = H.call(Key, Val);
+      if (Out.isNormal()) {
+        ++Report.Normal;
+        ++Report.DurableAcked;
+        Acked.push_back({Slot, std::move(Key), std::move(Val)});
+      } else if (Out.is<core::Unavailable>()) {
+        ++Report.Unavailable;
+        const std::string &Why = Out.get<core::Unavailable>().Reason;
+        if (Why == core::reasons::DeadlineExpired)
+          ++Report.Expired;
+        else if (Why == core::reasons::Cancelled)
+          ++Report.Cancelled;
+        else if (Why == core::reasons::Overloaded)
+          ++Report.Shed;
+        else if (Why == core::reasons::CircuitOpen)
+          ++Report.FastFails;
+      } else {
+        ++Report.Failed;
+      }
+      S.sleep(sim::usec(R.between(50, 1500)));
+      continue;
+    }
     RecordHandler H(*ClientGuardians[Client], Agents[Client][Slot],
                     Slots[Slot].Record);
     if (O.Deadlines) {
@@ -732,6 +803,38 @@ ChaosReport World::finish() {
     Last = E.Op;
   }
 
+  // 6b. Durability (--storage-faults): every client-acknowledged write
+  // survived the full crash schedule — present in the final
+  // incarnation's live map AND in an offline replay of the media alone.
+  // The two views must in fact agree exactly: live state is replayed
+  // state plus logged puts, nothing else. Torn tails can only come from
+  // crashes.
+  if (O.Storage) {
+    for (size_t I = 0; I != Slots.size(); ++I) {
+      ServerSlot &SS = Slots[I];
+      Rep.StorageCrashes += SS.Wal->crashes();
+      Rep.TornTails += SS.Wal->tornTails();
+      Rep.Replayed += SS.Kv.Store->Replayed;
+      std::map<std::string, std::string> Media =
+          apps::replayKvData(SS.Wal->scan());
+      if (Media != SS.Kv.Store->Data)
+        violate(strprintf("srv%zu: media replay diverges from live state "
+                          "(%zu media keys vs %zu live)",
+                          I, Media.size(), SS.Kv.Store->Data.size()));
+    }
+    for (const DurableAck &A : Acked) {
+      const auto &Live = Slots[A.Slot].Kv.Store->Data;
+      auto It = Live.find(A.Key);
+      if (It == Live.end() || It->second != A.Val)
+        violate(strprintf("acked durable write %s lost from srv%zu",
+                          A.Key.c_str(), A.Slot));
+    }
+    if (Rep.TornTails > Rep.StorageCrashes)
+      violate(strprintf("%llu torn tails > %llu storage crashes",
+                        (unsigned long long)Rep.TornTails,
+                        (unsigned long long)Rep.StorageCrashes));
+  }
+
   // 7. Determinism oracle: digest the full trace-event stream in order.
   const MetricsRegistry &Reg = S.metrics();
   uint64_t H = 0xcbf29ce484222325ull;
@@ -772,7 +875,11 @@ std::string chaos::replayCommand(const ChaosOptions &O) {
                    sim::SimConfig::backendName(O.Backend),
                    O.Deadlines ? " --deadlines" : "",
                    O.Corrupt ? " --corrupt" : "", O.Dup ? " --dup" : "",
-                   O.Reorder ? " --reorder" : "");
+                   O.Reorder ? " --reorder" : "") +
+         (O.Storage
+              ? strprintf(" --storage-faults --torn-rate %g --lost-rate %g",
+                          O.TornRate, O.LostRate)
+              : std::string());
 }
 
 std::string ChaosReport::summary() const {
@@ -813,5 +920,12 @@ std::string ChaosReport::summary() const {
                           (unsigned long long)FramesCorruptDropped,
                           (unsigned long long)MalformedDropped,
                           (unsigned long long)CorruptBursts)
+              : std::string()) +
+         (DurableAcked | StorageCrashes | TornTails | Replayed
+              ? strprintf(" dput=%llu replay=%llu scrash=%llu torn=%llu",
+                          (unsigned long long)DurableAcked,
+                          (unsigned long long)Replayed,
+                          (unsigned long long)StorageCrashes,
+                          (unsigned long long)TornTails)
               : std::string());
 }

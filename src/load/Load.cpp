@@ -10,6 +10,7 @@
 #include "promises/apps/TwoPhase.h"
 #include "promises/chaos/Chaos.h"
 #include "promises/runtime/RemoteHandler.h"
+#include "promises/storage/Storage.h"
 #include "promises/support/Rng.h"
 #include "promises/support/StrUtil.h"
 
@@ -172,6 +173,30 @@ LoadScenario neworderScenario() {
   return Sc;
 }
 
+LoadScenario neworderCrashScenario() {
+  LoadScenario Sc;
+  Sc.Name = "neworder-crash";
+  Sc.Summary = "durable new-order under a crash storm: WAL-backed "
+               "partitions, presumed-abort 2PC, media faults at every "
+               "crash; the durability battery audits the logs offline";
+  Sc.Servers = 3;
+  Sc.Duration = sim::msec(500);
+  Sc.ServiceTime = sim::usec(300);
+  Sc.MaxPendingCalls = 24;
+  Sc.GoodputFloor = 0; // Crashes dominate goodput; the battery gates.
+  Sc.Chaos = true;
+  Sc.ChaosProfile = "crashes";
+  Sc.Storage = true;
+  TenantSpec T;
+  T.Name = "orders";
+  T.RateCps = 300;
+  T.Sh = Shape::Step;
+  T.StormFactor = 2.0;
+  T.Op = OpKind::NewOrder;
+  Sc.Tenants = {T};
+  return Sc;
+}
+
 LoadScenario chaosStormScenario() {
   LoadScenario Sc;
   Sc.Name = "chaos-storm";
@@ -202,9 +227,9 @@ LoadScenario chaosStormScenario() {
 
 const std::vector<LoadScenario> &LoadScenario::all() {
   static const std::vector<LoadScenario> Sc = {
-      steadyScenario(),  stormScenario(),   spikeScenario(),
-      diurnalScenario(), tenantsScenario(), neworderScenario(),
-      chaosStormScenario()};
+      steadyScenario(),        stormScenario(),   spikeScenario(),
+      diurnalScenario(),       tenantsScenario(), neworderScenario(),
+      neworderCrashScenario(), chaosStormScenario()};
   return Sc;
 }
 
@@ -252,6 +277,10 @@ struct ServerSlot {
   apps::KvStore Kv;
   apps::TxnKv Txn;
   bool TransportDead = false;
+  /// Durable runs only: the slot's media, owned by the *node*, not the
+  /// incarnation — a restarted guardian replays them before serving.
+  std::unique_ptr<storage::StableStore> KvWal;
+  std::unique_ptr<storage::StableStore> TxnWal;
 };
 
 /// Per-tenant mutable tallies plus the registry instruments they feed
@@ -286,6 +315,8 @@ struct World {
 
   LoadOptions O;
   Time Duration; ///< Scenario duration after DurationScale.
+  bool UseStorage;
+  double TornRate, LostRate;
   sim::Simulation S;
   std::unique_ptr<net::SimNetwork> Net;
   std::vector<ServerSlot> Slots;
@@ -294,6 +325,11 @@ struct World {
   std::vector<std::unique_ptr<runtime::Guardian>> ClientGuardians;
   std::vector<std::vector<stream::AgentId>> Lanes; ///< [tenant][srv*Streams+i]
   std::vector<Tally> Tallies;
+  /// Durable runs: one coordinator kit per NewOrder tenant, living on
+  /// the tenant's client guardian (client nodes never crash here, so
+  /// each kit has exactly one incarnation). CoordId = tenant index.
+  std::vector<std::unique_ptr<storage::StableStore>> CoordWals;
+  std::vector<apps::TwoPhaseCoordinatorKit> Kits;
   Histogram *GlobalLat = nullptr;
   chaos::ChaosPlan Plan; ///< Empty unless Scenario.Chaos.
   uint32_t NextGen = 0;
@@ -322,6 +358,9 @@ World::World(const LoadOptions &Opt)
     : O(Opt),
       Duration(static_cast<Time>(
           static_cast<double>(Opt.Scenario.Duration) * Opt.DurationScale)),
+      UseStorage(Opt.Scenario.Storage || Opt.ForceStorage),
+      TornRate(Opt.TornRate >= 0 ? Opt.TornRate : Opt.Scenario.TornRate),
+      LostRate(Opt.LostRate >= 0 ? Opt.LostRate : Opt.Scenario.LostRate),
       S(sim::SimConfig{.Backend = Opt.Backend}) {
   const LoadScenario &Sc = O.Scenario;
   // The trace-event stream is the determinism oracle; always record it.
@@ -350,6 +389,20 @@ World::World(const LoadOptions &Opt)
     Slots[I].Node = Net->addNode(strprintf("srv%zu", I));
   for (size_t I = 0; I != Sc.Tenants.size(); ++I)
     ClientNodes.push_back(Net->addNode(strprintf("cli%zu", I)));
+  if (UseStorage) {
+    for (size_t I = 0; I != Sc.Servers; ++I) {
+      storage::StorageConfig KC;
+      KC.Name = strprintf("srv%zu.kv", I);
+      KC.Faults = {LostRate, TornRate, mixSeed(O.Seed, 7000 + I)};
+      Slots[I].KvWal = std::make_unique<storage::StableStore>(S, KC);
+      storage::StorageConfig TC;
+      TC.Name = strprintf("srv%zu.txn", I);
+      TC.Faults = {LostRate, TornRate, mixSeed(O.Seed, 7100 + I)};
+      Slots[I].TxnWal = std::make_unique<storage::StableStore>(S, TC);
+    }
+    CoordWals.resize(Sc.Tenants.size());
+    Kits.resize(Sc.Tenants.size());
+  }
   for (size_t I = 0; I != Sc.Servers; ++I)
     installServer(I);
 
@@ -380,6 +433,16 @@ World::World(const LoadOptions &Opt)
     }
     ClientGuardians.push_back(std::make_unique<runtime::Guardian>(
         *Net, ClientNodes[T], strprintf("cli-%s", Ten.Name.c_str()), GC));
+    if (UseStorage && Ten.Op == OpKind::NewOrder) {
+      storage::StorageConfig CC;
+      CC.Name = strprintf("coord%zu", T);
+      // Client nodes never crash in load plans; the kit's media only
+      // needs to exist so decisions are forced before phase 2.
+      CC.Faults = {0.0, 0.0, mixSeed(O.Seed, 7200 + T)};
+      CoordWals[T] = std::make_unique<storage::StableStore>(S, CC);
+      Kits[T] = apps::installTwoPhaseCoordinator(*ClientGuardians[T],
+                                                 *CoordWals[T], T);
+    }
     for (size_t Srv = 0; Srv != Sc.Servers; ++Srv)
       for (size_t I = 0; I != std::max<size_t>(1, Ten.Streams); ++I)
         Lanes[T].push_back(ClientGuardians[T]->newAgent());
@@ -405,6 +468,13 @@ World::World(const LoadOptions &Opt)
 
 void World::installServer(size_t Slot) {
   ServerSlot &SS = Slots[Slot];
+  // The dying incarnation's resolver tallies would vanish with it;
+  // accumulate them before the new incarnation replaces the state.
+  if (UseStorage && SS.Txn.Store) {
+    Report.InDoubtRecovered += SS.Txn.Store->InDoubtRecovered;
+    Report.ResolvedCommits += SS.Txn.Store->ResolvedCommits;
+    Report.ResolvedAborts += SS.Txn.Store->ResolvedAborts;
+  }
   uint32_t Gen = ++NextGen;
   const LoadScenario &Sc = O.Scenario;
   runtime::GuardianConfig GC;
@@ -417,8 +487,28 @@ void World::installServer(size_t Slot) {
   // MaxPendingCalls then bounds *concurrency*, so the guardian is an
   // N-slot loss system with capacity MaxPendingCalls / ServiceTime.
   G->setParallelGroup(runtime::Guardian::DefaultGroup);
-  SS.Kv = apps::installKvStore(*G, {.ServiceTime = Sc.ServiceTime});
-  SS.Txn = apps::installTxnKv(*G, {.ServiceTime = Sc.ServiceTime});
+  apps::KvStoreConfig KvC;
+  KvC.ServiceTime = Sc.ServiceTime;
+  apps::TxnKvConfig TxC;
+  TxC.ServiceTime = Sc.ServiceTime;
+  if (UseStorage) {
+    KvC.Wal = SS.KvWal.get();
+    TxC.Wal = SS.TxnWal.get();
+    // One status probe: route by the gtid's coordinator id to the owning
+    // tenant's kit, called from this incarnation over a fresh lane.
+    TxC.QueryStatus = [this, GP = G.get()](uint64_t Gtid) -> int {
+      size_t Cid = static_cast<size_t>(
+          apps::TwoPhaseCoordinatorKit::State::coordOf(Gtid));
+      if (Cid >= Kits.size() || !Kits[Cid].St)
+        return -1;
+      auto H = runtime::bindHandler(*GP, GP->newAgent(),
+                                    Kits[Cid].StatusPort);
+      auto Out = H.call(Gtid);
+      return Out.isNormal() ? static_cast<int>(Out.value()) : -1;
+    };
+  }
+  SS.Kv = apps::installKvStore(*G, KvC);
+  SS.Txn = apps::installTxnKv(*G, TxC);
   SS.Current = G.get();
   SS.TransportDead = false;
   ServerGuardians.push_back(std::move(G));
@@ -431,6 +521,10 @@ void World::applyAction(const chaos::ChaosAction &A) {
   case K::CrashNode:
     if (Net->isUp(SS.Node)) {
       Net->crash(SS.Node);
+      if (SS.KvWal)
+        SS.KvWal->crash();
+      if (SS.TxnWal)
+        SS.TxnWal->crash();
       ++Report.Crashes;
     }
     break;
@@ -650,7 +744,8 @@ void World::runNewOrder(size_t TIdx, uint64_t Seq, Time ArrivedAt) {
   // One new-order transaction: stage a handful of writes spread over
   // every partition (item lines + the order row), then two-phase commit
   // across all of them, the coordinator fanning out from this process.
-  apps::TwoPhaseCoordinator Txn(*ClientGuardians[TIdx]);
+  apps::TwoPhaseCoordinator Txn(*ClientGuardians[TIdx],
+                                UseStorage ? &Kits[TIdx] : nullptr);
   for (size_t Srv = 0; Srv != Sc.Servers; ++Srv)
     Txn.enlist(Slots[Srv].Txn);
   size_t Puts = std::max<size_t>(4, Sc.Servers);
@@ -713,9 +808,15 @@ LoadReport World::finish() {
 
   // 3. Per-transport conservation and hygiene, clients and every server
   // incarnation alike (the PR 3/5 audit, here under storm load).
-  auto audit = [&](const std::string &Who, runtime::Guardian &G) {
+  auto audit = [&](const std::string &Who, runtime::Guardian &G,
+                   bool CanLoseCalls) {
     stream::StreamCounters C = G.transport().counters();
-    if (C.CallsIssued != C.CallsFulfilled + C.CallsBroken)
+    // Durable servers issue status probes, and a node crash kills a
+    // prober mid-call, leaving that call permanently unsettled in the
+    // (node, port)-keyed counters its successors share. For those,
+    // conservation relaxes to a bound; clients must balance exactly.
+    if (CanLoseCalls ? C.CallsFulfilled + C.CallsBroken > C.CallsIssued
+                     : C.CallsIssued != C.CallsFulfilled + C.CallsBroken)
       violate(strprintf("%s: %llu issued != %llu fulfilled + %llu broken",
                         Who.c_str(), (unsigned long long)C.CallsIssued,
                         (unsigned long long)C.CallsFulfilled,
@@ -732,9 +833,9 @@ LoadReport World::finish() {
   };
   for (size_t T = 0; T != ClientGuardians.size(); ++T)
     audit(strprintf("cli-%s", Sc.Tenants[T].Name.c_str()),
-          *ClientGuardians[T]);
+          *ClientGuardians[T], false);
   for (auto &G : ServerGuardians)
-    audit(G->name(), *G);
+    audit(G->name(), *G, UseStorage);
 
   // Server-side aggregates.
   for (auto &G : ServerGuardians) {
@@ -927,6 +1028,83 @@ LoadReport World::finish() {
     }
   }
 
+  // 9b. Durability battery (durable runs; chaos does not exempt it): the
+  // media alone must reconstruct exactly the surviving state, every
+  // durably committed transaction must be applied on every partition,
+  // and no prepared lock may outlive recovery unresolved. Stranded
+  // *unprepared* transactions are permitted — a lost best-effort abort
+  // leaves one behind by design, and presumed abort is precisely the
+  // rule that makes that safe.
+  if (UseStorage) {
+    std::set<uint64_t> Decided;
+    for (const auto &Kit : Kits)
+      if (Kit.St) {
+        Decided.insert(Kit.St->Committed.begin(), Kit.St->Committed.end());
+        Rep.TxnCommitted += Kit.St->Committed.size();
+      }
+    uint64_t NewOrderNormal = 0, NewOrderInDoubt = 0;
+    for (size_t T = 0; T != Sc.Tenants.size(); ++T)
+      if (Sc.Tenants[T].Op == OpKind::NewOrder) {
+        NewOrderNormal += Tallies[T].R.Normal;
+        NewOrderInDoubt += Tallies[T].R.TxnInDoubt;
+      }
+    if (Decided.size() < NewOrderNormal ||
+        Decided.size() > NewOrderNormal + NewOrderInDoubt)
+      violate(strprintf("%zu logged commit decisions outside "
+                        "[%llu normal, %llu normal+indoubt]",
+                        Decided.size(), (unsigned long long)NewOrderNormal,
+                        (unsigned long long)(NewOrderNormal +
+                                             NewOrderInDoubt)));
+
+    for (size_t Srv = 0; Srv != Sc.Servers; ++Srv) {
+      ServerSlot &SS = Slots[Srv];
+      Rep.StorageCrashes += SS.KvWal->crashes() + SS.TxnWal->crashes();
+      Rep.TornTails += SS.KvWal->tornTails() + SS.TxnWal->tornTails();
+      Rep.Replayed += SS.Kv.Store->Replayed + SS.Txn.Store->Replayed;
+      Rep.InDoubtRecovered += SS.Txn.Store->InDoubtRecovered;
+      Rep.ResolvedCommits += SS.Txn.Store->ResolvedCommits;
+      Rep.ResolvedAborts += SS.Txn.Store->ResolvedAborts;
+
+      const apps::TxnKv::State &Live = *SS.Txn.Store;
+      for (const auto &[Id, T] : Live.Txns)
+        if (T.Prepared)
+          violate(strprintf("srv%zu: txn %u still prepared (in doubt) at "
+                            "quiescence",
+                            Srv, Id));
+      apps::TxnKv::State Media = apps::replayTxnState(SS.TxnWal->scan());
+      if (!Media.Txns.empty())
+        violate(strprintf("srv%zu: %zu prepared txns on media lack a "
+                          "logged decision",
+                          Srv, Media.Txns.size()));
+      if (Media.Data != Live.Data)
+        violate(strprintf("srv%zu: txn media replay diverges from live "
+                          "data (%zu vs %zu keys)",
+                          Srv, Media.Data.size(), Live.Data.size()));
+      if (Media.Applied != Live.Applied)
+        violate(strprintf("srv%zu: txn media replay diverges from live "
+                          "applied set (%zu vs %zu gtids)",
+                          Srv, Media.Applied.size(), Live.Applied.size()));
+      if (apps::replayKvData(SS.KvWal->scan()) != SS.Kv.Store->Data)
+        violate(strprintf("srv%zu: kv media replay diverges from live "
+                          "state",
+                          Srv));
+      for (uint64_t G : Decided)
+        if (!Live.Applied.count(G))
+          violate(strprintf("srv%zu: committed gtid %llx not applied "
+                            "after recovery",
+                            Srv, (unsigned long long)G));
+      for (uint64_t G : Live.Applied)
+        if (!Decided.count(G))
+          violate(strprintf("srv%zu: applied gtid %llx never durably "
+                            "committed",
+                            Srv, (unsigned long long)G));
+    }
+    if (Rep.TornTails > Rep.StorageCrashes)
+      violate(strprintf("%llu torn tails > %llu storage crashes",
+                        (unsigned long long)Rep.TornTails,
+                        (unsigned long long)Rep.StorageCrashes));
+  }
+
   // 10. Determinism oracle: digest the full trace-event stream in order.
   const MetricsRegistry &Reg = S.metrics();
   uint64_t H = 0xcbf29ce484222325ull;
@@ -969,10 +1147,28 @@ std::string load::replayCommand(const LoadOptions &O) {
     Cmd += strprintf(" --rate-scale %g", O.RateScale);
   if (O.DurationScale != 1.0)
     Cmd += strprintf(" --duration-scale %g", O.DurationScale);
+  if (O.ForceStorage)
+    Cmd += " --storage-faults";
+  if (O.TornRate >= 0)
+    Cmd += strprintf(" --torn-rate %g", O.TornRate);
+  if (O.LostRate >= 0)
+    Cmd += strprintf(" --lost-rate %g", O.LostRate);
   return Cmd;
 }
 
 std::string LoadReport::summary() const {
+  std::string Dur;
+  if (StorageCrashes | TornTails | Replayed | InDoubtRecovered |
+      ResolvedCommits | ResolvedAborts | TxnCommitted)
+    Dur = strprintf(" committed=%llu scrash=%llu torn=%llu replay=%llu "
+                    "indoubt=%llu resolved=%llu/%llu",
+                    (unsigned long long)TxnCommitted,
+                    (unsigned long long)StorageCrashes,
+                    (unsigned long long)TornTails,
+                    (unsigned long long)Replayed,
+                    (unsigned long long)InDoubtRecovered,
+                    (unsigned long long)ResolvedCommits,
+                    (unsigned long long)ResolvedAborts);
   return strprintf(
       "offered=%llu normal=%llu shed=%llu/%llu fastfail=%llu expired=%llu "
       "retries=%llu exec=%llu goodput=%.0f->%.0fcps ratio=%.2f "
@@ -983,7 +1179,8 @@ std::string LoadReport::summary() const {
       (unsigned long long)Retries, (unsigned long long)Executions,
       BaseGoodputCps, OverGoodputCps, GoodputRatio, P50Us, P99Us, P999Us,
       static_cast<double>(VirtualEnd) / 1e6, (unsigned long long)TraceEvents,
-      (unsigned long long)TraceHash);
+      (unsigned long long)TraceHash) +
+         Dur;
 }
 
 std::string load::benchJson(const LoadOptions &O, const LoadReport &R) {

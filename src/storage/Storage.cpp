@@ -1,0 +1,174 @@
+//===- Storage.cpp - Simulated stable storage -----------------------------===//
+//
+// Part of the promises project (PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "promises/storage/Storage.h"
+
+#include "promises/support/Check.h"
+
+using namespace promises;
+using namespace promises::storage;
+
+namespace {
+
+constexpr uint8_t RecordMagic = 0xA6;
+constexpr size_t RecordHeaderBytes = 9; // magic u8 + len u32 + crc u32
+
+void putLe32(wire::Bytes &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint32_t getLe32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+} // namespace
+
+StableStore::StableStore(sim::Simulation &S, StorageConfig C)
+    : S(S), Cfg(std::move(C)), FaultRng(Cfg.Faults.Seed) {
+  MetricLabels L{{"store", Cfg.Name}};
+  auto &M = S.metrics();
+  CAppends = &M.counter("storage.appends", L);
+  CAppendedBytes = &M.counter("storage.appended_bytes", L);
+  CSyncs = &M.counter("storage.syncs", L);
+  CSnapshots = &M.counter("storage.snapshots", L);
+  CReplays = &M.counter("storage.replays", L);
+  CReplayedRecords = &M.counter("storage.replayed_records", L);
+  CCrashes = &M.counter("storage.crashes", L);
+  CLostBytes = &M.counter("storage.lost_bytes", L);
+  CTornTails = &M.counter("storage.torn_tails", L);
+}
+
+void StableStore::append(const wire::Bytes &Payload) {
+  PROMISES_CHECK(Payload.size() <= UINT32_MAX, "oversized storage record");
+  // Grow geometrically: an exact-size reserve here would reallocate and
+  // copy the whole log on every append (quadratic over the log length).
+  size_t Need = Log.size() + RecordHeaderBytes + Payload.size();
+  if (Need > Log.capacity())
+    Log.reserve(std::max(Need, Log.capacity() * 2));
+  Log.push_back(RecordMagic);
+  putLe32(Log, static_cast<uint32_t>(Payload.size()));
+  putLe32(Log, wire::crc32c(Payload));
+  Log.insert(Log.end(), Payload.begin(), Payload.end());
+  RecordEnds.push_back(Log.size());
+  CAppends->inc();
+  CAppendedBytes->inc(RecordHeaderBytes + Payload.size());
+}
+
+void StableStore::sync() {
+  if (Synced == Log.size())
+    return; // Tail already durable (a concurrent force covered it).
+  if (Cfg.SyncTime != 0 && sim::Simulation::inProcess())
+    S.sleep(Cfg.SyncTime);
+  // A crash during the sleep killed the calling process above, so
+  // reaching this line means the force completed: everything appended
+  // by now (including during the sleep — group commit) is durable.
+  Synced = Log.size();
+  CSyncs->inc();
+}
+
+void StableStore::saveSnapshot(const std::function<wire::Bytes()> &Make) {
+  if (Cfg.SyncTime != 0 && sim::Simulation::inProcess())
+    S.sleep(Cfg.SyncTime);
+  // Serialize *after* the force sleep: mutations applied during it are
+  // in memory before their records hit the log (apply-first
+  // discipline), so the snapshot subsumes every record it truncates.
+  Snapshot = Make();
+  HasSnapshot = true;
+  Log.clear();
+  RecordEnds.clear();
+  Synced = 0;
+  CSnapshots->inc();
+}
+
+void StableStore::crash() {
+  ++Crashes;
+  CCrashes->inc();
+  if (Synced >= Log.size())
+    return; // Nothing volatile to lose.
+  if (!FaultRng.chance(Cfg.Faults.LostSuffixRate))
+    return; // Write-back cache survived; the whole tail reads back.
+  uint64_t Keep = Synced;
+  if (FaultRng.chance(Cfg.Faults.TornWriteRate)) {
+    // Tear the first un-synced record. Synced sits on a record
+    // boundary, so find that record's end and pick a cut inside it.
+    uint64_t End = 0;
+    for (uint64_t E : RecordEnds)
+      if (E > Synced) {
+        End = E;
+        break;
+      }
+    PROMISES_CHECK(End > Synced, "synced frontier off record boundary");
+    uint64_t RecLen = End - Synced;
+    uint64_t Cut = 1 + FaultRng.below(RecLen); // in [1, RecLen]
+    if (Cut == RecLen) {
+      // Keep the full length but flip a payload bit: the CRC path.
+      Keep = End;
+      Log[End - 1] ^= 0x01;
+    } else {
+      Keep = Synced + Cut; // Partial prefix: the truncation path.
+    }
+    ++TornTails;
+    CTornTails->inc();
+  }
+  LostBytes += Log.size() - Keep;
+  CLostBytes->inc(Log.size() - Keep);
+  Log.resize(Keep);
+  while (!RecordEnds.empty() && RecordEnds.back() > Keep)
+    RecordEnds.pop_back();
+}
+
+StableStore::Recovery StableStore::scan() const {
+  Recovery R;
+  if (HasSnapshot)
+    R.Snapshot = Snapshot;
+  uint64_t Pos = 0;
+  while (Pos < Log.size()) {
+    uint64_t Left = Log.size() - Pos;
+    if (Left < RecordHeaderBytes || Log[Pos] != RecordMagic) {
+      R.TornTail = true;
+      break;
+    }
+    uint32_t Len = getLe32(Log.data() + Pos + 1);
+    uint32_t Crc = getLe32(Log.data() + Pos + 5);
+    if (Len > Left - RecordHeaderBytes ||
+        wire::crc32c(Log.data() + Pos + RecordHeaderBytes, Len) != Crc) {
+      R.TornTail = true;
+      break;
+    }
+    const uint8_t *P = Log.data() + Pos + RecordHeaderBytes;
+    R.Records.emplace_back(P, P + Len);
+    Pos += RecordHeaderBytes + Len;
+  }
+  R.DiscardedBytes = Log.size() - Pos;
+  return R;
+}
+
+StableStore::Recovery StableStore::open() {
+  Recovery R = scan();
+  if (R.DiscardedBytes != 0) {
+    Log.resize(Log.size() - R.DiscardedBytes);
+    while (!RecordEnds.empty() && RecordEnds.back() > Log.size())
+      RecordEnds.pop_back();
+  }
+  // Rebuild boundaries from the scan in case a fault-free crash left
+  // them stale, and mark the surviving log durable: it was just read
+  // back from the media, so it is stable by definition.
+  RecordEnds.clear();
+  uint64_t Pos = 0;
+  for (const wire::Bytes &Rec : R.Records) {
+    Pos += RecordHeaderBytes + Rec.size();
+    RecordEnds.push_back(Pos);
+  }
+  PROMISES_CHECK(Pos == Log.size(), "log scan out of step with media");
+  Synced = Log.size();
+  CReplays->inc();
+  CReplayedRecords->inc(R.Records.size());
+  return R;
+}

@@ -38,6 +38,9 @@ struct Options {
   bool Corrupt = false;
   bool Dup = false;
   bool Reorder = false;
+  bool Storage = false;
+  double TornRate = 0.3;
+  double LostRate = 0.7;
   bool PrintPlan = false;
   bool ReplayCheck = true; ///< Run each seed twice, compare traces.
   bool Quiet = false;
@@ -66,6 +69,11 @@ void usage(const char *Argv0) {
       "                  planned corruption bursts; see docs/FAULTS.md)\n"
       "  --dup           raise datagram duplication above the profile rate\n"
       "  --reorder       give each copy a chance of bounded extra delay\n"
+      "  --storage-faults durable workload: WAL-backed servers, acked puts,\n"
+      "                  crash-time media faults + recovery replay\n"
+      "                  (see docs/DURABILITY.md)\n"
+      "  --torn-rate F   P(lost suffix is torn mid-record) (default 0.3)\n"
+      "  --lost-rate F   P(crash loses the un-synced suffix) (default 0.7)\n"
       "  --plan          print the fault plan before each run\n"
       "  --no-replay     skip the determinism double-run\n"
       "  --quiet         print failures and the final line only\n",
@@ -127,6 +135,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Dup = true;
     } else if (!std::strcmp(A, "--reorder")) {
       O.Reorder = true;
+    } else if (!std::strcmp(A, "--storage-faults")) {
+      O.Storage = true;
+    } else if (!std::strcmp(A, "--torn-rate")) {
+      if (!(V = Need(A)))
+        return false;
+      O.TornRate = std::strtod(V, nullptr);
+    } else if (!std::strcmp(A, "--lost-rate")) {
+      if (!(V = Need(A)))
+        return false;
+      O.LostRate = std::strtod(V, nullptr);
     } else if (!std::strcmp(A, "--plan")) {
       O.PrintPlan = true;
     } else if (!std::strcmp(A, "--no-replay")) {
@@ -137,14 +155,18 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::fprintf(stderr,
                    "error: unknown flag %s (valid: --seed --seeds --profile "
                    "--ops --clients --servers --horizon-ms --backend "
-                   "--deadlines --corrupt --dup --reorder --plan --no-replay "
-                   "--quiet)\n",
+                   "--deadlines --corrupt --dup --reorder --storage-faults "
+                   "--torn-rate --lost-rate --plan --no-replay --quiet)\n",
                    A);
       return false;
     }
   }
   if (O.Clients == 0 || O.Servers == 0 || O.Seeds == 0) {
     std::fprintf(stderr, "error: --clients/--servers/--seeds must be > 0\n");
+    return false;
+  }
+  if (O.TornRate < 0 || O.TornRate > 1 || O.LostRate < 0 || O.LostRate > 1) {
+    std::fprintf(stderr, "error: --torn-rate/--lost-rate must be in [0,1]\n");
     return false;
   }
   return true;
@@ -183,6 +205,9 @@ int main(int Argc, char **Argv) {
     CO.Corrupt = O.Corrupt;
     CO.Dup = O.Dup;
     CO.Reorder = O.Reorder;
+    CO.Storage = O.Storage;
+    CO.TornRate = O.TornRate;
+    CO.LostRate = O.LostRate;
 
     if (O.PrintPlan) {
       ChaosPlan Plan = ChaosPlan::generate(CO);

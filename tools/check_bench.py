@@ -22,6 +22,13 @@ deterministic for a given build but legitimately shift when scheduling
 or retransmission behavior changes. The battery-violation count and the
 goodput floor are hard gates; goodput may drop at most 25% and tail
 latency grow at most 1.5x against the committed baseline.
+
+bench_recovery (BENCH_10): replay completeness and torn-tail detection
+are correctness bits and hard-fail immediately. The WAL overhead per
+durable put is virtual time, hence deterministic, and may grow at most
+25%. Recovery wall time and append cost are machine-dependent; they may
+regress up to 3x before CI fails (replay is a cold-start batch job, so
+shared-runner noise dominates more than on the hot path).
 """
 import json
 import sys
@@ -30,6 +37,8 @@ NS_REGRESSION_LIMIT = 1.25
 NET_REGRESSION_LIMIT = 2.0
 OVERLOAD_GOODPUT_LIMIT = 1.25
 OVERLOAD_TAIL_LIMIT = 1.5
+RECOVERY_OVERHEAD_LIMIT = 1.25
+RECOVERY_WALL_LIMIT = 3.0
 
 
 def fail(msg):
@@ -87,6 +96,35 @@ def check_overload(fresh, base):
     print("check_bench: OK")
 
 
+def check_recovery(fresh, base):
+    if not fresh.get("replay_complete", False):
+        fail("recovery replay did not reproduce the logged state")
+    if not fresh.get("torn_detected", False):
+        fail("a torn-tail detection path was missed during replay")
+    ov_f = fresh["wal_overhead_virtual_ns"]
+    ov_b = base["wal_overhead_virtual_ns"]
+    if ov_f > ov_b * RECOVERY_OVERHEAD_LIMIT:
+        fail(f"WAL overhead {ov_f:.0f} virtual ns/put exceeds baseline "
+             f"{ov_b:.0f} by more than {RECOVERY_OVERHEAD_LIMIT:.2f}x")
+    longest_f = max(fresh["recovery"], key=lambda r: r["records"])
+    longest_b = max(base["recovery"], key=lambda r: r["records"])
+    if longest_f["wall_ms"] > longest_b["wall_ms"] * RECOVERY_WALL_LIMIT:
+        fail(f"recovery of {longest_f['records']} records took "
+             f"{longest_f['wall_ms']:.1f}ms, exceeding baseline "
+             f"{longest_b['wall_ms']:.1f}ms by more than "
+             f"{RECOVERY_WALL_LIMIT:.1f}x")
+    if fresh["append_wall_ns"] > base["append_wall_ns"] * RECOVERY_WALL_LIMIT:
+        fail(f"append+sync {fresh['append_wall_ns']:.0f} wall ns/record "
+             f"exceeds baseline {base['append_wall_ns']:.0f} by more than "
+             f"{RECOVERY_WALL_LIMIT:.1f}x")
+    print(f"check_bench: recovery WAL overhead {ov_f:.0f} virtual ns/put "
+          f"(baseline {ov_b:.0f}), replay of {longest_f['records']} records "
+          f"{longest_f['wall_ms']:.1f}ms (baseline "
+          f"{longest_b['wall_ms']:.1f}ms), append "
+          f"{fresh['append_wall_ns']:.0f} wall ns/record")
+    print("check_bench: OK")
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <fresh.json> <committed-baseline.json>")
@@ -99,6 +137,9 @@ def main():
         return
     if fresh.get("bench") == "bench_overload":
         check_overload(fresh, base)
+        return
+    if fresh.get("bench") == "bench_recovery":
+        check_recovery(fresh, base)
         return
     for path in ("rpc", "stream"):
         f_row, b_row = fresh[path], base[path]

@@ -33,6 +33,9 @@ struct Options {
   double RateScale = 1.0;
   double DurationScale = 1.0;
   sim::BackendKind Backend = sim::SimConfig::defaultBackend();
+  bool Storage = false;
+  double TornRate = -1; ///< Negative: keep the scenario's rate.
+  double LostRate = -1;
   bool List = false;
   bool ReplayCheck = true; ///< Run each seed twice, compare traces.
   bool Quiet = false;
@@ -55,6 +58,12 @@ void usage(const char *Argv0) {
       "  --backend B       fiber|thread execution backend (default: \n"
       "                    $PROMISES_BACKEND, else fiber); trace hashes are\n"
       "                    backend-independent\n"
+      "  --storage-faults  force durable WAL-backed servers onto the\n"
+      "                    scenario (see docs/DURABILITY.md)\n"
+      "  --torn-rate F     P(lost suffix is torn mid-record); default: the\n"
+      "                    scenario's rate (0.3)\n"
+      "  --lost-rate F     P(crash loses the un-synced suffix); default:\n"
+      "                    the scenario's rate (0.7)\n"
       "  --bench-out FILE  write the first seed's bench_overload JSON record\n"
       "  --no-replay       skip the determinism double-run\n"
       "  --quiet           print failures and the final line only\n",
@@ -102,6 +111,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                      "error: unknown backend %s (valid: fiber, thread)\n", V);
         return false;
       }
+    } else if (!std::strcmp(A, "--storage-faults")) {
+      O.Storage = true;
+    } else if (!std::strcmp(A, "--torn-rate")) {
+      if (!(V = Need(A)))
+        return false;
+      O.TornRate = std::strtod(V, nullptr);
+    } else if (!std::strcmp(A, "--lost-rate")) {
+      if (!(V = Need(A)))
+        return false;
+      O.LostRate = std::strtod(V, nullptr);
     } else if (!std::strcmp(A, "--bench-out")) {
       if (!(V = Need(A)))
         return false;
@@ -114,7 +133,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::fprintf(stderr,
                    "error: unknown flag %s (valid: --scenario --list --seed "
                    "--seeds --rate-scale --duration-scale --backend "
-                   "--bench-out --no-replay --quiet)\n",
+                   "--storage-faults --torn-rate --lost-rate --bench-out "
+                   "--no-replay --quiet)\n",
                    A);
       return false;
     }
@@ -126,6 +146,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   if (O.RateScale <= 0 || O.DurationScale <= 0) {
     std::fprintf(stderr,
                  "error: --rate-scale/--duration-scale must be > 0\n");
+    return false;
+  }
+  if (O.TornRate > 1 || O.LostRate > 1) {
+    std::fprintf(stderr, "error: --torn-rate/--lost-rate must be in [0,1]\n");
     return false;
   }
   return true;
@@ -163,6 +187,9 @@ int main(int Argc, char **Argv) {
     LO.RateScale = O.RateScale;
     LO.DurationScale = O.DurationScale;
     LO.Backend = O.Backend;
+    LO.ForceStorage = O.Storage;
+    LO.TornRate = O.TornRate < 0 ? -1 : O.TornRate;
+    LO.LostRate = O.LostRate < 0 ? -1 : O.LostRate;
 
     LoadReport R = runLoad(LO);
     bool Bad = !R.ok();
